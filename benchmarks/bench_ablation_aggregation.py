@@ -1,0 +1,67 @@
+"""Ablation — combiner aggregation of duplicate rewritten sequences.
+
+Paper Sec. 4.4: *"We use combine functionality of Hadoop to aggregate such
+duplicated sequences … saves communication cost and reduces the
+computational cost of the GSM algorithm"*.  This bench runs the LASH
+partitioning+mining job with and without the combiner and reports the
+shuffle volume and reducer input.
+
+Shape targets: with the combiner, shuffle bytes and reduce-input records
+drop; the mined answer is identical.
+"""
+
+from repro import Lash, MiningParams
+from repro.core.lash import PartitionMineJob
+from repro.mapreduce import MapReduceEngine
+from conftest import NYT_SIGMA_LOW
+from reporting import BenchReport
+
+
+class NoCombinerJob(PartitionMineJob):
+    """The same job with Hadoop's combiner turned off."""
+
+    has_combiner = False
+
+
+def test_ablation_aggregation(benchmark, nyt):
+    report = BenchReport(
+        "Ablation aggregation", "combiner on/off, NYT-CLP"
+    )
+    params = MiningParams(NYT_SIGMA_LOW, 0, 5)
+    hierarchy = nyt.hierarchy("CLP")
+    lash = Lash(params)
+    vocabulary, _ = lash.preprocess(nyt.database, hierarchy)
+    encoded = [vocabulary.encode_sequence(t) for t in nyt.database]
+    engine = MapReduceEngine(num_map_tasks=8, num_reduce_tasks=8)
+
+    def run(job_cls):
+        miner = lash.miner_factory(vocabulary, params)
+        job = job_cls(vocabulary, params, miner)
+        return engine.run(job, encoded)
+
+    def sweep():
+        return {"combiner": run(PartitionMineJob), "none": run(NoCombinerJob)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with_c, without_c = results["combiner"], results["none"]
+    assert dict(with_c.output) == dict(without_c.output)
+
+    for label, result in (
+        ("no combiner", without_c),
+        ("with combiner", with_c),
+    ):
+        report.add(label, {
+            "Shuffle MB": round(result.counters["SHUFFLE_BYTES"] / 1e6, 2),
+            "Reduce input records": result.counters["REDUCE_INPUT_RECORDS"],
+            "Reduce (s)": round(sum(result.metrics.reduce_task_s), 2),
+        })
+    report.emit()
+
+    assert (
+        with_c.counters["SHUFFLE_BYTES"]
+        <= without_c.counters["SHUFFLE_BYTES"]
+    )
+    assert (
+        with_c.counters["REDUCE_INPUT_RECORDS"]
+        <= without_c.counters["REDUCE_INPUT_RECORDS"]
+    )

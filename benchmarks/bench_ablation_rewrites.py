@@ -1,0 +1,78 @@
+"""Ablation — the Sec. 4 rewrite stages, added cumulatively (NYT-CLP).
+
+DESIGN.md calls out the rewrite pipeline as *the* communication-cost lever
+of LASH: w-generalization enables compression and aggregation,
+isolated-pivot removal and unreachability reduction shrink sequences,
+blank compression caps what remains.  This bench quantifies each stage's
+contribution by running LASH with cumulative plans, from ``P_w(T) = T``
+(Eq. (1)'s strawman) to the full pipeline.
+
+Shape targets: shuffle bytes drop monotonically as stages are added (full
+pipeline strictly below the strawman); the mined answer never changes.
+"""
+
+from repro import Lash, MiningParams, build_vocabulary
+from repro.core import RewritePlan, build_partitions, partition_statistics
+from conftest import NYT_SIGMA_LOW
+from reporting import BenchReport
+
+PLANS = [
+    ("none (P_w(T)=T)", RewritePlan(False, False, False, False)),
+    ("+generalize", RewritePlan(True, False, False, False)),
+    ("+isolated", RewritePlan(True, True, False, False)),
+    ("+unreachable", RewritePlan(True, True, True, False)),
+    ("full (+compress)", RewritePlan(True, True, True, True)),
+]
+
+
+def test_ablation_rewrites(benchmark, nyt):
+    report = BenchReport(
+        "Ablation rewrites", "cumulative rewrite stages, NYT-CLP"
+    )
+    params = MiningParams(NYT_SIGMA_LOW, 0, 5)
+    hierarchy = nyt.hierarchy("CLP")
+
+    vocabulary = build_vocabulary(nyt.database, hierarchy)
+    encoded = [vocabulary.encode_sequence(t) for t in nyt.database]
+
+    def sweep():
+        rows = {}
+        reference = None
+        for label, plan in PLANS:
+            result = Lash(params, rewrite_plan=plan).mine(
+                nyt.database, hierarchy
+            )
+            if reference is None:
+                reference = result.decoded()
+            else:
+                assert result.decoded() == reference, label
+            skew = partition_statistics(
+                build_partitions(vocabulary, encoded, params, plan)
+            )
+            rows[label] = {
+                "Shuffle MB": result.counters["SHUFFLE_BYTES"] / 1e6,
+                "Map MB": result.counters["MAP_OUTPUT_BYTES"] / 1e6,
+                "Reduce (s)": result.phase_times().reduce_s,
+                "Imbalance": skew.imbalance,
+                "Max share (%)": 100 * skew.max_share,
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for label, row in rows.items():
+        report.add(label, {
+            "Shuffle MB": round(row["Shuffle MB"], 2),
+            "Map MB": round(row["Map MB"], 2),
+            "Reduce (s)": round(row["Reduce (s)"], 2),
+            "Imbalance": round(row["Imbalance"], 1),
+            "Max share (%)": round(row["Max share (%)"], 1),
+        })
+    report.emit()
+
+    shuffle = [row["Shuffle MB"] for _, row in (
+        (label, rows[label]) for label, _ in PLANS
+    )]
+    # full pipeline clearly beats the strawman; each stage helps or is neutral
+    assert shuffle[-1] < shuffle[0]
+    for earlier, later in zip(shuffle, shuffle[1:]):
+        assert later <= earlier * 1.02  # allow metering noise

@@ -1,0 +1,61 @@
+"""Ablation — in-memory vs external (disk-backed) shuffle (NYT-CLP).
+
+Hadoop shuffles through local disk: map outputs are sorted into run files
+and reducers stream a merge of their partition's runs.  The engine
+reproduces that pipeline behind ``spill_dir``
+(:mod:`repro.mapreduce.spill`); this bench verifies the answer is
+unchanged and measures what the disk round-trip costs on the main LASH
+job.
+
+Shape targets: identical mined output and identical logical shuffle
+bytes; spill bytes within a small factor of shuffle bytes (pickle framing
+vs varint wire format); external shuffle time above in-memory but same
+order of magnitude.
+"""
+
+from repro import Lash, MiningParams
+from repro.mapreduce import SPILL_BYTES, SPILLED_RECORDS
+from conftest import NYT_SIGMA_LOW
+from reporting import BenchReport
+
+
+def test_ablation_spill(benchmark, nyt, tmp_path_factory):
+    report = BenchReport(
+        "Ablation spill", "in-memory vs external shuffle, NYT-CLP"
+    )
+    params = MiningParams(NYT_SIGMA_LOW, 0, 5)
+    hierarchy = nyt.hierarchy("CLP")
+    spill_dir = tmp_path_factory.mktemp("shuffle-spills")
+
+    def sweep():
+        rows = {}
+        memory = Lash(params).mine(nyt.database, hierarchy)
+        spilled = Lash(params, spill_dir=spill_dir).mine(
+            nyt.database, hierarchy
+        )
+        assert spilled.decoded() == memory.decoded()
+        for label, result in (("in-memory", memory), ("external", spilled)):
+            rows[label] = {
+                "Shuffle MB": result.counters["SHUFFLE_BYTES"] / 1e6,
+                "Spill MB": result.counters[SPILL_BYTES] / 1e6,
+                "Spilled records": result.counters[SPILLED_RECORDS],
+                "Shuffle (s)": result.metrics.shuffle_s,
+                "Reduce (s)": result.phase_times().reduce_s,
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for label, row in rows.items():
+        report.add(label, {
+            "Shuffle MB": round(row["Shuffle MB"], 2),
+            "Spill MB": round(row["Spill MB"], 2),
+            "Spilled records": row["Spilled records"],
+            "Shuffle (s)": round(row["Shuffle (s)"], 3),
+            "Reduce (s)": round(row["Reduce (s)"], 2),
+        })
+    report.emit()
+
+    assert rows["in-memory"]["Spill MB"] == 0
+    assert rows["external"]["Spill MB"] > 0
+    # the logical shuffle volume is identical either way
+    assert rows["external"]["Shuffle MB"] == rows["in-memory"]["Shuffle MB"]

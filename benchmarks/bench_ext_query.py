@@ -1,0 +1,61 @@
+"""Extension — pattern-index query latency (the Sec. 1 exploration apps).
+
+The paper motivates GSM with interactive exploration (Google n-gram
+viewer, Netspeak).  Interactivity means queries must answer in
+milliseconds over a mined output of thousands of patterns.  This bench
+builds a :class:`repro.query.PatternIndex` over the NYT-CLP output and
+times a battery of representative queries.
+
+Shape targets: index construction is a small fraction of mining time;
+every query answers well under interactive latency; selective queries
+(with a concrete token) are faster than wildcard-only scans.
+"""
+
+import time
+
+from repro import Lash, MiningParams, PatternIndex
+from conftest import NYT_SIGMA_LOW
+from reporting import BenchReport
+
+QUERIES = [
+    "the ^ADJ ?",
+    "^PRON ^VERB",
+    "? ^PREP ?",
+    "^DET * ^NOUN",
+    "? ?",
+    "*",
+]
+
+
+def test_query_latency(benchmark, nyt):
+    report = BenchReport("Ext. query", "pattern-index latency, NYT-CLP")
+    params = MiningParams(NYT_SIGMA_LOW, 0, 5)
+    result = Lash(params).mine(nyt.database, nyt.hierarchy("CLP"))
+
+    start = time.perf_counter()
+    index = PatternIndex.from_result(result)
+    build_s = time.perf_counter() - start
+    report.add(
+        "index build",
+        {"matches": len(index), "ms": round(1000 * build_s, 2)},
+    )
+
+    timings = {}
+
+    def battery():
+        for query in QUERIES:
+            start = time.perf_counter()
+            matches = index.search(query)
+            timings[query] = (len(matches), time.perf_counter() - start)
+        return timings
+
+    benchmark.pedantic(battery, rounds=3, iterations=1)
+    for query, (count, elapsed) in timings.items():
+        report.add(query, {"matches": count, "ms": round(1000 * elapsed, 2)})
+    report.emit()
+
+    # every query is interactive (well under 250 ms even on slow machines)
+    assert all(elapsed < 0.25 for _, elapsed in timings.values())
+    # "*" matches the whole output; selective queries match a strict subset
+    assert timings["*"][0] == len(index)
+    assert 0 < timings["the ^ADJ ?"][0] < timings["? ?"][0]

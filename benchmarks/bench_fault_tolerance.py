@@ -1,0 +1,64 @@
+"""Fault tolerance — LASH under injected task failures (Sec. 3.1).
+
+Hadoop *"transparently handles failures in the cluster"*; the engine
+reproduces that semantics.  This bench mines NYT-LP under increasing
+per-attempt failure probabilities and reports the failure bookkeeping.
+
+Shape targets: the mined answer is identical at every failure rate; failed
+attempts and wasted seconds grow with the rate.
+"""
+
+from repro import Lash, MiningParams
+from repro.mapreduce import FailurePlan
+from conftest import NYT_SIGMA_HIGH
+from reporting import BenchReport
+
+RATES = [0.0, 0.1, 0.3]
+
+
+def test_fault_tolerance(benchmark, nyt):
+    report = BenchReport(
+        "Fault tolerance", "LASH under injected task failures, NYT-LP"
+    )
+    params = MiningParams(NYT_SIGMA_HIGH, 0, 5)
+    hierarchy = nyt.hierarchy("LP")
+
+    def sweep():
+        rows = {}
+        reference = None
+        for rate in RATES:
+            plan = (
+                FailurePlan(probability=rate, seed=13, max_attempts=40)
+                if rate
+                else None
+            )
+            result = Lash(params, failure_plan=plan).mine(
+                nyt.database, hierarchy
+            )
+            if reference is None:
+                reference = result.decoded()
+            else:
+                assert result.decoded() == reference, rate
+            metrics = result.total_metrics()
+            counters = result.counters
+            rows[rate] = {
+                "Failed maps": counters["FAILED_MAP_TASKS"],
+                "Failed reduces": counters["FAILED_REDUCE_TASKS"],
+                "Wasted (s)": metrics.wasted_s(),
+                "Useful (s)": metrics.serial_phase_times().total_s,
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for rate, row in rows.items():
+        report.add(f"p={rate}", {
+            "Failed maps": row["Failed maps"],
+            "Failed reduces": row["Failed reduces"],
+            "Wasted (s)": round(row["Wasted (s)"], 3),
+            "Useful (s)": round(row["Useful (s)"], 2),
+        })
+    report.emit()
+
+    assert rows[0.0]["Failed maps"] == rows[0.0]["Failed reduces"] == 0
+    assert rows[0.3]["Failed maps"] > rows[0.0]["Failed maps"]
+    assert rows[0.3]["Wasted (s)"] > 0.0

@@ -1,0 +1,65 @@
+"""Fig. 4(b) — map output bytes: baselines vs LASH (NYT, γ=0).
+
+Paper: the baselines shuffle hundreds of GB while LASH stays far below
+(NA for the aborted CLP runs).  Shape target: LASH's MAP_OUTPUT_BYTES is a
+small fraction of the naïve algorithm's in every setting, and the naïve
+volume explodes with λ and hierarchy depth.
+"""
+
+from repro import Lash, MiningParams, NaiveAlgorithm, SemiNaiveAlgorithm
+from repro.mapreduce import C
+from conftest import NYT_SIGMA_HIGH, NYT_SIGMA_LOW
+from reporting import BenchReport
+
+SETTINGS = [
+    ("P", NYT_SIGMA_HIGH, 3),
+    ("P", NYT_SIGMA_LOW, 3),
+    ("P", NYT_SIGMA_LOW, 5),
+    ("CLP", NYT_SIGMA_LOW, 5),
+]
+
+
+def test_fig4b_map_output_bytes(benchmark, nyt):
+    report = BenchReport("Fig 4(b)", "map output bytes (MB)")
+    volumes = {}
+    for variant, sigma, lam in SETTINGS:
+        params = MiningParams(sigma, 0, lam)
+        hierarchy = nyt.hierarchy(variant)
+        rows = {}
+        for name, algorithm in [
+            ("Naive", NaiveAlgorithm(params)),
+            ("Semi-naive", SemiNaiveAlgorithm(params)),
+            ("LASH", Lash(params)),
+        ]:
+            result = algorithm.mine(nyt.database, hierarchy)
+            rows[name] = result.counters[C.MAP_OUTPUT_BYTES]
+        label = f"{variant}({sigma},0,{lam})"
+        volumes[label] = rows
+        report.add(label, {
+            "Naive": round(rows["Naive"] / 1e6, 2),
+            "Semi-naive": round(rows["Semi-naive"] / 1e6, 2),
+            "LASH": round(rows["LASH"] / 1e6, 2),
+            "Ratio": round(rows["Naive"] / max(rows["LASH"], 1), 1),
+        })
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: Lash(MiningParams(NYT_SIGMA_LOW, 0, 3)).mine(
+            nyt.database, nyt.hierarchy("P")
+        ),
+        rounds=1, iterations=1,
+    )
+
+    for rows in volumes.values():
+        assert rows["LASH"] < rows["Naive"]
+        assert rows["Semi-naive"] <= rows["Naive"]
+    # blowup with lambda for the baselines is much stronger than for LASH
+    naive_growth = (
+        volumes[f"P({NYT_SIGMA_LOW},0,5)"]["Naive"]
+        / volumes[f"P({NYT_SIGMA_LOW},0,3)"]["Naive"]
+    )
+    lash_growth = (
+        volumes[f"P({NYT_SIGMA_LOW},0,5)"]["LASH"]
+        / volumes[f"P({NYT_SIGMA_LOW},0,3)"]["LASH"]
+    )
+    assert naive_growth > lash_growth

@@ -1,0 +1,90 @@
+"""Fig. 4(c) — local mining time: BFS vs DFS vs PSM vs PSM+Index (NYT).
+
+Paper: PSM 9–22× faster than BFS (which ran out of memory at CLP λ=7) and
+2.5–3.5× faster than DFS; indexing helps at larger λ and deeper
+hierarchies.  We time only the mining of prebuilt partitions — the exact
+analogue of the paper's reduce-phase measurement.
+
+Extension beyond the paper: a SPAM-style bitmap miner as a fifth series
+(another all-sequences miner, so PSM must beat it too).
+"""
+
+import time
+
+from repro import (
+    BfsMiner,
+    DfsMiner,
+    MiningParams,
+    PivotSequenceMiner,
+    SpamMiner,
+    build_vocabulary,
+)
+from repro.core import build_partitions
+from repro.core.psm import mine_partitions
+from conftest import NYT_SIGMA_HIGH, NYT_SIGMA_LOW
+from reporting import BenchReport
+
+SETTINGS = [
+    ("LP", NYT_SIGMA_HIGH, 5),
+    ("LP", NYT_SIGMA_LOW, 5),
+    ("CLP", NYT_SIGMA_LOW, 5),
+    ("CLP", NYT_SIGMA_LOW, 7),
+]
+
+MINERS = {
+    "BFS": lambda v, p: BfsMiner(v, p),
+    "DFS": lambda v, p: DfsMiner(v, p),
+    "SPAM": lambda v, p: SpamMiner(v, p),
+    "PSM": lambda v, p: PivotSequenceMiner(v, p, index_mode="none"),
+    "PSM+Index": lambda v, p: PivotSequenceMiner(v, p, index_mode="exact"),
+}
+
+
+def _partitions_for(nyt, variant, params):
+    hierarchy = nyt.hierarchy(variant)
+    vocabulary = build_vocabulary(nyt.database, hierarchy)
+    encoded = [vocabulary.encode_sequence(t) for t in nyt.database]
+    return vocabulary, build_partitions(vocabulary, encoded, params)
+
+
+def test_fig4c_local_mining_time(benchmark, nyt):
+    report = BenchReport("Fig 4(c)", "local mining time (s)")
+    timings = {}
+    reference_outputs = {}
+    for variant, sigma, lam in SETTINGS:
+        params = MiningParams(sigma, 0, lam)
+        vocabulary, partitions = _partitions_for(nyt, variant, params)
+        label = f"{variant}({sigma},0,{lam})"
+        row = {}
+        for name, factory in MINERS.items():
+            miner = factory(vocabulary, params)
+            start = time.perf_counter()
+            output = mine_partitions(miner, partitions)
+            row[name] = time.perf_counter() - start
+            if label in reference_outputs:
+                assert output == reference_outputs[label], name
+            reference_outputs[label] = output
+        timings[label] = row
+        report.add(label, {
+            **{k: round(v, 2) for k, v in row.items()},
+            "PSM vs BFS": round(row["BFS"] / row["PSM"], 1),
+            "PSM vs DFS": round(row["DFS"] / row["PSM"], 1),
+        })
+    report.emit()
+
+    # benchmark PSM+Index on the heaviest setting
+    variant, sigma, lam = SETTINGS[-1]
+    params = MiningParams(sigma, 0, lam)
+    vocabulary, partitions = _partitions_for(nyt, variant, params)
+    benchmark.pedantic(
+        lambda: mine_partitions(
+            PivotSequenceMiner(vocabulary, params, index_mode="exact"),
+            partitions,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    # shape: PSM beats BFS and DFS in every setting
+    for row in timings.values():
+        assert row["PSM"] < row["BFS"]
+        assert row["PSM"] < row["DFS"]

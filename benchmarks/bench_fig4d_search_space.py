@@ -1,0 +1,59 @@
+"""Fig. 4(d) — candidate sequences per output sequence (NYT).
+
+Paper: DFS evaluates up to ~200 candidates per output sequence; PSM a small
+fraction of that; the right-expansion index prunes up to another 2×.
+Shape target: candidates/output ordering DFS > PSM ≥ PSM+Index in every
+setting.
+"""
+
+from repro import (
+    DfsMiner,
+    MiningParams,
+    PivotSequenceMiner,
+    SpamMiner,
+    build_vocabulary,
+)
+from repro.core import build_partitions
+from repro.core.psm import mine_partitions
+from conftest import NYT_SIGMA_HIGH, NYT_SIGMA_LOW
+from reporting import BenchReport
+
+SETTINGS = [
+    ("LP", NYT_SIGMA_HIGH, 5),
+    ("LP", NYT_SIGMA_LOW, 5),
+    ("CLP", NYT_SIGMA_LOW, 5),
+    ("CLP", NYT_SIGMA_LOW, 7),
+]
+
+
+def _sweep(nyt):
+    ratios = {}
+    for variant, sigma, lam in SETTINGS:
+        params = MiningParams(sigma, 0, lam)
+        hierarchy = nyt.hierarchy(variant)
+        vocabulary = build_vocabulary(nyt.database, hierarchy)
+        encoded = [vocabulary.encode_sequence(t) for t in nyt.database]
+        partitions = build_partitions(vocabulary, encoded, params)
+        row = {}
+        for name, miner in [
+            ("DFS", DfsMiner(vocabulary, params)),
+            ("SPAM", SpamMiner(vocabulary, params)),
+            ("PSM", PivotSequenceMiner(vocabulary, params, index_mode="none")),
+            ("PSM+Index", PivotSequenceMiner(vocabulary, params, index_mode="exact")),
+        ]:
+            mine_partitions(miner, partitions)
+            row[name] = miner.stats.candidates_per_output()
+        ratios[f"{variant}({sigma},0,{lam})"] = row
+    return ratios
+
+
+def test_fig4d_search_space(benchmark, nyt):
+    report = BenchReport("Fig 4(d)", "# candidate / output sequences")
+    ratios = benchmark.pedantic(_sweep, args=(nyt,), rounds=1, iterations=1)
+    for label, row in ratios.items():
+        report.add(label, {k: round(v, 2) for k, v in row.items()})
+    report.emit()
+
+    for row in ratios.values():
+        assert row["PSM"] < row["DFS"]
+        assert row["PSM+Index"] <= row["PSM"]

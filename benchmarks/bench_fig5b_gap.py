@@ -1,0 +1,43 @@
+"""Fig. 5(b) — effect of maximum gap γ (AMZN-h8, σ fixed, λ=5).
+
+Paper: map time is largely independent of γ (rewrites barely change), but
+reduce time grows steeply because the mining search space explodes with
+the gap.  Shape target: reduce time strictly grows from γ=0 to γ=3 and
+dominates the growth in total time; map time stays within a constant
+factor.
+"""
+
+from repro import Lash, MiningParams
+from conftest import AMZN_SIGMA
+from reporting import BenchReport
+
+GAMMAS = [0, 1, 2, 3]
+
+
+def test_fig5b_effect_of_gap(benchmark, amzn):
+    report = BenchReport("Fig 5(b)", "effect of gap (AMZN-h8, l=5)")
+    sigma = 2 * AMZN_SIGMA
+    phase_rows = {}
+    for gamma in GAMMAS:
+        result = Lash(MiningParams(sigma, gamma, 5)).mine(
+            amzn.database, amzn.hierarchy(8)
+        )
+        times = result.phase_times()
+        phase_rows[gamma] = times
+        report.add(f"gamma={gamma}", {
+            **times.row(), "Patterns": len(result),
+        })
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: Lash(MiningParams(sigma, 0, 5)).mine(
+            amzn.database, amzn.hierarchy(8)
+        ),
+        rounds=1, iterations=1,
+    )
+
+    assert phase_rows[3].reduce_s > phase_rows[0].reduce_s
+    # reduce growth outpaces map growth (map nearly flat in the paper)
+    reduce_growth = phase_rows[3].reduce_s / max(phase_rows[0].reduce_s, 1e-9)
+    map_growth = phase_rows[3].map_s / max(phase_rows[0].map_s, 1e-9)
+    assert reduce_growth > map_growth

@@ -1,0 +1,34 @@
+"""Fig. 5(c) — effect of maximum length λ (AMZN-h8, γ=1).
+
+Paper: λ has little impact on map time but reduce time (and output size)
+grows significantly with λ.  Shape target: reduce time grows from λ=3 to
+λ=7; map time stays within a small factor.
+"""
+
+from repro import Lash, MiningParams
+from conftest import AMZN_SIGMA
+from reporting import BenchReport
+
+
+def test_fig5c_effect_of_length(benchmark, amzn, fig5_lambda_runs):
+    report = BenchReport("Fig 5(c)", "effect of length (AMZN-h8, g=1)")
+    phase_rows = {}
+    for lam, result in sorted(fig5_lambda_runs.items()):
+        times = result.phase_times()
+        phase_rows[lam] = times
+        report.add(f"lambda={lam}", {
+            **times.row(), "Patterns": len(result),
+        })
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: Lash(MiningParams(AMZN_SIGMA, 1, 3)).mine(
+            amzn.database, amzn.hierarchy(8)
+        ),
+        rounds=1, iterations=1,
+    )
+
+    assert phase_rows[7].reduce_s > phase_rows[3].reduce_s
+    map_growth = phase_rows[7].map_s / max(phase_rows[3].map_s, 1e-9)
+    reduce_growth = phase_rows[7].reduce_s / max(phase_rows[3].reduce_s, 1e-9)
+    assert reduce_growth > map_growth

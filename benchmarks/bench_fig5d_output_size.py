@@ -1,0 +1,33 @@
+"""Fig. 5(d) — output size vs λ (AMZN-h8, γ=1).
+
+Paper: the number of output sequences grows with λ (to ~200M at λ=7) and
+is proportional to the reduce time of Fig. 5(c).  Shape target: output
+count is non-decreasing in λ and correlates positively with reduce time.
+"""
+
+from reporting import BenchReport
+
+
+def test_fig5d_output_size(benchmark, fig5_lambda_runs):
+    report = BenchReport("Fig 5(d)", "# output sequences vs lambda (AMZN-h8)")
+    counts = {}
+    reduce_times = {}
+    for lam, result in sorted(fig5_lambda_runs.items()):
+        counts[lam] = len(result)
+        reduce_times[lam] = result.phase_times().reduce_s
+        report.add(f"lambda={lam}", {
+            "Output sequences": counts[lam],
+            "Reduce (s)": round(reduce_times[lam], 2),
+        })
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: [len(r) for r in fig5_lambda_runs.values()],
+        rounds=1, iterations=1,
+    )
+
+    lams = sorted(counts)
+    assert [counts[l] for l in lams] == sorted(counts[l] for l in lams)
+    assert counts[7] > counts[3]
+    # proportionality: larger outputs take longer to mine
+    assert reduce_times[7] > reduce_times[3]

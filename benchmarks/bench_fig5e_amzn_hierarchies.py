@@ -1,0 +1,46 @@
+"""Fig. 5(e) — effect of hierarchy depth (AMZN, σ fixed, γ=2, λ=5).
+
+Paper: map time rises slightly with depth (rewrites walk longer chains);
+reduce time rises markedly because more intermediate items mean more
+partitions and deeper generalization — but the h4→h8 step is muted because
+most products have ≤4 ancestor categories.  Shape targets: total time grows
+with depth; h4→h8 growth smaller than h2→h4 growth.
+"""
+
+from repro import Lash, MiningParams
+from conftest import AMZN_SIGMA
+from reporting import BenchReport
+
+LEVELS = [2, 3, 4, 8]
+
+
+def test_fig5e_effect_of_hierarchy_depth(benchmark, amzn):
+    report = BenchReport("Fig 5(e)", "effect of hierarchy depth (AMZN)")
+    sigma = 2 * AMZN_SIGMA
+    totals = {}
+    for levels in LEVELS:
+        result = Lash(MiningParams(sigma, 2, 5)).mine(
+            amzn.database, amzn.hierarchy(levels)
+        )
+        times = result.phase_times()
+        totals[levels] = times
+        report.add(f"h{levels}", {
+            **times.row(),
+            "Patterns": len(result),
+            "Partitions": result.counters["REDUCE_INPUT_GROUPS"],
+        })
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: Lash(MiningParams(sigma, 2, 5)).mine(
+            amzn.database, amzn.hierarchy(2)
+        ),
+        rounds=1, iterations=1,
+    )
+
+    assert totals[8].total_s > totals[2].total_s
+    assert totals[8].reduce_s > totals[2].reduce_s
+    # h4 -> h8 less pronounced than h2 -> h4 (ragged chains, paper Sec. 6.5)
+    growth_24 = totals[4].total_s - totals[2].total_s
+    growth_48 = totals[8].total_s - totals[4].total_s
+    assert growth_48 < growth_24

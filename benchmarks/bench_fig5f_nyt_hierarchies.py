@@ -1,0 +1,42 @@
+"""Fig. 5(f) — effect of hierarchy type (NYT, σ fixed, γ=0, λ=5).
+
+Paper: L and P both have two levels yet P's reduce phase is far more
+expensive (few roots with huge fan-out and very frequent root items ⇒
+bigger partitions and larger outputs); adding levels (LP, CLP) raises both
+map and reduce times.  Shape targets: P total ≫ L total; CLP ≥ LP ≥ L.
+"""
+
+from repro import Lash, MiningParams
+from conftest import NYT_SIGMA_LOW
+from reporting import BenchReport
+
+VARIANTS = ["L", "P", "LP", "CLP"]
+
+
+def test_fig5f_effect_of_hierarchy_type(benchmark, nyt):
+    report = BenchReport("Fig 5(f)", "effect of hierarchy type (NYT)")
+    totals = {}
+    for variant in VARIANTS:
+        result = Lash(MiningParams(NYT_SIGMA_LOW, 0, 5)).mine(
+            nyt.database, nyt.hierarchy(variant)
+        )
+        times = result.phase_times()
+        totals[variant] = times
+        report.add(f"NYT-{variant}", {
+            **times.row(), "Patterns": len(result),
+        })
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: Lash(MiningParams(NYT_SIGMA_LOW, 0, 5)).mine(
+            nyt.database, nyt.hierarchy("L")
+        ),
+        rounds=1, iterations=1,
+    )
+
+    # same depth, very different cost: P ≫ L (root fan-out/frequency)
+    assert totals["P"].reduce_s > totals["L"].reduce_s
+    assert totals["P"].total_s > totals["L"].total_s
+    # deeper hierarchies cost more than L
+    assert totals["CLP"].total_s > totals["L"].total_s
+    assert totals["LP"].total_s > totals["L"].total_s

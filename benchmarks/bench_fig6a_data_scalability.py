@@ -1,0 +1,42 @@
+"""Fig. 6(a) — data scalability (NYT-CLP, σ fixed, λ=5, fixed cluster).
+
+Paper: map and reduce times grow linearly as the input grows from 25% to
+100%.  We mine nested samples and report simulated 10-node-cluster phase
+makespans from the measured task profiles.  Shape targets: monotone growth,
+roughly linear (4× data within ~8× time, i.e. superlinearity bounded).
+"""
+
+from repro import ClusterSpec, Lash, MiningParams
+from conftest import NYT_SIGMA_LOW
+from reporting import BenchReport
+
+FRACTIONS = [0.25, 0.5, 0.75, 1.0]
+CLUSTER = ClusterSpec(nodes=10, map_slots_per_node=8, reduce_slots_per_node=8)
+
+
+def test_fig6a_data_scalability(benchmark, nyt):
+    report = BenchReport("Fig 6(a)", "data scalability (NYT-CLP)")
+    totals = {}
+    for fraction in FRACTIONS:
+        # σ stays fixed while the data grows, exactly as in the paper
+        sample = nyt.database.sample(fraction, seed=1)
+        result = Lash(MiningParams(NYT_SIGMA_LOW, 0, 5), num_map_tasks=80,
+                      num_reduce_tasks=80).mine(sample, nyt.hierarchy("CLP"))
+        times = result.cluster_times(CLUSTER)
+        totals[fraction] = times
+        report.add(f"{int(fraction * 100)}%", {
+            **times.row(), "Patterns": len(result),
+        })
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: Lash(MiningParams(NYT_SIGMA_LOW, 0, 5)).mine(
+            nyt.database.sample(0.25, seed=1), nyt.hierarchy("CLP")
+        ),
+        rounds=1, iterations=1,
+    )
+
+    series = [totals[f].total_s for f in FRACTIONS]
+    assert series == sorted(series)  # monotone growth
+    # roughly linear: 4x data should stay well under 10x time
+    assert series[-1] < series[0] * 10

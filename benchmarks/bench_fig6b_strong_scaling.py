@@ -1,0 +1,39 @@
+"""Fig. 6(b) — strong scalability (NYT-CLP, fixed data, 2/4/8 nodes).
+
+Paper: both map and reduce times fall roughly linearly as compute nodes
+double.  We run the full dataset once (320 map / 80 reduce tasks measured
+individually — enough tasks that every cluster size keeps its slots busy)
+and schedule the measured profile onto clusters of 2, 4 and 8 nodes.
+Shape targets: monotone speedup; doubling nodes gives >=1.4x per step on
+the map phase.
+"""
+
+from repro import ClusterSpec, Lash, MiningParams
+from conftest import NYT_SIGMA_LOW
+from reporting import BenchReport
+
+NODES = [2, 4, 8]
+
+
+def test_fig6b_strong_scalability(benchmark, nyt):
+    report = BenchReport("Fig 6(b)", "strong scalability (NYT-CLP)")
+    result = benchmark.pedantic(
+        lambda: Lash(
+            MiningParams(NYT_SIGMA_LOW, 0, 5),
+            num_map_tasks=320, num_reduce_tasks=80,
+        ).mine(nyt.database, nyt.hierarchy("CLP")),
+        rounds=1, iterations=1,
+    )
+    totals = {}
+    for nodes in NODES:
+        cluster = ClusterSpec(nodes=nodes, map_slots_per_node=8,
+                              reduce_slots_per_node=8)
+        times = result.cluster_times(cluster)
+        totals[nodes] = times
+        report.add(f"{nodes} nodes", times.row())
+    report.emit()
+
+    series = [totals[n].total_s for n in NODES]
+    assert series == sorted(series, reverse=True)  # more nodes, less time
+    for a, b in zip(NODES, NODES[1:]):
+        assert totals[a].map_s / totals[b].map_s > 1.4

@@ -1,0 +1,49 @@
+"""Fig. 6(c) — weak scalability (NYT-CLP; 25%/2, 50%/4, 100%/8 nodes).
+
+Paper: total time stays nearly constant when data and nodes double
+together, rising slightly because the output itself grows superlinearly
+(43M → 99M → 220M patterns, a 2.2× step).  Shape targets: the weak-scaling
+curve is much flatter than the data-growth factor; output count more than
+doubles per step.
+"""
+
+from repro import ClusterSpec, Lash, MiningParams
+from conftest import NYT_SIGMA_LOW
+from reporting import BenchReport
+
+STEPS = [(0.25, 2), (0.5, 4), (1.0, 8)]
+
+
+def test_fig6c_weak_scalability(benchmark, nyt):
+    report = BenchReport("Fig 6(c)", "weak scalability (NYT-CLP)")
+    totals = {}
+    outputs = {}
+    for fraction, nodes in STEPS:
+        sample = nyt.database.sample(fraction, seed=1)
+        result = Lash(
+            MiningParams(NYT_SIGMA_LOW, 0, 5),
+            num_map_tasks=80, num_reduce_tasks=80,
+        ).mine(sample, nyt.hierarchy("CLP"))
+        cluster = ClusterSpec(nodes=nodes, map_slots_per_node=8,
+                              reduce_slots_per_node=8)
+        times = result.cluster_times(cluster)
+        totals[(fraction, nodes)] = times
+        outputs[(fraction, nodes)] = len(result)
+        report.add(f"{nodes} nodes ({int(fraction * 100)}%)", {
+            **times.row(), "Patterns": len(result),
+        })
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: Lash(MiningParams(NYT_SIGMA_LOW, 0, 5)).mine(
+            nyt.database.sample(0.25, seed=1), nyt.hierarchy("CLP")
+        ),
+        rounds=1, iterations=1,
+    )
+
+    first = totals[STEPS[0]].total_s
+    last = totals[STEPS[-1]].total_s
+    # near-flat: 4x data on 4x nodes costs far less than 4x time
+    assert last < first * 3
+    # the paper's explanation: output grows faster than the data
+    assert outputs[STEPS[-1]] > 2 * outputs[STEPS[0]]

@@ -1,0 +1,26 @@
+"""Table 1 — dataset characteristics.
+
+Paper reports NYT: 49.6M sequences, avg 21.1, max 15199, 1.05G items, 2.76M
+unique; AMZN: 6.6M sequences, avg 4.5, max 25630, 29.7M items, 2.37M unique.
+Our synthetic stand-ins are smaller but preserve the contrasts: NYT-like
+sentences are longer on average than AMZN-like sessions, AMZN has a long
+session-length tail relative to its mean.
+"""
+
+from reporting import BenchReport
+
+
+def test_table1_dataset_characteristics(benchmark, nyt, amzn):
+    report = BenchReport("Table 1", "dataset characteristics")
+
+    nyt_stats = benchmark(nyt.database.stats)
+    amzn_stats = amzn.database.stats()
+
+    report.add("NYT", nyt_stats.row())
+    report.add("AMZN", amzn_stats.row())
+    report.emit()
+
+    # shape checks mirroring the paper's contrasts
+    assert nyt_stats.avg_length > amzn_stats.avg_length
+    assert amzn_stats.max_length > 3 * amzn_stats.avg_length
+    assert nyt_stats.num_sequences > 0 and amzn_stats.num_sequences > 0

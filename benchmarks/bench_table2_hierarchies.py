@@ -1,0 +1,44 @@
+"""Table 2 — hierarchy characteristics.
+
+Paper: NYT-L has 2.5M roots with avg fan-out 2.7; NYT-P has 22 roots with
+avg fan-out 124k; LP/CLP add intermediate levels.  AMZN h2→h8 grows the
+intermediate-item count (0 → 11630) while leaf/root counts stay nearly
+constant.  The synthetic hierarchies must reproduce those structural
+contrasts.
+"""
+
+from repro.datasets import hierarchy_stats
+from reporting import BenchReport
+
+
+def test_table2_hierarchy_characteristics(benchmark, nyt, amzn):
+    report = BenchReport("Table 2", "hierarchy characteristics")
+
+    nyt_rows = {
+        variant: hierarchy_stats(nyt.hierarchy(variant))
+        for variant in ("L", "P", "LP", "CLP")
+    }
+    amzn_rows = {
+        levels: hierarchy_stats(amzn.hierarchy(levels))
+        for levels in (2, 3, 4, 8)
+    }
+    benchmark(lambda: hierarchy_stats(nyt.hierarchy("CLP")))
+
+    for variant, stats in nyt_rows.items():
+        report.add(f"NYT-{variant}", stats.row())
+    for levels, stats in amzn_rows.items():
+        report.add(f"AMZN-h{levels}", stats.row())
+    report.emit()
+
+    # paper's contrasts
+    assert nyt_rows["L"].root_items > 50 * nyt_rows["P"].root_items
+    assert nyt_rows["P"].avg_fan_out > 20 * nyt_rows["L"].avg_fan_out
+    assert nyt_rows["L"].levels == nyt_rows["P"].levels == 2
+    assert nyt_rows["LP"].levels == 3 and nyt_rows["CLP"].levels == 4
+    assert nyt_rows["CLP"].intermediate_items > nyt_rows["LP"].intermediate_items
+
+    inter = [amzn_rows[k].intermediate_items for k in (2, 3, 4, 8)]
+    assert inter[0] == 0
+    assert inter == sorted(inter)
+    # fan-out shrinks as depth spreads products over subcategories
+    assert amzn_rows[2].avg_fan_out > amzn_rows[8].avg_fan_out

@@ -1,0 +1,59 @@
+"""Table 3 — output statistics (% non-trivial / closed / maximal).
+
+Paper (NYT, σ=100, λ=5): non-trivial 70–75%; closed drops from 89% (P) to
+35% (CLP); maximal from 32% to 6% — deeper hierarchies create more
+redundancy.  (AMZN-h8, γ=1, λ=5): lowering σ from 10000 to 100 drops
+non-trivial 100→97%, closed 100→65%, maximal 22→10%.
+
+Shape targets: a large majority of patterns are non-trivial; closed% and
+maximal% fall as hierarchy depth grows and as σ shrinks.
+"""
+
+from repro import Lash, MiningParams, mine
+from repro.analysis import output_statistics, recode_patterns
+from conftest import AMZN_SIGMA, NYT_SIGMA_LOW
+from reporting import BenchReport
+
+
+def _stats_for(database, hierarchy, sigma, gamma, lam):
+    gsm = mine(database, hierarchy, sigma=sigma, gamma=gamma, lam=lam)
+    flat = mine(database, None, sigma=sigma, gamma=gamma, lam=lam)
+    flat_patterns = recode_patterns(
+        flat.patterns, flat.vocabulary, gsm.vocabulary
+    )
+    stats = output_statistics(gsm.vocabulary, gsm.patterns, flat_patterns)
+    return gsm, stats
+
+
+def test_table3_output_statistics(benchmark, nyt, amzn):
+    report = BenchReport("Table 3", "output statistics")
+
+    nyt_stats = {}
+    for variant in ("P", "LP", "CLP"):
+        _, stats = _stats_for(
+            nyt.database, nyt.hierarchy(variant), NYT_SIGMA_LOW, 0, 5
+        )
+        nyt_stats[variant] = stats
+        report.add(f"NYT-{variant} (s={NYT_SIGMA_LOW},l=5)", stats.row())
+
+    amzn_stats = {}
+    for sigma in (8 * AMZN_SIGMA, 2 * AMZN_SIGMA, AMZN_SIGMA):
+        gsm, stats = _stats_for(amzn.database, amzn.hierarchy(8), sigma, 1, 5)
+        amzn_stats[sigma] = stats
+        report.add(f"AMZN-h8 (s={sigma},g=1,l=5)", stats.row())
+
+    # time the analysis itself on the last (largest) output
+    benchmark(
+        lambda: output_statistics(gsm.vocabulary, gsm.patterns)
+    )
+    report.emit()
+
+    # most patterns need the hierarchy (paper: >70% NYT, >95% AMZN)
+    for stats in nyt_stats.values():
+        assert stats.non_trivial_pct > 50
+    # deeper hierarchy ⇒ more redundancy (closed/maximal % drop)
+    assert nyt_stats["CLP"].maximal_pct < nyt_stats["P"].maximal_pct
+    assert nyt_stats["CLP"].closed_pct < nyt_stats["P"].closed_pct
+    # lower support ⇒ more redundancy
+    sigmas = sorted(amzn_stats, reverse=True)
+    assert amzn_stats[sigmas[0]].maximal_pct >= amzn_stats[sigmas[-1]].maximal_pct

@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark harness.
+
+Dataset scale is controlled by ``REPRO_BENCH_SCALE`` (default 1.0 ≈ a few
+seconds per experiment).  The paper ran on 50M NYT sentences and 6.6M AMZN
+users on a 10-worker Hadoop cluster; we reproduce the *shapes* on synthetic
+data sized for a single machine (see DESIGN.md §2).
+
+Support thresholds are scaled to our corpus sizes: the paper's NYT σ=1000 /
+σ=100 (out of 50M sentences) map to "high" / "low" here.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.datasets import (
+    ProductDataConfig,
+    TextCorpusConfig,
+    generate_product_data,
+    generate_text_corpus,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: NYT-like corpus knobs
+NYT_SENTENCES = max(500, int(6000 * SCALE))
+NYT_SIGMA_HIGH = max(2, int(60 * SCALE))
+NYT_SIGMA_LOW = max(2, int(20 * SCALE))
+
+#: AMZN-like dataset knobs
+AMZN_USERS = max(300, int(5000 * SCALE))
+AMZN_PRODUCTS = max(100, int(1000 * SCALE))
+AMZN_SIGMA = max(2, int(25 * SCALE))
+
+
+@pytest.fixture(scope="session")
+def nyt():
+    """The synthetic NYT-like corpus with L/P/LP/CLP hierarchies."""
+    return generate_text_corpus(
+        TextCorpusConfig(num_sentences=NYT_SENTENCES, seed=42)
+    )
+
+
+@pytest.fixture(scope="session")
+def amzn():
+    """The synthetic AMZN-like sessions with h2…h8 hierarchies."""
+    return generate_product_data(
+        ProductDataConfig(
+            num_users=AMZN_USERS, num_products=AMZN_PRODUCTS, seed=29
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def fig5_lambda_runs(amzn):
+    """Shared λ-sweep used by Fig. 5(c) and Fig. 5(d)."""
+    from repro import Lash, MiningParams
+
+    runs = {}
+    for lam in (3, 4, 5, 6, 7):
+        result = Lash(MiningParams(AMZN_SIGMA, 1, lam)).mine(
+            amzn.database, amzn.hierarchy(8)
+        )
+        runs[lam] = result
+    return runs

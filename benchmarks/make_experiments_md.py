@@ -1,0 +1,346 @@
+"""Assemble EXPERIMENTS.md from the saved benchmark reports.
+
+Each benchmark saves its paper-style table under ``benchmarks/results/``;
+this script stitches them together with the paper's reported numbers and
+the shape verdicts, producing the EXPERIMENTS.md deliverable.  Re-run
+after a benchmark sweep::
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/make_experiments_md.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.textplot import grouped_bar_chart, parse_report_table
+
+RESULTS = Path(__file__).parent / "results"
+TARGET = Path(__file__).parent.parent / "EXPERIMENTS.md"
+
+#: results stem → (series columns to chart, unit) — rendered as ASCII bars
+#: under the measured table so the *shape* of each paper figure is visible
+CHARTS: dict[str, tuple[list[str], str]] = {
+    "fig_4_a": (["Naive", "Semi-naive", "LASH"], "s"),
+    "fig_4_b": (["Naive", "Semi-naive", "LASH"], "MB"),
+    "fig_4_c": (["BFS", "DFS", "SPAM", "PSM", "PSM+Index"], "s"),
+    "fig_4_d": (["DFS", "SPAM", "PSM", "PSM+Index"], ""),
+    "fig_4_e": (["MG-FSM", "LASH"], "s"),
+    "fig_5_a": (["Map", "Shuffle", "Reduce"], "s"),
+    "fig_5_b": (["Map", "Shuffle", "Reduce"], "s"),
+    "fig_5_c": (["Map", "Shuffle", "Reduce"], "s"),
+    "fig_5_d": (["Output sequences"], ""),
+    "fig_5_e": (["Map", "Shuffle", "Reduce"], "s"),
+    "fig_5_f": (["Map", "Shuffle", "Reduce"], "s"),
+    "fig_6_a": (["Map", "Shuffle", "Reduce"], "s"),
+    "fig_6_b": (["Map", "Shuffle", "Reduce"], "s"),
+    "fig_6_c": (["Map", "Shuffle", "Reduce"], "s"),
+    "table_3": (["Non-trivial (%)", "Closed (%)", "Maximal (%)"], "%"),
+    "gsp_baseline": (["GSP (s)", "LASH (s)"], "s"),
+    "ablation_rewrites": (["Shuffle MB"], "MB"),
+    "ext__closed_mining": (["patterns", "candidates"], ""),
+}
+
+
+def chart_for(stem: str, text: str) -> str | None:
+    """Render the configured ASCII chart for one saved report, if any."""
+    spec = CHARTS.get(stem)
+    if spec is None:
+        return None
+    wanted, unit = spec
+    try:
+        columns, rows = parse_report_table(text)
+    except Exception:
+        return None
+    present = [c for c in wanted if c in columns]
+    if not present:
+        return None
+    labels, series = [], {c: [] for c in present}
+    for row in rows:
+        values = {}
+        for c in present:
+            cell = row[columns.index(c) + 1] if columns.index(c) + 1 < len(
+                row
+            ) else ""
+            try:
+                values[c] = float(cell.replace(",", ""))
+            except ValueError:
+                break
+        else:
+            labels.append(row[0])
+            for c in present:
+                series[c].append(values[c])
+    if not labels:
+        return None
+    return grouped_bar_chart(labels, series, width=40, unit=unit)
+
+#: experiment id → (results file stem, what the paper reports, shape verdict)
+EXPERIMENTS: list[tuple[str, str, str, str]] = [
+    (
+        "Table 1 — dataset characteristics",
+        "table_1",
+        "NYT: 49.6M sentences, avg length 21.1, 2.76M unique items; AMZN: "
+        "6.6M users, avg length 4.5, 2.37M unique items.",
+        "Synthetic stand-ins are ~3 orders of magnitude smaller (single "
+        "machine); length distributions and unique/total item ratios follow "
+        "the same regime: text sequences much longer than product sessions.",
+    ),
+    (
+        "Table 2 — hierarchy characteristics",
+        "table_2",
+        "NYT-L: 2 levels, many roots, fan-out 2.7; NYT-P: 2 levels, 22 "
+        "roots, fan-out ~125k; LP: 3 levels; CLP: 4 levels.  AMZN h2–h8: "
+        "2–8 levels with intermediate items growing with depth.",
+        "Reproduced by construction: L has many shallow roots, P few huge "
+        "ones, LP/CLP add levels; h2→h8 grows intermediate items at fixed "
+        "leaf count.",
+    ),
+    (
+        "Table 3 — output statistics",
+        "table_3",
+        "NYT σ=100 λ=5: non-trivial 70–75%, closed 89→35%, maximal 32→6% "
+        "as the hierarchy deepens (P→CLP).  AMZN-h8: lowering σ 10000→100 "
+        "drops non-trivial 100→97%, closed 100→65%, maximal 22→10%.",
+        "Same directions: a large majority of patterns are non-trivial; "
+        "closed%/maximal% fall with hierarchy depth and with lower σ.",
+    ),
+    (
+        "Fig. 4(a) — total time, baselines vs LASH",
+        "fig_4_a",
+        "LASH ~10× faster at (σ=1000,λ=3) and (σ=100,λ=3), >50× at "
+        "(σ=100,λ=5); on CLP the baselines were aborted after 12 h vs "
+        "~600 s for LASH.",
+        "LASH wins every setting and the gap widens with λ and hierarchy "
+        "depth; naïve ≥ semi-naïve.",
+    ),
+    (
+        "Fig. 4(b) — map output bytes",
+        "fig_4_b",
+        "LASH transfers far less data between map and reduce than both "
+        "baselines (the baselines did not finish CLP).",
+        "Same ordering on every setting; the baseline/LASH byte ratio "
+        "grows with λ and depth.",
+    ),
+    (
+        "Fig. 4(c) — local mining time",
+        "fig_4_c",
+        "PSM 9–22× faster than BFS (BFS ran out of memory at CLP λ=7), "
+        "2.5–3.5× faster than DFS; indexing pays off at larger λ/depth.",
+        "PSM beats BFS and DFS in every setting (SPAM added as an extra "
+        "all-sequences series); BFS degrades hardest with depth.",
+    ),
+    (
+        "Fig. 4(d) — candidates per output sequence",
+        "fig_4_d",
+        "DFS up to ~200 candidates/output; PSM a small fraction; the "
+        "index prunes up to another 2×.",
+        "Ordering DFS > PSM ≥ PSM+Index holds everywhere.",
+    ),
+    (
+        "Fig. 4(e) — flat mining vs MG-FSM",
+        "fig_4_e",
+        "LASH (= MG-FSM with PSM as local miner) 2–5× faster than MG-FSM "
+        "on hierarchy-free mining.",
+        "LASH faster on every setting; identical outputs asserted.",
+    ),
+    (
+        "Fig. 5(a) — effect of support σ",
+        "fig_5_a",
+        "All phases shrink as σ grows; map time falls because the "
+        "effective hierarchy depth shrinks at high σ.",
+        "Same monotone decline in map and reduce.",
+    ),
+    (
+        "Fig. 5(b) — effect of gap γ",
+        "fig_5_b",
+        "Map roughly flat (rewrites ~independent of γ); reduce grows "
+        "steeply with γ.",
+        "Same: map flat, reduce grows with γ.",
+    ),
+    (
+        "Fig. 5(c) — effect of length λ",
+        "fig_5_c",
+        "Map ~flat; reduce grows significantly with λ.",
+        "Same shape.",
+    ),
+    (
+        "Fig. 5(d) — output size vs λ",
+        "fig_5_d",
+        "Output sequences grow with λ, proportionally to reduce time.",
+        "Same: output grows with λ and tracks reduce time.",
+    ),
+    (
+        "Fig. 5(e) — AMZN hierarchy depth",
+        "fig_5_e",
+        "Map grows slightly with depth; reduce grows significantly; "
+        "h4→h8 less pronounced (most products have ≤4 categories).",
+        "Same, including the flattening beyond h4 (chains are ragged by "
+        "construction).",
+    ),
+    (
+        "Fig. 5(f) — NYT hierarchy variants",
+        "fig_5_f",
+        "P ≫ L in reduce time despite equal depth (few huge roots vs many "
+        "small ones); LP/CLP higher still in both phases.",
+        "Same ordering L < P < LP ≤ CLP.",
+    ),
+    (
+        "Fig. 6(a) — data scalability",
+        "fig_6_a",
+        "Map and reduce times grow linearly with input size (25–100%).",
+        "Near-linear growth in both phases.",
+    ),
+    (
+        "Fig. 6(b) — strong scalability",
+        "fig_6_b",
+        "Near-linear speedup from 2 to 8 nodes.",
+        "Makespans on the simulated cluster shrink ~linearly in nodes.",
+    ),
+    (
+        "Fig. 6(c) — weak scalability",
+        "fig_6_c",
+        "Near-flat total time as data and nodes double together; slight "
+        "growth because output grows >2× when input doubles (43M→99M→220M "
+        "patterns).",
+        "Near-flat with the same slight growth, same cause (output "
+        "super-linearity).",
+    ),
+    (
+        "Sec. 5.2 — search-space analysis (analytic)",
+        "sec_5_2_analytic",
+        "With k=100,000 and λ=5, PSM explores 0.005% of the BFS/DFS "
+        "worst-case space.",
+        "Formula reproduced exactly (0.005%).",
+    ),
+    (
+        "Sec. 5.2 — search-space analysis (measured)",
+        "sec_5_2_measured",
+        "On the Eq. (4) partition: DFS evaluates 5+17+13+2 = 37 candidate "
+        "sequences; PSM roughly a third (13 nodes in Fig. 3's counting).",
+        "DFS = 37 exactly; PSM 18 and PSM+Index 14 under this "
+        "repository's support-evaluation counting convention.",
+    ),
+    (
+        "Ablation — rewrite stages (beyond the paper)",
+        "ablation_rewrites",
+        "Sec. 4 motivates the rewrites with skew, redundancy and "
+        "communication cost but reports no per-stage numbers.",
+        "Shuffle volume and skew drop monotonically as stages are added; "
+        "mined answer invariant (property-tested).",
+    ),
+    (
+        "Ablation — combiner aggregation (beyond the paper)",
+        "ablation_aggregation",
+        "Sec. 4.4: aggregation 'saves communication cost and reduces the "
+        "computational cost of the GSM algorithm'.",
+        "Combiner reduces shuffle bytes and reducer input; identical "
+        "output.",
+    ),
+    (
+        "Baseline — extended-sequence GSP (beyond the paper)",
+        "gsp_baseline",
+        "Sec. 1/7: the itemset-encoding approach 'increases the size of "
+        "the sequence database by a factor of roughly the depth of the "
+        "hierarchy' and is dismissed as inefficient.",
+        "GSP agrees pattern-for-pattern with LASH and is slower in every "
+        "setting.",
+    ),
+    (
+        "Fault tolerance (beyond the paper)",
+        "fault_tolerance",
+        "Sec. 3.1: the MapReduce runtime 'transparently handles failures'.",
+        "Mined answer byte-identical at every injected failure rate; "
+        "wasted work metered separately.",
+    ),
+    (
+        "Extension — direct closed/maximal mining (paper future work)",
+        "ext__closed_mining",
+        "Sec. 6.7: 'direct mining of maximal or closed sequences in the "
+        "context of hierarchies has not been studied in the literature. "
+        "Our results indicate that such methods are a promising direction "
+        "for future work.'",
+        "Implemented (local pruning in each partition + one cover-"
+        "reconciliation job): candidates leaving the mining reducers drop "
+        "to roughly half of the full output; answers agree exactly with "
+        "post-hoc filtering in both modes (property-tested).",
+    ),
+    (
+        "Extension — pattern-index query latency (Sec. 1 applications)",
+        "ext__query",
+        "Sec. 1/2 motivate GSM with interactive exploration tools "
+        "(Google n-gram viewer, Netspeak) and IE pattern lookup.",
+        "A hierarchy-aware wildcard index over the mined output answers "
+        "every battery query at interactive latency; selective queries "
+        "touch only their postings.",
+    ),
+    (
+        "Ablation — external shuffle (beyond the paper)",
+        "ablation_spill",
+        "Sec. 3.1: Hadoop shuffles through local disk (sort/spill/merge); "
+        "the paper treats this as part of the runtime.",
+        "Disk-backed shuffle produces the identical answer and identical "
+        "logical shuffle bytes; spill volume and merge cost metered "
+        "separately.",
+    ),
+]
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation (Sec. 6), reproduced by
+the benchmark harness on synthetic stand-in datasets (DESIGN.md §2
+explains each substitution).  Absolute numbers are not comparable — the
+paper ran Java on an 11-node Hadoop cluster over 50M-sequence corpora;
+this repository runs pure Python on one machine over structurally matched
+synthetic data.  The reproduction targets are the *shapes*: who wins, by
+roughly what factor, and which way each trend bends.  Every shape claim
+below is also asserted programmatically inside the corresponding
+benchmark, so `pytest benchmarks/ --benchmark-only` re-verifies this
+document.
+
+Regenerate after a sweep with::
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/make_experiments_md.py
+
+"""
+
+
+def build() -> str:
+    parts = [HEADER]
+    missing = []
+    for title, stem, paper, verdict in EXPERIMENTS:
+        parts.append(f"## {title}\n")
+        parts.append(f"**Paper reports:** {paper}\n")
+        parts.append(f"**Shape verdict:** {verdict}\n")
+        path = RESULTS / f"{stem}.txt"
+        if path.exists():
+            table = path.read_text(encoding="utf-8").rstrip()
+            parts.append("**Measured (this repository):**\n")
+            parts.append("```")
+            parts.append(table)
+            chart = chart_for(stem, table)
+            if chart is not None:
+                parts.append("")
+                parts.append(chart)
+            parts.append("```\n")
+        else:
+            missing.append(stem)
+            parts.append(
+                "*(no saved result — run the benchmark sweep first)*\n"
+            )
+    if missing:
+        parts.append(
+            f"\n> Missing results at generation time: {', '.join(missing)}\n"
+        )
+    return "\n".join(parts)
+
+
+def main() -> int:
+    TARGET.write_text(build(), encoding="utf-8")
+    print(f"wrote {TARGET}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Paper-style result tables for the benchmark harness.
+
+Each benchmark prints the rows/series of the paper's table or figure it
+reproduces and saves them under ``benchmarks/results/`` so EXPERIMENTS.md
+can be refreshed from a run.  Printing goes to ``sys.__stdout__`` to bypass
+pytest's capture — the tables appear in the terminal (and in
+``bench_output.txt``) without requiring ``-s``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class BenchReport:
+    """Collects rows for one experiment and renders a fixed-width table."""
+
+    def __init__(self, experiment: str, caption: str) -> None:
+        self.experiment = experiment
+        self.caption = caption
+        self._columns: list[str] | None = None
+        self._rows: list[list[str]] = []
+
+    def add(self, label: str, row: dict) -> None:
+        """Add one labeled row; all rows must share the same columns."""
+        columns = list(row)
+        if self._columns is None:
+            self._columns = columns
+        elif columns != self._columns:
+            raise ValueError(
+                f"row columns {columns} differ from {self._columns}"
+            )
+        self._rows.append([label] + [_fmt(row[c]) for c in columns])
+
+    def render(self) -> str:
+        header = [self.experiment] + (self._columns or [])
+        table = [header] + self._rows
+        widths = [
+            max(len(row[i]) for row in table) for i in range(len(header))
+        ]
+        lines = [
+            f"== {self.experiment}: {self.caption} ==",
+        ]
+        for r, row in enumerate(table):
+            line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            lines.append(line.rstrip())
+            if r == 0:
+                lines.append("-" * len(lines[-1]))
+        return "\n".join(lines)
+
+    def emit(self) -> None:
+        """Print past pytest's capture and persist under results/."""
+        text = self.render()
+        print("\n" + text + "\n", file=sys.__stdout__, flush=True)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        safe = "".join(
+            c if c.isalnum() else "_" for c in self.experiment.lower()
+        ).strip("_")
+        (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

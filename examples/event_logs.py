@@ -1,0 +1,79 @@
+"""Mining error-event sequences from service logs with a severity/component
+hierarchy (the paper's "error logs, or event sequences" motivation).
+
+Synthesizes per-request event traces from a miniature microservice world.
+Events like ``auth.timeout`` generalize to their component (``auth``) and
+to their error class (``timeout`` → ``error``), forming a DAG — each event
+has *two* parents.  The paper's footnote 2 says LASH extends to DAGs; this
+example exercises exactly that support and finds patterns such as
+``TIMEOUT → retry → TIMEOUT`` that no single-level view reveals.
+
+Run:  python examples/event_logs.py
+"""
+
+import random
+
+from repro import Hierarchy, SequenceDatabase, mine
+
+rng = random.Random(2026)
+
+COMPONENTS = ["auth", "db", "cache", "api", "queue"]
+ERROR_KINDS = ["timeout", "refused", "corrupt"]
+OK_KINDS = ["ok", "retry", "hit", "miss"]
+
+# --- hierarchy: event -> component, event -> kind, kind -> class ---------
+hierarchy = Hierarchy()
+for kind in ERROR_KINDS:
+    hierarchy.add_edge(f"KIND:{kind}", "CLASS:error")
+for kind in OK_KINDS:
+    hierarchy.add_edge(f"KIND:{kind}", "CLASS:normal")
+for component in COMPONENTS:
+    hierarchy.add_item(f"COMP:{component}")
+for component in COMPONENTS:
+    for kind in ERROR_KINDS + OK_KINDS:
+        event = f"{component}.{kind}"
+        hierarchy.add_edge(event, f"COMP:{component}")  # first parent
+        hierarchy.add_edge(event, f"KIND:{kind}")  # second parent → DAG!
+
+assert not hierarchy.is_forest, "this example exercises DAG support"
+
+# --- synthesize request traces ------------------------------------------
+def trace() -> list[str]:
+    events = [f"api.{rng.choice(('ok', 'ok', 'retry'))}"]
+    # a cache miss tends to hit the db; db trouble cascades into timeouts
+    if rng.random() < 0.55:
+        events.append(f"cache.{rng.choice(('hit', 'hit', 'miss'))}")
+        if events[-1] == "cache.miss":
+            db_event = rng.choice(("db.ok", "db.ok", "db.timeout"))
+            events.append(db_event)
+            if db_event == "db.timeout":
+                events.append("api.retry")
+                events.append(rng.choice(("db.ok", "db.timeout")))
+    if rng.random() < 0.25:
+        events.append(f"auth.{rng.choice(('ok', 'ok', 'timeout', 'refused'))}")
+    if rng.random() < 0.2:
+        events.append(f"queue.{rng.choice(('ok', 'retry'))}")
+    return events
+
+
+database = SequenceDatabase(trace() for _ in range(6000))
+print(f"{len(database)} traces, e.g. {' '.join(database[0])}\n")
+
+# --- mine ----------------------------------------------------------------
+result = mine(database, hierarchy, sigma=60, gamma=1, lam=4)
+print(f"{len(result)} frequent generalized event patterns\n")
+
+print("patterns involving the error class:")
+error_patterns = [
+    (pattern, freq)
+    for pattern, freq in result.decoded().items()
+    if any(item.startswith(("CLASS:error", "KIND:timeout")) for item in pattern)
+]
+error_patterns.sort(key=lambda pair: -pair[1])
+for pattern, freq in error_patterns[:12]:
+    print(f"{freq:>9}  {' -> '.join(pattern)}")
+
+# the cascade signature: some timeout, a retry, another timeout
+cascade = result.frequency("KIND:timeout", "api.retry")
+print(f"\nf(KIND:timeout -> api.retry) = {cascade}")
+assert cascade > 0, "the cascade pattern should be frequent"

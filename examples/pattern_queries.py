@@ -1,0 +1,70 @@
+"""Netspeak-style exploration of mined generalized n-grams.
+
+The paper motivates GSM with exploration tools like the Google n-gram
+viewer and Netspeak (Sec. 1/2): mine once, then answer wildcard queries
+interactively.  This script mines generalized n-grams from a synthetic
+text corpus, builds a :class:`repro.query.PatternIndex`, and runs the
+kinds of queries those tools support — plus hierarchy-aware ones they
+don't:
+
+* ``the ^ADJ ?``   — what follows "the <some adjective>"?
+* ``^PRON ^VERB``  — pronoun–verb bigram templates
+* ``? ^PREP ?``    — prepositional contexts
+* slot aggregation — which items fill the wildcard, with total mass
+
+Run:  python examples/pattern_queries.py
+"""
+
+from repro import PatternIndex, mine
+from repro.datasets import TextCorpusConfig, generate_text_corpus
+
+SIGMA, GAMMA, LAM = 25, 0, 3
+
+print("generating corpus …")
+corpus = generate_text_corpus(TextCorpusConfig(num_sentences=4000, seed=42))
+stats = corpus.database.stats()
+print(
+    f"  {stats.num_sequences} sentences, avg length {stats.avg_length:.1f}, "
+    f"{stats.unique_items} distinct words\n"
+)
+
+print(f"mining (sigma={SIGMA}, gamma={GAMMA}, lam={LAM}) …")
+result = mine(
+    corpus.database, corpus.hierarchy("CLP"), sigma=SIGMA, gamma=GAMMA,
+    lam=LAM,
+)
+index = PatternIndex.from_result(result)
+print(f"  indexed {len(index)} generalized n-grams\n")
+
+
+def show(query: str, limit: int = 8) -> None:
+    matches = index.search(query, limit=limit)
+    total = index.total_frequency(query)
+    print(f"query: {query!r}  ({index.count(query)} patterns, mass {total})")
+    for match in matches:
+        print(f"{match.frequency:>9}  {match.render()}")
+    print()
+
+
+# --- Netspeak-style wildcard queries --------------------------------------
+show("the ^ADJ ?")        # "the ADJ house"-style contexts
+show("^PRON ^VERB")       # who does what
+show("? ^PREP ?")         # prepositional frames
+show("^DET * ^NOUN")      # determiner ... noun with anything between
+
+# --- slot aggregation ------------------------------------------------------
+print("which POS classes follow 'the'? (slot_fillers on 'the ?')")
+for name, mass in index.slot_fillers("the ?", 1)[:8]:
+    print(f"{mass:>9}  {name}")
+print()
+
+# --- hierarchy navigation ---------------------------------------------------
+seed_pattern = next(iter(index.search("^DET ^NOUN", limit=1))).pattern
+print(f"specializations of {' '.join(seed_pattern)!r} present in the output:")
+for match in index.specializations_of(seed_pattern)[:8]:
+    print(f"{match.frequency:>9}  {match.render()}")
+print()
+
+print("generalizations of the same pattern:")
+for match in index.generalizations_of(seed_pattern)[:8]:
+    print(f"{match.frequency:>9}  {match.render()}")

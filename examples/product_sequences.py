@@ -1,0 +1,50 @@
+"""Customer-behaviour mining over product sessions (the paper's AMZN case).
+
+Generates synthetic user sessions under a product-category taxonomy and
+mines generalized purchase patterns — "users first buy some camera, then
+some photography book" — that only exist at the category level.  Also shows
+the effect of hierarchy depth (h2 vs h8) on output size, mirroring the
+paper's Fig. 5(e) discussion.
+
+Run:  python examples/product_sequences.py
+"""
+
+from repro import mine
+from repro.datasets import ProductDataConfig, generate_product_data
+
+SIGMA, GAMMA, LAM = 40, 1, 3
+
+print("generating product sessions …")
+data = generate_product_data(
+    ProductDataConfig(num_users=3000, num_products=600, seed=77)
+)
+stats = data.database.stats()
+print(
+    f"  {stats.num_sequences} sessions, avg length {stats.avg_length:.1f}, "
+    f"{stats.unique_items} distinct products\n"
+)
+
+for levels in (2, 4, 8):
+    hierarchy = data.hierarchy(levels)
+    result = mine(data.database, hierarchy, sigma=SIGMA, gamma=GAMMA, lam=LAM)
+    print(
+        f"h{levels}: {len(hierarchy):>5} hierarchy items "
+        f"-> {len(result):>5} frequent generalized sequences"
+    )
+
+print("\ntop category-level patterns under h4:")
+result = mine(data.database, data.hierarchy(4), sigma=SIGMA, gamma=GAMMA, lam=LAM)
+category_patterns = [
+    (pattern, freq)
+    for pattern, freq in result.decoded().items()
+    if all(item.startswith("cat:") for item in pattern)
+]
+category_patterns.sort(key=lambda pair: -pair[1])
+for pattern, freq in category_patterns[:10]:
+    print(f"{freq:>9}  {' -> '.join(pattern)}")
+
+flat = mine(data.database, None, sigma=SIGMA, gamma=GAMMA, lam=LAM)
+print(
+    f"\nflat mining finds {len(flat)} patterns at the same support — "
+    f"category behaviour is invisible without the hierarchy"
+)

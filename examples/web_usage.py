@@ -1,0 +1,96 @@
+"""Web-usage mining: navigation patterns over a page-category hierarchy.
+
+The paper's introduction motivates GSM with web-usage mining [13, 17, 28]:
+individual page visits (``/electronics/cameras/canon-eos-70d``) generalize
+to their section (``cameras``) and department (``electronics``), revealing
+navigation flows like *department landing → some product page → checkout*
+that no concrete URL sequence repeats often enough to see.
+
+The script synthesizes user click sessions over a three-level site map,
+mines them with LASH at a gap of 1 (users may detour one page), and shows
+how the gap parameter changes what is found.
+
+Run:  python examples/web_usage.py
+"""
+
+import random
+
+from repro import Hierarchy, MiningParams, Lash, SequenceDatabase
+
+rng = random.Random(91)
+
+# --- the site map: department -> section -> page ---------------------------
+DEPARTMENTS = {
+    "electronics": ["cameras", "phones", "laptops"],
+    "books": ["fiction", "science", "travel"],
+    "sports": ["running", "cycling"],
+}
+PAGES_PER_SECTION = 6
+
+hierarchy = Hierarchy()
+pages_by_section: dict[str, list[str]] = {}
+for department, sections in DEPARTMENTS.items():
+    hierarchy.add_item(f"dept:{department}")
+    for section in sections:
+        hierarchy.add_edge(f"sec:{section}", f"dept:{department}")
+        pages = [f"/{department}/{section}/p{i}" for i in range(PAGES_PER_SECTION)]
+        pages_by_section[section] = pages
+        for page in pages:
+            hierarchy.add_edge(page, f"sec:{section}")
+# special pages without a hierarchy
+for special in ("home", "search", "cart", "checkout"):
+    hierarchy.add_item(special)
+
+# --- synthesize sessions ----------------------------------------------------
+def session() -> list[str]:
+    """home → browse within a preferred section (with search detours) →
+    sometimes cart/checkout."""
+    section = rng.choice(sorted(pages_by_section))
+    events = ["home"]
+    for _ in range(rng.randint(1, 4)):
+        if rng.random() < 0.25:
+            events.append("search")
+        events.append(rng.choice(pages_by_section[section]))
+    if rng.random() < 0.35:
+        events.append("cart")
+        if rng.random() < 0.6:
+            events.append("checkout")
+    return events
+
+
+database = SequenceDatabase(session() for _ in range(8000))
+print(f"{len(database)} sessions, e.g.:")
+for i in range(3):
+    print("   " + "  ->  ".join(database[i]))
+
+# --- mine at two gaps -------------------------------------------------------
+for gamma in (0, 1):
+    result = Lash(MiningParams(sigma=400, gamma=gamma, lam=3)).mine(
+        database, hierarchy
+    )
+    print(f"\ngamma={gamma}: {len(result)} frequent navigation patterns")
+    section_level = [
+        (freq, pattern)
+        for pattern, freq in result.decoded().items()
+        if any(item.startswith(("sec:", "dept:")) for item in pattern)
+    ]
+    for freq, pattern in sorted(section_level, reverse=True)[:8]:
+        print(f"{freq:>7}  {'  ->  '.join(pattern)}")
+
+# the purchase funnel only becomes visible at the *department* level:
+# concrete product pages rotate, the generalized flow does not
+flows_to_cart = [
+    (pattern, freq)
+    for pattern, freq in result.decoded().items()
+    if len(pattern) == 2 and pattern[0].startswith("dept:")
+    and pattern[1] == "cart"
+]
+print("\ndepartment-level flows into the cart (gamma=1):")
+for pattern, freq in sorted(flows_to_cart, key=lambda kv: -kv[1]):
+    print(f"{freq:>7}  {pattern[0]}  ->  cart")
+assert flows_to_cart, "department-level funnel patterns must be frequent"
+no_flat_funnel = all(
+    not (len(p) == 2 and p[0].startswith("/") and p[1] == "cart")
+    for p in result.decoded()
+)
+assert no_flat_funnel, "no single product page should reach the threshold"

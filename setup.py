@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+``pip install -e .`` (PEP 660) cannot build the editable wheel.  This shim
+lets ``python setup.py develop`` provide the classic editable install; all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

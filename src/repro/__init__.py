@@ -1,0 +1,103 @@
+"""repro — a reproduction of "LASH: Large-Scale Sequence Mining with
+Hierarchies" (Beedkar & Gemulla, SIGMOD 2015).
+
+Public API::
+
+    from repro import Hierarchy, SequenceDatabase, MiningParams, Lash, mine
+
+    h = Hierarchy.from_parent_map({"lives": "live", "live": "VERB"})
+    db = SequenceDatabase([["she", "lives", "here"], ...])
+    result = mine(db, h, sigma=2, gamma=0, lam=3)
+    result.top(10)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.constants import BLANK, BLANK_SYMBOL
+from repro.errors import (
+    EncodingError,
+    HierarchyError,
+    InvalidParameterError,
+    ReproError,
+    UnknownItemError,
+)
+from repro.hierarchy import (
+    Hierarchy,
+    Vocabulary,
+    build_total_order,
+    build_vocabulary,
+    compute_generalized_flist,
+)
+from repro.sequence import SequenceDatabase, EncodedDatabase
+from repro.core import (
+    ClosedLash,
+    ClosedMiningResult,
+    Lash,
+    MiningParams,
+    MiningResult,
+    PivotSequenceMiner,
+    mine_closed_direct,
+    mine_top_k,
+)
+from repro.core.lash import mine
+from repro.analysis.closedmax import mine_closed
+from repro.miners import (
+    BfsMiner,
+    BruteForceMiner,
+    DfsMiner,
+    ExplorationStats,
+    SpamMiner,
+)
+from repro.baselines import (
+    GspAlgorithm,
+    MgFsm,
+    NaiveAlgorithm,
+    SemiNaiveAlgorithm,
+)
+from repro.mapreduce import ClusterSpec, MapReduceEngine
+from repro.query import PatternIndex, Q, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLANK",
+    "BLANK_SYMBOL",
+    "ReproError",
+    "HierarchyError",
+    "UnknownItemError",
+    "InvalidParameterError",
+    "EncodingError",
+    "Hierarchy",
+    "Vocabulary",
+    "build_total_order",
+    "build_vocabulary",
+    "compute_generalized_flist",
+    "SequenceDatabase",
+    "EncodedDatabase",
+    "Lash",
+    "MiningParams",
+    "MiningResult",
+    "PivotSequenceMiner",
+    "mine",
+    "mine_closed",
+    "mine_closed_direct",
+    "mine_top_k",
+    "ClosedLash",
+    "ClosedMiningResult",
+    "BfsMiner",
+    "BruteForceMiner",
+    "DfsMiner",
+    "SpamMiner",
+    "ExplorationStats",
+    "GspAlgorithm",
+    "MgFsm",
+    "NaiveAlgorithm",
+    "SemiNaiveAlgorithm",
+    "ClusterSpec",
+    "MapReduceEngine",
+    "PatternIndex",
+    "Q",
+    "parse_query",
+    "__version__",
+]

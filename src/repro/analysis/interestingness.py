@@ -1,0 +1,200 @@
+"""Interestingness ranking for generalized sequences.
+
+GSM output is large and partly redundant (paper Sec. 2 "Discussion" and
+Sec. 6.7): the frequency of ``aB`` is partly explained by its
+specialization ``ab1``, and the frequency of any pattern is partly
+explained by its items being common.  This module ranks patterns by how
+*surprising* their frequency is, adapting two classic measures to
+generalized sequences:
+
+**R-interestingness** (Srikant & Agrawal, "Mining Generalized Association
+Rules" [27], cited by the paper).  The expected frequency of ``S`` given a
+mined itemwise generalization ``S'`` scales ``f(S')`` by how selective each
+specialization step is:
+
+.. math::
+
+    E[f(S) \\mid S'] = f(S') \\cdot \\prod_i \\frac{f_0(s_i)}{f_0(s'_i)}
+
+``S`` is *R-interesting* when ``f(S) ≥ R · E[f(S) | S']`` for every mined
+proper itemwise generalization ``S'``.  Patterns without a mined
+generalization are interesting by definition (nothing explains them).
+
+**Lift** against itemwise independence: ``f(S) / (N · ∏ f_0(s_i)/N)``,
+the sequence analogue of association-rule lift.  Lift ignores the
+hierarchy; R-interestingness ignores cross-item correlation — reporting
+both gives complementary rankings.
+
+>>> from repro.analysis.interestingness import rank_patterns
+>>> ranked = rank_patterns(result, measure="r-interest")
+>>> ranked[0]                                      # doctest: +SKIP
+ScoredPattern(pattern=('b1', 'D'), frequency=2, score=3.4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+from typing import Mapping
+
+from repro.core.result import MiningResult
+from repro.errors import InvalidParameterError
+from repro.hierarchy.vocabulary import Vocabulary
+
+Pattern = tuple[int, ...]
+
+MEASURES = ("r-interest", "lift")
+
+
+@dataclass(frozen=True)
+class ScoredPattern:
+    """One ranked pattern: decoded items, mined frequency, and score.
+
+    For ``r-interest`` the score is ``min_{S'} f(S)/E[f(S)|S']`` over the
+    mined proper generalizations ``S'`` (∞ when none exist); for ``lift``
+    it is the ratio of observed to independence-expected frequency.
+    """
+
+    pattern: tuple[str, ...]
+    frequency: int
+    score: float
+
+    def render(self) -> str:
+        return " ".join(self.pattern)
+
+
+def _generalization_index(
+    patterns: Mapping[Pattern, int]
+) -> dict[int, list[Pattern]]:
+    """Group patterns by length for same-length generalization scans."""
+    by_length: dict[int, list[Pattern]] = {}
+    for pattern in patterns:
+        by_length.setdefault(len(pattern), []).append(pattern)
+    return by_length
+
+
+def r_interest_scores(
+    patterns: Mapping[Pattern, int], vocabulary: Vocabulary
+) -> dict[Pattern, float]:
+    """``min f(S)/E[f(S)|S']`` per pattern over mined generalizations.
+
+    Uses the generalized f-list frequencies carried by the vocabulary for
+    the per-item selectivity ratios.  Patterns with no mined proper
+    generalization score ``inf``.
+    """
+    by_length = _generalization_index(patterns)
+    scores: dict[Pattern, float] = {}
+    for pattern, frequency in patterns.items():
+        worst = inf
+        for other in by_length.get(len(pattern), ()):
+            if other == pattern:
+                continue
+            if not all(
+                vocabulary.generalizes_to(s, g)
+                for s, g in zip(pattern, other)
+            ):
+                continue
+            expected = float(patterns[other])
+            for s, g in zip(pattern, other):
+                fs, fg = vocabulary.frequency(s), vocabulary.frequency(g)
+                if fg:
+                    expected *= fs / fg
+            if expected > 0:
+                worst = min(worst, frequency / expected)
+        scores[pattern] = worst
+    return scores
+
+
+def lift_scores(
+    patterns: Mapping[Pattern, int],
+    vocabulary: Vocabulary,
+    num_sequences: int,
+) -> dict[Pattern, float]:
+    """Observed over independence-expected frequency per pattern.
+
+    ``num_sequences`` is the database size ``|D|`` the item frequencies
+    were counted against.
+    """
+    if num_sequences <= 0:
+        raise InvalidParameterError(
+            f"num_sequences must be positive, got {num_sequences}"
+        )
+    scores: dict[Pattern, float] = {}
+    for pattern, frequency in patterns.items():
+        expected = float(num_sequences)
+        for item in pattern:
+            expected *= vocabulary.frequency(item) / num_sequences
+        scores[pattern] = frequency / expected if expected > 0 else inf
+    return scores
+
+
+def r_interesting_patterns(
+    patterns: Mapping[Pattern, int],
+    vocabulary: Vocabulary,
+    r: float = 1.1,
+) -> dict[Pattern, int]:
+    """The subset of patterns that are R-interesting (score ≥ ``r``)."""
+    if r <= 0:
+        raise InvalidParameterError(f"R must be positive, got {r}")
+    scores = r_interest_scores(patterns, vocabulary)
+    return {
+        pattern: frequency
+        for pattern, frequency in patterns.items()
+        if scores[pattern] >= r
+    }
+
+
+def rank_patterns(
+    result: MiningResult,
+    measure: str = "r-interest",
+    num_sequences: int | None = None,
+) -> list[ScoredPattern]:
+    """Rank a mining result's patterns by decreasing interestingness.
+
+    Parameters
+    ----------
+    result:
+        Any miner's output.
+    measure:
+        ``"r-interest"`` (hierarchy-aware, default) or ``"lift"``.
+    num_sequences:
+        Database size for the lift measure; defaults to the largest item
+        frequency in the vocabulary (a lower bound for ``|D|``) when not
+        given.
+
+    Ties are broken by frequency (descending), then pattern text.
+    """
+    if measure not in MEASURES:
+        raise InvalidParameterError(
+            f"measure must be one of {MEASURES}, got {measure!r}"
+        )
+    vocabulary = result.vocabulary
+    if measure == "r-interest":
+        scores = r_interest_scores(result.patterns, vocabulary)
+    else:
+        if num_sequences is None:
+            num_sequences = max(
+                (vocabulary.frequency(i) for i in range(len(vocabulary))),
+                default=0,
+            )
+        scores = lift_scores(result.patterns, vocabulary, num_sequences)
+    ranked = [
+        ScoredPattern(
+            pattern=vocabulary.decode_sequence(pattern),
+            frequency=frequency,
+            score=scores[pattern],
+        )
+        for pattern, frequency in result.patterns.items()
+    ]
+    ranked.sort(key=lambda sp: (-sp.score, -sp.frequency, sp.pattern))
+    return ranked
+
+
+__all__ = [
+    "MEASURES",
+    "ScoredPattern",
+    "r_interest_scores",
+    "lift_scores",
+    "r_interesting_patterns",
+    "rank_patterns",
+]

@@ -1,0 +1,163 @@
+"""Terminal-friendly charts for experiment results.
+
+The paper's evaluation is a set of bar charts (Figs. 4–6); the benchmark
+harness regenerates their series as fixed-width tables.  This module
+renders those series as horizontal ASCII bar charts so EXPERIMENTS.md and
+terminal output can show the *shape* of each figure, not just numbers.
+
+>>> print(bar_chart(["naive", "semi", "lash"], [24.3, 12.4, 1.5],
+...                 unit="s"))
+naive  ████████████████████████████████████████  24.3 s
+semi   ████████████████████▍                     12.4 s
+lash   ██▌                                        1.5 s
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import InvalidParameterError
+
+#: eighth-block characters for sub-cell resolution
+_PARTIALS = ["", "▏", "▎", "▍", "▌", "▋", "▊", "▉"]
+_FULL = "█"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    """One bar scaled to ``width`` cells of ``maximum``."""
+    if maximum <= 0 or value <= 0:
+        return ""
+    cells = width * value / maximum
+    full = int(cells)
+    partial = _PARTIALS[int((cells - full) * 8)]
+    return _FULL * full + partial
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart, one row per label.
+
+    Values must be non-negative; the longest bar spans ``width`` cells.
+    """
+    if len(labels) != len(values):
+        raise InvalidParameterError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not labels:
+        raise InvalidParameterError("empty chart")
+    if width < 1:
+        raise InvalidParameterError(f"width must be >= 1, got {width}")
+    floats = [float(v) for v in values]
+    if any(v < 0 for v in floats):
+        raise InvalidParameterError("bar values must be non-negative")
+    maximum = max(floats)
+    label_width = max(len(label) for label in labels)
+    number_width = max(len(f"{v:,.1f}") for v in floats)
+    suffix = f" {unit}" if unit else ""
+    lines = []
+    for label, value in zip(labels, floats):
+        bar = _bar(value, maximum, width)
+        lines.append(
+            f"{label:<{label_width}}  {bar:<{width}}  "
+            f"{value:>{number_width},.1f}{suffix}".rstrip()
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Several series per label (e.g. map/shuffle/reduce), one block per
+    label with one bar per series, all on a common scale."""
+    if not series:
+        raise InvalidParameterError("no series to chart")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise InvalidParameterError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(labels)} labels"
+            )
+    floats = {n: [float(v) for v in vs] for n, vs in series.items()}
+    maximum = max(max(vs) for vs in floats.values())
+    name_width = max(len(name) for name in series)
+    number_width = max(
+        len(f"{v:,.1f}") for vs in floats.values() for v in vs
+    )
+    suffix = f" {unit}" if unit else ""
+    blocks = []
+    for i, label in enumerate(labels):
+        lines = [f"{label}:"]
+        for name, values in floats.items():
+            bar = _bar(values[i], maximum, width)
+            lines.append(
+                f"  {name:<{name_width}}  {bar:<{width}}  "
+                f"{values[i]:>{number_width},.1f}{suffix}".rstrip()
+            )
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks)
+
+
+def parse_report_table(text: str) -> tuple[list[str], list[list[str]]]:
+    """Parse a saved benchmark table back into (columns, rows).
+
+    The format is what :class:`benchmarks.reporting.BenchReport` writes:
+    a ``== title ==`` line, a header row, a dashed rule, then fixed-width
+    rows with columns separated by two or more spaces.  The first header
+    cell (the experiment name) is dropped; each returned row starts with
+    its label.
+    """
+    import re
+
+    lines = [
+        line for line in text.splitlines()
+        if line.strip() and not line.startswith("==")
+        and not set(line.strip()) == {"-"}
+    ]
+    if not lines:
+        raise InvalidParameterError("empty report table")
+    split = [re.split(r"\s{2,}", line.strip()) for line in lines]
+    header, rows = split[0], split[1:]
+    return header[1:], rows
+
+
+def chart_from_report(
+    text: str, column: str, width: int = 40, unit: str = ""
+) -> str:
+    """Render one numeric column of a saved benchmark table as bars."""
+    columns, rows = parse_report_table(text)
+    try:
+        index = columns.index(column) + 1  # +1: rows start with the label
+    except ValueError:
+        raise InvalidParameterError(
+            f"column {column!r} not in {columns}"
+        ) from None
+    labels, values = [], []
+    for row in rows:
+        if index >= len(row):
+            continue
+        try:
+            value = float(row[index].replace(",", ""))
+        except ValueError:
+            continue  # non-numeric cell (e.g. "NA"): skip the row
+        labels.append(row[0])
+        values.append(value)
+    if not labels:
+        raise InvalidParameterError(
+            f"no numeric values in column {column!r}"
+        )
+    return bar_chart(labels, values, width=width, unit=unit)
+
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "parse_report_table",
+    "chart_from_report",
+]

@@ -1,0 +1,9 @@
+"""Baseline GSM algorithms the paper compares LASH against (Sec. 3.2/3.3,
+6.3) plus the classic extended-sequence GSP approach it cites (Sec. 1/7)."""
+
+from repro.baselines.naive import NaiveAlgorithm
+from repro.baselines.seminaive import SemiNaiveAlgorithm
+from repro.baselines.mgfsm import MgFsm
+from repro.baselines.gsp import GspAlgorithm
+
+__all__ = ["NaiveAlgorithm", "SemiNaiveAlgorithm", "MgFsm", "GspAlgorithm"]

@@ -1,0 +1,373 @@
+"""Command-line interface: ``lash generate | stats | flist | mine | compare``.
+
+Examples
+--------
+Generate a synthetic corpus and mine it::
+
+    lash generate text --sentences 2000 --out /tmp/nyt
+    lash mine --db /tmp/nyt/corpus.txt --hierarchy /tmp/nyt/hierarchy-CLP.txt \
+         --sigma 20 --gamma 0 --lam 3 --top 20
+
+Persist the generalized f-list once, reuse it across parameter sweeps
+(paper Sec. 3.4)::
+
+    lash flist --db db.txt --hierarchy h.txt --out flist.tsv
+    lash mine --db db.txt --hierarchy h.txt --flist flist.tsv --sigma 50
+
+Compare two algorithms on the same input::
+
+    lash mine --db db.txt --hierarchy h.txt --algorithm naive --out naive.tsv
+    lash mine --db db.txt --hierarchy h.txt --algorithm lash  --out lash.tsv
+    lash compare naive.tsv lash.tsv
+
+All ``--db`` / ``--hierarchy`` / ``--out`` paths accept ``.gz``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import filter_result
+from repro.baselines import (
+    GspAlgorithm,
+    MgFsm,
+    NaiveAlgorithm,
+    SemiNaiveAlgorithm,
+)
+from repro.core import ClosedLash, Lash, MiningParams
+from repro.datasets import (
+    EventLogConfig,
+    ProductDataConfig,
+    TextCorpusConfig,
+    generate_event_log,
+    generate_product_data,
+    generate_text_corpus,
+    hierarchy_stats,
+)
+from repro.io import (
+    read_database,
+    read_hierarchy,
+    read_patterns,
+    read_vocabulary,
+    write_patterns,
+    write_vocabulary,
+)
+
+
+def _print_row(label: str, row: dict) -> None:
+    cells = "  ".join(f"{k}={v}" for k, v in row.items())
+    print(f"{label:<12} {cells}")
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    if args.kind == "text":
+        corpus = generate_text_corpus(
+            TextCorpusConfig(num_sentences=args.sentences, seed=args.seed)
+        )
+        corpus.database.to_file(out / "corpus.txt")
+        for variant, hierarchy in corpus.hierarchies.items():
+            hierarchy.to_file(out / f"hierarchy-{variant}.txt")
+        print(f"wrote {len(corpus.database)} sentences to {out}/corpus.txt")
+        print(f"hierarchies: {', '.join(sorted(corpus.hierarchies))}")
+    elif args.kind == "products":
+        data = generate_product_data(
+            ProductDataConfig(
+                num_users=args.users,
+                num_products=args.products,
+                seed=args.seed,
+            )
+        )
+        data.database.to_file(out / "sessions.txt")
+        for levels in (2, 3, 4, 8):
+            data.hierarchy(levels).to_file(out / f"hierarchy-h{levels}.txt")
+        print(f"wrote {len(data.database)} sessions to {out}/sessions.txt")
+        print("hierarchies: h2, h3, h4, h8")
+    else:
+        log = generate_event_log(
+            EventLogConfig(num_machines=args.machines, seed=args.seed)
+        )
+        log.database.to_file(out / "logs.txt")
+        log.hierarchy.to_file(out / "hierarchy.txt")
+        print(f"wrote {len(log.database)} machine logs to {out}/logs.txt")
+        print("planted cascades (class level):")
+        for template in log.planted_patterns():
+            print("  " + " -> ".join(template))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    database = read_database(args.db)
+    _print_row("dataset", database.stats().row())
+    if args.hierarchy:
+        hierarchy = read_hierarchy(args.hierarchy)
+        _print_row("hierarchy", hierarchy_stats(hierarchy).row())
+    return 0
+
+
+def cmd_flist(args: argparse.Namespace) -> int:
+    """Compute the generalized f-list and persist it (paper Sec. 3.4)."""
+    from repro.hierarchy import Hierarchy, build_vocabulary
+
+    database = read_database(args.db)
+    if args.hierarchy:
+        hierarchy = read_hierarchy(args.hierarchy)
+    else:
+        hierarchy = Hierarchy.flat({item for seq in database for item in seq})
+    vocabulary = build_vocabulary(database, hierarchy)
+    write_vocabulary(vocabulary, args.out)
+    print(f"wrote {len(vocabulary)} items to {args.out}")
+    for item_id in range(min(args.top, len(vocabulary))):
+        print(
+            f"{vocabulary.frequency(item_id):>8}  {vocabulary.name(item_id)}"
+        )
+    return 0
+
+
+def _build_algorithm(args: argparse.Namespace, params: MiningParams):
+    if args.algorithm == "lash":
+        return Lash(params, local_miner=args.miner)
+    if args.algorithm == "closed-lash":
+        return ClosedLash(
+            params, mode=args.mode, local_miner=args.miner
+        )
+    if args.algorithm == "naive":
+        return NaiveAlgorithm(params)
+    if args.algorithm == "semi-naive":
+        return SemiNaiveAlgorithm(params)
+    if args.algorithm == "gsp":
+        return GspAlgorithm(params)
+    if args.algorithm == "mg-fsm":
+        return MgFsm(params)
+    raise SystemExit(f"unknown algorithm: {args.algorithm}")
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    database = read_database(args.db)
+    hierarchy = read_hierarchy(args.hierarchy) if args.hierarchy else None
+    gamma = None if args.gamma < 0 else args.gamma
+    params = MiningParams(sigma=args.sigma, gamma=gamma, lam=args.lam)
+    algorithm = _build_algorithm(args, params)
+
+    vocabulary = None
+    if args.flist:
+        if hierarchy is None:
+            raise SystemExit("--flist requires --hierarchy")
+        vocabulary = read_vocabulary(args.flist, hierarchy)
+
+    start = time.perf_counter()
+    if isinstance(algorithm, MgFsm):
+        result = algorithm.mine(database)
+    elif vocabulary is not None:
+        result = algorithm.mine(database, vocabulary=vocabulary)
+    else:
+        result = algorithm.mine(database, hierarchy)
+    if args.filter:
+        result = filter_result(result, args.filter)
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"{result.algorithm} {params.describe()}: {len(result)} patterns "
+        f"in {elapsed:.2f}s"
+    )
+    times = result.phase_times()
+    print(
+        f"phases: map={times.map_s:.2f}s shuffle={times.shuffle_s:.2f}s "
+        f"reduce={times.reduce_s:.2f}s | shuffled "
+        f"{result.counters['SHUFFLE_BYTES']} bytes"
+    )
+    for pattern, freq in result.top(args.top):
+        print(f"{freq:>8}  {pattern}")
+    if args.out:
+        write_patterns(result, args.out)
+        print(f"wrote all patterns to {args.out}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Wildcard search over a mined pattern file (Netspeak-style)."""
+    from repro.hierarchy import Hierarchy, build_vocabulary
+    from repro.query import PatternIndex
+    from repro.sequence import SequenceDatabase
+
+    patterns = read_patterns(args.patterns)
+    if args.hierarchy:
+        hierarchy = read_hierarchy(args.hierarchy)
+    else:
+        hierarchy = Hierarchy.flat(
+            {item for pattern in patterns for item in pattern}
+        )
+    for pattern in patterns:
+        for item in pattern:
+            if item not in hierarchy:
+                hierarchy.add_item(item)
+    # The patterns themselves serve as the ordering corpus: query answers
+    # depend only on the hierarchy edges, not on the exact item order.
+    vocabulary = build_vocabulary(
+        SequenceDatabase(list(patterns)), hierarchy
+    )
+    index = PatternIndex(
+        {
+            vocabulary.encode_sequence(pattern): freq
+            for pattern, freq in patterns.items()
+        },
+        vocabulary,
+    )
+    status = 0
+    for query in args.queries:
+        matches = index.search(query, limit=args.top)
+        print(
+            f"query: {query!r}  ({index.count(query)} patterns, "
+            f"mass {index.total_frequency(query)})"
+        )
+        if not matches:
+            status = 1
+        for match in matches:
+            print(f"{match.frequency:>9}  {match.render()}")
+        print()
+    return status
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    def load(path: str) -> dict[str, int]:
+        return {
+            " ".join(pattern): freq
+            for pattern, freq in read_patterns(path).items()
+        }
+
+    left, right = load(args.left), load(args.right)
+    missing = {p for p in left if p not in right}
+    extra = {p for p in right if p not in left}
+    mismatched = {
+        p for p in left if p in right and left[p] != right[p]
+    }
+    if not (missing or extra or mismatched):
+        print(f"results agree ({len(left)} patterns)")
+        return 0
+    print(
+        f"results differ: missing={len(missing)} extra={len(extra)} "
+        f"frequency mismatches={len(mismatched)}"
+    )
+    for p in sorted(missing)[: args.show]:
+        print(f"  missing: {p} ({left[p]})")
+    for p in sorted(extra)[: args.show]:
+        print(f"  extra:   {p} ({right[p]})")
+    for p in sorted(mismatched)[: args.show]:
+        print(f"  freq:    {p} ({left[p]} vs {right[p]})")
+    return 1
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lash",
+        description="Generalized sequence mining with hierarchies (LASH).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("kind", choices=["text", "products", "events"])
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--sentences", type=int, default=5000)
+    gen.add_argument("--users", type=int, default=2000)
+    gen.add_argument("--products", type=int, default=800)
+    gen.add_argument("--machines", type=int, default=1500)
+    gen.add_argument("--seed", type=int, default=13)
+    gen.set_defaults(func=cmd_generate)
+
+    stats = sub.add_parser("stats", help="dataset / hierarchy characteristics")
+    stats.add_argument("--db", required=True)
+    stats.add_argument("--hierarchy")
+    stats.set_defaults(func=cmd_stats)
+
+    flist = sub.add_parser(
+        "flist", help="compute and persist the generalized f-list"
+    )
+    flist.add_argument("--db", required=True)
+    flist.add_argument("--hierarchy")
+    flist.add_argument("--out", required=True, help="f-list TSV output path")
+    flist.add_argument("--top", type=int, default=10, help="items to print")
+    flist.set_defaults(func=cmd_flist)
+
+    minep = sub.add_parser("mine", help="mine frequent generalized sequences")
+    minep.add_argument("--db", required=True)
+    minep.add_argument("--hierarchy")
+    minep.add_argument("--sigma", type=int, required=True)
+    minep.add_argument(
+        "--gamma", type=int, default=0,
+        help="max gap; negative = unconstrained",
+    )
+    minep.add_argument("--lam", type=int, default=5, help="max length")
+    minep.add_argument(
+        "--algorithm",
+        choices=["lash", "closed-lash", "naive", "semi-naive", "gsp",
+                 "mg-fsm"],
+        default="lash",
+    )
+    minep.add_argument(
+        "--mode",
+        choices=["closed", "maximal"],
+        default="closed",
+        help="redundancy mode (closed-lash only): mine closed or maximal "
+        "patterns directly",
+    )
+    minep.add_argument(
+        "--miner",
+        choices=["psm", "psm-level", "psm-noindex", "bfs", "dfs", "spam"],
+        default="psm",
+        help="local miner (lash only)",
+    )
+    minep.add_argument(
+        "--flist",
+        help="reuse a persisted f-list instead of preprocessing "
+        "(requires --hierarchy)",
+    )
+    minep.add_argument(
+        "--filter",
+        choices=["closed", "maximal"],
+        help="keep only closed or maximal patterns",
+    )
+    minep.add_argument("--top", type=int, default=10)
+    minep.add_argument("--out", help="write all patterns to this TSV file")
+    minep.set_defaults(func=cmd_mine)
+
+    query = sub.add_parser(
+        "query", help="wildcard search over a mined pattern file"
+    )
+    query.add_argument("--patterns", required=True, help="pattern TSV file")
+    query.add_argument(
+        "--hierarchy", help="hierarchy file enabling ^name tokens"
+    )
+    query.add_argument("--top", type=int, default=10)
+    query.add_argument(
+        "queries", nargs="+",
+        help="queries: 'name', '^name', '?', '+', '*' tokens",
+    )
+    query.set_defaults(func=cmd_query)
+
+    cmp_ = sub.add_parser("compare", help="compare two pattern TSV files")
+    cmp_.add_argument("left")
+    cmp_.add_argument("right")
+    cmp_.add_argument("--show", type=int, default=5)
+    cmp_.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Shared constants for the LASH reproduction.
+
+Items are represented as non-negative integer ids once encoded; the id space
+is the rank of the item in the LASH total order (``0`` is the most frequent
+item).  The *blank* placeholder introduced by ``w``-generalization is larger
+than every item in the order, which we represent with a dedicated sentinel
+that never collides with an item id.
+"""
+
+from __future__ import annotations
+
+#: Sentinel item id for the blank placeholder ("_" in the paper).  The blank
+#: is *larger* than every real item in the LASH total order and never matches
+#: any pattern item.
+BLANK: int = -1
+
+#: Sentinel parent id for items at the root of the hierarchy.
+NO_PARENT: int = -2
+
+#: Display string used when rendering blanks.
+BLANK_SYMBOL: str = "_"

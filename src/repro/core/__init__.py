@@ -1,0 +1,55 @@
+"""The LASH algorithm: hierarchy-aware partitioning + pivot sequence mining."""
+
+from repro.core.params import MiningParams
+from repro.core.rewrite import (
+    FULL_REWRITE,
+    NO_REWRITE,
+    RewritePlan,
+    w_generalize,
+    blank_isolated_pivots,
+    pivot_distances,
+    blank_unreachable,
+    compress_blanks,
+    rewrite_for_pivot,
+)
+from repro.core.partition import frequent_pivots, build_partitions
+from repro.core.partition_stats import (
+    PartitionStats,
+    partition_statistics,
+    replication_factor,
+)
+from repro.core.psm import PivotSequenceMiner, ExplorationStats
+from repro.core.result import MiningResult
+from repro.core.lash import Lash
+from repro.core.closedlash import (
+    ClosedLash,
+    ClosedMiningResult,
+    mine_closed_direct,
+)
+from repro.core.topk import mine_top_k
+
+__all__ = [
+    "MiningParams",
+    "FULL_REWRITE",
+    "NO_REWRITE",
+    "RewritePlan",
+    "w_generalize",
+    "blank_isolated_pivots",
+    "pivot_distances",
+    "blank_unreachable",
+    "compress_blanks",
+    "rewrite_for_pivot",
+    "frequent_pivots",
+    "build_partitions",
+    "PartitionStats",
+    "partition_statistics",
+    "replication_factor",
+    "PivotSequenceMiner",
+    "ExplorationStats",
+    "MiningResult",
+    "Lash",
+    "ClosedLash",
+    "ClosedMiningResult",
+    "mine_closed_direct",
+    "mine_top_k",
+]

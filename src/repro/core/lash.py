@@ -1,0 +1,258 @@
+"""The LASH driver: preprocessing + partitioning/mining MapReduce jobs.
+
+LASH runs two jobs (paper Sec. 3.4, Alg. 1):
+
+1. **Preprocessing** — the generalized f-list job: map every input sequence
+   to its ``G1(T)`` items, reduce by summing; the driver then derives the
+   total order and the integer-coded vocabulary.
+2. **Partitioning + mining** — the map side emits ``(w, P_w(T))`` for every
+   frequent pivot ``w ∈ G1(T)`` using the rewrites of Sec. 4; the combiner
+   aggregates duplicate rewritten sequences into ``(sequence, weight)``
+   pairs; each reduce group is one partition, mined independently by the
+   configured local miner (PSM by default).
+
+Shuffle bytes are metered with the real varint/run-length wire format, so
+``MAP_OUTPUT_BYTES`` comparisons against the baselines (Fig. 4(b)) are
+meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.params import MiningParams
+from repro.core.partition import merge_weighted, partition_emissions
+from repro.core.psm import PivotSequenceMiner
+from repro.core.rewrite import FULL_REWRITE, RewritePlan
+from repro.core.result import MiningResult
+from repro.errors import InvalidParameterError
+from repro.hierarchy.flist import build_total_order, iter_generalized_items
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.vocabulary import Vocabulary
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.miners.base import LocalMiner
+from repro.miners.bfs import BfsMiner
+from repro.miners.brute import BruteForceMiner
+from repro.miners.dfs import DfsMiner
+from repro.miners.spam import SpamMiner
+from repro.sequence.database import SequenceDatabase
+from repro.sequence.encoding import encode_uvarint, encoded_size
+
+#: a miner factory receives (vocabulary, params) and returns a LocalMiner
+MinerFactory = Callable[[Vocabulary, MiningParams], LocalMiner]
+
+
+def resolve_miner(spec: str | MinerFactory) -> MinerFactory:
+    """Translate a miner spec into a factory.
+
+    Strings: ``"psm"`` (exact index), ``"psm-level"`` (level-union index),
+    ``"psm-noindex"``, ``"bfs"``, ``"dfs"``, ``"spam"``, ``"brute"``.
+    """
+    if callable(spec):
+        return spec
+    registry: dict[str, MinerFactory] = {
+        "psm": lambda v, p: PivotSequenceMiner(v, p, index_mode="exact"),
+        "psm-level": lambda v, p: PivotSequenceMiner(v, p, index_mode="level"),
+        "psm-noindex": lambda v, p: PivotSequenceMiner(v, p, index_mode="none"),
+        "bfs": BfsMiner,
+        "dfs": DfsMiner,
+        "spam": SpamMiner,
+        "brute": BruteForceMiner,
+    }
+    try:
+        return registry[spec]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown local miner {spec!r}; choose from {sorted(registry)}"
+        ) from None
+
+
+class FlistJob(MapReduceJob):
+    """Hierarchy-aware item counting (paper Sec. 3.3)."""
+
+    name = "flist"
+    has_combiner = True
+
+    def __init__(self, hierarchy: Hierarchy) -> None:
+        self.hierarchy = hierarchy
+
+    def map(self, record: tuple[str, ...]):
+        for item in iter_generalized_items(self.hierarchy, record):
+            yield item, 1
+
+    def combine(self, key, values):
+        yield key, sum(values)
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+class PartitionMineJob(MapReduceJob):
+    """Partitioning (map) and local mining (reduce) — paper Alg. 1."""
+
+    name = "lash"
+    has_combiner = True
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        params: MiningParams,
+        miner: LocalMiner,
+        rewrite_plan: RewritePlan = FULL_REWRITE,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.params = params
+        self.miner = miner
+        self.rewrite_plan = rewrite_plan
+
+    def map(self, record: tuple[int, ...]):
+        for pivot, rewritten in partition_emissions(
+            self.vocabulary, record, self.params, self.rewrite_plan
+        ):
+            yield pivot, (rewritten, 1)
+
+    def combine(self, key, values):
+        for seq, weight in merge_weighted(values).items():
+            yield key, (seq, weight)
+
+    def reduce(self, key, values):
+        partition = merge_weighted(values)
+        yield from self.miner.mine_partition(partition, key).items()
+
+    def kv_size(self, key, value) -> int:
+        seq, weight = value
+        return (
+            len(encode_uvarint(key))
+            + encoded_size(seq)
+            + len(encode_uvarint(weight))
+        )
+
+
+class Lash:
+    """The LASH algorithm (paper Sec. 3.4–5).
+
+    Parameters
+    ----------
+    params:
+        The (σ, γ, λ) mining parameters.
+    local_miner:
+        Local mining algorithm for the reduce phase; PSM with the exact
+        right-expansion index by default.
+    num_map_tasks / num_reduce_tasks:
+        Engine parallelism (splits / partitions groups per reducer).
+    failure_plan:
+        Optional deterministic task-failure injection
+        (:class:`~repro.mapreduce.failures.FailurePlan`); results are
+        unaffected, wasted attempts are metered.
+    rewrite_plan:
+        Which Sec. 4 rewrite stages the map phase applies (ablation knob;
+        the mined answer is identical under any plan).
+    spill_dir:
+        Shuffle through disk instead of memory (see
+        :class:`~repro.mapreduce.engine.MapReduceEngine`); the mined
+        answer is identical either way.
+
+    Example
+    -------
+    >>> lash = Lash(MiningParams(sigma=2, gamma=1, lam=3))
+    >>> result = lash.mine(database, hierarchy)
+    >>> result.frequency("a", "B")
+    3
+    """
+
+    def __init__(
+        self,
+        params: MiningParams,
+        local_miner: str | MinerFactory = "psm",
+        num_map_tasks: int = 8,
+        num_reduce_tasks: int = 8,
+        failure_plan=None,
+        rewrite_plan: RewritePlan = FULL_REWRITE,
+        spill_dir=None,
+    ) -> None:
+        self.params = params
+        self.miner_factory = resolve_miner(local_miner)
+        self.rewrite_plan = rewrite_plan
+        self.engine = MapReduceEngine(
+            num_map_tasks=num_map_tasks,
+            num_reduce_tasks=num_reduce_tasks,
+            failure_plan=failure_plan,
+            spill_dir=spill_dir,
+        )
+        self._miner_name = (
+            local_miner if isinstance(local_miner, str) else "custom"
+        )
+
+    # ------------------------------------------------------------------
+
+    def preprocess(
+        self, database: SequenceDatabase, hierarchy: Hierarchy
+    ) -> tuple[Vocabulary, object]:
+        """Run the f-list job and build the vocabulary (reusable)."""
+        job = FlistJob(hierarchy)
+        result = self.engine.run(job, list(database))
+        frequencies = dict(result.output)
+        for item in hierarchy:
+            frequencies.setdefault(item, 0)
+        order = build_total_order(frequencies, hierarchy)
+        vocabulary = Vocabulary(
+            order, hierarchy, [frequencies[i] for i in order]
+        )
+        return vocabulary, result
+
+    def mine(
+        self,
+        database: SequenceDatabase,
+        hierarchy: Hierarchy | None = None,
+        vocabulary: Vocabulary | None = None,
+    ) -> MiningResult:
+        """Mine all frequent generalized sequences of the database.
+
+        Either a ``hierarchy`` (preprocessing runs as part of the call) or a
+        prebuilt ``vocabulary`` (preprocessing reused) must be supplied.
+        Passing ``hierarchy=None`` with no vocabulary mines without
+        hierarchies (flat mining, as in Fig. 4(e)).
+        """
+        preprocess_job = None
+        if vocabulary is None:
+            if hierarchy is None:
+                hierarchy = Hierarchy.flat(
+                    {item for seq in database for item in seq}
+                )
+            vocabulary, preprocess_job = self.preprocess(database, hierarchy)
+
+        miner = self.miner_factory(vocabulary, self.params)
+        job = PartitionMineJob(
+            vocabulary, self.params, miner, self.rewrite_plan
+        )
+        encoded = [vocabulary.encode_sequence(seq) for seq in database]
+        mining_job = self.engine.run(job, encoded)
+
+        return MiningResult(
+            patterns=dict(mining_job.output),
+            vocabulary=vocabulary,
+            params=self.params,
+            algorithm=f"lash[{miner.name}]",
+            preprocess_job=preprocess_job,
+            mining_job=mining_job,
+            local_stats=miner.stats,
+        )
+
+
+def mine(
+    database: SequenceDatabase | Iterable,
+    hierarchy: Hierarchy | None = None,
+    sigma: int = 1,
+    gamma: int | None = 0,
+    lam: int = 5,
+    local_miner: str | MinerFactory = "psm",
+) -> MiningResult:
+    """One-call convenience API.
+
+    >>> result = mine(db, hierarchy, sigma=2, gamma=1, lam=3)
+    """
+    if not isinstance(database, SequenceDatabase):
+        database = SequenceDatabase(database)
+    lash = Lash(MiningParams(sigma, gamma, lam), local_miner=local_miner)
+    return lash.mine(database, hierarchy)

@@ -1,0 +1,46 @@
+"""GSM problem parameters (paper Sec. 2).
+
+* ``sigma`` — minimum support ``σ > 0``,
+* ``gamma`` — maximum gap ``γ ≥ 0`` between consecutive matched items
+  (``None`` = unconstrained),
+* ``lam`` — maximum pattern length ``λ ≥ 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class MiningParams:
+    """Validated (σ, γ, λ) triple."""
+
+    sigma: int
+    gamma: int | None
+    lam: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sigma, int) or self.sigma < 1:
+            raise InvalidParameterError(
+                f"sigma must be a positive integer, got {self.sigma!r}"
+            )
+        if self.gamma is not None and (
+            not isinstance(self.gamma, int) or self.gamma < 0
+        ):
+            raise InvalidParameterError(
+                f"gamma must be a non-negative integer or None, got {self.gamma!r}"
+            )
+        if not isinstance(self.lam, int) or self.lam < 2:
+            raise InvalidParameterError(
+                f"lam must be an integer >= 2, got {self.lam!r}"
+            )
+
+    @property
+    def unbounded_gap(self) -> bool:
+        return self.gamma is None
+
+    def describe(self) -> str:
+        gamma = "inf" if self.gamma is None else self.gamma
+        return f"(sigma={self.sigma}, gamma={gamma}, lambda={self.lam})"

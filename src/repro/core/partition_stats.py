@@ -1,0 +1,91 @@
+"""Partition statistics: size, skew and replication measurements.
+
+Sec. 4 motivates the rewrites with three costs of naïve partitioning:
+*skew* ("partitions of highly frequent items will contain many more
+sequences"), *redundant computation*, and *communication cost* ("each
+input sequence is replicated |G1(T)| times").  This module measures all
+three on materialized partitions so the ablation benchmarks can show how
+each rewrite stage moves them.
+
+Skew matters because the mining phase's makespan is governed by the
+largest partition a single reducer must process; we report the classic
+imbalance coefficient (largest / mean) and the share of the total volume
+held by the largest partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+#: a partition: rewritten sequence → multiplicity
+Partition = Mapping[tuple[int, ...], int]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Aggregate measurements over one set of partitions."""
+
+    num_partitions: int
+    #: total number of (weighted) sequences across partitions — the
+    #: replication factor numerator (each input lands in |G1(T)| partitions)
+    total_sequences: int
+    #: distinct (aggregated) sequences actually materialized
+    distinct_sequences: int
+    #: total items incl. blanks, weighted — proportional to shuffle volume
+    total_items: int
+    #: items in the largest partition (weighted)
+    max_partition_items: int
+    #: largest / mean partition item count (1.0 = perfectly balanced)
+    imbalance: float
+    #: fraction of all items held by the largest partition
+    max_share: float
+
+    def row(self) -> dict[str, object]:
+        return {
+            "Partitions": self.num_partitions,
+            "Sequences": self.total_sequences,
+            "Distinct": self.distinct_sequences,
+            "Items": self.total_items,
+            "Imbalance": round(self.imbalance, 2),
+            "Max share (%)": round(100 * self.max_share, 1),
+        }
+
+
+def partition_statistics(
+    partitions: Mapping[int, Partition],
+) -> PartitionStats:
+    """Measure a ``{pivot: partition}`` mapping (see
+    :func:`repro.core.partition.build_partitions`)."""
+    sizes: list[int] = []
+    total_sequences = 0
+    distinct_sequences = 0
+    for partition in partitions.values():
+        items = 0
+        for seq, weight in partition.items():
+            items += len(seq) * weight
+            total_sequences += weight
+            distinct_sequences += 1
+        sizes.append(items)
+    total_items = sum(sizes)
+    largest = max(sizes, default=0)
+    mean = total_items / len(sizes) if sizes else 0.0
+    return PartitionStats(
+        num_partitions=len(partitions),
+        total_sequences=total_sequences,
+        distinct_sequences=distinct_sequences,
+        total_items=total_items,
+        max_partition_items=largest,
+        imbalance=(largest / mean) if mean else 0.0,
+        max_share=(largest / total_items) if total_items else 0.0,
+    )
+
+
+def replication_factor(
+    partitions: Mapping[int, Partition], num_input_sequences: int
+) -> float:
+    """Average number of partitions each input sequence was copied into."""
+    if num_input_sequences <= 0:
+        return 0.0
+    stats = partition_statistics(partitions)
+    return stats.total_sequences / num_input_sequences

@@ -1,0 +1,37 @@
+"""Dataset substrates: the paper's running example and synthetic stand-ins
+for the NYT and Amazon datasets (see DESIGN.md for the substitution note)."""
+
+from repro.datasets.example import (
+    example_database,
+    example_hierarchy,
+    eq4_partition_sequences,
+)
+from repro.datasets.text import TextCorpusConfig, TextCorpus, generate_text_corpus
+from repro.datasets.products import (
+    ProductDataConfig,
+    ProductData,
+    generate_product_data,
+)
+from repro.datasets.events import (
+    EventLogConfig,
+    EventLog,
+    generate_event_log,
+)
+from repro.datasets.stats import hierarchy_stats, HierarchyStats
+
+__all__ = [
+    "EventLogConfig",
+    "EventLog",
+    "generate_event_log",
+    "example_database",
+    "example_hierarchy",
+    "eq4_partition_sequences",
+    "TextCorpusConfig",
+    "TextCorpus",
+    "generate_text_corpus",
+    "ProductDataConfig",
+    "ProductData",
+    "generate_product_data",
+    "hierarchy_stats",
+    "HierarchyStats",
+]

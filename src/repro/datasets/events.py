@@ -1,0 +1,138 @@
+"""Synthetic machine event logs with planted failure cascades.
+
+The paper's introduction motivates GSM with *"error logs, or event
+sequences"*: concrete events (``evt:net.eth0.drop.3``) generalize through
+an error class (``class:net.eth0.drop``) and a component (``comp:net.eth0``)
+up to a subsystem (``sys:net``) — a four-level forest.
+
+The generator **plants** failure cascades: class-level templates such as
+``disk timeout → raid degraded → fs remount`` are injected into a noise
+stream, with every step drawn uniformly from the class's concrete event
+codes and with random noise events in between (up to the configured gap).
+Because each concrete realization is different, the cascade is *invisible*
+to flat sequence mining at any reasonable support — only its class-level
+generalization is frequent.  The planted templates are returned as ground
+truth, giving integration tests and examples a recall target:
+:func:`planted_patterns` lists the class sequences a correct GSM run must
+report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.sequence.database import SequenceDatabase
+
+
+@dataclass
+class EventLogConfig:
+    """Generator knobs; defaults give a compact but structured log corpus."""
+
+    num_machines: int = 1500
+    avg_log_length: int = 12
+    max_log_length: int = 60
+    num_subsystems: int = 4
+    components_per_subsystem: int = 3
+    classes_per_component: int = 3
+    events_per_class: int = 4
+    num_cascades: int = 3
+    cascade_length: int = 3
+    #: probability that a log position starts a cascade instead of noise
+    cascade_rate: float = 0.12
+    #: max noise events interleaved between consecutive cascade steps
+    max_interleave: int = 1
+    seed: int = 47
+
+
+@dataclass
+class EventLog:
+    """Generated logs, their hierarchy, and the planted ground truth."""
+
+    database: SequenceDatabase
+    hierarchy: Hierarchy
+    #: planted cascade templates as class-level item sequences
+    cascades: list[tuple[str, ...]] = field(default_factory=list)
+    config: EventLogConfig = field(default_factory=EventLogConfig)
+
+    def planted_patterns(self) -> list[tuple[str, ...]]:
+        """The class-level sequences a correct GSM run must find frequent
+        (γ ≥ the interleave bound, λ ≥ the cascade length)."""
+        return list(self.cascades)
+
+    def flat_hierarchy(self) -> Hierarchy:
+        return Hierarchy.flat({e for log in self.database for e in log})
+
+
+def _names(config: EventLogConfig):
+    """Enumerate (event, class, component, subsystem) name tuples."""
+    for s in range(config.num_subsystems):
+        sys_name = f"sys:{s}"
+        for c in range(config.components_per_subsystem):
+            comp_name = f"comp:{s}.{c}"
+            for k in range(config.classes_per_component):
+                class_name = f"class:{s}.{c}.{k}"
+                for e in range(config.events_per_class):
+                    yield f"evt:{s}.{c}.{k}.{e}", class_name, comp_name, sys_name
+
+
+def generate_event_log(config: EventLogConfig | None = None) -> EventLog:
+    """Generate machine logs with planted cascades (see module doc)."""
+    config = config or EventLogConfig()
+    if config.cascade_length < 2:
+        raise ValueError("cascade_length must be >= 2")
+    rng = random.Random(config.seed)
+
+    hierarchy = Hierarchy()
+    events_by_class: dict[str, list[str]] = {}
+    all_events: list[str] = []
+    for event, class_name, comp_name, sys_name in _names(config):
+        if class_name not in hierarchy:
+            if comp_name not in hierarchy:
+                hierarchy.add_edge(comp_name, sys_name)
+            hierarchy.add_edge(class_name, comp_name)
+        hierarchy.add_edge(event, class_name)
+        events_by_class.setdefault(class_name, []).append(event)
+        all_events.append(event)
+
+    # Plant cascade templates over distinct classes so each template is a
+    # distinguishable class-level pattern.
+    classes = sorted(events_by_class)
+    rng.shuffle(classes)
+    cascades: list[tuple[str, ...]] = []
+    needed = config.num_cascades * config.cascade_length
+    if needed > len(classes):
+        raise ValueError(
+            f"not enough event classes ({len(classes)}) for "
+            f"{config.num_cascades} cascades of length {config.cascade_length}"
+        )
+    for i in range(config.num_cascades):
+        start = i * config.cascade_length
+        cascades.append(tuple(classes[start : start + config.cascade_length]))
+
+    logs: list[list[str]] = []
+    for _ in range(config.num_machines):
+        length = min(
+            config.max_log_length,
+            max(2, int(rng.expovariate(1.0 / config.avg_log_length))),
+        )
+        log: list[str] = []
+        while len(log) < length:
+            if rng.random() < config.cascade_rate:
+                template = rng.choice(cascades)
+                for step, class_name in enumerate(template):
+                    if step > 0 and config.max_interleave > 0:
+                        for _ in range(rng.randint(0, config.max_interleave)):
+                            log.append(rng.choice(all_events))
+                    log.append(rng.choice(events_by_class[class_name]))
+            else:
+                log.append(rng.choice(all_events))
+        logs.append(log[: config.max_log_length])
+
+    return EventLog(
+        database=SequenceDatabase(logs),
+        hierarchy=hierarchy,
+        cascades=cascades,
+        config=config,
+    )

@@ -1,0 +1,46 @@
+"""The paper's running example (Fig. 1) and the Eq. (4) partition."""
+
+from __future__ import annotations
+
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.sequence.database import SequenceDatabase
+
+
+def example_hierarchy() -> Hierarchy:
+    """Fig. 1(b): roots a, B, c, D, e, f; B → {b1, b2, b3}; b1 → {b11, b12,
+    b13}; D → {d1, d2}."""
+    h = Hierarchy()
+    for root in ("a", "B", "c", "D", "e", "f"):
+        h.add_item(root)
+    for child in ("b1", "b2", "b3"):
+        h.add_edge(child, "B")
+    for child in ("b11", "b12", "b13"):
+        h.add_edge(child, "b1")
+    for child in ("d1", "d2"):
+        h.add_edge(child, "D")
+    return h
+
+
+def example_database() -> SequenceDatabase:
+    """Fig. 1(a): the six sequences T1 … T6."""
+    return SequenceDatabase(
+        [
+            ["a", "b1", "a", "b1"],  # T1
+            ["a", "b3", "c", "c", "b2"],  # T2
+            ["a", "c"],  # T3
+            ["b11", "a", "e", "a"],  # T4
+            ["a", "b12", "d1", "c"],  # T5
+            ["b13", "f", "d2"],  # T6
+        ]
+    )
+
+
+def eq4_partition_sequences() -> list[list[str]]:
+    """The example partition P_D of Eq. (4) (σ=2, γ=1, λ=4); ``"_"`` marks
+    the blank placeholder."""
+    return [
+        ["a", "D", "D", "a"],
+        ["c", "a", "b1", "D"],
+        ["c", "a", "_", "D", "B"],
+        ["B", "a", "a", "D", "b1", "c"],
+    ]

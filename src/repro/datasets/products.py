@@ -1,0 +1,139 @@
+"""Synthetic product sessions with a category taxonomy of variable depth.
+
+Stand-in for the Amazon reviews dataset of the paper (Sec. 6.1): user
+sessions are product sequences ordered by time; products hang below chains
+of categories.  The paper derives hierarchies **h2, h3, h4, h8** "by varying
+the number of intermediate categories a product is assigned to" and observes
+that most products have no more than 4 parent categories.
+
+We generate one *master* taxonomy in which each product has a ragged
+category chain — root category, then ``d-1`` nested subcategories with ``d``
+drawn so that chains longer than 4 are rare — and derive ``h_k`` by keeping
+at most ``k-1`` categories of each product's chain (counted from the root).
+Users shop in a few preferred subtrees with Zipfian product popularity,
+which makes generalized patterns ("some camera, then some photography
+book") genuinely frequent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.zipf import ZipfSampler
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.sequence.database import SequenceDatabase
+
+
+@dataclass
+class ProductDataConfig:
+    """Generator knobs; defaults give a small but structured dataset."""
+
+    num_users: int = 2000
+    num_products: int = 800
+    num_root_categories: int = 12
+    subcategories_per_level: int = 3
+    max_chain_length: int = 7  # categories per product in the master taxonomy
+    #: probability weights for chain lengths 1..max (favouring ≤ 4, paper)
+    chain_length_weights: tuple[float, ...] = (0.15, 0.3, 0.3, 0.15, 0.05, 0.03, 0.02)
+    avg_session_length: float = 4.5
+    max_session_length: int = 40
+    zipf_exponent: float = 1.05
+    seed: int = 29
+
+
+@dataclass
+class ProductData:
+    """Generated sessions plus the h2…h8 hierarchy variants."""
+
+    database: SequenceDatabase
+    #: product → full category chain, most specific first
+    chains: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    max_levels: int = 8
+
+    def hierarchy(self, levels: int) -> Hierarchy:
+        """The ``h{levels}`` hierarchy: product plus ≤ ``levels-1`` categories.
+
+        ``levels=2`` connects each product directly to its root category;
+        larger values reveal more of the chain (capped by the product's own
+        chain length — chains are ragged, as in the real taxonomy).
+        """
+        if not 2 <= levels <= self.max_levels:
+            raise ValueError(
+                f"levels must be in [2, {self.max_levels}], got {levels}"
+            )
+        h = Hierarchy()
+        for product, chain in self.chains.items():
+            # chain is most-specific-first; keep the levels-1 categories
+            # closest to the root and build product → c_spec → … → root
+            kept = chain[-(levels - 1):]
+            nodes = (product, *kept)
+            for child, parent in zip(nodes, nodes[1:]):
+                h.add_edge(child, parent)
+        return h
+
+    def flat_hierarchy(self) -> Hierarchy:
+        return Hierarchy.flat({p for s in self.database for p in s})
+
+
+def _category_name(path: tuple[int, ...]) -> str:
+    return "cat:" + ".".join(str(i) for i in path)
+
+
+def generate_product_data(config: ProductDataConfig | None = None) -> ProductData:
+    """Generate sessions and the master taxonomy."""
+    config = config or ProductDataConfig()
+    rng = random.Random(config.seed)
+    np_rng = np.random.default_rng(config.seed)
+
+    weights = list(config.chain_length_weights)[: config.max_chain_length]
+    lengths = list(range(1, len(weights) + 1))
+
+    # master taxonomy: product → (most specific category, …, root category)
+    chains: dict[str, tuple[str, ...]] = {}
+    products_by_root: dict[int, list[str]] = {}
+    for pid in range(config.num_products):
+        root = rng.randrange(config.num_root_categories)
+        depth = rng.choices(lengths, weights=weights)[0]
+        path = (root,)
+        for _ in range(depth - 1):
+            path = path + (rng.randrange(config.subcategories_per_level),)
+        # chain from most specific to root
+        chain = tuple(
+            _category_name(path[: k]) for k in range(len(path), 0, -1)
+        )
+        product = f"p{pid:05d}"
+        chains[product] = chain
+        products_by_root.setdefault(root, []).append(product)
+
+    # user sessions: Zipf popularity within a few preferred root categories
+    sessions: list[list[str]] = []
+    samplers: dict[int, ZipfSampler] = {}
+    for _ in range(config.num_users):
+        preferred = rng.sample(
+            sorted(products_by_root),
+            k=min(len(products_by_root), rng.choice((1, 1, 2, 3))),
+        )
+        length = min(
+            config.max_session_length,
+            max(1, int(np_rng.geometric(1.0 / config.avg_session_length))),
+        )
+        session: list[str] = []
+        for _ in range(length):
+            root = rng.choice(preferred)
+            pool = products_by_root[root]
+            sampler = samplers.get(root)
+            if sampler is None:
+                sampler = samplers[root] = ZipfSampler(
+                    len(pool), config.zipf_exponent, np_rng
+                )
+            session.append(pool[int(sampler.sample())])
+        sessions.append(session)
+
+    return ProductData(
+        database=SequenceDatabase(sessions),
+        chains=chains,
+        max_levels=config.max_chain_length + 1,
+    )

@@ -1,0 +1,51 @@
+"""Dataset and hierarchy characteristics (paper Tables 1 and 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hierarchy.hierarchy import Hierarchy
+
+
+@dataclass(frozen=True)
+class HierarchyStats:
+    """Table 2 row: structural characteristics of one hierarchy."""
+
+    total_items: int
+    leaf_items: int
+    root_items: int
+    intermediate_items: int
+    levels: int
+    avg_fan_out: float
+    max_fan_out: int
+
+    def row(self) -> dict[str, object]:
+        return {
+            "Total items": self.total_items,
+            "Leaf items": self.leaf_items,
+            "Root items": self.root_items,
+            "Intermediate items": self.intermediate_items,
+            "Levels": self.levels,
+            "Avg.fan-out": round(self.avg_fan_out, 1),
+            "Max.fan-out": self.max_fan_out,
+        }
+
+
+def hierarchy_stats(hierarchy: Hierarchy) -> HierarchyStats:
+    """Compute the Table 2 characteristics of a hierarchy.
+
+    Following the paper's accounting: leaves have no children, roots have no
+    parents, intermediates have both; isolated items (no parent, no child)
+    count as both a root and a leaf.  Fan-out statistics cover items with at
+    least one child.
+    """
+    fan_outs = hierarchy.fan_outs()
+    return HierarchyStats(
+        total_items=len(hierarchy),
+        leaf_items=len(hierarchy.leaves()),
+        root_items=len(hierarchy.roots()),
+        intermediate_items=len(hierarchy.intermediate_items()),
+        levels=hierarchy.num_levels(),
+        avg_fan_out=(sum(fan_outs) / len(fan_outs)) if fan_outs else 0.0,
+        max_fan_out=max(fan_outs, default=0),
+    )

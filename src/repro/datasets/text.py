@@ -1,0 +1,203 @@
+"""Synthetic natural-language corpus with a syntactic hierarchy.
+
+Stand-in for the New York Times corpus of the paper (Sec. 6.1): we cannot
+ship the LDC-licensed data, so we generate sentences whose statistics
+exercise the same code paths — Zipfian word frequencies, derivational
+morphology (lemma → inflected forms), sentence-initial capitalization — and
+derive the paper's four hierarchy variants:
+
+* **L**   word → lemma                      (2 levels, many roots, low fan-out)
+* **P**   word → POS                        (2 levels, few roots, huge fan-out)
+* **LP**  word → lemma → POS                (3 levels)
+* **CLP** word → lowercase → lemma → POS    (4 levels)
+
+As in the real data, surface forms frequently coincide with their lowercase
+form or lemma, so input sequences naturally mix hierarchy levels.
+
+Sentences come from a small template grammar (determiner–adjective–noun
+phrases, verbs with optional objects and prepositional phrases), which makes
+generalized patterns like ``the ADJ NOUN`` or ``NOUN VERB in NOUN`` genuinely
+frequent — the paper's motivating examples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.zipf import ZipfSampler
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.sequence.database import SequenceDatabase
+
+#: inflectional suffixes per part of speech
+_SUFFIXES = {
+    "NOUN": ["", "s"],
+    "VERB": ["", "s", "ed", "ing"],
+    "ADJ": ["", "er", "est"],
+    "ADV": [""],
+    "DET": [""],
+    "PREP": [""],
+    "PRON": [""],
+}
+
+#: closed-class lemmas (fixed, high-frequency)
+_CLOSED = {
+    "DET": ["the", "a", "this", "some"],
+    "PREP": ["in", "on", "at", "with", "from"],
+    "PRON": ["it", "she", "he", "they"],
+}
+
+_SENTENCE_TEMPLATES = [
+    ["DET", "NOUN", "VERB"],
+    ["DET", "ADJ", "NOUN", "VERB", "DET", "NOUN"],
+    ["DET", "NOUN", "VERB", "PREP", "DET", "NOUN"],
+    ["PRON", "VERB", "DET", "ADJ", "NOUN"],
+    ["DET", "ADJ", "NOUN", "VERB", "ADV"],
+    ["NOUN", "VERB", "PREP", "NOUN"],
+    ["PRON", "VERB", "ADV", "PREP", "DET", "NOUN"],
+    ["DET", "NOUN", "PREP", "DET", "NOUN", "VERB", "DET", "NOUN"],
+]
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+
+@dataclass
+class TextCorpusConfig:
+    """Generator knobs; defaults give a small but non-trivial corpus."""
+
+    num_sentences: int = 5000
+    num_nouns: int = 400
+    num_verbs: int = 200
+    num_adjectives: int = 150
+    num_adverbs: int = 60
+    zipf_exponent: float = 1.05
+    capitalize_first: bool = True
+    seed: int = 13
+
+
+@dataclass
+class TextCorpus:
+    """Generated corpus plus its four hierarchy variants."""
+
+    database: SequenceDatabase
+    hierarchies: dict[str, Hierarchy] = field(default_factory=dict)
+
+    def hierarchy(self, variant: str) -> Hierarchy:
+        """``variant`` ∈ {"L", "P", "LP", "CLP"} (or "flat")."""
+        if variant == "flat":
+            items = {w for s in self.database for w in s}
+            return Hierarchy.flat(items)
+        try:
+            return self.hierarchies[variant]
+        except KeyError:
+            raise KeyError(
+                f"unknown hierarchy variant {variant!r}; "
+                f"available: {sorted(self.hierarchies)}"
+            ) from None
+
+
+def _make_lemma(rng: random.Random, syllables: int) -> str:
+    return "".join(
+        rng.choice(_CONSONANTS) + rng.choice(_VOWELS)
+        for _ in range(syllables)
+    )
+
+
+def _lemma_inventory(config: TextCorpusConfig, rng: random.Random) -> dict[str, list[str]]:
+    """POS → list of lemmas (rank order = popularity order).
+
+    Every inflected form of every lemma is globally unique, so each surface
+    form has exactly one derivation chain and the hierarchies stay forests.
+    """
+    counts = {
+        "NOUN": config.num_nouns,
+        "VERB": config.num_verbs,
+        "ADJ": config.num_adjectives,
+        "ADV": config.num_adverbs,
+    }
+    inventory: dict[str, list[str]] = {p: list(ls) for p, ls in _CLOSED.items()}
+    reserved: set[str] = set()
+    for pos, lemmas in _CLOSED.items():
+        for lemma in lemmas:
+            reserved.update(lemma + suffix for suffix in _SUFFIXES[pos])
+    for pos, count in counts.items():
+        lemmas: list[str] = []
+        while len(lemmas) < count:
+            lemma = _make_lemma(rng, rng.choice((2, 2, 3)))
+            if pos == "ADV":
+                lemma += "ly"
+            forms = {lemma + suffix for suffix in _SUFFIXES[pos]}
+            if reserved & forms:
+                continue
+            reserved |= forms
+            lemmas.append(lemma)
+        inventory[pos] = lemmas
+    return inventory
+
+
+def _inflect(lemma: str, pos: str, rng: random.Random) -> str:
+    return lemma + rng.choice(_SUFFIXES[pos])
+
+
+def generate_text_corpus(config: TextCorpusConfig | None = None) -> TextCorpus:
+    """Generate the corpus and its L/P/LP/CLP hierarchies."""
+    config = config or TextCorpusConfig()
+    rng = random.Random(config.seed)
+    np_rng = np.random.default_rng(config.seed)
+    inventory = _lemma_inventory(config, rng)
+    samplers = {
+        pos: ZipfSampler(len(lemmas), config.zipf_exponent, np_rng)
+        for pos, lemmas in inventory.items()
+    }
+
+    #: word → (lowercase form, lemma, POS); built lazily as words appear
+    derivations: dict[str, tuple[str, str, str]] = {}
+    sentences: list[list[str]] = []
+    for _ in range(config.num_sentences):
+        template = rng.choice(_SENTENCE_TEMPLATES)
+        sentence: list[str] = []
+        for slot, pos in enumerate(template):
+            lemma = inventory[pos][int(samplers[pos].sample())]
+            lower = _inflect(lemma, pos, rng)
+            word = lower
+            if config.capitalize_first and slot == 0:
+                word = lower[0].upper() + lower[1:]
+            derivations.setdefault(word, (lower, lemma, pos))
+            sentence.append(word)
+        sentences.append(sentence)
+
+    database = SequenceDatabase(sentences)
+    corpus = TextCorpus(database=database)
+    corpus.hierarchies = {
+        "L": _build_hierarchy(derivations, case=False, lemma=True, pos=False),
+        "P": _build_hierarchy(derivations, case=False, lemma=False, pos=True),
+        "LP": _build_hierarchy(derivations, case=False, lemma=True, pos=True),
+        "CLP": _build_hierarchy(derivations, case=True, lemma=True, pos=True),
+    }
+    return corpus
+
+
+def _build_hierarchy(
+    derivations: dict[str, tuple[str, str, str]],
+    case: bool,
+    lemma: bool,
+    pos: bool,
+) -> Hierarchy:
+    """Chain each word through the requested levels, skipping levels whose
+    item coincides with the previous one (e.g. lowercase word == lemma)."""
+    h = Hierarchy()
+    for word, (lower, lem, tag) in derivations.items():
+        chain = [word]
+        if case and lower != chain[-1]:
+            chain.append(lower)
+        if lemma and lem != chain[-1]:
+            chain.append(lem)
+        if pos:
+            chain.append(tag)
+        h.add_item(chain[0])
+        for child, parent in zip(chain, chain[1:]):
+            h.add_edge(child, parent)
+    return h

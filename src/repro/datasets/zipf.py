@@ -1,0 +1,32 @@
+"""Zipf-distributed sampling utilities.
+
+Natural-language token frequencies and product popularities are famously
+Zipfian; both synthetic generators sample ranks from a bounded Zipf
+(power-law) distribution with exponent ``s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Samples ranks ``0 … n-1`` with ``P(k) ∝ 1 / (k+1)^s``."""
+
+    def __init__(self, n: int, s: float = 1.1, rng: np.random.Generator | None = None):
+        if n < 1:
+            raise ValueError(f"need at least one rank, got n={n}")
+        if s < 0:
+            raise ValueError(f"exponent must be non-negative, got s={s}")
+        self.n = n
+        self.s = s
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float), s)
+        self._probabilities = weights / weights.sum()
+
+    def sample(self, size: int | None = None):
+        """One rank (``size=None``) or an ndarray of ranks."""
+        return self._rng.choice(self.n, size=size, p=self._probabilities)
+
+    def probability(self, rank: int) -> float:
+        return float(self._probabilities[rank])

@@ -1,0 +1,27 @@
+"""Exception types raised by the :mod:`repro` library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class HierarchyError(ReproError):
+    """Raised for structurally invalid hierarchies (cycles, bad parents)."""
+
+
+class UnknownItemError(ReproError, KeyError):
+    """Raised when an item name or id is not present in a vocabulary."""
+
+    def __init__(self, item: object):
+        super().__init__(f"unknown item: {item!r}")
+        self.item = item
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when mining parameters are out of their legal range."""
+
+
+class EncodingError(ReproError):
+    """Raised when (de)serialization of sequences or key-value pairs fails."""

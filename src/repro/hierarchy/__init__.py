@@ -1,0 +1,23 @@
+"""Item hierarchies for generalized sequence mining.
+
+This package provides the *vocabulary with hierarchy* substrate of the LASH
+paper (Sec. 2): a forest (optionally a DAG) of items, the hierarchy-aware
+*generalized f-list* (item document frequencies that count descendants), and
+the LASH total order that turns items into integer ranks.
+"""
+
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.vocabulary import Vocabulary
+from repro.hierarchy.flist import (
+    compute_generalized_flist,
+    build_total_order,
+    build_vocabulary,
+)
+
+__all__ = [
+    "Hierarchy",
+    "Vocabulary",
+    "compute_generalized_flist",
+    "build_total_order",
+    "build_vocabulary",
+]

@@ -1,0 +1,251 @@
+"""String-level item hierarchies.
+
+A :class:`Hierarchy` arranges vocabulary items in a forest: every item has at
+most one parent (paper Sec. 2).  Items with multiple parents are also
+accepted, turning the structure into a DAG — the paper's footnote 2 notes
+that LASH extends to this case, and :mod:`repro.core.rewrite` degrades its
+rewrites safely when the forest assumption does not hold.
+
+Items are arbitrary strings.  Items never mentioned in any input sequence may
+still appear in the hierarchy (e.g. intermediate product categories).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import HierarchyError
+
+
+class Hierarchy:
+    """A forest (or DAG) of string items with generalization edges.
+
+    An edge ``child -> parent`` means the child *directly generalizes* to the
+    parent (``u → v`` in the paper).  ``ancestors`` follow these edges
+    transitively (``→*`` minus the reflexive part).
+    """
+
+    def __init__(self) -> None:
+        self._parents: dict[str, tuple[str, ...]] = {}
+        self._children: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_item(self, item: str, parent: str | None = None) -> "Hierarchy":
+        """Register ``item``; optionally attach it below ``parent``.
+
+        Parents are auto-registered.  Returns ``self`` for chaining.
+        """
+        if not isinstance(item, str) or not item:
+            raise HierarchyError(f"items must be non-empty strings, got {item!r}")
+        self._parents.setdefault(item, ())
+        self._children.setdefault(item, [])
+        if parent is not None:
+            self.add_edge(item, parent)
+        return self
+
+    def add_edge(self, child: str, parent: str) -> "Hierarchy":
+        """Add a generalization edge ``child → parent``."""
+        if child == parent:
+            raise HierarchyError(f"item {child!r} cannot be its own parent")
+        self.add_item(child)
+        self.add_item(parent)
+        if parent in self._parents[child]:
+            return self
+        if self._creates_cycle(child, parent):
+            raise HierarchyError(
+                f"edge {child!r} -> {parent!r} would create a cycle"
+            )
+        self._parents[child] = self._parents[child] + (parent,)
+        self._children[parent].append(child)
+        return self
+
+    def _creates_cycle(self, child: str, parent: str) -> bool:
+        # A cycle appears iff child is already an ancestor of parent.
+        return child in self.ancestors(parent) if parent in self._parents else False
+
+    @classmethod
+    def from_parent_map(cls, parent_map: Mapping[str, str | None]) -> "Hierarchy":
+        """Build a forest from an ``item -> parent`` mapping.
+
+        ``None`` parents mark roots.  Example::
+
+            Hierarchy.from_parent_map({"b1": "B", "B": None})
+        """
+        h = cls()
+        for item, parent in parent_map.items():
+            h.add_item(item, parent)
+        return h
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[str, str]]) -> "Hierarchy":
+        """Build from ``(child, parent)`` pairs."""
+        h = cls()
+        for child, parent in edges:
+            h.add_edge(child, parent)
+        return h
+
+    @classmethod
+    def from_file(cls, path) -> "Hierarchy":
+        """Read ``item[<TAB>parent]`` lines (no parent column = root)."""
+        h = cls()
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.rstrip("\n")
+                if not line.strip():
+                    continue
+                parts = line.split("\t")
+                if len(parts) == 1 or not parts[1]:
+                    h.add_item(parts[0])
+                else:
+                    h.add_edge(parts[0], parts[1])
+        return h
+
+    def to_file(self, path) -> None:
+        """Write ``item<TAB>parent`` lines (one per edge; roots bare)."""
+        with open(path, "w", encoding="utf-8") as f:
+            for item in self._parents:
+                parents = self._parents[item]
+                if not parents:
+                    f.write(f"{item}\n")
+                for parent in parents:
+                    f.write(f"{item}\t{parent}\n")
+
+    @classmethod
+    def flat(cls, items: Iterable[str] = ()) -> "Hierarchy":
+        """A hierarchy with no edges — every item is a root.
+
+        Mining with a flat hierarchy is exactly flat (MG-FSM style) frequent
+        sequence mining.
+        """
+        h = cls()
+        for item in items:
+            h.add_item(item)
+        return h
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parents)
+
+    @property
+    def items(self) -> tuple[str, ...]:
+        """All registered items, in insertion order."""
+        return tuple(self._parents)
+
+    def parents(self, item: str) -> tuple[str, ...]:
+        """Direct generalizations of ``item`` (empty tuple for roots)."""
+        try:
+            return self._parents[item]
+        except KeyError:
+            raise HierarchyError(f"unknown item: {item!r}") from None
+
+    def parent(self, item: str) -> str | None:
+        """The unique parent of ``item`` or ``None``; errors on DAG nodes."""
+        ps = self.parents(item)
+        if len(ps) > 1:
+            raise HierarchyError(f"item {item!r} has multiple parents: {ps}")
+        return ps[0] if ps else None
+
+    def children(self, item: str) -> tuple[str, ...]:
+        try:
+            return tuple(self._children[item])
+        except KeyError:
+            raise HierarchyError(f"unknown item: {item!r}") from None
+
+    def ancestors(self, item: str) -> tuple[str, ...]:
+        """All strict ancestors of ``item`` in BFS order (deduplicated)."""
+        seen: dict[str, None] = {}
+        queue = deque(self.parents(item))
+        while queue:
+            cur = queue.popleft()
+            if cur in seen:
+                continue
+            seen[cur] = None
+            queue.extend(self._parents[cur])
+        return tuple(seen)
+
+    def ancestors_or_self(self, item: str) -> tuple[str, ...]:
+        """``item`` followed by its strict ancestors."""
+        return (item,) + self.ancestors(item)
+
+    def descendants(self, item: str) -> tuple[str, ...]:
+        """All strict descendants of ``item`` in BFS order."""
+        seen: dict[str, None] = {}
+        queue = deque(self.children(item))
+        while queue:
+            cur = queue.popleft()
+            if cur in seen:
+                continue
+            seen[cur] = None
+            queue.extend(self._children[cur])
+        return tuple(seen)
+
+    def generalizes_to(self, specific: str, general: str) -> bool:
+        """``specific →* general`` (reflexive-transitive generalization)."""
+        return specific == general or general in self.ancestors(specific)
+
+    def depth(self, item: str) -> int:
+        """Longest edge distance from ``item`` up to a root (roots are 0)."""
+        parents = self.parents(item)
+        if not parents:
+            return 0
+        return 1 + max(self.depth(p) for p in parents)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def is_forest(self) -> bool:
+        """True when every item has at most one parent."""
+        return all(len(ps) <= 1 for ps in self._parents.values())
+
+    def roots(self) -> tuple[str, ...]:
+        """Items with no parent (most general)."""
+        return tuple(i for i, ps in self._parents.items() if not ps)
+
+    def leaves(self) -> tuple[str, ...]:
+        """Items with no children (most specific)."""
+        return tuple(i for i, cs in self._children.items() if not cs)
+
+    def intermediate_items(self) -> tuple[str, ...]:
+        """Items that have both a parent and at least one child."""
+        return tuple(
+            i
+            for i in self._parents
+            if self._parents[i] and self._children[i]
+        )
+
+    def num_levels(self) -> int:
+        """Number of levels = 1 + maximum depth (a flat hierarchy has 1)."""
+        if not self._parents:
+            return 0
+        return 1 + max(self.depth(i) for i in self._parents)
+
+    def fan_outs(self) -> list[int]:
+        """Child counts of all items that have at least one child."""
+        return [len(cs) for cs in self._children.values() if cs]
+
+    def copy(self) -> "Hierarchy":
+        h = Hierarchy()
+        h._parents = dict(self._parents)
+        h._children = {k: list(v) for k, v in self._children.items()}
+        return h
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Hierarchy(items={len(self)}, roots={len(self.roots())}, "
+            f"levels={self.num_levels()})"
+        )

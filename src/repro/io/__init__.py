@@ -1,0 +1,35 @@
+"""File formats for databases, hierarchies, f-lists and mined patterns.
+
+Every reader/writer accepts plain and gzip-compressed files (``.gz``
+suffix).  Formats:
+
+* **sequence database** — one sequence per line, whitespace- (or
+  custom-) separated items (:mod:`repro.io.database`);
+* **hierarchy** — ``child<TAB>parent`` lines, or a JSON object
+  ``{"item": ["parent", ...]}`` for ``.json`` paths
+  (:mod:`repro.io.hierarchy`);
+* **generalized f-list** — ``item<TAB>frequency`` lines in total-order
+  rank order; together with a hierarchy this reconstructs the
+  :class:`~repro.hierarchy.vocabulary.Vocabulary`, so preprocessing can be
+  reused across runs exactly as Sec. 3.4 describes (:mod:`repro.io.flist`);
+* **patterns** — ``item item …<TAB>frequency`` lines
+  (:mod:`repro.io.patterns`).
+"""
+
+from repro.io.lines import open_text
+from repro.io.database import read_database, write_database
+from repro.io.hierarchy import read_hierarchy, write_hierarchy
+from repro.io.flist import read_vocabulary, write_vocabulary
+from repro.io.patterns import read_patterns, write_patterns
+
+__all__ = [
+    "open_text",
+    "read_database",
+    "write_database",
+    "read_hierarchy",
+    "write_hierarchy",
+    "read_vocabulary",
+    "write_vocabulary",
+    "read_patterns",
+    "write_patterns",
+]

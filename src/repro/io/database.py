@@ -1,0 +1,29 @@
+"""Sequence-database files: one sequence per line."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.io.lines import open_text
+from repro.sequence.database import SequenceDatabase
+
+
+def read_database(
+    path: str | Path, sep: str | None = None
+) -> SequenceDatabase:
+    """Read a database; items separated by ``sep`` (default: whitespace).
+
+    Empty lines are skipped.  ``.gz`` paths are decompressed.
+    """
+    with open_text(path) as f:
+        return SequenceDatabase.from_strings(f, sep)
+
+
+def write_database(
+    database: SequenceDatabase, path: str | Path, sep: str = " "
+) -> None:
+    """Write one line per sequence; ``.gz`` paths are compressed."""
+    with open_text(path, "w") as f:
+        for seq in database:
+            f.write(sep.join(seq))
+            f.write("\n")

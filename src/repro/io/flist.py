@@ -1,0 +1,47 @@
+"""Generalized f-list persistence.
+
+The paper (Sec. 3.4): *"item frequencies and total order can be reused when
+LASH is run with different parameters"*.  The f-list file stores one
+``item<TAB>frequency`` line per vocabulary entry **in total-order rank
+order**, so reading it back (together with the hierarchy) reconstructs the
+exact :class:`~repro.hierarchy.vocabulary.Vocabulary` — ids, frequencies
+and all — without re-running the preprocessing job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import EncodingError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.vocabulary import Vocabulary
+from repro.io.lines import open_text
+
+
+def write_vocabulary(vocabulary: Vocabulary, path: str | Path) -> None:
+    """Write the generalized f-list in rank order."""
+    with open_text(path, "w") as f:
+        for item_id in range(len(vocabulary)):
+            name = vocabulary.name(item_id)
+            f.write(f"{name}\t{vocabulary.frequency(item_id)}\n")
+
+
+def read_vocabulary(path: str | Path, hierarchy: Hierarchy) -> Vocabulary:
+    """Rebuild a vocabulary from an f-list file and its hierarchy."""
+    order: list[str] = []
+    frequencies: list[int] = []
+    with open_text(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            try:
+                name, freq = line.rsplit("\t", 1)
+                frequencies.append(int(freq))
+            except ValueError as exc:
+                raise EncodingError(
+                    f"{path}:{lineno}: expected 'item<TAB>frequency', "
+                    f"got {line!r}"
+                ) from exc
+            order.append(name)
+    return Vocabulary(order, hierarchy, frequencies)

@@ -1,0 +1,84 @@
+"""Hierarchy files: TSV edge lists or JSON parent maps.
+
+TSV (the default, also produced by :meth:`Hierarchy.to_file`)::
+
+    b1<TAB>B        # edge: b1 generalizes to B
+    a               # bare line: root item
+
+JSON (chosen for ``.json`` / ``.json.gz`` paths) maps every item to its
+list of parents and so can express DAG hierarchies (paper footnote 2)::
+
+    {"a": [], "b1": ["B"], "multi": ["B", "D"]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import HierarchyError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.io.lines import open_text
+
+
+def _is_json_path(path: Path) -> bool:
+    suffixes = path.suffixes
+    return ".json" in suffixes[-2:]
+
+
+def read_hierarchy(path: str | Path) -> Hierarchy:
+    """Read a hierarchy; format chosen by extension (see module doc)."""
+    path = Path(path)
+    if _is_json_path(path):
+        with open_text(path) as f:
+            try:
+                parent_map = json.load(f)
+            except json.JSONDecodeError as exc:
+                raise HierarchyError(f"invalid hierarchy JSON: {exc}") from exc
+        if not isinstance(parent_map, dict):
+            raise HierarchyError(
+                "hierarchy JSON must be an object mapping item -> parents"
+            )
+        h = Hierarchy()
+        for item in parent_map:
+            h.add_item(item)
+        for item, parents in parent_map.items():
+            if isinstance(parents, str):
+                parents = [parents]
+            if parents is None:
+                parents = []
+            for parent in parents:
+                h.add_edge(item, parent)
+        return h
+    with open_text(path) as f:
+        h = Hierarchy()
+        for line in f:
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            parts = line.split("\t")
+            if len(parts) == 1 or not parts[1]:
+                h.add_item(parts[0])
+            else:
+                h.add_edge(parts[0], parts[1])
+        return h
+
+
+def write_hierarchy(hierarchy: Hierarchy, path: str | Path) -> None:
+    """Write a hierarchy; format chosen by extension (see module doc)."""
+    path = Path(path)
+    if _is_json_path(path):
+        parent_map = {
+            item: list(hierarchy.parents(item)) for item in hierarchy
+        }
+        with open_text(path, "w") as f:
+            json.dump(parent_map, f, indent=2, sort_keys=True)
+            f.write("\n")
+        return
+    with open_text(path, "w") as f:
+        for item in hierarchy:
+            parents = hierarchy.parents(item)
+            if not parents:
+                f.write(f"{item}\n")
+            for parent in parents:
+                f.write(f"{item}\t{parent}\n")

@@ -1,0 +1,20 @@
+"""Text-file access with transparent gzip support."""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO
+
+
+def open_text(path: str | Path, mode: str = "r") -> IO[str]:
+    """Open a text file; paths ending in ``.gz`` are gzip-(de)compressed.
+
+    ``mode`` is ``"r"`` or ``"w"``; encoding is always UTF-8.
+    """
+    if mode not in ("r", "w"):
+        raise ValueError(f"mode must be 'r' or 'w', got {mode!r}")
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")

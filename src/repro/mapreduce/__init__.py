@@ -1,0 +1,63 @@
+"""A deterministic, in-process MapReduce substrate.
+
+The paper implements LASH on Hadoop (Sec. 3.1, 6.1).  This package provides
+the equivalent execution model for a single machine:
+
+* jobs are (map, combine, reduce) functions over key–value pairs,
+* the engine runs map tasks over input splits, applies per-split combiners,
+  shuffles by stable key hash into reduce partitions, and runs reducers over
+  key groups in sorted key order,
+* Hadoop-style counters (``MAP_OUTPUT_BYTES`` et al.) are maintained with
+  job-provided serialized sizes,
+* per-task wall-clock times are recorded, and a :class:`ClusterSpec`
+  scheduler places them onto ``nodes × slots`` to obtain the phase makespans
+  a real cluster would show (used for the scalability experiments, Fig. 6),
+* task failures can be injected deterministically (:class:`FailurePlan`);
+  failed attempts are discarded and retried exactly like Hadoop does,
+* the shuffle can run through disk (``spill_dir``): map outputs are sorted
+  into run files and reducers stream a merge of their partition's runs,
+  exactly like Hadoop's sort/spill/merge pipeline
+  (:mod:`repro.mapreduce.spill`).
+
+Only task *placement* is simulated; all data movement, skew, and compute are
+real, measured quantities.
+"""
+
+from repro.mapreduce.counters import Counters, C
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.metrics import JobMetrics, PhaseTimes
+from repro.mapreduce.engine import MapReduceEngine, JobResult, stable_hash
+from repro.mapreduce.parallel import ParallelMapReduceEngine
+from repro.mapreduce.failures import FailurePlan, TaskRetriesExceededError
+from repro.mapreduce.cluster import ClusterSpec, schedule_makespan, simulate_cluster
+from repro.mapreduce.spill import (
+    MERGED_RUNS,
+    SPILL_BYTES,
+    SPILLED_RECORDS,
+    MergedPartition,
+    SpillRun,
+    spill_map_output,
+)
+
+__all__ = [
+    "Counters",
+    "C",
+    "MapReduceJob",
+    "JobMetrics",
+    "PhaseTimes",
+    "MapReduceEngine",
+    "ParallelMapReduceEngine",
+    "JobResult",
+    "stable_hash",
+    "FailurePlan",
+    "TaskRetriesExceededError",
+    "ClusterSpec",
+    "schedule_makespan",
+    "simulate_cluster",
+    "MERGED_RUNS",
+    "SPILL_BYTES",
+    "SPILLED_RECORDS",
+    "MergedPartition",
+    "SpillRun",
+    "spill_map_output",
+]

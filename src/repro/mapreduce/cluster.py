@@ -1,0 +1,77 @@
+"""Cluster placement simulation for scalability experiments (Fig. 6).
+
+The engine measures one wall-clock time per map/reduce task.  Given a
+:class:`ClusterSpec` (the paper uses 10 worker nodes with 8 concurrent task
+slots each, 10 GbE), :func:`simulate_cluster` schedules those measured task
+times greedily onto the available slots — longest task first, earliest slot
+first — and reports the *makespan* of each phase.  Shuffle time combines the
+measured grouping cost with a network-transfer model
+``bytes / aggregate bandwidth``.
+
+This keeps every data-dependent quantity real (task durations, bytes, skew)
+and only simulates task placement, which is what adding machines changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.mapreduce.metrics import JobMetrics, PhaseTimes
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: paper defaults are nodes=10, slots=8, 10 GbE."""
+
+    nodes: int = 10
+    map_slots_per_node: int = 8
+    reduce_slots_per_node: int = 8
+    network_gbps: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if self.map_slots_per_node < 1 or self.reduce_slots_per_node < 1:
+            raise ValueError("each node needs at least one slot")
+        if self.network_gbps <= 0:
+            raise ValueError("network bandwidth must be positive")
+
+    @property
+    def map_slots(self) -> int:
+        return self.nodes * self.map_slots_per_node
+
+    @property
+    def reduce_slots(self) -> int:
+        return self.nodes * self.reduce_slots_per_node
+
+    def network_seconds(self, num_bytes: int) -> float:
+        """Time to move ``num_bytes`` across the aggregate bisection."""
+        bytes_per_second = self.network_gbps * 1e9 / 8 * self.nodes
+        return num_bytes / bytes_per_second
+
+
+def schedule_makespan(task_seconds: Iterable[float], slots: int) -> float:
+    """Makespan of greedy LPT scheduling of tasks onto identical slots."""
+    if slots < 1:
+        raise ValueError("slots must be >= 1")
+    tasks = sorted(task_seconds, reverse=True)
+    if not tasks:
+        return 0.0
+    heap = [0.0] * min(slots, len(tasks))
+    heapq.heapify(heap)
+    for task in tasks:
+        earliest = heapq.heappop(heap)
+        heapq.heappush(heap, earliest + task)
+    return max(heap)
+
+
+def simulate_cluster(metrics: JobMetrics, cluster: ClusterSpec) -> PhaseTimes:
+    """Phase makespans of the measured job on the given cluster layout."""
+    map_s = schedule_makespan(metrics.map_task_s, cluster.map_slots)
+    reduce_s = schedule_makespan(metrics.reduce_task_s, cluster.reduce_slots)
+    shuffle_s = metrics.shuffle_s / cluster.nodes + cluster.network_seconds(
+        metrics.shuffle_bytes
+    )
+    return PhaseTimes(map_s=map_s, shuffle_s=shuffle_s, reduce_s=reduce_s)

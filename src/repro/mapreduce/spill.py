@@ -1,0 +1,185 @@
+"""Disk-backed shuffle: sort, spill, and merge (Hadoop's external shuffle).
+
+The in-memory shuffle of :class:`~repro.mapreduce.engine.MapReduceEngine`
+assumes every map output fits in RAM at once.  Real MapReduce does not:
+each map task sorts its output by (partition, key) and *spills* it to
+local disk; every reduce task then streams a merge of the sorted runs that
+belong to its partition.  This module reproduces that pipeline so the
+engine can shuffle datasets larger than memory and so spill/merge costs
+become measurable:
+
+* :func:`spill_map_output` — partition one map task's pairs, sort each
+  partition by key, and write one run file per non-empty partition.
+* :class:`MergedPartition` — a lazy reduce-side view over all run files of
+  one partition: keys are merged in sorted order and each key's values are
+  read from disk only when the reducer asks for them.
+
+Records are serialized with :mod:`pickle` (framed, streamed one group at a
+time); byte counters continue to use the jobs' own wire-format metering,
+so spilling never changes ``MAP_OUTPUT_BYTES``/``SHUFFLE_BYTES``.
+
+Keys within one job must be mutually comparable (ints, strings, or tuples
+thereof — true for every job in this library); the merge relies on the
+same Python ordering the in-memory engine uses, so both shuffles hand
+reducers identical group sequences.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+#: counter names (extends repro.mapreduce.counters.C)
+SPILLED_RECORDS = "SPILLED_RECORDS"
+SPILL_BYTES = "SPILL_BYTES"
+MERGED_RUNS = "MERGED_RUNS"
+
+
+@dataclass
+class SpillRun:
+    """One sorted run file produced by one map task for one partition."""
+
+    path: Path
+    partition: int
+    records: int
+    bytes: int
+
+    def read_groups(self) -> Iterator[tuple[Any, list[Any]]]:
+        """Stream the ``(key, values)`` groups back in key order."""
+        with open(self.path, "rb") as handle:
+            while True:
+                try:
+                    yield pickle.load(handle)
+                except EOFError:
+                    return
+
+
+def spill_map_output(
+    pairs: list[tuple[Any, Any]],
+    num_partitions: int,
+    partitioner,
+    directory: Path,
+    task_id: int,
+) -> list[SpillRun]:
+    """Sort one map task's output and write one run file per partition.
+
+    ``partitioner`` maps a key to its reduce partition (the engine passes
+    its stable hash).  Values of equal keys are grouped inside the run, so
+    the merge only compares keys.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    buckets: dict[int, dict[Any, list[Any]]] = {}
+    for key, value in pairs:
+        bucket = buckets.setdefault(partitioner(key), {})
+        bucket.setdefault(key, []).append(value)
+    runs: list[SpillRun] = []
+    for partition, groups in sorted(buckets.items()):
+        path = directory / f"spill-m{task_id:05d}-p{partition:05d}.run"
+        records = 0
+        with open(path, "wb") as handle:
+            for key in sorted(groups):
+                values = groups[key]
+                pickle.dump((key, values), handle)
+                records += len(values)
+        runs.append(
+            SpillRun(
+                path=path,
+                partition=partition,
+                records=records,
+                bytes=path.stat().st_size,
+            )
+        )
+    return runs
+
+
+@dataclass
+class MergedPartition:
+    """Reduce-side view of one partition: a streaming merge of sorted runs.
+
+    Mimics the mapping interface the engine's reduce loop uses —
+    ``sorted(partition)`` for the key order and ``partition[key]`` for the
+    values — while reading values from disk on demand.  Out-of-order
+    access falls back to a buffer, so correctness never depends on the
+    caller's discipline.
+    """
+
+    runs: list[SpillRun]
+    _keys: list[Any] | None = None
+    _stream: Iterator[tuple[Any, list[Any]]] | None = None
+    _buffer: dict[Any, list[Any]] = field(default_factory=dict)
+
+    def _merged_groups(self) -> Iterator[tuple[Any, list[Any]]]:
+        """Merge the runs by key, concatenating values of equal keys."""
+        streams = [run.read_groups() for run in self.runs]
+        merged = heapq.merge(*streams, key=lambda group: group[0])
+        current_key: Any = None
+        current_values: list[Any] = []
+        have_current = False
+        for key, values in merged:
+            if have_current and key == current_key:
+                current_values.extend(values)
+            else:
+                if have_current:
+                    yield current_key, current_values
+                current_key, current_values = key, list(values)
+                have_current = True
+        if have_current:
+            yield current_key, current_values
+
+    def keys(self) -> list[Any]:
+        """All keys of the partition, sorted (cheap: keys only)."""
+        if self._keys is None:
+            merged: set[Any] = set()
+            for run in self.runs:
+                for key, _ in run.read_groups():
+                    merged.add(key)
+            self._keys = sorted(merged)
+        return self._keys
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __getitem__(self, key: Any) -> list[Any]:
+        if key in self._buffer:
+            return self._buffer.pop(key)
+        if self._stream is None:
+            self._stream = self._merged_groups()
+        for current_key, values in self._stream:
+            if current_key == key:
+                return values
+            self._buffer[current_key] = values
+        # Stream exhausted without finding the key: the caller went back to
+        # an earlier key (e.g. a failed task attempt being retried).
+        # Re-merge from disk once — exactly what a re-launched Hadoop
+        # reducer does when it re-fetches its inputs.
+        self._stream = self._merged_groups()
+        for current_key, values in self._stream:
+            if current_key == key:
+                return values
+            self._buffer[current_key] = values
+        raise KeyError(key)
+
+
+def total_spill_stats(runs: list[SpillRun]) -> tuple[int, int]:
+    """``(records, bytes)`` across a list of runs."""
+    return (
+        sum(run.records for run in runs),
+        sum(run.bytes for run in runs),
+    )
+
+
+__all__ = [
+    "SPILLED_RECORDS",
+    "SPILL_BYTES",
+    "MERGED_RUNS",
+    "SpillRun",
+    "spill_map_output",
+    "MergedPartition",
+    "total_spill_stats",
+]

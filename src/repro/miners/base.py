@@ -1,0 +1,87 @@
+"""Local miner interface and exploration accounting.
+
+A *local miner* runs inside a reduce task on one partition ``P_w`` and must
+produce exactly the locally frequent pivot sequences
+``G_{σ,γ,λ}(w, P_w)`` with their frequencies (paper Alg. 1, line 8).
+
+Miners track an :class:`ExplorationStats` so the search-space comparison of
+Fig. 4(d) (candidate sequences per output sequence) can be reproduced.  The
+counting convention matches the paper's worked example (Sec. 5.2): every
+candidate sequence whose support is evaluated counts once — including
+infrequent ones — while sequences skipped by PSM's right-expansion index are
+never evaluated and therefore never counted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.params import MiningParams
+from repro.hierarchy.vocabulary import Vocabulary
+
+#: weighted partition type: rewritten sequence → multiplicity
+Partition = dict[tuple[int, ...], int]
+
+
+@dataclass
+class ExplorationStats:
+    """Search-space accounting for one or more ``mine_partition`` calls."""
+
+    candidates: int = 0
+    outputs: int = 0
+
+    def candidates_per_output(self) -> float:
+        """Fig. 4(d)'s measure (∞-safe: 0 outputs → candidate count)."""
+        return self.candidates / self.outputs if self.outputs else float(
+            self.candidates
+        )
+
+    def merge(self, other: "ExplorationStats") -> "ExplorationStats":
+        self.candidates += other.candidates
+        self.outputs += other.outputs
+        return self
+
+
+def normalize_partition(
+    partition: Partition | Iterable[tuple[tuple[int, ...], int]] | Iterable[tuple[int, ...]],
+) -> list[tuple[tuple[int, ...], int]]:
+    """Accept ``{seq: weight}``, ``[(seq, weight)]`` or bare ``[seq]``."""
+    if isinstance(partition, Mapping):
+        return list(partition.items())
+    out: list[tuple[tuple[int, ...], int]] = []
+    for entry in partition:
+        if (
+            isinstance(entry, tuple)
+            and len(entry) == 2
+            and isinstance(entry[0], tuple)
+            and isinstance(entry[1], int)
+        ):
+            out.append((entry[0], entry[1]))
+        else:
+            out.append((tuple(entry), 1))
+    return out
+
+
+class LocalMiner(ABC):
+    """Base class: bind a vocabulary and parameters, mine partitions."""
+
+    #: registry name used by drivers ("psm", "bfs", ...)
+    name: str = "local"
+
+    def __init__(self, vocabulary: Vocabulary, params: MiningParams) -> None:
+        self.vocabulary = vocabulary
+        self.params = params
+        self.stats = ExplorationStats()
+
+    def reset_stats(self) -> None:
+        self.stats = ExplorationStats()
+
+    @abstractmethod
+    def mine_partition(
+        self,
+        partition: Partition | Iterable,
+        pivot: int,
+    ) -> dict[tuple[int, ...], int]:
+        """Return ``{pivot sequence: frequency}`` for one partition."""

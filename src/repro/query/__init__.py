@@ -1,0 +1,38 @@
+"""Pattern exploration: indexing and querying mined generalized sequences.
+
+The paper motivates GSM with exploration applications — the Google n-gram
+viewer and Netspeak for generalized n-grams, typed relational patterns for
+information extraction (Sec. 1).  This package is that downstream consumer:
+it indexes a mining result and answers Netspeak-style wildcard queries that
+are aware of the item hierarchy.
+
+>>> from repro.query import PatternIndex
+>>> index = PatternIndex.from_result(result)
+>>> index.search("the ? NOUN")        # ? = exactly one item
+>>> index.search("^NOUN lives in *")  # ^x = x or any specialization
+"""
+
+from repro.query.tokens import (
+    AnyToken,
+    ItemToken,
+    PlusToken,
+    Q,
+    QueryToken,
+    SpanToken,
+    UnderToken,
+    parse_query,
+)
+from repro.query.index import PatternIndex, QueryMatch
+
+__all__ = [
+    "AnyToken",
+    "ItemToken",
+    "PlusToken",
+    "Q",
+    "QueryToken",
+    "SpanToken",
+    "UnderToken",
+    "parse_query",
+    "PatternIndex",
+    "QueryMatch",
+]

@@ -1,0 +1,165 @@
+"""Query tokens and the wildcard query language.
+
+A query is a whitespace-separated list of tokens, one per matched region:
+
+=========  =====================================================
+syntax     meaning
+=========  =====================================================
+``name``   exactly this item
+``^name``  this item or any of its hierarchy descendants
+``?``      exactly one item, any item
+``+``      one or more items
+``*``      zero or more items
+=========  =====================================================
+
+``?``/``*``/``+`` follow Netspeak's conventions [2]; ``^`` adds the
+hierarchy dimension that plain n-gram indexes lack.  Items whose *name*
+is literally ``?``, ``*``, ``+`` or starts with ``^`` cannot be written in
+the string syntax — build those queries from :class:`Q` constructors
+instead.
+
+>>> parse_query("the ^ADJ ?")
+(ItemToken('the'), UnderToken('ADJ'), AnyToken())
+>>> (Q.item("the"), Q.under("ADJ"), Q.any())
+(ItemToken('the'), UnderToken('ADJ'), AnyToken())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+
+class QueryToken:
+    """Base class for the five token kinds."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ItemToken(QueryToken):
+    """Matches exactly one occurrence of exactly this item."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"ItemToken({self.name!r})"
+
+
+@dataclass(frozen=True)
+class UnderToken(QueryToken):
+    """Matches one occurrence of the item or any hierarchy descendant."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"UnderToken({self.name!r})"
+
+
+@dataclass(frozen=True)
+class AnyToken(QueryToken):
+    """Matches exactly one item, whatever it is (``?``)."""
+
+    def __repr__(self) -> str:
+        return "AnyToken()"
+
+
+@dataclass(frozen=True)
+class PlusToken(QueryToken):
+    """Matches one or more items (``+``)."""
+
+    def __repr__(self) -> str:
+        return "PlusToken()"
+
+
+@dataclass(frozen=True)
+class SpanToken(QueryToken):
+    """Matches zero or more items (``*``)."""
+
+    def __repr__(self) -> str:
+        return "SpanToken()"
+
+
+class Q:
+    """Programmatic token constructors (escape hatch for odd item names)."""
+
+    @staticmethod
+    def item(name: str) -> ItemToken:
+        return ItemToken(name)
+
+    @staticmethod
+    def under(name: str) -> UnderToken:
+        return UnderToken(name)
+
+    @staticmethod
+    def any() -> AnyToken:
+        return AnyToken()
+
+    @staticmethod
+    def plus() -> PlusToken:
+        return PlusToken()
+
+    @staticmethod
+    def span() -> SpanToken:
+        return SpanToken()
+
+
+def parse_query(text: str) -> tuple[QueryToken, ...]:
+    """Parse the string syntax into a token tuple.
+
+    Raises :class:`~repro.errors.InvalidParameterError` for an empty query
+    or a bare ``^``.
+    """
+    tokens: list[QueryToken] = []
+    for raw in text.split():
+        if raw == "?":
+            tokens.append(AnyToken())
+        elif raw == "*":
+            tokens.append(SpanToken())
+        elif raw == "+":
+            tokens.append(PlusToken())
+        elif raw.startswith("^"):
+            name = raw[1:]
+            if not name:
+                raise InvalidParameterError(
+                    f"bare '^' in query {text!r}: expected '^name'"
+                )
+            tokens.append(UnderToken(name))
+        else:
+            tokens.append(ItemToken(raw))
+    if not tokens:
+        raise InvalidParameterError("empty query")
+    return tuple(tokens)
+
+
+def normalize_query(
+    query: str | QueryToken | tuple | list,
+) -> tuple[QueryToken, ...]:
+    """Accept a query string, a single token, or a token sequence."""
+    if isinstance(query, str):
+        return parse_query(query)
+    if isinstance(query, QueryToken):
+        return (query,)
+    tokens = tuple(query)
+    if not tokens:
+        raise InvalidParameterError("empty query")
+    for token in tokens:
+        if not isinstance(token, QueryToken):
+            raise InvalidParameterError(
+                f"query element {token!r} is not a QueryToken"
+            )
+    return tokens
+
+
+__all__ = [
+    "QueryToken",
+    "ItemToken",
+    "UnderToken",
+    "AnyToken",
+    "PlusToken",
+    "SpanToken",
+    "Q",
+    "parse_query",
+    "normalize_query",
+]

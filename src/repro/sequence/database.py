@@ -1,0 +1,150 @@
+"""Sequence databases.
+
+A :class:`SequenceDatabase` is a multiset of sequences of string items — the
+``D`` of the paper.  :class:`EncodedDatabase` is its integer-coded twin (ids
+from a :class:`~repro.hierarchy.vocabulary.Vocabulary`), which is what all
+mining algorithms operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.hierarchy.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class DatabaseStats:
+    """Table 1 characteristics of a sequence database."""
+
+    num_sequences: int
+    avg_length: float
+    max_length: int
+    total_items: int
+    unique_items: int
+
+    def row(self) -> dict[str, object]:
+        """Render as a Table 1 row."""
+        return {
+            "Sequences": self.num_sequences,
+            "Avg length": round(self.avg_length, 1),
+            "Max length": self.max_length,
+            "Total items": self.total_items,
+            "Unique items": self.unique_items,
+        }
+
+
+class SequenceDatabase:
+    """A multiset of string-item sequences."""
+
+    def __init__(self, sequences: Iterable[Sequence[str]] = ()) -> None:
+        self._sequences: list[tuple[str, ...]] = [tuple(s) for s in sequences]
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_strings(cls, lines: Iterable[str], sep: str | None = None) -> "SequenceDatabase":
+        """One sequence per line, items separated by ``sep`` (whitespace)."""
+        return cls(
+            line.rstrip("\n").split(sep) for line in lines if line.strip()
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path, sep: str | None = None) -> "SequenceDatabase":
+        with open(path, "r", encoding="utf-8") as f:
+            return cls.from_strings(f, sep)
+
+    def to_file(self, path: str | Path, sep: str = " ") -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            for seq in self._sequences:
+                f.write(sep.join(seq))
+                f.write("\n")
+
+    def append(self, sequence: Sequence[str]) -> None:
+        self._sequences.append(tuple(sequence))
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[tuple[str, ...]]:
+        return iter(self._sequences)
+
+    def __getitem__(self, index: int) -> tuple[str, ...]:
+        return self._sequences[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SequenceDatabase):
+            return NotImplemented
+        return self._sequences == other._sequences
+
+    # -- operations -------------------------------------------------------
+
+    def sample(self, fraction: float, seed: int = 0) -> "SequenceDatabase":
+        """A reproducible random sample of the sequences (Fig. 6(a))."""
+        import random
+
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return SequenceDatabase(self._sequences)
+        rng = random.Random(seed)
+        k = round(len(self._sequences) * fraction)
+        return SequenceDatabase(rng.sample(self._sequences, k))
+
+    def stats(self) -> DatabaseStats:
+        """Table 1 characteristics."""
+        lengths = [len(s) for s in self._sequences]
+        unique: set[str] = set()
+        for s in self._sequences:
+            unique.update(s)
+        total = sum(lengths)
+        return DatabaseStats(
+            num_sequences=len(lengths),
+            avg_length=(total / len(lengths)) if lengths else 0.0,
+            max_length=max(lengths, default=0),
+            total_items=total,
+            unique_items=len(unique),
+        )
+
+    def encode(self, vocabulary: Vocabulary) -> "EncodedDatabase":
+        return EncodedDatabase(
+            [vocabulary.encode_sequence(s) for s in self._sequences], vocabulary
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SequenceDatabase(sequences={len(self)})"
+
+
+class EncodedDatabase:
+    """Integer-coded sequence database bound to a vocabulary."""
+
+    def __init__(
+        self, sequences: Iterable[Sequence[int]], vocabulary: Vocabulary
+    ) -> None:
+        self._sequences: list[tuple[int, ...]] = [tuple(s) for s in sequences]
+        self._vocabulary = vocabulary
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._sequences)
+
+    def __getitem__(self, index: int) -> tuple[int, ...]:
+        return self._sequences[index]
+
+    def decode(self) -> SequenceDatabase:
+        return SequenceDatabase(
+            self._vocabulary.decode_sequence(s) for s in self._sequences
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EncodedDatabase(sequences={len(self)})"

@@ -1,0 +1,128 @@
+"""Gap- and hierarchy-aware subsequence matching (paper Sec. 2).
+
+``S ⊑γ T`` (generalized subsequence): there are positions
+``i1 < i2 < … < in`` of ``T`` with ``t_{ij} →* s_j`` and at most ``γ`` items
+between consecutive matched positions.  Blanks (from rewriting) never match a
+pattern item but do occupy positions, i.e. they count toward the gap.
+
+``gamma=None`` means the unconstrained relation (``γ = ∞``).
+
+All functions work on integer-coded sequences and take the
+:class:`~repro.hierarchy.vocabulary.Vocabulary` for the ``→*`` tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.constants import BLANK
+from repro.hierarchy.vocabulary import Vocabulary
+
+Seq = Sequence[int]
+
+
+def _window(end: int, gamma: int | None, length: int) -> range:
+    """Positions eligible to match the next pattern item after ``end``."""
+    if gamma is None:
+        return range(end + 1, length)
+    return range(end + 1, min(end + 2 + gamma, length))
+
+
+def occurrence_pairs(
+    vocabulary: Vocabulary, pattern: Seq, sequence: Seq, gamma: int | None
+) -> set[tuple[int, int]]:
+    """All ``(start, end)`` position pairs of embeddings of ``pattern``.
+
+    A pair appears once even when several embeddings share the same first and
+    last positions.  Positions are 0-based.  Empty patterns yield no pairs.
+    """
+    if not pattern:
+        return set()
+    gen = vocabulary.generalizes_to
+    first = pattern[0]
+    states: set[tuple[int, int]] = {
+        (i, i) for i, t in enumerate(sequence) if t != BLANK and gen(t, first)
+    }
+    for sym in pattern[1:]:
+        if not states:
+            break
+        nxt: set[tuple[int, int]] = set()
+        for start, end in states:
+            for k in _window(end, gamma, len(sequence)):
+                t = sequence[k]
+                if t != BLANK and gen(t, sym):
+                    nxt.add((start, k))
+        states = nxt
+    return states
+
+
+def end_positions(
+    vocabulary: Vocabulary, pattern: Seq, sequence: Seq, gamma: int | None
+) -> set[int]:
+    """Last positions of embeddings of ``pattern`` in ``sequence``."""
+    return {end for _, end in occurrence_pairs(vocabulary, pattern, sequence, gamma)}
+
+
+def start_positions(
+    vocabulary: Vocabulary, pattern: Seq, sequence: Seq, gamma: int | None
+) -> set[int]:
+    """First positions of embeddings of ``pattern`` in ``sequence``."""
+    return {start for start, _ in occurrence_pairs(vocabulary, pattern, sequence, gamma)}
+
+
+def is_generalized_subsequence(
+    vocabulary: Vocabulary, pattern: Seq, sequence: Seq, gamma: int | None
+) -> bool:
+    """``pattern ⊑γ sequence`` (hierarchy-aware containment).
+
+    Uses an early-exit sweep rather than materializing all pairs.
+    """
+    if not pattern:
+        return True
+    gen = vocabulary.generalizes_to
+    # frontier of reachable end positions after matching a prefix
+    frontier = [
+        i for i, t in enumerate(sequence) if t != BLANK and gen(t, pattern[0])
+    ]
+    for sym in pattern[1:]:
+        if not frontier:
+            return False
+        nxt: set[int] = set()
+        for end in frontier:
+            for k in _window(end, gamma, len(sequence)):
+                t = sequence[k]
+                if k not in nxt and t != BLANK and gen(t, sym):
+                    nxt.add(k)
+        frontier = sorted(nxt)
+    return bool(frontier)
+
+
+def is_subsequence(pattern: Seq, sequence: Seq, gamma: int | None) -> bool:
+    """Plain (hierarchy-free) gap-constrained containment ``S ⊆γ T``."""
+    if not pattern:
+        return True
+    frontier = [i for i, t in enumerate(sequence) if t == pattern[0]]
+    for sym in pattern[1:]:
+        if not frontier:
+            return False
+        nxt: set[int] = set()
+        for end in frontier:
+            for k in _window(end, gamma, len(sequence)):
+                if k not in nxt and sequence[k] == sym:
+                    nxt.add(k)
+        frontier = sorted(nxt)
+    return bool(frontier)
+
+
+def support(
+    vocabulary: Vocabulary,
+    pattern: Seq,
+    database: Iterable[Seq],
+    gamma: int | None,
+) -> int:
+    """``f_γ(S, D)``: the number of input sequences supporting ``pattern``."""
+    return sum(
+        1
+        for seq in database
+        if is_generalized_subsequence(vocabulary, pattern, seq, gamma)
+    )

@@ -1,0 +1,45 @@
+"""Unit tests for result comparison utilities."""
+
+import pytest
+
+from repro import MgFsm, MiningParams, mine
+from repro.analysis import compare_results, recode_patterns
+
+
+class TestCompareResults:
+    def test_agreement(self, fig1_database, fig1_hierarchy):
+        a = mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+        b = mine(
+            fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3,
+            local_miner="bfs",
+        )
+        diff = compare_results(a, b)
+        assert diff.agree
+        assert diff.summary() == "results agree"
+
+    def test_disagreement_reported(self, fig1_database, fig1_hierarchy):
+        a = mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+        b = mine(fig1_database, fig1_hierarchy, sigma=3, gamma=1, lam=3)
+        diff = compare_results(a, b)
+        assert not diff.agree
+        assert diff.missing  # σ=3 lost patterns
+        assert "missing" in diff.summary()
+
+    def test_cross_vocabulary_comparison(self, fig1_database):
+        """Flat vs MG-FSM use different id spaces but identical names."""
+        params = MiningParams(2, 1, 3)
+        a = mine(fig1_database, None, sigma=2, gamma=1, lam=3)
+        b = MgFsm(params).mine(fig1_database)
+        assert compare_results(a, b).agree
+
+
+class TestRecode:
+    def test_roundtrip(self, fig1_database, fig1_hierarchy):
+        gsm = mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+        flat = mine(fig1_database, None, sigma=2, gamma=1, lam=3)
+        recoded = recode_patterns(
+            flat.patterns, flat.vocabulary, gsm.vocabulary
+        )
+        assert len(recoded) == len(flat.patterns)
+        back = recode_patterns(recoded, gsm.vocabulary, flat.vocabulary)
+        assert back == dict(flat.patterns)

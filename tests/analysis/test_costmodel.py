@@ -1,0 +1,117 @@
+"""Cost-model tests: exact formulas vs the actual enumerators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Hierarchy, InvalidParameterError, SequenceDatabase
+from repro.analysis.costmodel import (
+    g1_size,
+    lash_emitted_sequences,
+    lash_rewrite_operations,
+    naive_emissions_contiguous,
+    naive_emissions_unbounded,
+    nonpivot_sequences,
+    psm_explored_fraction,
+    psm_search_space,
+    total_sequences,
+)
+from repro.hierarchy import build_vocabulary
+from repro.sequence.generate import generalized_items, generalized_subsequences
+
+
+def worst_case_instance(l: int, delta: int):
+    """A sequence of ``l`` distinct leaves, each under a δ-deep chain."""
+    h = Hierarchy()
+    leaves = []
+    for i in range(l):
+        chain = [f"x{i}.{d}" for d in range(delta + 1)]  # root .. leaf
+        h.add_item(chain[0])
+        for child, parent in zip(chain[1:], chain):
+            h.add_edge(child, parent)
+        leaves.append(chain[-1])
+    db = SequenceDatabase([leaves])
+    vocabulary = build_vocabulary(db, h)
+    return vocabulary, vocabulary.encode_sequence(leaves)
+
+
+class TestFormulasMatchEnumerators:
+    @pytest.mark.parametrize("l,delta", [(1, 0), (3, 1), (4, 2), (5, 0)])
+    def test_g1_size_exact(self, l, delta):
+        vocabulary, seq = worst_case_instance(l, delta)
+        assert len(generalized_items(vocabulary, seq)) == g1_size(l, delta)
+
+    @pytest.mark.parametrize(
+        "l,delta,lam", [(3, 1, 3), (4, 1, 2), (4, 2, 3), (5, 0, 4), (2, 3, 2)]
+    )
+    def test_contiguous_emissions_exact(self, l, delta, lam):
+        vocabulary, seq = worst_case_instance(l, delta)
+        enumerated = generalized_subsequences(vocabulary, seq, 0, lam)
+        assert len(enumerated) == naive_emissions_contiguous(l, delta, lam)
+
+    @pytest.mark.parametrize("l,delta", [(2, 0), (3, 1), (4, 1), (3, 2)])
+    def test_unbounded_emissions_exact(self, l, delta):
+        vocabulary, seq = worst_case_instance(l, delta)
+        enumerated = generalized_subsequences(vocabulary, seq, None, l)
+        assert len(enumerated) == naive_emissions_unbounded(l, delta)
+
+
+class TestPaperNumbers:
+    def test_sec52_example(self):
+        """k=100,000 and λ=5 ⇒ PSM explores 0.005% of the space."""
+        fraction = psm_explored_fraction(100_000, 5)
+        assert round(100 * fraction, 3) == 0.005
+
+    def test_fraction_much_smaller_than_one(self):
+        assert psm_explored_fraction(1000, 4) < 0.01
+
+    def test_search_space_decomposition(self):
+        k, lam = 7, 3
+        assert psm_search_space(k, lam) + nonpivot_sequences(k, lam) == (
+            total_sequences(k, lam)
+        )
+
+    def test_exponential_vs_polynomial_communication(self):
+        """Sec. 4.4: LASH polynomial, naïve exponential — the gap must be
+        enormous already at moderate sizes."""
+        l, delta = 20, 3
+        assert lash_emitted_sequences(l, delta) == 80
+        assert naive_emissions_unbounded(l, delta) > 10**10
+
+    def test_rewrite_cost_quadratic(self):
+        assert lash_rewrite_operations(10, 2) == 30 * 10
+
+
+class TestValidation:
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            g1_size(-1, 0)
+        with pytest.raises(InvalidParameterError):
+            naive_emissions_contiguous(3, 1, 1)
+        with pytest.raises(InvalidParameterError):
+            total_sequences(0, 3)
+
+    def test_single_item_sequence_emits_nothing(self):
+        assert naive_emissions_contiguous(1, 4, 5) == 0
+        assert naive_emissions_unbounded(1, 4) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    k=st.integers(1, 10**6),
+    lam=st.integers(1, 8),
+)
+def test_fraction_bounds(k, lam):
+    fraction = psm_explored_fraction(k, lam)
+    assert 0.0 < fraction <= 1.0
+    if k > 1:
+        # union bound: a pivot sequence fixes ≥1 of λ positions to the pivot
+        assert fraction <= lam / k + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(l=st.integers(2, 6), delta=st.integers(0, 3))
+def test_contiguous_below_unbounded(l, delta):
+    assert naive_emissions_contiguous(l, delta, l) <= (
+        naive_emissions_unbounded(l, delta)
+    )

@@ -1,0 +1,196 @@
+"""Interestingness ranking (repro.analysis.interestingness).
+
+Hand-computed expectations use the paper's Fig. 1 example (σ=2, γ=1, λ=3):
+patterns aa:2, ab1:2, b1a:2, aB:3, Ba:2, aBc:2, Bc:2, ac:2, b1D:2, BD:2;
+generalized item frequencies a:5, B:5, b1:4, c:3, D:2 (Fig. 2's f-list).
+"""
+
+from __future__ import annotations
+
+from math import inf, isclose
+
+import pytest
+
+from repro import mine
+from repro.analysis.interestingness import (
+    ScoredPattern,
+    lift_scores,
+    r_interest_scores,
+    r_interesting_patterns,
+    rank_patterns,
+)
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    from tests.conftest import paper_database, paper_hierarchy
+
+    return mine(
+        paper_database(), paper_hierarchy(), sigma=2, gamma=1, lam=3
+    )
+
+
+def by_name(result, scores):
+    return {
+        result.vocabulary.decode_sequence(p): s for p, s in scores.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# R-interestingness
+# ----------------------------------------------------------------------
+
+
+def test_patterns_without_generalization_score_inf(fig1_result):
+    scores = by_name(
+        fig1_result,
+        r_interest_scores(fig1_result.patterns, fig1_result.vocabulary),
+    )
+    # aa has no mined generalization of the same length
+    assert scores[("a", "a")] == inf
+    # aB's only candidate generalization would be itself; none mined above
+    assert scores[("a", "B")] == inf
+
+
+def test_specialization_scored_against_its_generalization(fig1_result):
+    """ab1 is explained by aB:  E[f(ab1)] = f(aB) · f0(b1)/f0(B) = 3·4/5,
+    so score = 2 / 2.4."""
+    scores = by_name(
+        fig1_result,
+        r_interest_scores(fig1_result.patterns, fig1_result.vocabulary),
+    )
+    assert isclose(scores[("a", "b1")], 2 / (3 * 4 / 5))
+    # b1D against BD: E = 2 · 4/5 = 1.6 -> 2/1.6 = 1.25 (over-expressed!)
+    assert isclose(scores[("b1", "D")], 2 / (2 * 4 / 5))
+    # b1a against Ba: same ratio as ab1 but f(Ba)=2: E = 2·0.8 -> 2/1.6
+    assert isclose(scores[("b1", "a")], 1.25)
+
+
+def test_score_is_min_over_generalizations():
+    """With two mined generalizations the weaker explanation governs."""
+    from repro.hierarchy import Hierarchy
+    from repro.sequence import SequenceDatabase
+
+    h = Hierarchy()
+    h.add_item("X")
+    h.add_item("x1", "X")
+    h.add_item("Y")
+    h.add_item("y1", "Y")
+    db = SequenceDatabase(
+        [["x1", "y1"]] * 4 + [["x1", "Y"]] * 2 + [["X", "y1"]] * 2
+    )
+    result = mine(db, h, sigma=2, gamma=0, lam=2)
+    scores = by_name(
+        result, r_interest_scores(result.patterns, result.vocabulary)
+    )
+    # (x1, y1): generalizations mined: (X, Y), (x1, Y), (X, y1)
+    assert ("x1", "y1") in scores
+    candidates = []
+    f = result.decoded()
+    f0 = {
+        name: result.vocabulary.frequency_of(name)
+        for name in ("X", "x1", "Y", "y1")
+    }
+    for gen in ((("X", "Y")), (("x1", "Y")), (("X", "y1"))):
+        expected = f[gen]
+        for s, g in zip(("x1", "y1"), gen):
+            expected *= f0[s] / f0[g]
+        candidates.append(f[("x1", "y1")] / expected)
+    assert isclose(scores[("x1", "y1")], min(candidates))
+
+
+def test_r_interesting_filter_keeps_unexplained(fig1_result):
+    kept = r_interesting_patterns(
+        fig1_result.patterns, fig1_result.vocabulary, r=1.1
+    )
+    names = {
+        fig1_result.vocabulary.decode_sequence(p) for p in kept
+    }
+    assert ("a", "a") in names          # inf score
+    assert ("b1", "D") in names         # 1.25 >= 1.1
+    assert ("a", "b1") not in names     # 0.833 < 1.1
+
+
+def test_r_interesting_r_one_keeps_at_least_expected(fig1_result):
+    kept_low = r_interesting_patterns(
+        fig1_result.patterns, fig1_result.vocabulary, r=0.5
+    )
+    kept_high = r_interesting_patterns(
+        fig1_result.patterns, fig1_result.vocabulary, r=2.0
+    )
+    assert set(kept_high) <= set(kept_low)
+
+
+def test_r_must_be_positive(fig1_result):
+    with pytest.raises(InvalidParameterError):
+        r_interesting_patterns(
+            fig1_result.patterns, fig1_result.vocabulary, r=0
+        )
+
+
+# ----------------------------------------------------------------------
+# lift
+# ----------------------------------------------------------------------
+
+
+def test_lift_hand_computed(fig1_result):
+    scores = by_name(
+        fig1_result,
+        lift_scores(fig1_result.patterns, fig1_result.vocabulary, 6),
+    )
+    # aa: f=2, E = 6 · (5/6)² = 25/6
+    assert isclose(scores[("a", "a")], 2 / (6 * (5 / 6) ** 2))
+    # b1D: f=2, E = 6 · (4/6)(2/6) = 8/6 -> lift 1.5
+    assert isclose(scores[("b1", "D")], 1.5)
+
+
+def test_lift_rejects_bad_database_size(fig1_result):
+    with pytest.raises(InvalidParameterError):
+        lift_scores(fig1_result.patterns, fig1_result.vocabulary, 0)
+
+
+# ----------------------------------------------------------------------
+# ranking API
+# ----------------------------------------------------------------------
+
+
+def test_rank_patterns_r_interest_order(fig1_result):
+    ranked = rank_patterns(fig1_result, measure="r-interest")
+    assert len(ranked) == len(fig1_result.patterns)
+    scores = [sp.score for sp in ranked]
+    assert scores == sorted(scores, reverse=True)
+    # the inf-scored unexplained patterns rank first
+    assert ranked[0].score == inf
+
+
+def test_rank_patterns_lift(fig1_result):
+    ranked = rank_patterns(fig1_result, measure="lift", num_sequences=6)
+    assert isinstance(ranked[0], ScoredPattern)
+    scores = [sp.score for sp in ranked]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_rank_patterns_lift_default_database_size(fig1_result):
+    """Without num_sequences the max item frequency (5) stands in; scores
+    change but the relative order of equal-length patterns is preserved."""
+    ranked = rank_patterns(fig1_result, measure="lift")
+    assert len(ranked) == len(fig1_result.patterns)
+
+
+def test_rank_patterns_rejects_unknown_measure(fig1_result):
+    with pytest.raises(InvalidParameterError):
+        rank_patterns(fig1_result, measure="chi2")
+
+
+def test_scored_pattern_render(fig1_result):
+    ranked = rank_patterns(fig1_result)
+    assert " " in ranked[0].render()
+
+
+def test_b1d_beats_its_generalization(fig1_result):
+    """The paper highlights b1D: frequent although unexpected.  It must
+    outrank its own generalization BD and the redundant ab1."""
+    ranked = rank_patterns(fig1_result, measure="r-interest")
+    position = {sp.pattern: i for i, sp in enumerate(ranked)}
+    assert position[("b1", "D")] < position[("a", "b1")]

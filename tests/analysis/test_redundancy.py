@@ -1,0 +1,106 @@
+"""Unit tests for Table 3 statistics (non-trivial / closed / maximal)."""
+
+import pytest
+
+from repro import Lash, MiningParams, mine
+from repro.analysis import (
+    closed_patterns,
+    maximal_patterns,
+    output_statistics,
+    recode_patterns,
+    trivial_patterns,
+)
+
+
+@pytest.fixture
+def result(fig1_database, fig1_hierarchy):
+    return mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+
+
+@pytest.fixture
+def flat_result(fig1_database):
+    return mine(fig1_database, None, sigma=2, gamma=1, lam=3)
+
+
+class TestTrivial:
+    def test_paper_example_trivial_set(self, result, flat_result):
+        """Flat mining on Fig. 1 finds only {aa: 2, ac: 2} (b11 does not
+        match b1 without the hierarchy), so exactly those two patterns are
+        trivial — the other eight need generalization to surface."""
+        V = result.vocabulary
+        assert flat_result.decoded() == {("a", "a"): 2, ("a", "c"): 2}
+        flat = recode_patterns(
+            flat_result.patterns, flat_result.vocabulary, V
+        )
+        trivial = trivial_patterns(V, result.patterns, flat)
+        rendered = {V.render(p) for p in trivial}
+        assert rendered == {"a a", "a c"}
+
+    def test_nontrivial_requires_hierarchy(self, result, flat_result):
+        V = result.vocabulary
+        flat = recode_patterns(flat_result.patterns, flat_result.vocabulary, V)
+        stats = output_statistics(V, result.patterns, flat)
+        assert stats.total == 10
+        assert stats.non_trivial == 8
+        assert stats.non_trivial_pct == pytest.approx(80.0)
+
+    def test_without_flat_everything_nontrivial(self, result):
+        stats = output_statistics(result.vocabulary, result.patterns)
+        assert stats.non_trivial == stats.total
+
+
+class TestClosedMaximal:
+    def test_paper_example_maximal(self, result):
+        """aBc ⊒0-subsumes aB, Bc, ac; specializations subsume
+        generalizations (ab1 ⊐ aB, b1D ⊐ BD, b1a ⊐ Ba, aa maximal)."""
+        V = result.vocabulary
+        maximal = {V.render(p) for p in maximal_patterns(V, result.patterns)}
+        assert "a B c" in maximal
+        assert "a B" not in maximal  # inside aBc and specialized by ab1
+        assert "B D" not in maximal  # specialized by b1D
+        assert "b1 D" in maximal
+        assert "a a" in maximal
+
+    def test_paper_example_closed(self, result):
+        V = result.vocabulary
+        closed = {V.render(p) for p in closed_patterns(V, result.patterns)}
+        # aB (3) has no equal-frequency supersequence: closed
+        assert "a B" in closed
+        # Bc (2) is subsumed by aBc with equal frequency 2: not closed
+        assert "B c" not in closed
+        # BD (2) subsumed by b1D (2): not closed
+        assert "B D" not in closed
+
+    def test_maximal_subset_of_closed(self, result):
+        V = result.vocabulary
+        maximal = maximal_patterns(V, result.patterns)
+        closed = closed_patterns(V, result.patterns)
+        assert maximal <= closed
+
+    def test_empty_patterns(self, result):
+        V = result.vocabulary
+        assert maximal_patterns(V, {}) == set()
+        assert closed_patterns(V, {}) == set()
+        stats = output_statistics(V, {})
+        assert stats.total == 0
+        assert stats.closed_pct == 0.0
+
+
+class TestStatsShape:
+    def test_percentages(self):
+        from repro.analysis.redundancy import OutputStats
+
+        s = OutputStats(total=8, non_trivial=6, closed=4, maximal=2)
+        assert s.non_trivial_pct == 75.0
+        assert s.closed_pct == 50.0
+        assert s.maximal_pct == 25.0
+        assert s.row()["Closed (%)"] == 50.0
+
+    def test_lower_sigma_lowers_maximal_pct(self, fig1_database, fig1_hierarchy):
+        """Table 3's trend: lower support ⇒ more redundancy."""
+        V_high = mine(fig1_database, fig1_hierarchy, sigma=3, gamma=1, lam=3)
+        V_low = mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+        high = output_statistics(V_high.vocabulary, V_high.patterns)
+        low = output_statistics(V_low.vocabulary, V_low.patterns)
+        if high.total and low.total:
+            assert low.maximal_pct <= high.maximal_pct + 1e-9

@@ -1,0 +1,181 @@
+"""ASCII chart rendering (repro.analysis.textplot)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.textplot import (
+    bar_chart,
+    chart_from_report,
+    grouped_bar_chart,
+    parse_report_table,
+)
+from repro.errors import InvalidParameterError
+
+
+# ----------------------------------------------------------------------
+# bar_chart
+# ----------------------------------------------------------------------
+
+
+def test_longest_bar_spans_width():
+    chart = bar_chart(["a", "b"], [10.0, 5.0], width=20)
+    lines = chart.splitlines()
+    assert lines[0].count("█") == 20
+    assert lines[1].count("█") == 10
+
+
+def test_values_appear_with_unit():
+    chart = bar_chart(["naive", "lash"], [24.3, 1.5], unit="s")
+    assert "24.3 s" in chart and "1.5 s" in chart
+
+
+def test_labels_aligned():
+    chart = bar_chart(["short", "a-much-longer-label"], [1, 2])
+    lines = chart.splitlines()
+    # bars start at the same column
+    assert lines[0].index("█") == lines[1].index("█")
+
+
+def test_zero_values_render_empty_bars():
+    chart = bar_chart(["x", "y"], [0.0, 3.0])
+    lines = chart.splitlines()
+    assert "█" not in lines[0]
+    assert "█" in lines[1]
+
+
+def test_all_zero_is_fine():
+    chart = bar_chart(["x", "y"], [0, 0])
+    assert "█" not in chart
+
+
+def test_partial_blocks_increase_resolution():
+    chart = bar_chart(["a", "b"], [100, 37], width=10)
+    lines = chart.splitlines()
+    # 3.7 cells -> 3 full blocks plus a partial
+    assert lines[1].count("█") == 3
+    assert any(p and p in lines[1] for p in "▏▎▍▌▋▊▉")
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(InvalidParameterError):
+        bar_chart(["a"], [1, 2])
+
+
+def test_empty_rejected():
+    with pytest.raises(InvalidParameterError):
+        bar_chart([], [])
+
+
+def test_negative_rejected():
+    with pytest.raises(InvalidParameterError):
+        bar_chart(["a"], [-1.0])
+
+
+def test_bad_width_rejected():
+    with pytest.raises(InvalidParameterError):
+        bar_chart(["a"], [1.0], width=0)
+
+
+# ----------------------------------------------------------------------
+# grouped_bar_chart
+# ----------------------------------------------------------------------
+
+
+def test_grouped_common_scale():
+    chart = grouped_bar_chart(
+        ["s=10", "s=100"],
+        {"Map": [2.0, 1.0], "Reduce": [4.0, 0.5]},
+        width=20,
+    )
+    lines = chart.splitlines()
+    assert lines[0] == "s=10:"
+    # the global maximum (Reduce at s=10) spans the full width
+    reduce_line = next(l for l in lines if "Reduce" in l and "4.0" in l)
+    assert reduce_line.count("█") == 20
+    map_line = next(l for l in lines if "Map" in l and "2.0" in l)
+    assert map_line.count("█") == 10
+
+
+def test_grouped_requires_aligned_series():
+    with pytest.raises(InvalidParameterError):
+        grouped_bar_chart(["a", "b"], {"x": [1.0]})
+
+
+def test_grouped_requires_series():
+    with pytest.raises(InvalidParameterError):
+        grouped_bar_chart(["a"], {})
+
+
+# ----------------------------------------------------------------------
+# report parsing / charting
+# ----------------------------------------------------------------------
+
+REPORT = """\
+== Fig 4(a): total time (s): baselines vs LASH, gamma=0 ==
+Fig 4(a)     Naive  Semi-naive  LASH  Speedup  Patterns
+-------------------------------------------------------
+P(60,0,3)    1.70   0.67        0.87  2.00     404
+P(20,0,3)    2.03   1.31        1.06  1.90     1120
+CLP(20,0,5)  24.31  12.44       1.54  15.80    4992
+"""
+
+
+def test_parse_report_table():
+    columns, rows = parse_report_table(REPORT)
+    assert columns == ["Naive", "Semi-naive", "LASH", "Speedup", "Patterns"]
+    assert rows[0][0] == "P(60,0,3)"
+    assert rows[2][1] == "24.31"
+
+
+def test_chart_from_report():
+    chart = chart_from_report(REPORT, "Naive", width=10, unit="s")
+    lines = chart.splitlines()
+    assert len(lines) == 3
+    assert lines[2].count("█") == 10  # CLP row dominates
+    assert "24.3 s" in lines[2]
+
+
+def test_chart_from_report_unknown_column():
+    with pytest.raises(InvalidParameterError):
+        chart_from_report(REPORT, "Bogus")
+
+
+def test_chart_from_report_skips_non_numeric():
+    report = REPORT + "NA-row       NA     NA          NA    NA       NA\n"
+    chart = chart_from_report(report, "Naive")
+    assert "NA-row" not in chart
+
+
+def test_chart_from_report_all_non_numeric():
+    report = (
+        "== t ==\nexp  A\n------\nrow  NA\n"
+    )
+    with pytest.raises(InvalidParameterError):
+        chart_from_report(report, "A")
+
+
+def test_parse_empty_rejected():
+    with pytest.raises(InvalidParameterError):
+        parse_report_table("")
+
+
+def test_roundtrip_with_real_benchreport(tmp_path):
+    """A BenchReport written by the harness parses back cleanly."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).parents[2] / "benchmarks"))
+    try:
+        from reporting import BenchReport
+    finally:
+        sys.path.pop(0)
+    report = BenchReport("Demo", "roundtrip")
+    report.add("row-1", {"A": 1.5, "B": 3})
+    report.add("row-2", {"A": 2.5, "B": 4})
+    text = report.render()
+    columns, rows = parse_report_table(text)
+    assert columns == ["A", "B"]
+    assert [row[0] for row in rows] == ["row-1", "row-2"]
+    chart = chart_from_report(text, "A")
+    assert chart.splitlines()[1].count("█") == 40

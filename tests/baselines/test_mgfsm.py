@@ -1,0 +1,54 @@
+"""Unit tests for the MG-FSM baseline (flat mining)."""
+
+import pytest
+
+from repro import Lash, MgFsm, MiningParams, SequenceDatabase
+
+
+@pytest.fixture
+def flat_db():
+    return SequenceDatabase(
+        [
+            ["x", "y", "x"],
+            ["x", "y", "z"],
+            ["y", "x", "z"],
+            ["x", "y"],
+        ]
+    )
+
+
+class TestMgFsm:
+    def test_flat_counts(self, flat_db):
+        result = MgFsm(MiningParams(2, 0, 3)).mine(flat_db)
+        got = result.decoded()
+        assert got[("x", "y")] == 3
+        assert got[("y", "x")] == 2
+        assert ("z",) not in got
+
+    def test_matches_lash_flat_mode(self, flat_db):
+        params = MiningParams(2, 1, 3)
+        mgfsm = MgFsm(params).mine(flat_db)
+        lash = Lash(params).mine(flat_db, hierarchy=None)
+        assert mgfsm.decoded() == lash.decoded()
+
+    def test_matches_lash_on_paper_database(self, fig1_database):
+        """Fig. 4(e): same answers, different local miners."""
+        params = MiningParams(2, 1, 3)
+        mgfsm = MgFsm(params).mine(fig1_database)
+        lash = Lash(params).mine(fig1_database, hierarchy=None)
+        assert mgfsm.decoded() == lash.decoded()
+
+    def test_algorithm_label(self, flat_db):
+        assert MgFsm(MiningParams(2, 0, 2)).mine(flat_db).algorithm == "mg-fsm"
+
+    def test_hierarchy_items_never_generalize(self, fig1_database):
+        """Flat mode treats b1/b11 as unrelated items."""
+        result = MgFsm(MiningParams(2, 1, 3)).mine(fig1_database)
+        got = result.decoded()
+        assert ("a", "B") not in got
+        assert ("B", "D") not in got
+
+    def test_uses_bfs_miner_by_default(self, flat_db):
+        mgfsm = MgFsm(MiningParams(2, 0, 2))
+        result = mgfsm.mine(flat_db)
+        assert result.local_stats.candidates > 0

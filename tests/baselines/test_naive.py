@@ -1,0 +1,58 @@
+"""Unit tests for the naïve baseline."""
+
+import pytest
+
+from repro import MiningParams, NaiveAlgorithm
+from repro.mapreduce import C
+from tests.core.test_lash import PAPER_OUTPUT
+
+
+class TestCorrectness:
+    def test_paper_example(self, fig1_database, fig1_hierarchy):
+        result = NaiveAlgorithm(MiningParams(2, 1, 3)).mine(
+            fig1_database, fig1_hierarchy
+        )
+        assert result.decoded() == PAPER_OUTPUT
+
+    def test_flat_mode(self, fig1_database):
+        result = NaiveAlgorithm(MiningParams(2, 1, 3)).mine(fig1_database)
+        got = result.decoded()
+        assert got[("a", "a")] == 2
+        assert ("a", "B") not in got
+
+    def test_sigma_filters(self, fig1_database, fig1_hierarchy):
+        result = NaiveAlgorithm(MiningParams(4, 1, 3)).mine(
+            fig1_database, fig1_hierarchy
+        )
+        assert result.decoded() == {}
+
+    def test_algorithm_label(self, fig1_database, fig1_hierarchy):
+        result = NaiveAlgorithm(MiningParams(2, 1, 3)).mine(
+            fig1_database, fig1_hierarchy
+        )
+        assert result.algorithm == "naive"
+
+
+class TestCost:
+    """The naïve algorithm's defining weakness: emission volume."""
+
+    def test_emits_every_generalized_subsequence(
+        self, fig1_database, fig1_hierarchy
+    ):
+        result = NaiveAlgorithm(MiningParams(2, 1, 3)).mine(
+            fig1_database, fig1_hierarchy
+        )
+        # T4 alone contributes its 19 G3 emissions (paper Sec. 3.2)
+        assert result.counters[C.MAP_OUTPUT_RECORDS] >= 19
+
+    def test_emits_more_than_lash(self, fig1_database, fig1_hierarchy):
+        from repro.core.lash import mine
+
+        naive = NaiveAlgorithm(MiningParams(2, 1, 3)).mine(
+            fig1_database, fig1_hierarchy
+        )
+        lash = mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+        assert (
+            naive.counters[C.MAP_OUTPUT_RECORDS]
+            > lash.counters[C.MAP_OUTPUT_RECORDS]
+        )

@@ -1,0 +1,101 @@
+"""Unit tests for the semi-naïve baseline — pinned to the Sec. 3.3 example."""
+
+import pytest
+
+from repro import MiningParams, SemiNaiveAlgorithm, build_vocabulary
+from repro.baselines.seminaive import (
+    SemiNaiveGsmJob,
+    frequency_threshold_item,
+    generalize_to_frequent,
+)
+from repro.constants import BLANK
+from repro.mapreduce import C
+from tests.core.test_lash import PAPER_OUTPUT
+
+
+@pytest.fixture
+def V(fig1_vocabulary):
+    return fig1_vocabulary
+
+
+class TestGeneralization:
+    def test_threshold_item(self, V):
+        # frequent for σ=2: a, B, b1, c, D → threshold is D
+        assert V.name(frequency_threshold_item(V, 2)) == "D"
+        # σ=1: everything frequent → the very last item
+        assert frequency_threshold_item(V, 1) == len(V) - 1
+
+    def test_nothing_frequent(self, V):
+        assert frequency_threshold_item(V, 10**6) == -1
+
+    def test_paper_t4(self, V):
+        """T4 = b11 a e a, σ=2 → b1 a _ a (paper Sec. 3.3)."""
+        t4 = V.encode_sequence(("b11", "a", "e", "a"))
+        got = generalize_to_frequent(V, t4, sigma=2)
+        assert got == [V.id("b1"), V.id("a"), BLANK, V.id("a")]
+
+    def test_frequent_items_untouched(self, V):
+        t1 = V.encode_sequence(("a", "b1", "a", "b1"))
+        assert generalize_to_frequent(V, t1, sigma=2) == list(t1)
+
+
+class TestMapEmissions:
+    def test_paper_t4_emissions(self, V):
+        """Semi-naïve emits exactly {aa, b1a, b1aa, Ba, Baa} for T4."""
+        job = SemiNaiveGsmJob(V, MiningParams(2, 1, 3))
+        t4 = V.encode_sequence(("b11", "a", "e", "a"))
+        emitted = {
+            tuple(V.name(i) for i in key) for key, _ in job.map(t4)
+        }
+        assert emitted == {
+            ("a", "a"),
+            ("b1", "a"),
+            ("b1", "a", "a"),
+            ("B", "a"),
+            ("B", "a", "a"),
+        }
+
+    def test_reduction_factor_vs_naive(self, V):
+        """Paper: semi-naïve reduces T4's output by a factor > 3."""
+        job = SemiNaiveGsmJob(V, MiningParams(2, 1, 3))
+        t4 = V.encode_sequence(("b11", "a", "e", "a"))
+        semi = sum(1 for _ in job.map(t4))
+        assert semi == 5
+        assert 19 / semi > 3
+
+
+class TestCorrectness:
+    def test_paper_example(self, fig1_database, fig1_hierarchy):
+        result = SemiNaiveAlgorithm(MiningParams(2, 1, 3)).mine(
+            fig1_database, fig1_hierarchy
+        )
+        assert result.decoded() == PAPER_OUTPUT
+
+    def test_emits_fewer_records_than_naive(
+        self, fig1_database, fig1_hierarchy
+    ):
+        from repro import NaiveAlgorithm
+
+        params = MiningParams(2, 1, 3)
+        semi = SemiNaiveAlgorithm(params).mine(fig1_database, fig1_hierarchy)
+        naive = NaiveAlgorithm(params).mine(fig1_database, fig1_hierarchy)
+        assert (
+            semi.counters[C.MAP_OUTPUT_RECORDS]
+            < naive.counters[C.MAP_OUTPUT_RECORDS]
+        )
+
+    def test_degenerates_to_naive_when_all_frequent(self, fig1_hierarchy):
+        """With σ=1 every item is frequent: no pruning happens (Sec. 3.3)."""
+        from repro import NaiveAlgorithm, SequenceDatabase
+
+        db = SequenceDatabase([["a", "b1"], ["a", "b1"]])
+        params = MiningParams(1, 0, 2)
+        semi = SemiNaiveAlgorithm(params).mine(db, fig1_hierarchy)
+        naive = NaiveAlgorithm(params).mine(db, fig1_hierarchy)
+        assert semi.decoded() == naive.decoded()
+
+    def test_preprocess_job_attached(self, fig1_database, fig1_hierarchy):
+        result = SemiNaiveAlgorithm(MiningParams(2, 1, 3)).mine(
+            fig1_database, fig1_hierarchy
+        )
+        assert result.preprocess_job is not None

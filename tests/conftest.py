@@ -1,0 +1,51 @@
+"""Shared fixtures: the paper's running example (Fig. 1) and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy import Hierarchy, build_vocabulary
+from repro.sequence import SequenceDatabase
+
+
+def paper_hierarchy() -> Hierarchy:
+    """The hierarchy of Fig. 1(b)."""
+    h = Hierarchy()
+    for root in ("a", "B", "c", "D", "e", "f"):
+        h.add_item(root)
+    for child in ("b1", "b2", "b3"):
+        h.add_edge(child, "B")
+    for child in ("b11", "b12", "b13"):
+        h.add_edge(child, "b1")
+    for child in ("d1", "d2"):
+        h.add_edge(child, "D")
+    return h
+
+
+def paper_database() -> SequenceDatabase:
+    """The sequence database of Fig. 1(a)."""
+    return SequenceDatabase(
+        [
+            ["a", "b1", "a", "b1"],  # T1
+            ["a", "b3", "c", "c", "b2"],  # T2
+            ["a", "c"],  # T3
+            ["b11", "a", "e", "a"],  # T4
+            ["a", "b12", "d1", "c"],  # T5
+            ["b13", "f", "d2"],  # T6
+        ]
+    )
+
+
+@pytest.fixture
+def fig1_hierarchy() -> Hierarchy:
+    return paper_hierarchy()
+
+
+@pytest.fixture
+def fig1_database() -> SequenceDatabase:
+    return paper_database()
+
+
+@pytest.fixture
+def fig1_vocabulary(fig1_database, fig1_hierarchy):
+    return build_vocabulary(fig1_database, fig1_hierarchy)

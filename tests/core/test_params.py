@@ -1,0 +1,44 @@
+"""Unit tests for MiningParams validation."""
+
+import pytest
+
+from repro.core import MiningParams
+from repro.errors import InvalidParameterError
+
+
+class TestValidation:
+    def test_valid(self):
+        p = MiningParams(sigma=2, gamma=1, lam=3)
+        assert (p.sigma, p.gamma, p.lam) == (2, 1, 3)
+
+    def test_unbounded_gap(self):
+        p = MiningParams(sigma=1, gamma=None, lam=2)
+        assert p.unbounded_gap
+        assert not MiningParams(1, 0, 2).unbounded_gap
+
+    @pytest.mark.parametrize("sigma", [0, -1, 1.5, "2"])
+    def test_bad_sigma(self, sigma):
+        with pytest.raises(InvalidParameterError):
+            MiningParams(sigma=sigma, gamma=0, lam=2)
+
+    @pytest.mark.parametrize("gamma", [-1, 0.5, "0"])
+    def test_bad_gamma(self, gamma):
+        with pytest.raises(InvalidParameterError):
+            MiningParams(sigma=1, gamma=gamma, lam=2)
+
+    @pytest.mark.parametrize("lam", [1, 0, -3, 2.0])
+    def test_bad_lam(self, lam):
+        with pytest.raises(InvalidParameterError):
+            MiningParams(sigma=1, gamma=0, lam=lam)
+
+    def test_gamma_zero_allowed(self):
+        assert MiningParams(1, 0, 2).gamma == 0
+
+    def test_frozen(self):
+        p = MiningParams(1, 0, 2)
+        with pytest.raises(AttributeError):
+            p.sigma = 5  # type: ignore[misc]
+
+    def test_describe(self):
+        assert MiningParams(2, 1, 3).describe() == "(sigma=2, gamma=1, lambda=3)"
+        assert "inf" in MiningParams(2, None, 3).describe()

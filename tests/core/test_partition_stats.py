@@ -1,0 +1,79 @@
+"""Tests for partition size/skew/replication statistics."""
+
+import pytest
+
+from repro import MiningParams
+from repro.core import (
+    NO_REWRITE,
+    build_partitions,
+    partition_statistics,
+    replication_factor,
+)
+from repro.hierarchy import build_vocabulary
+
+
+@pytest.fixture
+def fig1_partitions(fig1_database, fig1_hierarchy):
+    vocabulary = build_vocabulary(fig1_database, fig1_hierarchy)
+    params = MiningParams(2, 1, 3)
+    encoded = [vocabulary.encode_sequence(t) for t in fig1_database]
+    return vocabulary, encoded, build_partitions(vocabulary, encoded, params)
+
+
+class TestPartitionStatistics:
+    def test_counts_on_paper_partitions(self, fig1_partitions):
+        _, _, partitions = fig1_partitions
+        stats = partition_statistics(partitions)
+        # Fig. 2: partitions P_a, P_B, P_b1, P_c, P_D
+        assert stats.num_partitions == 5
+        assert stats.distinct_sequences <= stats.total_sequences
+        assert stats.total_items > 0
+        assert stats.max_partition_items <= stats.total_items
+
+    def test_aggregation_counted_in_weights(self, fig1_partitions):
+        """P_a = {a_a: 2}: one distinct sequence of weight 2 (Fig. 2)."""
+        vocabulary, _, partitions = fig1_partitions
+        p_a = partitions[vocabulary.id("a")]
+        assert sum(p_a.values()) == 2
+        assert len(p_a) == 1
+
+    def test_imbalance_and_share_bounds(self, fig1_partitions):
+        _, _, partitions = fig1_partitions
+        stats = partition_statistics(partitions)
+        assert stats.imbalance >= 1.0
+        assert 0.0 < stats.max_share <= 1.0
+        assert stats.max_share >= 1.0 / stats.num_partitions
+
+    def test_empty(self):
+        stats = partition_statistics({})
+        assert stats.num_partitions == 0
+        assert stats.imbalance == 0.0
+        assert stats.max_share == 0.0
+
+    def test_row_rendering(self, fig1_partitions):
+        _, _, partitions = fig1_partitions
+        row = partition_statistics(partitions).row()
+        assert row["Partitions"] == 5
+        assert "Imbalance" in row
+
+
+class TestReplicationFactor:
+    def test_rewrites_reduce_replication_volume(
+        self, fig1_database, fig1_hierarchy
+    ):
+        vocabulary = build_vocabulary(fig1_database, fig1_hierarchy)
+        params = MiningParams(2, 1, 3)
+        encoded = [vocabulary.encode_sequence(t) for t in fig1_database]
+        full = build_partitions(vocabulary, encoded, params)
+        bare = build_partitions(vocabulary, encoded, params, NO_REWRITE)
+        assert (
+            partition_statistics(full).total_items
+            < partition_statistics(bare).total_items
+        )
+        # replication factor counts copies; rewrites can only lower it
+        assert replication_factor(full, len(encoded)) <= (
+            replication_factor(bare, len(encoded))
+        )
+
+    def test_zero_inputs(self):
+        assert replication_factor({}, 0) == 0.0

@@ -1,0 +1,212 @@
+"""Unit tests for the pivot sequence miner — pinned to Sec. 5.2 / Fig. 3."""
+
+import pytest
+
+from repro.constants import BLANK
+from repro.core import MiningParams, PivotSequenceMiner
+from repro.core.psm import mine_partitions
+from repro.miners import BfsMiner, BruteForceMiner, DfsMiner
+
+
+@pytest.fixture
+def V(fig1_vocabulary):
+    return fig1_vocabulary
+
+
+def enc(V, *names):
+    return tuple(V.id(n) if n != "_" else BLANK for n in names)
+
+
+@pytest.fixture
+def eq4_partition(V):
+    """The example partition P_D of Eq. (4): σ=2, γ=1, λ=4."""
+    return {
+        enc(V, "a", "D", "D", "a"): 1,
+        enc(V, "c", "a", "b1", "D"): 1,
+        enc(V, "c", "a", "_", "D", "B"): 1,
+        enc(V, "B", "a", "a", "D", "b1", "c"): 1,
+    }
+
+
+EQ4_PARAMS = MiningParams(sigma=2, gamma=1, lam=4)
+
+
+def decode(V, mined):
+    return {tuple(V.name(i) for i in seq): f for seq, f in mined.items()}
+
+
+class TestEq4Partition:
+    """All miners agree on P_D; search-space sizes follow the paper."""
+
+    EXPECTED = {
+        ("a", "D"): 4,
+        ("D", "B"): 2,
+        ("c", "a", "D"): 2,
+        ("a", "D", "B"): 2,
+    }
+
+    @pytest.mark.parametrize("index_mode", ["exact", "level", "none"])
+    def test_psm_output(self, V, eq4_partition, index_mode):
+        miner = PivotSequenceMiner(V, EQ4_PARAMS, index_mode=index_mode)
+        got = miner.mine_partition(eq4_partition, V.id("D"))
+        assert decode(V, got) == self.EXPECTED
+
+    def test_dfs_explores_exactly_37(self, V, eq4_partition):
+        """Paper Sec. 5.2: DFS evaluates 5 items + 17 + 13 + 2 = 37."""
+        miner = DfsMiner(V, EQ4_PARAMS)
+        got = miner.mine_partition(eq4_partition, V.id("D"))
+        assert decode(V, got) == self.EXPECTED
+        assert miner.stats.candidates == 37
+
+    def test_psm_explores_far_fewer_than_dfs(self, V, eq4_partition):
+        """Paper: PSM explores roughly a third of the DFS search space."""
+        psm = PivotSequenceMiner(V, EQ4_PARAMS, index_mode="none")
+        psm.mine_partition(eq4_partition, V.id("D"))
+        dfs = DfsMiner(V, EQ4_PARAMS)
+        dfs.mine_partition(eq4_partition, V.id("D"))
+        assert psm.stats.candidates < dfs.stats.candidates / 1.5
+
+    def test_index_prunes_search_space(self, V, eq4_partition):
+        """Fig. 3: Da infrequent ⇒ aDa never evaluated with the index."""
+        plain = PivotSequenceMiner(V, EQ4_PARAMS, index_mode="none")
+        plain.mine_partition(eq4_partition, V.id("D"))
+        indexed = PivotSequenceMiner(V, EQ4_PARAMS, index_mode="exact")
+        indexed.mine_partition(eq4_partition, V.id("D"))
+        assert indexed.stats.candidates < plain.stats.candidates
+
+    def test_exact_exploration_counts(self, V, eq4_partition):
+        """Regression anchors (hand-derived from the Fig. 3 trace):
+        no index explores 18 candidates, exact/level index 14."""
+        for mode, expected in [("none", 18), ("exact", 14), ("level", 14)]:
+            miner = PivotSequenceMiner(V, EQ4_PARAMS, index_mode=mode)
+            miner.mine_partition(eq4_partition, V.id("D"))
+            assert miner.stats.candidates == expected, mode
+
+    def test_bfs_and_brute_agree(self, V, eq4_partition):
+        for miner in (BfsMiner(V, EQ4_PARAMS), BruteForceMiner(V, EQ4_PARAMS)):
+            got = miner.mine_partition(eq4_partition, V.id("D"))
+            assert decode(V, got) == self.EXPECTED
+
+
+class TestPsmMechanics:
+    PARAMS = MiningParams(sigma=2, gamma=1, lam=3)
+
+    def test_empty_partition(self, V):
+        miner = PivotSequenceMiner(V, self.PARAMS)
+        assert miner.mine_partition({}, V.id("D")) == {}
+
+    def test_pivot_below_sigma_short_circuits(self, V):
+        miner = PivotSequenceMiner(V, self.PARAMS)
+        partition = {enc(V, "a", "D"): 1}
+        assert miner.mine_partition(partition, V.id("D")) == {}
+        assert miner.stats.candidates == 0
+
+    def test_weights_counted(self, V):
+        miner = PivotSequenceMiner(V, self.PARAMS)
+        partition = {enc(V, "a", "D"): 5}
+        got = miner.mine_partition(partition, V.id("D"))
+        assert decode(V, got) == {("a", "D"): 5}
+
+    def test_pivot_never_right_expanded(self, V):
+        """DD is mined via left-expansion; aDDa-style inputs still work."""
+        params = MiningParams(sigma=2, gamma=1, lam=4)
+        miner = PivotSequenceMiner(V, params)
+        partition = {enc(V, "D", "D"): 2}
+        got = miner.mine_partition(partition, V.id("D"))
+        assert decode(V, got) == {("D", "D"): 2}
+
+    def test_lambda_bounds_length(self, V):
+        params = MiningParams(sigma=1, gamma=0, lam=2)
+        miner = PivotSequenceMiner(V, params)
+        partition = {enc(V, "a", "a", "D"): 1}
+        got = miner.mine_partition(partition, V.id("D"))
+        assert all(len(seq) <= 2 for seq in got)
+
+    def test_blanks_respected(self, V):
+        params = MiningParams(sigma=1, gamma=0, lam=2)
+        miner = PivotSequenceMiner(V, params)
+        partition = {enc(V, "a", "_", "D"): 1}
+        got = miner.mine_partition(partition, V.id("D"))
+        assert got == {}  # blank blocks the γ=0 window
+
+    def test_hierarchy_matches_in_partition(self, V):
+        """Pattern Bc is found in 'a b1 _ c' via b1 →* B (Fig. 2, P_c)."""
+        params = MiningParams(sigma=1, gamma=1, lam=3)
+        miner = PivotSequenceMiner(V, params)
+        partition = {enc(V, "a", "b1", "_", "c"): 1}
+        got = decode(V, miner.mine_partition(partition, V.id("c")))
+        assert got[("B", "c")] == 1
+        assert got[("a", "B", "c")] == 1
+
+    def test_invalid_index_mode(self, V):
+        with pytest.raises(ValueError):
+            PivotSequenceMiner(V, self.PARAMS, index_mode="bogus")
+
+    def test_no_pivot_occurrence(self, V):
+        miner = PivotSequenceMiner(V, self.PARAMS)
+        partition = {enc(V, "a", "c"): 5}
+        assert miner.mine_partition(partition, V.id("D")) == {}
+
+
+class TestFig2Mining:
+    """Per-partition outputs of Fig. 2 (σ=2, γ=1, λ=3)."""
+
+    PARAMS = MiningParams(sigma=2, gamma=1, lam=3)
+
+    @pytest.mark.parametrize(
+        "pivot,partition,expected",
+        [
+            ("a", {("a", "_", "a"): 2}, {("a", "a"): 2}),
+            (
+                "B",
+                {
+                    ("a", "B", "a", "B"): 1,
+                    ("a", "B"): 2,
+                    ("B", "a", "_", "a"): 1,
+                },
+                {("a", "B"): 3, ("B", "a"): 2},
+            ),
+            (
+                "b1",
+                {
+                    ("a", "b1", "a", "b1"): 1,
+                    ("b1", "a", "_", "a"): 1,
+                    ("a", "b1"): 1,
+                },
+                {("a", "b1"): 2, ("b1", "a"): 2},
+            ),
+            (
+                "c",
+                {
+                    ("a", "B", "c", "c", "B"): 1,
+                    ("a", "c"): 1,
+                    ("a", "b1", "_", "c"): 1,
+                },
+                {("B", "c"): 2, ("a", "c"): 2, ("a", "B", "c"): 2},
+            ),
+            (
+                "D",
+                {("a", "b1", "D", "c"): 1, ("b1", "_", "D"): 1},
+                {("b1", "D"): 2, ("B", "D"): 2},
+            ),
+        ],
+    )
+    def test_partition_output(self, V, pivot, partition, expected):
+        encoded = {
+            enc(V, *names): weight for names, weight in partition.items()
+        }
+        miner = PivotSequenceMiner(V, self.PARAMS)
+        got = miner.mine_partition(encoded, V.id(pivot))
+        assert decode(V, got) == expected
+
+
+class TestMinePartitions:
+    def test_union(self, V):
+        params = MiningParams(sigma=1, gamma=0, lam=2)
+        miner = PivotSequenceMiner(V, params)
+        partitions = {
+            V.id("a"): {enc(V, "a", "a"): 1},
+            V.id("c"): {enc(V, "a", "c"): 1},
+        }
+        got = decode(V, mine_partitions(miner, partitions))
+        assert got == {("a", "a"): 1, ("a", "c"): 1}

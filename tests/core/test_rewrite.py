@@ -1,0 +1,232 @@
+"""Unit tests for the rewrite pipeline — pinned to the paper's Sec. 4 examples."""
+
+import pytest
+
+from repro.constants import BLANK
+from repro.core import MiningParams
+from repro.core.rewrite import (
+    blank_isolated_pivots,
+    blank_unreachable,
+    compress_blanks,
+    pivot_distances,
+    rewrite_for_pivot,
+    w_generalize,
+)
+from repro.sequence.generate import pivot_subsequences
+
+
+@pytest.fixture
+def V(fig1_vocabulary):
+    return fig1_vocabulary
+
+
+def enc(V, *names):
+    return tuple(V.id(n) if n != "_" else BLANK for n in names)
+
+
+class TestWGeneralization:
+    def test_paper_t2_pivot_B(self, V):
+        """T2 = a b3 c c b2, pivot B → a B _ _ B (paper Sec. 4.2)."""
+        t2 = enc(V, "a", "b3", "c", "c", "b2")
+        got = w_generalize(V, t2, V.id("B"))
+        assert got == list(enc(V, "a", "B", "_", "_", "B"))
+
+    def test_paper_sec43_example_pivot_D(self, V):
+        """a b1 a c d1 a d2 c f b2 c → a b1 a c D a D c _ B c (Sec. 4.3)."""
+        t = enc(V, "a", "b1", "a", "c", "d1", "a", "d2", "c", "f", "b2", "c")
+        got = w_generalize(V, t, V.id("D"))
+        assert got == list(
+            enc(V, "a", "b1", "a", "c", "D", "a", "D", "c", "_", "B", "c")
+        )
+
+    def test_relevant_items_unchanged(self, V):
+        t1 = enc(V, "a", "b1", "a", "b1")
+        assert w_generalize(V, t1, V.id("b1")) == list(t1)
+
+    def test_descendant_of_pivot_becomes_pivot(self, V):
+        # b12 generalizes to b1 when the pivot is b1
+        got = w_generalize(V, enc(V, "b12"), V.id("b1"))
+        assert got == [V.id("b1")]
+
+    def test_blank_when_no_relevant_ancestor(self, V):
+        # e has no ancestors; irrelevant for pivot a
+        got = w_generalize(V, enc(V, "e", "a"), V.id("a"))
+        assert got == [BLANK, V.id("a")]
+
+    def test_existing_blanks_preserved(self, V):
+        got = w_generalize(V, (V.id("a"), BLANK), V.id("a"))
+        assert got == [V.id("a"), BLANK]
+
+
+class TestIsolatedPivots:
+    def test_isolated_pivot_blanked(self, V):
+        # T2 for pivot B: second B is isolated under γ=1 (Sec. 4.4: P_B
+        # contains aB, not aB__B)
+        seq = enc(V, "a", "B", "_", "_", "B")
+        got = blank_isolated_pivots(V, seq, V.id("B"), gamma=1)
+        assert got == list(enc(V, "a", "B", "_", "_", "_"))
+
+    def test_adjacent_pivot_pair_kept(self, V):
+        seq = enc(V, "D", "D")
+        got = blank_isolated_pivots(V, seq, V.id("D"), gamma=0)
+        assert got == list(seq)
+
+    def test_mutually_isolated_pair_blanked(self, V):
+        seq = enc(V, "D", "_", "D")
+        got = blank_isolated_pivots(V, seq, V.id("D"), gamma=0)
+        assert got == [BLANK, BLANK, BLANK]
+
+    def test_non_pivot_items_untouched(self, V):
+        seq = enc(V, "a", "_", "D")
+        got = blank_isolated_pivots(V, seq, V.id("D"), gamma=0)
+        assert got == list(enc(V, "a", "_", "_"))
+
+    def test_unbounded_gap_never_isolated(self, V):
+        seq = enc(V, "D", "_", "_", "_", "a")
+        got = blank_isolated_pivots(V, seq, V.id("D"), gamma=None)
+        assert got == list(seq)
+
+
+class TestPivotDistances:
+    def test_paper_distance_table(self, V):
+        """The full distance table of Sec. 4.3 for γ=1, pivot D."""
+        seq = enc(V, "a", "b1", "a", "c", "D", "a", "D", "c", "_", "B", "c")
+        got = pivot_distances(V, seq, V.id("D"), gamma=1)
+        assert got == [3, 3, 2, 2, 1, 2, 1, 2, 2, 3, 4]
+
+    def test_blank_not_usable_as_hop(self, V):
+        # index 11's left path must avoid the blank at index 9 (Sec. 4.3)
+        seq = enc(V, "D", "_", "c")
+        # c reachable via {D, c} only if gap allows: γ=1 → ok (distance 2)
+        assert pivot_distances(V, seq, V.id("D"), gamma=1) == [1, 2, 2]
+        # γ=0: c is unreachable (blank can't serve as hop)
+        got = pivot_distances(V, seq, V.id("D"), gamma=0)
+        assert got[2] == float("inf")
+
+    def test_no_pivot_all_infinite(self, V):
+        seq = enc(V, "a", "c")
+        got = pivot_distances(V, seq, V.id("D"), gamma=1)
+        assert got == [float("inf")] * 2
+
+
+class TestUnreachability:
+    SEQ = ("a", "b1", "a", "c", "D", "a", "D", "c", "_", "B", "c")
+
+    def test_lambda_2_reduction(self, V):
+        """λ=2 keeps indexes 3–9: acDaDc_ (paper Sec. 4.3)."""
+        seq = enc(V, *self.SEQ)
+        dist = pivot_distances(V, seq, V.id("D"), gamma=1)
+        got = blank_unreachable(seq, dist, lam=2)
+        assert tuple(got) == enc(
+            V, "_", "_", "a", "c", "D", "a", "D", "c", "_", "_", "_"
+        )
+        assert compress_blanks(got, gamma=1) == enc(
+            V, "a", "c", "D", "a", "D", "c"
+        )
+
+    def test_lambda_3_reduction(self, V):
+        """λ=3 removes only index 11: ab1acDaDc_B (paper Sec. 4.3)."""
+        seq = enc(V, *self.SEQ)
+        dist = pivot_distances(V, seq, V.id("D"), gamma=1)
+        got = blank_unreachable(seq, dist, lam=3)
+        assert compress_blanks(got, gamma=1) == enc(
+            V, "a", "b1", "a", "c", "D", "a", "D", "c", "_", "B"
+        )
+
+    def test_interior_blanking_not_deletion(self, V):
+        """D x⁶ D with γ=0, λ=2 must NOT become DD (gap safety)."""
+        seq = enc(V, "D", "c", "c", "c", "c", "c", "c", "D")
+        params = MiningParams(sigma=1, gamma=0, lam=2)
+        rewritten = rewrite_for_pivot(V, seq, V.id("D"), params)
+        if rewritten is not None:
+            pivots = pivot_subsequences(
+                V, rewritten, gamma=0, lam=2, pivot=V.id("D")
+            )
+            assert enc(V, "D", "D") not in pivots
+
+
+class TestCompressBlanks:
+    def test_edge_trim(self, V):
+        seq = (BLANK, V.id("a"), V.id("c"), BLANK)
+        assert compress_blanks(seq, gamma=1) == (V.id("a"), V.id("c"))
+
+    def test_interior_run_capped(self, V):
+        a, c = V.id("a"), V.id("c")
+        seq = (a, BLANK, BLANK, BLANK, BLANK, c)
+        assert compress_blanks(seq, gamma=1) == (a, BLANK, BLANK, c)
+
+    def test_short_run_untouched(self, V):
+        a, c = V.id("a"), V.id("c")
+        seq = (a, BLANK, c)
+        assert compress_blanks(seq, gamma=1) == seq
+
+    def test_unbounded_gap_drops_blanks(self, V):
+        a, c = V.id("a"), V.id("c")
+        assert compress_blanks((a, BLANK, BLANK, c), gamma=None) == (a, c)
+
+    def test_all_blank(self, V):
+        assert compress_blanks((BLANK, BLANK), gamma=2) == ()
+
+
+class TestRewriteForPivot:
+    PARAMS = MiningParams(sigma=2, gamma=1, lam=3)
+
+    def test_fig2_pB_rewrites(self, V):
+        """The four P_B rewrites of Sec. 4.4."""
+        B = V.id("B")
+        cases = {
+            ("a", "b1", "a", "b1"): ("a", "B", "a", "B"),
+            ("a", "b3", "c", "c", "b2"): ("a", "B"),
+            ("b11", "a", "e", "a"): ("B", "a", "_", "a"),
+            ("a", "b12", "d1", "c"): ("a", "B"),
+        }
+        for source, expected in cases.items():
+            got = rewrite_for_pivot(V, enc(V, *source), B, self.PARAMS)
+            assert got == enc(V, *expected), source
+
+    def test_fig2_dropped_sequences(self, V):
+        """T6 = b13 f d2 contributes nothing to P_B (isolated pivot)."""
+        got = rewrite_for_pivot(
+            V, enc(V, "b13", "f", "d2"), V.id("B"), self.PARAMS
+        )
+        assert got is None
+
+    def test_fig2_pa_rewrites(self, V):
+        a = V.id("a")
+        got = rewrite_for_pivot(V, enc(V, "a", "b1", "a", "b1"), a, self.PARAMS)
+        assert got == enc(V, "a", "_", "a")
+        # T3 = a c: isolated pivot a → dropped
+        assert rewrite_for_pivot(V, enc(V, "a", "c"), a, self.PARAMS) is None
+
+    def test_fig2_pD_rewrites(self, V):
+        D = V.id("D")
+        got = rewrite_for_pivot(
+            V, enc(V, "a", "b12", "d1", "c"), D, self.PARAMS
+        )
+        assert got == enc(V, "a", "b1", "D", "c")
+        got = rewrite_for_pivot(V, enc(V, "b13", "f", "d2"), D, self.PARAMS)
+        assert got == enc(V, "b1", "_", "D")
+
+    def test_too_short_returns_none(self, V):
+        assert (
+            rewrite_for_pivot(V, enc(V, "D"), V.id("D"), self.PARAMS) is None
+        )
+
+    def test_w_equivalence_on_paper_database(self, V, fig1_database):
+        """Every rewrite is w-equivalent to its source (Lemma 3 + Sec. 4.3)."""
+        params = self.PARAMS
+        for seq in fig1_database:
+            encoded = V.encode_sequence(seq)
+            for pivot in range(5):  # a, B, b1, c, D
+                original = pivot_subsequences(
+                    V, encoded, params.gamma, params.lam, pivot
+                )
+                rewritten = rewrite_for_pivot(V, encoded, pivot, params)
+                got = (
+                    set()
+                    if rewritten is None
+                    else pivot_subsequences(
+                        V, rewritten, params.gamma, params.lam, pivot
+                    )
+                )
+                assert got == original, (seq, V.name(pivot))

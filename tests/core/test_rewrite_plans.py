@@ -1,0 +1,93 @@
+"""Rewrite-plan ablation tests: every stage combination is w-equivalent."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Lash, MiningParams
+from repro.core import NO_REWRITE, RewritePlan, build_partitions
+from repro.hierarchy import build_vocabulary
+from tests.property.strategies import mining_instances
+
+ALL_PLANS = [
+    RewritePlan(*flags) for flags in product((False, True), repeat=4)
+]
+
+
+class TestRewritePlanBasics:
+    def test_describe(self):
+        assert RewritePlan().describe() == "gen+iso+unreach+compress"
+        assert NO_REWRITE.describe() == "none"
+        assert RewritePlan(True, False, False, False).describe() == "gen"
+
+    def test_no_rewrite_keeps_input(self, fig1_database, fig1_hierarchy):
+        """Without rewrites, P_w(T) = T for sequences containing the pivot
+        (Sec. 3.4's 'simple and correct' strategy, Eq. (1))."""
+        vocabulary = build_vocabulary(fig1_database, fig1_hierarchy)
+        params = MiningParams(2, 1, 3)
+        encoded = [vocabulary.encode_sequence(t) for t in fig1_database]
+        partitions = build_partitions(vocabulary, encoded, params, NO_REWRITE)
+        pivot_b = vocabulary.id("B")
+        expected = {
+            vocabulary.encode_sequence(t)
+            for t in [
+                ("a", "b1", "a", "b1"),
+                ("a", "b3", "c", "c", "b2"),
+                ("b11", "a", "e", "a"),
+                ("a", "b12", "d1", "c"),
+                ("b13", "f", "d2"),
+            ]
+        }
+        assert set(partitions[pivot_b]) == expected
+
+    def test_full_rewrite_is_smaller(self, fig1_database, fig1_hierarchy):
+        vocabulary = build_vocabulary(fig1_database, fig1_hierarchy)
+        params = MiningParams(2, 1, 3)
+        encoded = [vocabulary.encode_sequence(t) for t in fig1_database]
+        full = build_partitions(vocabulary, encoded, params)
+        bare = build_partitions(vocabulary, encoded, params, NO_REWRITE)
+
+        def size(partitions):
+            return sum(
+                len(seq) * weight
+                for p in partitions.values()
+                for seq, weight in p.items()
+            )
+
+        assert size(full) < size(bare)
+
+
+class TestPlanInvariance:
+    @pytest.mark.parametrize("plan", ALL_PLANS, ids=lambda p: p.describe())
+    def test_paper_example_all_plans(self, fig1_database, fig1_hierarchy, plan):
+        params = MiningParams(2, 1, 3)
+        result = Lash(params, rewrite_plan=plan).mine(
+            fig1_database, fig1_hierarchy
+        )
+        expected = {
+            ("a", "a"): 2, ("a", "b1"): 2, ("b1", "a"): 2, ("a", "B"): 3,
+            ("B", "a"): 2, ("a", "B", "c"): 2, ("B", "c"): 2, ("a", "c"): 2,
+            ("b1", "D"): 2, ("B", "D"): 2,
+        }
+        assert result.decoded() == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(mining_instances())
+def test_all_plans_agree_on_random_instances(instance):
+    """The ablation knob must never change the mined answer."""
+    hierarchy, database, sigma, gamma, lam = instance
+    params = MiningParams(sigma, gamma, lam)
+    reference = None
+    for plan in (
+        RewritePlan(),
+        NO_REWRITE,
+        RewritePlan(True, False, False, True),
+        RewritePlan(False, True, True, False),
+    ):
+        result = Lash(params, rewrite_plan=plan).mine(database, hierarchy)
+        if reference is None:
+            reference = result.decoded()
+        else:
+            assert result.decoded() == reference, plan.describe()

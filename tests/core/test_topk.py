@@ -1,0 +1,107 @@
+"""Top-k mining (repro.core.topk)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mine, mine_top_k
+from repro.errors import InvalidParameterError
+
+
+def full_output(fig1_database, fig1_hierarchy):
+    return mine(fig1_database, fig1_hierarchy, sigma=1, gamma=1, lam=3)
+
+
+def test_top_1_is_most_frequent(fig1_database, fig1_hierarchy):
+    result = mine_top_k(fig1_database, fig1_hierarchy, k=1, gamma=1, lam=3)
+    assert result.decoded() == {("a", "B"): 3}
+
+
+def test_top_k_matches_full_output_head(fig1_database, fig1_hierarchy):
+    """The top-k frequencies equal the k largest frequencies of a full
+    σ=1 run."""
+    full = full_output(fig1_database, fig1_hierarchy)
+    all_freqs = sorted(full.patterns.values(), reverse=True)
+    for k in (1, 3, 5, 10):
+        result = mine_top_k(
+            fig1_database, fig1_hierarchy, k=k, gamma=1, lam=3
+        )
+        got = sorted(result.patterns.values(), reverse=True)
+        assert got == all_freqs[: len(got)]
+        assert len(result.patterns) == min(k, len(full.patterns))
+
+
+def test_top_k_subsets_nest(fig1_database, fig1_hierarchy):
+    """Deterministic tie-breaking makes top-k ⊆ top-(k+1)."""
+    previous: set = set()
+    for k in (1, 2, 3, 5, 8):
+        result = mine_top_k(
+            fig1_database, fig1_hierarchy, k=k, gamma=1, lam=3
+        )
+        current = set(result.patterns)
+        assert previous <= current
+        previous = current
+
+
+def test_k_larger_than_output_returns_everything(
+    fig1_database, fig1_hierarchy
+):
+    full = full_output(fig1_database, fig1_hierarchy)
+    result = mine_top_k(
+        fig1_database, fig1_hierarchy, k=10_000, gamma=1, lam=3
+    )
+    assert result.patterns == full.patterns
+
+
+def test_frequencies_are_exact(fig1_database, fig1_hierarchy):
+    full = full_output(fig1_database, fig1_hierarchy)
+    result = mine_top_k(fig1_database, fig1_hierarchy, k=5, gamma=1, lam=3)
+    for pattern, frequency in result.patterns.items():
+        assert full.patterns[pattern] == frequency
+
+
+def test_flat_mining(fig1_database):
+    result = mine_top_k(fig1_database, None, k=3, gamma=1, lam=3)
+    assert len(result.patterns) == 3
+    flat_full = mine(fig1_database, None, sigma=1, gamma=1, lam=3)
+    top_freqs = sorted(flat_full.patterns.values(), reverse=True)[:3]
+    assert sorted(result.patterns.values(), reverse=True) == top_freqs
+
+
+def test_plain_lists_accepted():
+    result = mine_top_k([["x", "y"], ["x", "y"], ["x"]], k=1, lam=2)
+    assert result.decoded() == {("x", "y"): 2}
+
+
+def test_empty_database():
+    result = mine_top_k([["x"]], k=5, lam=3)
+    assert result.patterns == {}  # no length-2 patterns exist
+
+
+def test_invalid_k(fig1_database, fig1_hierarchy):
+    with pytest.raises(InvalidParameterError):
+        mine_top_k(fig1_database, fig1_hierarchy, k=0)
+
+
+def test_algorithm_label(fig1_database, fig1_hierarchy):
+    result = mine_top_k(fig1_database, fig1_hierarchy, k=3, gamma=1, lam=3)
+    assert result.algorithm.startswith("top-k-lash")
+
+
+def test_effective_sigma_recorded(fig1_database, fig1_hierarchy):
+    """The returned params expose the threshold of the final run — every
+    kept pattern meets it."""
+    result = mine_top_k(fig1_database, fig1_hierarchy, k=5, gamma=1, lam=3)
+    assert all(
+        f >= result.params.sigma for f in result.patterns.values()
+    )
+
+
+@pytest.mark.parametrize("local_miner", ["bfs", "dfs"])
+def test_alternative_local_miners(fig1_database, fig1_hierarchy, local_miner):
+    psm = mine_top_k(fig1_database, fig1_hierarchy, k=4, gamma=1, lam=3)
+    other = mine_top_k(
+        fig1_database, fig1_hierarchy, k=4, gamma=1, lam=3,
+        local_miner=local_miner,
+    )
+    assert other.patterns == psm.patterns

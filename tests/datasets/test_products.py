@@ -1,0 +1,86 @@
+"""Unit tests for the synthetic product data generator."""
+
+import pytest
+
+from repro.datasets import ProductDataConfig, generate_product_data
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_product_data(
+        ProductDataConfig(num_users=300, num_products=200, seed=11)
+    )
+
+
+class TestGeneration:
+    def test_user_count(self, data):
+        assert len(data.database) == 300
+
+    def test_reproducible(self):
+        config = ProductDataConfig(num_users=40, num_products=30, seed=5)
+        assert list(generate_product_data(config).database) == list(
+            generate_product_data(config).database
+        )
+
+    def test_sessions_contain_products(self, data):
+        for session in data.database:
+            assert all(p.startswith("p") for p in session)
+
+    def test_chain_lengths_favor_4_or_less(self, data):
+        """Paper: most products have no more than 4 parent categories."""
+        lengths = [len(c) for c in data.chains.values()]
+        short = sum(1 for l in lengths if l <= 4)
+        assert short / len(lengths) > 0.8
+        assert max(lengths) <= 7
+
+
+class TestHierarchies:
+    @pytest.mark.parametrize("levels", [2, 3, 4, 8])
+    def test_levels_bounded(self, data, levels):
+        h = data.hierarchy(levels)
+        assert h.num_levels() <= levels
+        assert h.is_forest
+
+    def test_h2_products_under_roots(self, data):
+        h2 = data.hierarchy(2)
+        for product in data.chains:
+            parent = h2.parent(product)
+            assert parent is not None
+            assert h2.parents(parent) == ()  # root category
+
+    def test_intermediate_items_grow_with_depth(self, data):
+        """Table 2: deeper variants have more intermediate items."""
+        counts = [
+            len(data.hierarchy(k).intermediate_items()) for k in (2, 3, 4, 8)
+        ]
+        assert counts[0] == 0
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[1]
+
+    def test_h8_vs_h4_less_pronounced(self, data):
+        """Most chains stop at 4, so h8 adds relatively few items (Fig. 5e)."""
+        h4 = len(data.hierarchy(4))
+        h8 = len(data.hierarchy(8))
+        h2 = len(data.hierarchy(2))
+        h3 = len(data.hierarchy(3))
+        assert (h8 - h4) < (h3 - h2) * 3  # growth flattens out
+
+    def test_invalid_levels(self, data):
+        with pytest.raises(ValueError):
+            data.hierarchy(1)
+        with pytest.raises(ValueError):
+            data.hierarchy(99)
+
+    def test_flat_hierarchy(self, data):
+        flat = data.flat_hierarchy()
+        assert flat.num_levels() == 1
+
+    def test_minable_with_generalization(self, data):
+        """Category-level patterns emerge that no product-level run finds."""
+        from repro import mine
+
+        hierarchical = mine(
+            data.database, data.hierarchy(2), sigma=30, gamma=1, lam=3
+        )
+        flat = mine(data.database, None, sigma=30, gamma=1, lam=3)
+        assert len(hierarchical) > len(flat)

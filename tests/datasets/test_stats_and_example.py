@@ -1,0 +1,60 @@
+"""Unit tests for dataset stats (Tables 1/2) and the bundled example."""
+
+import pytest
+
+from repro.datasets import (
+    eq4_partition_sequences,
+    example_database,
+    example_hierarchy,
+    hierarchy_stats,
+)
+from repro.hierarchy import Hierarchy
+
+
+class TestExampleData:
+    def test_database_matches_fig1(self):
+        db = example_database()
+        assert len(db) == 6
+        assert db[0] == ("a", "b1", "a", "b1")
+        assert db[5] == ("b13", "f", "d2")
+
+    def test_hierarchy_matches_fig1(self):
+        h = example_hierarchy()
+        assert set(h.roots()) == {"a", "B", "c", "D", "e", "f"}
+        assert h.ancestors_or_self("b12") == ("b12", "b1", "B")
+
+    def test_eq4_partition_shape(self):
+        seqs = eq4_partition_sequences()
+        assert len(seqs) == 4
+        assert seqs[2][2] == "_"
+
+
+class TestHierarchyStats:
+    def test_fig1_hierarchy_stats(self):
+        s = hierarchy_stats(example_hierarchy())
+        assert s.total_items == 14
+        assert s.root_items == 6
+        # a, c, e, f (childless roots) + b2, b3, b11, b12, b13, d1, d2
+        assert s.leaf_items == 11
+        assert s.intermediate_items == 1  # only b1
+        assert s.levels == 3
+        assert s.max_fan_out == 3
+        assert s.avg_fan_out == pytest.approx(8 / 3)
+
+    def test_flat_hierarchy_stats(self):
+        s = hierarchy_stats(Hierarchy.flat(["x", "y"]))
+        assert s.levels == 1
+        assert s.root_items == 2
+        assert s.leaf_items == 2
+        assert s.avg_fan_out == 0.0
+        assert s.max_fan_out == 0
+
+    def test_row_rendering(self):
+        row = hierarchy_stats(example_hierarchy()).row()
+        assert row["Levels"] == 3
+        assert row["Avg.fan-out"] == 2.7
+
+    def test_empty_hierarchy(self):
+        s = hierarchy_stats(Hierarchy())
+        assert s.total_items == 0
+        assert s.levels == 0

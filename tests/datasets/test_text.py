@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic text corpus generator."""
+
+import pytest
+
+from repro.datasets import TextCorpusConfig, generate_text_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_text_corpus(
+        TextCorpusConfig(num_sentences=400, num_nouns=80, num_verbs=40,
+                         num_adjectives=30, num_adverbs=15, seed=7)
+    )
+
+
+class TestGeneration:
+    def test_sentence_count(self, corpus):
+        assert len(corpus.database) == 400
+
+    def test_reproducible(self):
+        config = TextCorpusConfig(num_sentences=50, seed=3)
+        a = generate_text_corpus(config)
+        b = generate_text_corpus(config)
+        assert list(a.database) == list(b.database)
+
+    def test_different_seeds_differ(self):
+        a = generate_text_corpus(TextCorpusConfig(num_sentences=50, seed=1))
+        b = generate_text_corpus(TextCorpusConfig(num_sentences=50, seed=2))
+        assert list(a.database) != list(b.database)
+
+    def test_sentences_capitalized(self, corpus):
+        for sentence in corpus.database:
+            assert sentence[0][0].isupper() or sentence[0][0].isdigit()
+
+    def test_zipf_skew(self, corpus):
+        """A few words dominate (Zipf), many words are rare."""
+        from collections import Counter
+
+        counts = Counter(w for s in corpus.database for w in s)
+        top = counts.most_common(10)
+        total = sum(counts.values())
+        assert sum(c for _, c in top) > total * 0.2
+
+
+class TestHierarchies:
+    @pytest.mark.parametrize("variant,levels", [
+        ("L", 2), ("P", 2), ("LP", 3), ("CLP", 4),
+    ])
+    def test_levels(self, corpus, variant, levels):
+        assert corpus.hierarchy(variant).num_levels() == levels
+
+    def test_all_forests(self, corpus):
+        for variant in ("L", "P", "LP", "CLP"):
+            assert corpus.hierarchy(variant).is_forest, variant
+
+    def test_p_has_few_roots_high_fanout(self, corpus):
+        """Table 2's contrast: P has few roots and huge fan-out…"""
+        p = corpus.hierarchy("P")
+        l = corpus.hierarchy("L")
+        assert len(p.roots()) < 10
+        assert len(l.roots()) > 10 * len(p.roots())
+        assert max(p.fan_outs()) > max(l.fan_outs())
+
+    def test_p_roots_are_pos_tags(self, corpus):
+        assert set(corpus.hierarchy("P").roots()) <= {
+            "NOUN", "VERB", "ADJ", "ADV", "DET", "PREP", "PRON",
+        }
+
+    def test_clp_chain(self, corpus):
+        """Capitalized word → lowercase → lemma → POS."""
+        clp = corpus.hierarchy("CLP")
+        capitalized = next(
+            w for s in corpus.database for w in s
+            if w[0].isupper() and w.lower() in clp
+            and clp.ancestors(w.lower())
+        )
+        chain = clp.ancestors_or_self(capitalized)
+        assert 2 <= len(chain) <= 4
+        assert chain[-1] in {"NOUN", "VERB", "ADJ", "ADV", "DET", "PREP", "PRON"}
+
+    def test_words_at_multiple_levels_occur(self, corpus):
+        """Input sequences mix hierarchy levels (paper Sec. 6.1)."""
+        clp = corpus.hierarchy("CLP")
+        words = {w for s in corpus.database for w in s}
+        depths = {clp.depth(w) for w in words if w in clp}
+        assert len(depths) > 1
+
+    def test_flat_variant(self, corpus):
+        flat = corpus.hierarchy("flat")
+        assert flat.num_levels() == 1
+
+    def test_unknown_variant(self, corpus):
+        with pytest.raises(KeyError):
+            corpus.hierarchy("XYZ")
+
+    def test_minable(self, corpus):
+        """The corpus yields generalized patterns when mined."""
+        from repro import mine
+
+        result = mine(
+            corpus.database, corpus.hierarchy("P"), sigma=20, gamma=0, lam=3
+        )
+        patterns = result.decoded()
+        assert patterns
+        # generalized n-grams like ("DET", "NOUN") should be frequent
+        assert any(
+            any(i in {"NOUN", "VERB", "ADJ", "DET"} for i in p)
+            for p in patterns
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for generalized f-list computation and total order."""
+
+from repro.hierarchy import (
+    Hierarchy,
+    build_total_order,
+    build_vocabulary,
+    compute_generalized_flist,
+)
+from repro.hierarchy.flist import iter_generalized_items
+
+
+class TestGeneralizedItems:
+    def test_g1_includes_ancestors(self, fig1_hierarchy):
+        """G1(T4) = {b11, a, e, b1, B} (paper Sec. 3.3)."""
+        got = iter_generalized_items(fig1_hierarchy, ["b11", "a", "e", "a"])
+        assert got == {"b11", "a", "e", "b1", "B"}
+
+    def test_unknown_items_pass_through(self, fig1_hierarchy):
+        got = iter_generalized_items(fig1_hierarchy, ["unseen"])
+        assert got == {"unseen"}
+
+    def test_duplicates_collapsed(self, fig1_hierarchy):
+        got = iter_generalized_items(fig1_hierarchy, ["b1", "b1", "b2"])
+        assert got == {"b1", "b2", "B"}
+
+
+class TestFlist:
+    def test_paper_frequencies(self, fig1_database, fig1_hierarchy):
+        """Generalized f-list of Fig. 2 for the example database."""
+        f = compute_generalized_flist(fig1_database, fig1_hierarchy)
+        assert f["a"] == 5
+        assert f["B"] == 5  # T1, T2, T4, T5, T6 via descendants
+        assert f["b1"] == 4  # T1, T4, T5, T6
+        assert f["c"] == 3
+        assert f["D"] == 2
+        assert f["e"] == 1
+        assert f["b2"] == 1
+
+    def test_hierarchy_only_items_get_zero(self):
+        h = Hierarchy.from_edges([("x", "p")])
+        f = compute_generalized_flist([["y"]], h)
+        assert f["x"] == 0
+        assert f["p"] == 0
+        assert f["y"] == 1
+
+    def test_document_frequency_not_collection_frequency(self):
+        h = Hierarchy.flat(["x"])
+        f = compute_generalized_flist([["x", "x", "x"], ["x"]], h)
+        assert f["x"] == 2  # two sequences, not four occurrences
+
+    def test_ancestor_counted_once_per_sequence(self):
+        h = Hierarchy.from_edges([("x1", "X"), ("x2", "X")])
+        f = compute_generalized_flist([["x1", "x2"]], h)
+        assert f["X"] == 1
+
+
+class TestTotalOrder:
+    def test_frequency_descending(self):
+        h = Hierarchy.flat(["lo", "hi"])
+        order = build_total_order({"lo": 1, "hi": 9}, h)
+        assert order == ["hi", "lo"]
+
+    def test_tie_broken_by_level(self):
+        h = Hierarchy.from_edges([("child", "parent")])
+        order = build_total_order({"child": 3, "parent": 3}, h)
+        assert order == ["parent", "child"]
+
+    def test_tie_broken_by_name_last(self):
+        h = Hierarchy.flat(["zz", "aa"])
+        order = build_total_order({"zz": 3, "aa": 3}, h)
+        assert order == ["aa", "zz"]
+
+    def test_paper_order(self, fig1_database, fig1_hierarchy):
+        v = build_vocabulary(fig1_database, fig1_hierarchy)
+        assert v.id("a") < v.id("B") < v.id("b1") < v.id("c") < v.id("D")
+
+    def test_reuse_precomputed_frequencies(self, fig1_database, fig1_hierarchy):
+        f = compute_generalized_flist(fig1_database, fig1_hierarchy)
+        v1 = build_vocabulary(fig1_database, fig1_hierarchy)
+        v2 = build_vocabulary(fig1_database, fig1_hierarchy, frequencies=f)
+        assert [v1.name(i) for i in range(len(v1))] == [
+            v2.name(i) for i in range(len(v2))
+        ]

@@ -1,0 +1,159 @@
+"""Unit tests for the string-level Hierarchy."""
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.hierarchy import Hierarchy
+
+
+def small() -> Hierarchy:
+    return Hierarchy.from_edges(
+        [("b1", "B"), ("b2", "B"), ("b11", "b1"), ("d1", "D")]
+    )
+
+
+class TestConstruction:
+    def test_add_item_registers_roots(self):
+        h = Hierarchy()
+        h.add_item("x")
+        assert "x" in h
+        assert h.parents("x") == ()
+
+    def test_add_item_with_parent(self):
+        h = Hierarchy()
+        h.add_item("child", parent="root")
+        assert h.parents("child") == ("root",)
+        assert h.children("root") == ("child",)
+
+    def test_add_edge_is_idempotent(self):
+        h = Hierarchy()
+        h.add_edge("c", "p")
+        h.add_edge("c", "p")
+        assert h.parents("c") == ("p",)
+        assert h.children("p") == ("c",)
+
+    def test_from_parent_map(self):
+        h = Hierarchy.from_parent_map({"b1": "B", "B": None})
+        assert h.parents("b1") == ("B",)
+        assert h.parents("B") == ()
+
+    def test_flat(self):
+        h = Hierarchy.flat(["x", "y"])
+        assert h.roots() == ("x", "y")
+        assert h.num_levels() == 1
+
+    def test_empty_item_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy().add_item("")
+
+    def test_non_string_item_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy().add_item(3)  # type: ignore[arg-type]
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy().add_edge("x", "x")
+
+    def test_cycle_rejected(self):
+        h = Hierarchy.from_edges([("a", "b"), ("b", "c")])
+        with pytest.raises(HierarchyError):
+            h.add_edge("c", "a")
+
+    def test_two_cycle_rejected(self):
+        h = Hierarchy.from_edges([("a", "b")])
+        with pytest.raises(HierarchyError):
+            h.add_edge("b", "a")
+
+
+class TestQueries:
+    def test_ancestors_chain(self):
+        h = small()
+        assert h.ancestors("b11") == ("b1", "B")
+
+    def test_ancestors_or_self(self):
+        h = small()
+        assert h.ancestors_or_self("b11") == ("b11", "b1", "B")
+
+    def test_ancestors_of_root_empty(self):
+        assert small().ancestors("B") == ()
+
+    def test_descendants(self):
+        h = small()
+        assert set(h.descendants("B")) == {"b1", "b2", "b11"}
+
+    def test_generalizes_to_reflexive(self):
+        assert small().generalizes_to("b1", "b1")
+
+    def test_generalizes_to_transitive(self):
+        assert small().generalizes_to("b11", "B")
+
+    def test_generalizes_to_negative(self):
+        h = small()
+        assert not h.generalizes_to("B", "b1")
+        assert not h.generalizes_to("b2", "b1")
+
+    def test_unknown_item_raises(self):
+        with pytest.raises(HierarchyError):
+            small().parents("nope")
+        with pytest.raises(HierarchyError):
+            small().children("nope")
+
+    def test_depth(self):
+        h = small()
+        assert h.depth("B") == 0
+        assert h.depth("b1") == 1
+        assert h.depth("b11") == 2
+
+
+class TestStructure:
+    def test_roots_and_leaves(self):
+        h = small()
+        assert set(h.roots()) == {"B", "D"}
+        assert set(h.leaves()) == {"b2", "b11", "d1"}
+
+    def test_intermediate_items(self):
+        assert set(small().intermediate_items()) == {"b1"}
+
+    def test_num_levels(self):
+        assert small().num_levels() == 3
+        assert Hierarchy().num_levels() == 0
+
+    def test_is_forest(self):
+        assert small().is_forest
+
+    def test_dag_not_forest(self):
+        h = small()
+        h.add_edge("b11", "D")  # second parent
+        assert not h.is_forest
+        assert set(h.ancestors("b11")) == {"b1", "B", "D"}
+
+    def test_fan_outs(self):
+        assert sorted(small().fan_outs()) == [1, 1, 2]
+
+    def test_copy_is_independent(self):
+        h = small()
+        c = h.copy()
+        c.add_edge("z", "B")
+        assert "z" not in h
+
+    def test_parent_helper(self):
+        h = small()
+        assert h.parent("b1") == "B"
+        assert h.parent("B") is None
+
+    def test_parent_helper_rejects_dag(self):
+        h = small()
+        h.add_edge("b1", "D")
+        with pytest.raises(HierarchyError):
+            h.parent("b1")
+
+
+class TestPaperExample:
+    def test_fig1_structure(self):
+        from tests.conftest import paper_hierarchy
+
+        h = paper_hierarchy()
+        assert set(h.roots()) == {"a", "B", "c", "D", "e", "f"}
+        assert h.ancestors_or_self("b11") == ("b11", "b1", "B")
+        assert h.generalizes_to("b11", "B")  # b11 →* B (paper Sec. 2)
+        assert h.num_levels() == 3

@@ -1,0 +1,178 @@
+"""Round-trip and error-path tests for the repro.io file formats."""
+
+import gzip
+
+import pytest
+
+from repro import Hierarchy, Lash, MiningParams, SequenceDatabase, mine
+from repro.errors import EncodingError, HierarchyError
+from repro.hierarchy import build_vocabulary
+from repro.io import (
+    open_text,
+    read_database,
+    read_hierarchy,
+    read_patterns,
+    read_vocabulary,
+    write_database,
+    write_hierarchy,
+    write_patterns,
+    write_vocabulary,
+)
+
+
+class TestOpenText:
+    def test_plain_roundtrip(self, tmp_path):
+        path = tmp_path / "x.txt"
+        with open_text(path, "w") as f:
+            f.write("héllo\n")
+        with open_text(path) as f:
+            assert f.read() == "héllo\n"
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "x.txt.gz"
+        with open_text(path, "w") as f:
+            f.write("compressed\n")
+        with gzip.open(path, "rt", encoding="utf-8") as f:
+            assert f.read() == "compressed\n"
+
+    def test_invalid_mode(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_text(tmp_path / "x.txt", "a")
+
+
+class TestDatabaseIo:
+    def test_roundtrip(self, tmp_path, fig1_database):
+        path = tmp_path / "db.txt"
+        write_database(fig1_database, path)
+        assert read_database(path) == fig1_database
+
+    def test_gzip_roundtrip(self, tmp_path, fig1_database):
+        path = tmp_path / "db.txt.gz"
+        write_database(fig1_database, path)
+        assert read_database(path) == fig1_database
+
+    def test_custom_separator(self, tmp_path):
+        db = SequenceDatabase([["a", "b"], ["c"]])
+        path = tmp_path / "db.csv"
+        write_database(db, path, sep=",")
+        assert read_database(path, sep=",") == db
+
+    def test_empty_lines_skipped(self, tmp_path):
+        path = tmp_path / "db.txt"
+        path.write_text("a b\n\n\nc\n", encoding="utf-8")
+        assert list(read_database(path)) == [("a", "b"), ("c",)]
+
+
+class TestHierarchyIo:
+    def test_tsv_roundtrip(self, tmp_path, fig1_hierarchy):
+        path = tmp_path / "h.tsv"
+        write_hierarchy(fig1_hierarchy, path)
+        got = read_hierarchy(path)
+        assert set(got.items) == set(fig1_hierarchy.items)
+        for item in fig1_hierarchy:
+            assert got.parents(item) == fig1_hierarchy.parents(item)
+
+    def test_json_roundtrip(self, tmp_path, fig1_hierarchy):
+        path = tmp_path / "h.json"
+        write_hierarchy(fig1_hierarchy, path)
+        got = read_hierarchy(path)
+        for item in fig1_hierarchy:
+            assert got.parents(item) == fig1_hierarchy.parents(item)
+
+    def test_json_gz_roundtrip(self, tmp_path, fig1_hierarchy):
+        path = tmp_path / "h.json.gz"
+        write_hierarchy(fig1_hierarchy, path)
+        got = read_hierarchy(path)
+        assert set(got.items) == set(fig1_hierarchy.items)
+
+    def test_json_dag(self, tmp_path):
+        h = Hierarchy()
+        for root in ("B", "D"):
+            h.add_item(root)
+        h.add_item("multi")
+        h.add_edge("multi", "B")
+        h.add_edge("multi", "D")
+        path = tmp_path / "dag.json"
+        write_hierarchy(h, path)
+        got = read_hierarchy(path)
+        assert set(got.parents("multi")) == {"B", "D"}
+
+    def test_json_string_parent_accepted(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text('{"B": [], "b1": "B"}', encoding="utf-8")
+        got = read_hierarchy(path)
+        assert got.parents("b1") == ("B",)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(HierarchyError):
+            read_hierarchy(path)
+
+    def test_json_non_object_rejected(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(HierarchyError):
+            read_hierarchy(path)
+
+
+class TestVocabularyIo:
+    def test_roundtrip_preserves_ids_and_frequencies(
+        self, tmp_path, fig1_database, fig1_hierarchy
+    ):
+        vocabulary = build_vocabulary(fig1_database, fig1_hierarchy)
+        path = tmp_path / "flist.tsv"
+        write_vocabulary(vocabulary, path)
+        got = read_vocabulary(path, fig1_hierarchy)
+        assert len(got) == len(vocabulary)
+        for item_id in range(len(vocabulary)):
+            assert got.name(item_id) == vocabulary.name(item_id)
+            assert got.frequency(item_id) == vocabulary.frequency(item_id)
+
+    def test_reused_vocabulary_mines_identically(
+        self, tmp_path, fig1_database, fig1_hierarchy
+    ):
+        """Sec. 3.4: the persisted f-list replaces preprocessing."""
+        vocabulary = build_vocabulary(fig1_database, fig1_hierarchy)
+        path = tmp_path / "flist.tsv"
+        write_vocabulary(vocabulary, path)
+        reloaded = read_vocabulary(path, fig1_hierarchy)
+        params = MiningParams(2, 1, 3)
+        fresh = Lash(params).mine(fig1_database, fig1_hierarchy)
+        reused = Lash(params).mine(fig1_database, vocabulary=reloaded)
+        assert reused.preprocess_job is None
+        assert reused.decoded() == fresh.decoded()
+
+    def test_malformed_line_rejected(self, tmp_path, fig1_hierarchy):
+        path = tmp_path / "flist.tsv"
+        path.write_text("a\tnot-a-number\n", encoding="utf-8")
+        with pytest.raises(EncodingError):
+            read_vocabulary(path, fig1_hierarchy)
+
+
+class TestPatternsIo:
+    def test_roundtrip_from_result(
+        self, tmp_path, fig1_database, fig1_hierarchy
+    ):
+        result = mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+        path = tmp_path / "patterns.tsv"
+        write_patterns(result, path)
+        assert read_patterns(path) == result.decoded()
+
+    def test_roundtrip_from_mapping(self, tmp_path):
+        patterns = {("a", "B"): 3, ("a",): 5}
+        path = tmp_path / "patterns.tsv.gz"
+        write_patterns(patterns, path)
+        assert read_patterns(path) == patterns
+
+    def test_sorted_most_frequent_first(self, tmp_path):
+        path = tmp_path / "patterns.tsv"
+        write_patterns({("b",): 1, ("a",): 9}, path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert lines[0] == "a\t9"
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "patterns.tsv"
+        path.write_text("a b\tNaN\n", encoding="utf-8")
+        with pytest.raises(EncodingError):
+            read_patterns(path)

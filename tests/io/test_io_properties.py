@@ -1,0 +1,77 @@
+"""Hypothesis round-trip tests for the repro.io file formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SequenceDatabase
+from repro.io import (
+    read_database,
+    read_hierarchy,
+    read_patterns,
+    write_database,
+    write_hierarchy,
+    write_patterns,
+)
+from tests.property.strategies import dag_hierarchies, forest_hierarchies
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+# item names must survive whitespace-separated text formats
+_item = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters=" \t\n\r", categories=("L", "N", "P", "S")
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@SETTINGS
+@given(
+    st.lists(
+        st.lists(_item, min_size=1, max_size=6), min_size=0, max_size=10
+    )
+)
+def test_database_roundtrip(tmp_path_factory, sequences):
+    path = tmp_path_factory.mktemp("io") / "db.txt"
+    db = SequenceDatabase(sequences)
+    write_database(db, path)
+    assert list(read_database(path)) == [tuple(s) for s in sequences]
+
+
+@SETTINGS
+@given(forest_hierarchies(max_items=10))
+def test_hierarchy_tsv_roundtrip(tmp_path_factory, hierarchy):
+    path = tmp_path_factory.mktemp("io") / "h.tsv"
+    write_hierarchy(hierarchy, path)
+    got = read_hierarchy(path)
+    assert set(got.items) == set(hierarchy.items)
+    for item in hierarchy:
+        assert got.parents(item) == hierarchy.parents(item)
+
+
+@SETTINGS
+@given(dag_hierarchies(max_items=8))
+def test_hierarchy_json_roundtrip_dag(tmp_path_factory, hierarchy):
+    path = tmp_path_factory.mktemp("io") / "h.json"
+    write_hierarchy(hierarchy, path)
+    got = read_hierarchy(path)
+    for item in hierarchy:
+        assert set(got.parents(item)) == set(hierarchy.parents(item))
+        assert set(got.ancestors_or_self(item)) == set(
+            hierarchy.ancestors_or_self(item)
+        )
+
+
+@SETTINGS
+@given(
+    st.dictionaries(
+        st.lists(_item, min_size=1, max_size=4).map(tuple),
+        st.integers(1, 10**9),
+        max_size=12,
+    )
+)
+def test_patterns_roundtrip(tmp_path_factory, patterns):
+    path = tmp_path_factory.mktemp("io") / "p.tsv"
+    write_patterns(patterns, path)
+    assert read_patterns(path) == patterns

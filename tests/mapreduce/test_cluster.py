@@ -1,0 +1,108 @@
+"""Unit tests for cluster placement simulation."""
+
+import pytest
+
+from repro.mapreduce import (
+    ClusterSpec,
+    JobMetrics,
+    PhaseTimes,
+    schedule_makespan,
+    simulate_cluster,
+)
+
+
+class TestScheduleMakespan:
+    def test_single_slot_sums(self):
+        assert schedule_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_slots_takes_max(self):
+        assert schedule_makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_lpt_schedule(self):
+        # LPT on {3,3,2,2,2} with 2 slots: (3,2,2) vs (3,2) -> makespan 7
+        # (greedy, like Hadoop's scheduler — not the optimal 6)
+        assert schedule_makespan([3, 3, 2, 2, 2], 2) == pytest.approx(7.0)
+
+    def test_lpt_never_worse_than_4_3_optimum(self):
+        # classic LPT bound: makespan <= (4/3 - 1/3m) * OPT
+        tasks = [5, 5, 4, 4, 3, 3, 3]
+        got = schedule_makespan(tasks, 3)
+        lower = max(max(tasks), sum(tasks) / 3)
+        assert got <= (4 / 3) * lower + 1e-9
+
+    def test_empty(self):
+        assert schedule_makespan([], 4) == 0.0
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            schedule_makespan([1.0], 0)
+
+    def test_monotone_in_slots(self):
+        tasks = [0.5, 1.5, 0.7, 2.0, 0.1, 1.1]
+        times = [schedule_makespan(tasks, s) for s in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+
+
+class TestClusterSpec:
+    def test_paper_default(self):
+        c = ClusterSpec()
+        assert c.map_slots == 80
+        assert c.reduce_slots == 80
+
+    def test_network_seconds(self):
+        c = ClusterSpec(nodes=1, network_gbps=8.0)
+        assert c.network_seconds(10**9) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(map_slots_per_node=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(network_gbps=0)
+
+
+class TestSimulateCluster:
+    def metrics(self) -> JobMetrics:
+        return JobMetrics(
+            map_task_s=[1.0] * 8,
+            reduce_task_s=[2.0] * 4,
+            shuffle_s=0.8,
+            shuffle_bytes=10**9,
+        )
+
+    def test_strong_scaling_shape(self):
+        """Doubling nodes roughly halves phase makespans (Fig. 6(b))."""
+        m = self.metrics()
+        t2 = simulate_cluster(m, ClusterSpec(nodes=2, map_slots_per_node=2,
+                                             reduce_slots_per_node=1))
+        t4 = simulate_cluster(m, ClusterSpec(nodes=4, map_slots_per_node=2,
+                                             reduce_slots_per_node=1))
+        assert t2.map_s == pytest.approx(2 * t4.map_s)
+        assert t2.reduce_s == pytest.approx(2 * t4.reduce_s)
+        assert t2.total_s > t4.total_s
+
+    def test_phase_times_addition(self):
+        p = PhaseTimes(1.0, 0.5, 2.0) + PhaseTimes(1.0, 0.5, 1.0)
+        assert p.map_s == 2.0
+        assert p.total_s == pytest.approx(6.0)
+
+    def test_row_rendering(self):
+        row = PhaseTimes(1.0, 0.5, 2.0).row()
+        assert row["Total"] == 3.5
+
+
+class TestJobMetrics:
+    def test_serial_phase_times(self):
+        m = JobMetrics(map_task_s=[1, 2], reduce_task_s=[3], shuffle_s=0.5)
+        p = m.serial_phase_times()
+        assert p.map_s == 3
+        assert p.reduce_s == 3
+        assert p.shuffle_s == 0.5
+
+    def test_merge(self):
+        a = JobMetrics(map_task_s=[1.0], shuffle_bytes=10)
+        b = JobMetrics(map_task_s=[2.0], reduce_task_s=[1.0], shuffle_bytes=5)
+        a.merge(b)
+        assert a.map_task_s == [1.0, 2.0]
+        assert a.shuffle_bytes == 15

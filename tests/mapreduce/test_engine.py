@@ -1,0 +1,143 @@
+"""Unit tests for the in-process MapReduce engine."""
+
+import pytest
+
+from repro.mapreduce import C, MapReduceEngine, MapReduceJob, stable_hash
+
+
+class WordCount(MapReduceJob):
+    """The classic job; combiner pre-sums counts."""
+
+    name = "wordcount"
+    has_combiner = True
+
+    def map(self, record):
+        for word in record.split():
+            yield word, 1
+
+    def combine(self, key, values):
+        yield key, sum(values)
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+class NoCombinerJob(MapReduceJob):
+    name = "identity"
+
+    def map(self, record):
+        yield record % 3, record
+
+    def reduce(self, key, values):
+        yield key, sorted(values)
+
+
+LINES = ["a b a", "b c", "a", "c c c"]
+
+
+class TestWordCount:
+    def test_counts(self):
+        result = MapReduceEngine().run(WordCount(), LINES)
+        assert dict(result.output) == {"a": 3, "b": 2, "c": 4}
+
+    def test_counters(self):
+        result = MapReduceEngine().run(WordCount(), LINES)
+        c = result.counters
+        assert c[C.MAP_INPUT_RECORDS] == 4
+        assert c[C.MAP_OUTPUT_RECORDS] == 9
+        assert c[C.MAP_OUTPUT_BYTES] > 0
+        assert c[C.REDUCE_OUTPUT_RECORDS] == 3
+
+    def test_combiner_reduces_shuffle(self):
+        # one split => combiner sums everything; shuffle carries 3 records
+        result = MapReduceEngine(num_map_tasks=1).run(WordCount(), LINES)
+        c = result.counters
+        assert c[C.COMBINE_OUTPUT_RECORDS] == 3
+        assert c[C.SHUFFLE_BYTES] < c[C.MAP_OUTPUT_BYTES]
+
+    def test_result_independent_of_split_count(self):
+        results = [
+            sorted(MapReduceEngine(num_map_tasks=m, num_reduce_tasks=r)
+                   .run(WordCount(), LINES).output)
+            for m, r in [(1, 1), (2, 3), (8, 8), (50, 2)]
+        ]
+        assert all(r == results[0] for r in results)
+
+    def test_empty_input(self):
+        result = MapReduceEngine().run(WordCount(), [])
+        assert result.output == []
+        assert result.counters[C.MAP_INPUT_RECORDS] == 0
+
+
+class TestEngineMechanics:
+    def test_no_combiner_passthrough(self):
+        result = MapReduceEngine(num_map_tasks=2).run(
+            NoCombinerJob(), list(range(7))
+        )
+        as_dict = dict(result.output)
+        assert as_dict[0] == [0, 3, 6]
+        assert as_dict[1] == [1, 4]
+        assert result.counters[C.COMBINE_OUTPUT_RECORDS] == 0
+        # identity shuffle: bytes equal map output bytes
+        assert (
+            result.counters[C.SHUFFLE_BYTES]
+            == result.counters[C.MAP_OUTPUT_BYTES]
+        )
+
+    def test_metrics_have_task_entries(self):
+        result = MapReduceEngine(num_map_tasks=3, num_reduce_tasks=2).run(
+            WordCount(), LINES
+        )
+        assert len(result.metrics.map_task_s) == 3
+        assert len(result.metrics.reduce_task_s) == 2
+        assert all(t >= 0 for t in result.metrics.map_task_s)
+
+    def test_more_tasks_than_records(self):
+        result = MapReduceEngine(num_map_tasks=100).run(WordCount(), LINES)
+        assert len(result.metrics.map_task_s) == 4  # capped at record count
+
+    def test_invalid_task_counts(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(num_map_tasks=0)
+        with pytest.raises(ValueError):
+            MapReduceEngine(num_reduce_tasks=0)
+
+    def test_reduce_sees_sorted_keys_per_partition(self):
+        seen = []
+
+        class Probe(MapReduceJob):
+            def map(self, record):
+                yield record, 1
+
+            def reduce(self, key, values):
+                seen.append(key)
+                yield key, len(values)
+
+        MapReduceEngine(num_reduce_tasks=1).run(Probe(), [5, 3, 9, 1])
+        assert seen == [1, 3, 5, 9]
+
+
+class TestStableHash:
+    def test_deterministic_for_strings(self):
+        assert stable_hash("pivot") == stable_hash("pivot")
+
+    def test_types(self):
+        assert isinstance(stable_hash(42), int)
+        assert isinstance(stable_hash((1, 2, 3)), int)
+        assert isinstance(stable_hash(b"xy"), int)
+
+    def test_distinguishes_tuples(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_negative_ints(self):
+        assert stable_hash(-1) != stable_hash(1)
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(TypeError):
+            stable_hash(3.14)
+
+    def test_known_stability(self):
+        # guards against accidental algorithm changes breaking partition
+        # layout reproducibility across runs
+        assert stable_hash("a") % 8 == stable_hash("a") % 8
+        assert stable_hash((0, 1)) == stable_hash((0, 1))

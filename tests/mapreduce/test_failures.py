@@ -1,0 +1,157 @@
+"""Fault-tolerance tests: injected failures must be invisible in results."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Lash, MiningParams
+from repro.mapreduce import (
+    C,
+    FailurePlan,
+    MapReduceEngine,
+    TaskRetriesExceededError,
+)
+from repro.mapreduce.job import MapReduceJob
+
+
+class WordCount(MapReduceJob):
+    name = "wordcount"
+    has_combiner = True
+
+    def map(self, record):
+        for word in record:
+            yield word, 1
+
+    def combine(self, key, values):
+        yield key, sum(values)
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+RECORDS = [("a", "b"), ("b",), ("a", "a", "c"), ("c", "b")] * 5
+
+
+def run(engine):
+    result = engine.run(WordCount(), RECORDS)
+    return dict(result.output), result
+
+
+class TestFailurePlanValidation:
+    def test_probability_range(self):
+        with pytest.raises(ValueError):
+            FailurePlan(probability=1.5)
+
+    def test_max_attempts_positive(self):
+        with pytest.raises(ValueError):
+            FailurePlan(max_attempts=0)
+
+    def test_should_fail_planned(self):
+        plan = FailurePlan(map_failures={1: 2})
+        assert plan.should_fail("map", 1, 0)
+        assert plan.should_fail("map", 1, 1)
+        assert not plan.should_fail("map", 1, 2)
+        assert not plan.should_fail("map", 0, 0)
+        assert not plan.should_fail("reduce", 1, 0)
+
+    def test_crash_point_deterministic_and_bounded(self):
+        plan = FailurePlan(probability=1.0, seed=3)
+        a = plan.crash_point("map", 0, 0, 100)
+        b = plan.crash_point("map", 0, 0, 100)
+        assert a == b
+        assert 0 <= a < 100
+        assert plan.crash_point("map", 0, 0, 0) == 0
+
+
+class TestFailuresInvisibleInResults:
+    def test_output_identical_with_map_failures(self):
+        clean, clean_result = run(MapReduceEngine(4, 2))
+        plan = FailurePlan(map_failures={0: 1, 2: 3}, max_attempts=4)
+        failed, failed_result = run(MapReduceEngine(4, 2, failure_plan=plan))
+        assert failed == clean
+
+    def test_output_identical_with_reduce_failures(self):
+        clean, _ = run(MapReduceEngine(4, 2))
+        plan = FailurePlan(reduce_failures={0: 2, 1: 1})
+        failed, _ = run(MapReduceEngine(4, 2, failure_plan=plan))
+        assert failed == clean
+
+    def test_logical_counters_not_double_counted(self):
+        _, clean = run(MapReduceEngine(4, 2))
+        plan = FailurePlan(map_failures={0: 2}, reduce_failures={1: 1})
+        _, failed = run(MapReduceEngine(4, 2, failure_plan=plan))
+        for counter in (
+            C.MAP_INPUT_RECORDS,
+            C.MAP_OUTPUT_RECORDS,
+            C.MAP_OUTPUT_BYTES,
+            C.SHUFFLE_BYTES,
+            C.REDUCE_INPUT_RECORDS,
+            C.REDUCE_OUTPUT_RECORDS,
+        ):
+            assert failed.counters[counter] == clean.counters[counter], counter
+
+    def test_failure_bookkeeping(self):
+        plan = FailurePlan(map_failures={0: 2}, reduce_failures={1: 1})
+        _, result = run(MapReduceEngine(4, 2, failure_plan=plan))
+        assert result.counters[C.FAILED_MAP_TASKS] == 2
+        assert result.counters[C.FAILED_REDUCE_TASKS] == 1
+        assert len(result.metrics.failed_map_task_s) == 2
+        assert len(result.metrics.failed_reduce_task_s) == 1
+        assert result.metrics.wasted_s() >= 0.0
+
+    def test_successful_task_profile_unpolluted(self):
+        plan = FailurePlan(map_failures={0: 3})
+        _, result = run(MapReduceEngine(4, 2, failure_plan=plan))
+        assert len(result.metrics.map_task_s) == 4
+        assert len(result.metrics.reduce_task_s) == 2
+
+
+class TestRetryExhaustion:
+    def test_permanent_failure_raises(self):
+        plan = FailurePlan(map_failures={0: 99}, max_attempts=4)
+        engine = MapReduceEngine(2, 2, failure_plan=plan)
+        with pytest.raises(TaskRetriesExceededError) as info:
+            engine.run(WordCount(), RECORDS)
+        assert info.value.phase == "map"
+        assert info.value.attempts == 4
+
+    def test_probability_one_always_fails(self):
+        plan = FailurePlan(probability=1.0, max_attempts=3)
+        engine = MapReduceEngine(2, 2, failure_plan=plan)
+        with pytest.raises(TaskRetriesExceededError):
+            engine.run(WordCount(), RECORDS)
+
+
+class TestLashUnderFailures:
+    def test_mining_result_unchanged(self, fig1_database, fig1_hierarchy):
+        params = MiningParams(2, 1, 3)
+        clean = Lash(params).mine(fig1_database, fig1_hierarchy)
+        plan = FailurePlan(
+            map_failures={0: 1, 3: 2}, reduce_failures={2: 1}
+        )
+        failed = Lash(params, failure_plan=plan).mine(
+            fig1_database, fig1_hierarchy
+        )
+        assert failed.decoded() == clean.decoded()
+        total = failed.total_metrics()
+        assert len(total.failed_map_task_s) >= 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    probability=st.floats(0.0, 0.6),
+    seed=st.integers(0, 10**6),
+)
+def test_random_failures_never_change_output(probability, seed):
+    """With max_attempts high enough, any random plan yields clean output."""
+    clean, _ = run(MapReduceEngine(4, 3))
+    plan = FailurePlan(probability=probability, seed=seed, max_attempts=50)
+    failed, result = run(MapReduceEngine(4, 3, failure_plan=plan))
+    assert failed == clean
+    failures = (
+        result.counters[C.FAILED_MAP_TASKS]
+        + result.counters[C.FAILED_REDUCE_TASKS]
+    )
+    assert failures == len(result.metrics.failed_map_task_s) + len(
+        result.metrics.failed_reduce_task_s
+    )

@@ -1,0 +1,126 @@
+"""Unit tests for the SPAM-style bitmap miner."""
+
+import pytest
+
+from repro import BruteForceMiner, MiningParams, SpamMiner
+from repro.constants import BLANK
+from repro.core import build_partitions
+
+
+@pytest.fixture
+def V(fig1_vocabulary):
+    return fig1_vocabulary
+
+
+def enc(V, *names):
+    return tuple(V.id(n) if n != "_" else BLANK for n in names)
+
+
+def decode(V, mined):
+    return {tuple(V.name(i) for i in s): f for s, f in mined.items()}
+
+
+class TestSpamBasics:
+    PARAMS = MiningParams(sigma=2, gamma=1, lam=3)
+
+    def test_only_pivot_sequences_output(self, V):
+        partition = {enc(V, "a", "c", "a", "c"): 2}
+        got = SpamMiner(V, self.PARAMS).mine_partition(partition, V.id("c"))
+        assert got
+        for seq in got:
+            assert max(seq) == V.id("c")
+
+    def test_empty_partition(self, V):
+        assert SpamMiner(V, self.PARAMS).mine_partition({}, V.id("c")) == {}
+
+    def test_weights_counted(self, V):
+        params = MiningParams(sigma=3, gamma=0, lam=2)
+        partition = {enc(V, "a", "c"): 3}
+        got = decode(V, SpamMiner(V, params).mine_partition(partition, V.id("c")))
+        assert got == {("a", "c"): 3}
+
+    def test_respects_lambda(self, V):
+        params = MiningParams(sigma=1, gamma=0, lam=2)
+        partition = {enc(V, "a", "a", "c"): 1}
+        got = SpamMiner(V, params).mine_partition(partition, V.id("c"))
+        assert got and all(len(s) <= 2 for s in got)
+
+    def test_hierarchy_expansion(self, V):
+        """b1 occurrences must support B-level extensions and vice versa."""
+        params = MiningParams(sigma=2, gamma=0, lam=2)
+        partition = {enc(V, "a", "b1"): 1, enc(V, "a", "b2"): 1}
+        got = decode(V, SpamMiner(V, params).mine_partition(partition, V.id("B")))
+        assert got == {("a", "B"): 2}
+
+
+class TestSpamGapSemantics:
+    def test_blanks_count_toward_gap(self, V):
+        params = MiningParams(sigma=1, gamma=0, lam=2)
+        partition = {enc(V, "a", "_", "c"): 1}
+        got = SpamMiner(V, params).mine_partition(partition, V.id("c"))
+        assert decode(V, got) == {}
+
+    def test_gap_window_bounded(self, V):
+        params = MiningParams(sigma=1, gamma=1, lam=2)
+        partition = {enc(V, "a", "_", "c"): 1}
+        got = decode(V, SpamMiner(V, params).mine_partition(partition, V.id("c")))
+        assert got == {("a", "c"): 1}
+
+    def test_unbounded_gap(self, V):
+        params = MiningParams(sigma=1, gamma=None, lam=3)
+        partition = {enc(V, "a", "_", "_", "_", "_", "c"): 1}
+        got = decode(V, SpamMiner(V, params).mine_partition(partition, V.id("c")))
+        assert ("a", "c") in got
+
+    def test_no_cross_sequence_leakage(self, V):
+        """Shifted bits from one sequence must not reach the next one."""
+        params = MiningParams(sigma=1, gamma=3, lam=2)
+        # "a" ends sequence 1; "c" starts sequence 2 — never a pattern.
+        partition = {enc(V, "c", "a"): 1, enc(V, "c", "c"): 1}
+        got = decode(V, SpamMiner(V, params).mine_partition(partition, V.id("c")))
+        assert ("a", "c") not in got
+
+    def test_gap_pruning_disabled_with_bounded_gamma(self, V):
+        """a·B·c at γ=0 is frequent while a·c is not: after a·c fails, the
+        c-extension must still be retried on the child a·B (classic S-step
+        pruning would drop it and lose a·B·c)."""
+        params = MiningParams(sigma=1, gamma=0, lam=3)
+        partition = {enc(V, "a", "B", "c"): 1}
+        got = decode(
+            V, SpamMiner(V, params).mine_partition(partition, V.id("c"))
+        )
+        assert ("a", "B", "c") in got
+        assert ("a", "c") not in got
+
+
+class TestSpamAgreement:
+    @pytest.mark.parametrize("gamma", [0, 1, 2, None])
+    def test_matches_brute_on_paper_partitions(self, V, fig1_database, gamma):
+        params = MiningParams(sigma=2, gamma=gamma, lam=3)
+        encoded = [V.encode_sequence(t) for t in fig1_database]
+        partitions = build_partitions(V, encoded, params)
+        for pivot, partition in partitions.items():
+            spam = SpamMiner(V, params).mine_partition(partition, pivot)
+            brute = BruteForceMiner(V, params).mine_partition(partition, pivot)
+            assert spam == brute, V.name(pivot)
+
+    def test_stats_track_candidates_and_outputs(self, V):
+        params = MiningParams(sigma=1, gamma=1, lam=3)
+        partition = {enc(V, "a", "c", "a"): 1}
+        miner = SpamMiner(V, params)
+        got = miner.mine_partition(partition, V.id("c"))
+        assert miner.stats.outputs == len(got)
+        assert miner.stats.candidates >= miner.stats.outputs
+
+
+class TestSpamInLash:
+    def test_lash_with_spam_matches_psm(self, fig1_database, fig1_hierarchy):
+        from repro import Lash
+
+        params = MiningParams(sigma=2, gamma=1, lam=3)
+        psm = Lash(params, local_miner="psm").mine(fig1_database, fig1_hierarchy)
+        spam = Lash(params, local_miner="spam").mine(
+            fig1_database, fig1_hierarchy
+        )
+        assert psm.decoded() == spam.decoded()
+        assert spam.algorithm == "lash[spam]"

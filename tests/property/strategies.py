@@ -1,0 +1,62 @@
+"""Hypothesis strategies for random hierarchies, databases and parameters."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import Hierarchy, SequenceDatabase
+
+
+@st.composite
+def forest_hierarchies(draw, max_items: int = 8):
+    """A random forest: item k's parent (if any) is an earlier item."""
+    n = draw(st.integers(min_value=2, max_value=max_items))
+    names = [f"i{k}" for k in range(n)]
+    h = Hierarchy()
+    for idx, name in enumerate(names):
+        parent = None
+        if idx > 0 and draw(st.booleans()):
+            parent = names[draw(st.integers(0, idx - 1))]
+        h.add_item(name, parent)
+    return h
+
+
+@st.composite
+def dag_hierarchies(draw, max_items: int = 7):
+    """A random DAG: items may get a second parent among earlier items."""
+    h = draw(forest_hierarchies(max_items=max_items))
+    names = list(h.items)
+    for idx in range(2, len(names)):
+        if draw(st.booleans()) and draw(st.booleans()):
+            candidate = names[draw(st.integers(0, idx - 1))]
+            if candidate not in h.ancestors_or_self(names[idx]):
+                h.add_edge(names[idx], candidate)
+    return h
+
+
+@st.composite
+def databases_over(draw, hierarchy: Hierarchy, max_sequences: int = 8,
+                   max_length: int = 6):
+    names = list(hierarchy.items)
+    n_seqs = draw(st.integers(min_value=1, max_value=max_sequences))
+    sequences = [
+        [
+            names[draw(st.integers(0, len(names) - 1))]
+            for _ in range(draw(st.integers(1, max_length)))
+        ]
+        for _ in range(n_seqs)
+    ]
+    return SequenceDatabase(sequences)
+
+
+@st.composite
+def mining_instances(draw, hierarchy_strategy=None):
+    """(hierarchy, database, sigma, gamma, lam) tuples, kept small."""
+    if hierarchy_strategy is None:
+        hierarchy_strategy = forest_hierarchies()
+    hierarchy = draw(hierarchy_strategy)
+    database = draw(databases_over(hierarchy))
+    sigma = draw(st.integers(1, 3))
+    gamma = draw(st.sampled_from([0, 1, 2, None]))
+    lam = draw(st.integers(2, 4))
+    return hierarchy, database, sigma, gamma, lam

@@ -1,0 +1,116 @@
+"""Property tests for the paper's structural invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MiningParams, build_vocabulary
+from repro.constants import BLANK
+from repro.core.rewrite import rewrite_for_pivot
+from repro.sequence.encoding import decode_sequence, encode_sequence
+from repro.sequence.generate import generalized_subsequences, pivot_subsequences
+from repro.sequence.subsequence import is_generalized_subsequence, support
+from tests.property.strategies import (
+    databases_over,
+    forest_hierarchies,
+    mining_instances,
+)
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@SETTINGS
+@given(mining_instances())
+def test_rewrites_are_w_equivalent(instance):
+    """Lemma 3 extended to the full pipeline: G_{w,λ}(T) = G_{w,λ}(P_w(T))."""
+    hierarchy, database, sigma, gamma, lam = instance
+    params = MiningParams(sigma, gamma, lam)
+    vocabulary = build_vocabulary(database, hierarchy)
+    for sequence in database:
+        encoded = vocabulary.encode_sequence(sequence)
+        for pivot in range(len(vocabulary)):
+            expected = pivot_subsequences(vocabulary, encoded, gamma, lam, pivot)
+            rewritten = rewrite_for_pivot(vocabulary, encoded, pivot, params)
+            got = (
+                set()
+                if rewritten is None
+                else pivot_subsequences(vocabulary, rewritten, gamma, lam, pivot)
+            )
+            assert got == expected, (sequence, vocabulary.name(pivot))
+
+
+@SETTINGS
+@given(mining_instances())
+def test_support_monotonicity(instance):
+    """Lemma 1: S1 ⊑γ S2 implies f(S1) ≥ f(S2).
+
+    Checked for the two generalization moves that build ⊑: dropping an item
+    and generalizing an item to its parent.
+    """
+    hierarchy, database, sigma, gamma, lam = instance
+    vocabulary = build_vocabulary(database, hierarchy)
+    encoded = [vocabulary.encode_sequence(t) for t in database]
+    patterns = set()
+    for sequence in encoded[:3]:
+        patterns |= generalized_subsequences(vocabulary, sequence, gamma, lam)
+    for pattern in list(patterns)[:30]:
+        freq = support(vocabulary, pattern, encoded, gamma)
+        if len(pattern) > 1:
+            # dropping edge items preserves ⊑γ (interior drops do not, as
+            # they would shrink a constrained gap)
+            assert support(vocabulary, pattern[1:], encoded, gamma) >= freq
+            assert support(vocabulary, pattern[:-1], encoded, gamma) >= freq
+        for i, item in enumerate(pattern):
+            for parent in vocabulary.parent_ids(item):
+                general = pattern[:i] + (parent,) + pattern[i + 1 :]
+                assert support(vocabulary, general, encoded, gamma) >= freq
+
+
+@SETTINGS
+@given(mining_instances())
+def test_output_frequencies_are_true_supports(instance):
+    """Every mined (pattern, frequency) matches a direct support count."""
+    from repro import Lash
+
+    hierarchy, database, sigma, gamma, lam = instance
+    params = MiningParams(sigma, gamma, lam)
+    result = Lash(params).mine(database, hierarchy)
+    encoded = [
+        result.vocabulary.encode_sequence(t) for t in database
+    ]
+    for pattern, freq in result.patterns.items():
+        assert support(result.vocabulary, pattern, encoded, gamma) == freq
+        assert freq >= sigma
+        assert 2 <= len(pattern) <= lam
+
+
+@SETTINGS
+@given(forest_hierarchies(), st.data())
+def test_order_respects_hierarchy(hierarchy, data):
+    """w2 → w1 implies id(w1) < id(w2) for random forests."""
+    database = data.draw(databases_over(hierarchy))
+    vocabulary = build_vocabulary(database, hierarchy)
+    for item_id in range(len(vocabulary)):
+        for ancestor in vocabulary.ancestors(item_id):
+            assert ancestor < item_id
+
+
+@SETTINGS
+@given(
+    st.lists(
+        st.one_of(st.integers(0, 300), st.just(BLANK)), max_size=30
+    ).map(tuple)
+)
+def test_sequence_codec_roundtrip(sequence):
+    decoded, offset = decode_sequence(encode_sequence(sequence))
+    assert decoded == sequence
+
+
+@SETTINGS
+@given(mining_instances())
+def test_subsequence_reflexivity_and_empty(instance):
+    hierarchy, database, _, gamma, _ = instance
+    vocabulary = build_vocabulary(database, hierarchy)
+    for sequence in database:
+        encoded = vocabulary.encode_sequence(sequence)
+        assert is_generalized_subsequence(vocabulary, encoded, encoded, gamma)
+        assert is_generalized_subsequence(vocabulary, (), encoded, gamma)

@@ -1,0 +1,259 @@
+"""Pattern index and wildcard search (repro.query.index).
+
+All expectations derive from the paper's Fig. 1 example mined with
+σ=2, γ=1, λ=3, whose output the paper lists explicitly:
+aa:2, ab1:2, b1a:2, aB:3, Ba:2, aBc:2, Bc:2, ac:2, b1D:2, BD:2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PatternIndex, Q, mine
+from repro.errors import InvalidParameterError, UnknownItemError
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    from tests.conftest import paper_database, paper_hierarchy
+
+    return mine(
+        paper_database(), paper_hierarchy(), sigma=2, gamma=1, lam=3
+    )
+
+
+@pytest.fixture(scope="module")
+def index(fig1_result):
+    return PatternIndex.from_result(fig1_result)
+
+
+def renders(matches):
+    return {m.render() for m in matches}
+
+
+# ----------------------------------------------------------------------
+# exact and wildcard search
+# ----------------------------------------------------------------------
+
+
+def test_exact_match(index):
+    matches = index.search("a B")
+    assert [(m.render(), m.frequency) for m in matches] == [("a B", 3)]
+
+
+def test_any_token(index):
+    assert renders(index.search("a ?")) == {"a a", "a b1", "a B", "a c"}
+
+
+def test_span_token(index):
+    assert renders(index.search("a *")) == {
+        "a a", "a b1", "a B", "a c", "a B c",
+    }
+
+
+def test_span_vs_any_in_the_middle(index):
+    assert renders(index.search("a * c")) == {"a c", "a B c"}
+    assert renders(index.search("a ? c")) == {"a B c"}
+
+
+def test_plus_token(index):
+    # no length-1 patterns exist, so "a +" equals "a *" here
+    assert renders(index.search("a +")) == renders(index.search("a *"))
+    # but "+" alone must not match an empty span
+    assert renders(index.search("a + c")) == {"a B c"}
+
+
+def test_under_token_matches_descendants(index):
+    assert renders(index.search("^B a")) == {"b1 a", "B a"}
+    assert renders(index.search("^B ?")) == {
+        "B a", "b1 a", "B c", "B D", "b1 D",
+    }
+
+
+def test_under_token_includes_self_only_when_indexed(index):
+    # ^D in last slot: D itself (no d1/d2 patterns are frequent)
+    assert renders(index.search("? ^D")) == {"b1 D", "B D"}
+
+
+def test_trailing_span_matches_suffix(index):
+    assert renders(index.search("* D")) == {"b1 D", "B D"}
+
+
+def test_wildcard_only_queries(index):
+    assert len(index.search("? ?")) == 9
+    assert len(index.search("? ? ?")) == 1
+    assert len(index.search("*")) == 10
+    assert len(index.search("+")) == 10
+    assert index.search("? ? ? ?") == []
+
+
+def test_results_ordered_by_frequency_then_text(index):
+    matches = index.search("a ?")
+    assert matches[0].render() == "a B"  # frequency 3 beats the 2s
+    tail = [m.render() for m in matches[1:]]
+    assert tail == sorted(tail)
+
+
+def test_limit(index):
+    assert len(index.search("? ?", limit=3)) == 3
+
+
+def test_unknown_item_raises(index):
+    with pytest.raises(UnknownItemError):
+        index.search("a zz")
+
+
+def test_programmatic_query(index):
+    matches = index.search([Q.item("a"), Q.under("B")])
+    assert renders(matches) == {"a b1", "a B"}
+
+
+# ----------------------------------------------------------------------
+# aggregation helpers
+# ----------------------------------------------------------------------
+
+
+def test_count_and_total_frequency(index):
+    assert index.count("a ?") == 4
+    assert index.total_frequency("a ?") == 2 + 2 + 3 + 2
+
+
+def test_slot_fillers(index):
+    fillers = index.slot_fillers("a ?", 1)
+    assert fillers[0] == ("B", 3)
+    assert set(fillers) == {("B", 3), ("a", 2), ("b1", 2), ("c", 2)}
+    # ties are ordered alphabetically after frequency
+    assert [name for name, _ in fillers[1:]] == ["a", "b1", "c"]
+
+
+def test_slot_fillers_rejects_span(index):
+    with pytest.raises(InvalidParameterError):
+        index.slot_fillers("a *", 1)
+    with pytest.raises(InvalidParameterError):
+        index.slot_fillers("a +", 1)
+
+
+def test_slot_fillers_rejects_bad_slot(index):
+    with pytest.raises(InvalidParameterError):
+        index.slot_fillers("a ?", 2)
+    with pytest.raises(InvalidParameterError):
+        index.slot_fillers("a ?", -1)
+
+
+# ----------------------------------------------------------------------
+# hierarchy navigation
+# ----------------------------------------------------------------------
+
+
+def test_generalizations_of(index):
+    assert renders(index.generalizations_of(("a", "b1"))) == {"a b1", "a B"}
+    # b11 itself was never frequent, but its generalizations were
+    assert renders(index.generalizations_of(("a", "b11"))) == {"a b1", "a B"}
+
+
+def test_specializations_of(index):
+    assert renders(index.specializations_of(("a", "B"))) == {"a b1", "a B"}
+    assert renders(index.specializations_of(("B", "D"))) == {"B D", "b1 D"}
+
+
+def test_generalizations_respect_length(index):
+    assert index.generalizations_of(("a", "B", "c", "c")) == []
+
+
+# ----------------------------------------------------------------------
+# container protocol
+# ----------------------------------------------------------------------
+
+
+def test_len_iter_contains(index, fig1_result):
+    assert len(index) == len(fig1_result.patterns) == 10
+    assert sum(1 for _ in index) == 10
+    assert ("a", "B") in index
+    assert ("a", "zz") not in index
+    assert ("a", "B", "c", "c") not in index
+
+
+def test_frequency_accessor(index):
+    assert index.frequency("a", "B") == 3
+    assert index.frequency("B", "B") == 0
+    assert index.frequency("zz") == 0  # unknown names are absent, not errors
+
+
+def test_top(index):
+    top = index.top(3)
+    assert top[0].render() == "a B" and top[0].frequency == 3
+    assert len(top) == 3
+    assert len(index.top(100)) == 10
+
+
+def test_iteration_order_most_frequent_first(index):
+    frequencies = [m.frequency for m in index]
+    assert frequencies == sorted(frequencies, reverse=True)
+
+
+def test_query_match_repr(index):
+    match = index.search("a B")[0]
+    assert "a B" in repr(match) and "3" in repr(match)
+
+
+# ----------------------------------------------------------------------
+# reference matcher cross-check
+# ----------------------------------------------------------------------
+
+
+def _reference_match(tokens, pattern, vocabulary):
+    """Obviously-correct recursive matcher used to validate the DP."""
+    from repro.query.tokens import (
+        AnyToken,
+        ItemToken,
+        PlusToken,
+        SpanToken,
+        UnderToken,
+    )
+
+    if not tokens:
+        return not pattern
+    head, rest = tokens[0], tokens[1:]
+    if isinstance(head, SpanToken):
+        return any(
+            _reference_match(rest, pattern[k:], vocabulary)
+            for k in range(len(pattern) + 1)
+        )
+    if isinstance(head, PlusToken):
+        return any(
+            _reference_match(rest, pattern[k:], vocabulary)
+            for k in range(1, len(pattern) + 1)
+        )
+    if not pattern:
+        return False
+    item = pattern[0]
+    if isinstance(head, AnyToken):
+        ok = True
+    elif isinstance(head, ItemToken):
+        ok = item == vocabulary.id(head.name)
+    else:
+        ok = vocabulary.generalizes_to(item, vocabulary.id(head.name))
+    return ok and _reference_match(rest, pattern[1:], vocabulary)
+
+
+def test_dp_matcher_agrees_with_reference(index, fig1_result):
+    """Exhaustive cross-check over a systematic query battery."""
+    from itertools import product
+
+    from repro.query.tokens import normalize_query
+
+    vocabulary = fig1_result.vocabulary
+    alphabet = ["a", "^B", "?", "*", "+", "c", "^D"]
+    for length in (1, 2, 3):
+        for combo in product(alphabet, repeat=length):
+            tokens = normalize_query(" ".join(combo))
+            expected = {
+                pattern
+                for pattern in fig1_result.patterns
+                if _reference_match(tokens, pattern, vocabulary)
+            }
+            got = {
+                vocabulary.encode_sequence(m.pattern)
+                for m in index.search(tokens)
+            }
+            assert got == expected, combo

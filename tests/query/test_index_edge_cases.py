@@ -1,0 +1,116 @@
+"""Edge cases for the pattern index: empty results, flat vocabularies,
+items outside the hierarchy, duplicate tokens, deep descendant closures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hierarchy, PatternIndex, Q, SequenceDatabase, mine
+from repro.hierarchy import build_vocabulary
+
+
+@pytest.fixture()
+def empty_index(fig1_database, fig1_hierarchy):
+    # sigma above |D| -> empty output
+    result = mine(fig1_database, fig1_hierarchy, sigma=100, gamma=1, lam=3)
+    assert len(result.patterns) == 0
+    return PatternIndex.from_result(result)
+
+
+def test_empty_index_basics(empty_index):
+    assert len(empty_index) == 0
+    assert list(empty_index) == []
+    assert empty_index.top(5) == []
+    assert empty_index.search("a ?") == []
+    assert empty_index.search("*") == []
+    assert empty_index.count("?") == 0
+    assert empty_index.total_frequency("?") == 0
+
+
+def test_empty_index_slot_fillers(empty_index):
+    assert empty_index.slot_fillers("a ?", 1) == []
+
+
+def test_empty_index_navigation(empty_index):
+    assert empty_index.generalizations_of(("a", "B")) == []
+    assert empty_index.specializations_of(("a", "B")) == []
+
+
+def test_flat_vocabulary_under_equals_item(fig1_database):
+    """Without hierarchy edges, ^name degenerates to an exact match."""
+    result = mine(fig1_database, None, sigma=2, gamma=1, lam=3)
+    index = PatternIndex.from_result(result)
+    assert index.search("^a ?") == index.search("a ?")
+
+
+def test_deep_descendant_closure():
+    """^root must match items any number of levels below."""
+    h = Hierarchy()
+    h.add_item("root")
+    h.add_item("mid", "root")
+    h.add_item("leaf", "mid")
+    h.add_item("x")
+    db = SequenceDatabase([["x", "leaf"]] * 3 + [["x", "mid"]] * 2)
+    result = mine(db, h, sigma=2, gamma=0, lam=2)
+    index = PatternIndex.from_result(result)
+    renders = {m.render() for m in index.search("x ^root")}
+    assert renders == {"x leaf", "x mid", "x root"}
+    # ^mid excludes the root itself
+    renders_mid = {m.render() for m in index.search("x ^mid")}
+    assert renders_mid == {"x leaf", "x mid"}
+
+
+def test_repeated_under_tokens():
+    h = Hierarchy()
+    h.add_item("A")
+    h.add_item("a1", "A")
+    db = SequenceDatabase([["a1", "a1"]] * 3)
+    result = mine(db, h, sigma=2, gamma=0, lam=2)
+    index = PatternIndex.from_result(result)
+    assert index.count("^A ^A") == len(result.patterns)
+
+
+def test_query_longer_than_any_pattern(fig1_database, fig1_hierarchy):
+    result = mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+    index = PatternIndex.from_result(result)
+    assert index.search("a ? ? ? ? ?") == []
+    # but a span-padded long query can still match short patterns
+    assert index.count("* a * B *") > 0
+
+
+def test_consecutive_spans(fig1_database, fig1_hierarchy):
+    """Adjacent '*' tokens are redundant but must not break matching."""
+    result = mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+    index = PatternIndex.from_result(result)
+    assert {m.render() for m in index.search("* * D")} == {
+        m.render() for m in index.search("* D")
+    }
+
+
+def test_plus_vs_span_on_boundary(fig1_database, fig1_hierarchy):
+    result = mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+    index = PatternIndex.from_result(result)
+    with_span = {m.render() for m in index.search("a B *")}
+    with_plus = {m.render() for m in index.search("a B +")}
+    assert "a B" in with_span
+    assert "a B" not in with_plus
+    assert with_plus < with_span
+
+
+def test_index_accepts_raw_patterns_and_vocabulary(fig1_database,
+                                                   fig1_hierarchy):
+    vocabulary = build_vocabulary(fig1_database, fig1_hierarchy)
+    patterns = {
+        vocabulary.encode_sequence(("a", "B")): 3,
+        vocabulary.encode_sequence(("a", "c")): 2,
+    }
+    index = PatternIndex(patterns, vocabulary)
+    assert index.frequency("a", "B") == 3
+    assert index.count("a ?") == 2
+
+
+def test_programmatic_mixed_query(fig1_database, fig1_hierarchy):
+    result = mine(fig1_database, fig1_hierarchy, sigma=2, gamma=1, lam=3)
+    index = PatternIndex.from_result(result)
+    matches = index.search((Q.span(), Q.under("D")))
+    assert {m.render() for m in matches} == {"b1 D", "B D"}

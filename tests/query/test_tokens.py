@@ -1,0 +1,99 @@
+"""Query language parsing (repro.query.tokens)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.query import (
+    AnyToken,
+    ItemToken,
+    PlusToken,
+    Q,
+    SpanToken,
+    UnderToken,
+    parse_query,
+)
+from repro.query.tokens import normalize_query
+
+
+def test_parse_plain_items():
+    assert parse_query("a b c") == (
+        ItemToken("a"),
+        ItemToken("b"),
+        ItemToken("c"),
+    )
+
+
+def test_parse_wildcards():
+    assert parse_query("? * +") == (AnyToken(), SpanToken(), PlusToken())
+
+
+def test_parse_under():
+    assert parse_query("^NOUN lives") == (
+        UnderToken("NOUN"),
+        ItemToken("lives"),
+    )
+
+
+def test_parse_mixed_whitespace():
+    assert parse_query("  the   ^ADJ\t? ") == (
+        ItemToken("the"),
+        UnderToken("ADJ"),
+        AnyToken(),
+    )
+
+
+def test_parse_empty_rejected():
+    with pytest.raises(InvalidParameterError):
+        parse_query("   ")
+
+
+def test_parse_bare_caret_rejected():
+    with pytest.raises(InvalidParameterError):
+        parse_query("the ^ house")
+
+
+def test_q_constructors_equal_parsed():
+    assert (Q.item("x"), Q.under("y"), Q.any(), Q.plus(), Q.span()) == (
+        parse_query("x ^y ? + *")
+    )
+
+
+def test_q_escapes_special_names():
+    """Items literally named '?' are only expressible through Q."""
+    token = Q.item("?")
+    assert token == ItemToken("?")
+    assert parse_query("?") != (token,)
+
+
+def test_tokens_hashable_and_comparable():
+    assert len({Q.any(), Q.any(), Q.span(), Q.plus()}) == 3
+    assert Q.under("x") != Q.item("x")
+
+
+def test_normalize_accepts_string_token_and_sequence():
+    assert normalize_query("a ?") == (ItemToken("a"), AnyToken())
+    assert normalize_query(Q.any()) == (AnyToken(),)
+    assert normalize_query([Q.item("a"), Q.span()]) == (
+        ItemToken("a"),
+        SpanToken(),
+    )
+
+
+def test_normalize_rejects_empty_sequence():
+    with pytest.raises(InvalidParameterError):
+        normalize_query([])
+
+
+def test_normalize_rejects_non_tokens():
+    with pytest.raises(InvalidParameterError):
+        normalize_query(["a", "b"])  # raw strings are not tokens
+
+
+def test_token_reprs_roundtrip_visually():
+    assert repr(Q.under("ADJ")) == "UnderToken('ADJ')"
+    assert repr(Q.item("the")) == "ItemToken('the')"
+    assert repr(Q.any()) == "AnyToken()"
+    assert repr(Q.span()) == "SpanToken()"
+    assert repr(Q.plus()) == "PlusToken()"

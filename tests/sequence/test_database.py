@@ -1,0 +1,89 @@
+"""Unit tests for SequenceDatabase / EncodedDatabase."""
+
+import pytest
+
+from repro.sequence import SequenceDatabase
+
+
+class TestConstruction:
+    def test_from_lists(self):
+        db = SequenceDatabase([["a", "b"], ["c"]])
+        assert len(db) == 2
+        assert db[0] == ("a", "b")
+
+    def test_from_strings(self):
+        db = SequenceDatabase.from_strings(["a b c", "", "d e"])
+        assert len(db) == 2
+        assert db[1] == ("d", "e")
+
+    def test_file_roundtrip(self, tmp_path):
+        db = SequenceDatabase([["a", "b"], ["c", "d", "e"]])
+        path = tmp_path / "db.txt"
+        db.to_file(path)
+        assert SequenceDatabase.from_file(path) == db
+
+    def test_append(self):
+        db = SequenceDatabase()
+        db.append(["x"])
+        assert db[0] == ("x",)
+
+    def test_multiset_semantics(self):
+        db = SequenceDatabase([["a"], ["a"]])
+        assert len(db) == 2
+
+
+class TestSample:
+    def test_full_fraction_is_copy(self):
+        db = SequenceDatabase([["a"], ["b"]])
+        assert len(db.sample(1.0)) == 2
+
+    def test_half_fraction(self):
+        db = SequenceDatabase([["a"]] * 100)
+        assert len(db.sample(0.5)) == 50
+
+    def test_reproducible(self):
+        db = SequenceDatabase([[str(i)] for i in range(50)])
+        assert list(db.sample(0.3, seed=7)) == list(db.sample(0.3, seed=7))
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            SequenceDatabase().sample(0.0)
+        with pytest.raises(ValueError):
+            SequenceDatabase().sample(1.5)
+
+
+class TestStats:
+    def test_fig1_stats(self, fig1_database):
+        s = fig1_database.stats()
+        assert s.num_sequences == 6
+        assert s.max_length == 5
+        assert s.total_items == 4 + 5 + 2 + 4 + 4 + 3
+        assert s.avg_length == pytest.approx(22 / 6)
+        assert s.unique_items == 12
+
+    def test_empty_stats(self):
+        s = SequenceDatabase().stats()
+        assert s.num_sequences == 0
+        assert s.avg_length == 0.0
+        assert s.max_length == 0
+
+    def test_row_rendering(self, fig1_database):
+        row = fig1_database.stats().row()
+        assert row["Sequences"] == 6
+        assert row["Avg length"] == 3.7
+
+
+class TestEncoding:
+    def test_encode_decode_roundtrip(self, fig1_database, fig1_vocabulary):
+        enc = fig1_database.encode(fig1_vocabulary)
+        assert len(enc) == len(fig1_database)
+        assert enc.decode() == fig1_database
+
+    def test_encoded_items_are_ranks(self, fig1_database, fig1_vocabulary):
+        enc = fig1_database.encode(fig1_vocabulary)
+        # T3 = (a, c); a has rank 0, c rank 3
+        assert enc[2] == (0, 3)
+
+    def test_vocabulary_property(self, fig1_database, fig1_vocabulary):
+        enc = fig1_database.encode(fig1_vocabulary)
+        assert enc.vocabulary is fig1_vocabulary

@@ -1,0 +1,87 @@
+"""Unit tests for varint / run-length sequence encoding."""
+
+import pytest
+
+from repro.constants import BLANK
+from repro.errors import EncodingError
+from repro.sequence.encoding import (
+    decode_sequence,
+    decode_uvarint,
+    encode_sequence,
+    encode_uvarint,
+    encoded_size,
+)
+
+
+class TestUvarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**21, 2**40])
+    def test_roundtrip(self, value):
+        data = encode_uvarint(value)
+        got, offset = decode_uvarint(data)
+        assert got == value
+        assert offset == len(data)
+
+    def test_small_values_single_byte(self):
+        assert len(encode_uvarint(0)) == 1
+        assert len(encode_uvarint(127)) == 1
+        assert len(encode_uvarint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_uvarint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_uvarint(b"\x80")
+
+    def test_offset_decoding(self):
+        data = encode_uvarint(5) + encode_uvarint(300)
+        v1, off = decode_uvarint(data, 0)
+        v2, off = decode_uvarint(data, off)
+        assert (v1, v2) == (5, 300)
+
+
+class TestSequenceCodec:
+    @pytest.mark.parametrize(
+        "seq",
+        [
+            (),
+            (0,),
+            (0, 1, 2),
+            (BLANK,),
+            (BLANK, BLANK, BLANK),
+            (5, BLANK, 7),
+            (BLANK, 3, BLANK, BLANK, 4, BLANK),
+            tuple(range(200)),
+        ],
+    )
+    def test_roundtrip(self, seq):
+        data = encode_sequence(seq)
+        got, offset = decode_sequence(data)
+        assert got == seq
+        assert offset == len(data)
+
+    def test_blank_runs_compress(self):
+        long_run = (1,) + (BLANK,) * 50 + (2,)
+        no_run = tuple(range(1, 53))
+        assert encoded_size(long_run) < encoded_size(no_run)
+
+    def test_frequent_items_cost_fewer_bytes(self):
+        # ids are f-list ranks: frequent=small=cheap (paper Sec. 6.1)
+        assert encoded_size((1, 2, 3)) < encoded_size((1000, 2000, 3000))
+
+    def test_invalid_item_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_sequence((-5,))
+
+    def test_concatenated_sequences(self):
+        a, b = (1, BLANK, 2), (3, 4)
+        data = encode_sequence(a) + encode_sequence(b)
+        got_a, off = decode_sequence(data)
+        got_b, off = decode_sequence(data, off)
+        assert (got_a, got_b) == (a, b)
+        assert off == len(data)
+
+    def test_encoded_size_matches(self):
+        seq = (1, BLANK, BLANK, 9)
+        assert encoded_size(seq) == len(encode_sequence(seq))

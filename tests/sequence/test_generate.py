@@ -1,0 +1,123 @@
+"""Unit tests for generalized subsequence enumeration (paper Sec. 3.2)."""
+
+import pytest
+
+from repro.constants import BLANK
+from repro.sequence.generate import (
+    generalized_items,
+    generalized_subsequences,
+    pivot_of,
+    pivot_subsequences,
+)
+
+
+@pytest.fixture
+def V(fig1_vocabulary):
+    return fig1_vocabulary
+
+
+def enc(V, *names):
+    return tuple(V.id(n) for n in names)
+
+
+def decode_all(V, patterns):
+    return {tuple(V.name(i) for i in p) for p in patterns}
+
+
+class TestG1:
+    def test_paper_g1_t4(self, V):
+        """G1(T4) = {b11, a, e, b1, B} (paper Sec. 3.3)."""
+        t4 = enc(V, "b11", "a", "e", "a")
+        got = {V.name(i) for i in generalized_items(V, t4)}
+        assert got == {"b11", "a", "e", "b1", "B"}
+
+    def test_blanks_skipped(self, V):
+        got = generalized_items(V, (V.id("a"), BLANK))
+        assert got == {V.id("a")}
+
+
+class TestG3T4:
+    """The paper's worked example: G3(T4) for T4 = b11 a e a, γ=1, λ=3."""
+
+    PAPER_G3_T4 = {
+        # subsequences
+        ("b11", "a"), ("b11", "e"), ("a", "e"), ("a", "a"), ("e", "a"),
+        ("b11", "a", "e"), ("b11", "a", "a"), ("b11", "e", "a"),
+        ("a", "e", "a"),
+        # generalizations
+        ("b1", "a"), ("b1", "e"), ("b1", "a", "e"), ("b1", "a", "a"),
+        ("b1", "e", "a"), ("B", "a"), ("B", "e"), ("B", "a", "e"),
+        ("B", "a", "a"), ("B", "e", "a"),
+    }
+
+    def test_exact_paper_set(self, V):
+        t4 = enc(V, "b11", "a", "e", "a")
+        got = generalized_subsequences(V, t4, gamma=1, lam=3)
+        assert decode_all(V, got) == self.PAPER_G3_T4
+
+    def test_size_matches_paper(self, V):
+        t4 = enc(V, "b11", "a", "e", "a")
+        assert len(generalized_subsequences(V, t4, gamma=1, lam=3)) == 19
+
+
+class TestEnumeration:
+    def test_length_bounds(self, V):
+        t = enc(V, "a", "c", "a", "c")
+        for s in generalized_subsequences(V, t, gamma=None, lam=3):
+            assert 2 <= len(s) <= 3
+
+    def test_min_length_one_includes_items(self, V):
+        t = enc(V, "a", "c")
+        got = generalized_subsequences(V, t, gamma=0, lam=2, min_length=1)
+        assert (V.id("a"),) in got
+
+    def test_gap_zero_contiguous_only(self, V):
+        t = enc(V, "a", "c", "a")
+        got = decode_all(V, generalized_subsequences(V, t, gamma=0, lam=2))
+        assert got == {("a", "c"), ("c", "a")}
+
+    def test_blanks_block_matching_but_count_gap(self, V):
+        seq = (V.id("a"), BLANK, V.id("a"))
+        assert generalized_subsequences(V, seq, gamma=0, lam=2) == set()
+        got = generalized_subsequences(V, seq, gamma=1, lam=2)
+        assert decode_all(V, got) == {("a", "a")}
+
+    def test_deduplication(self, V):
+        # aa arises from two embeddings but appears once
+        t = enc(V, "a", "a", "a")
+        got = generalized_subsequences(V, t, gamma=0, lam=2)
+        assert decode_all(V, got) == {("a", "a")}
+
+
+class TestPivot:
+    def test_pivot_of(self, V):
+        assert pivot_of(enc(V, "a", "B", "c", "B")) == V.id("c")
+
+    def test_paper_pivot_example(self, V):
+        """p(aBcB) = c under the example order (paper Sec. 3.4)."""
+        assert V.name(pivot_of(enc(V, "a", "B", "c", "B"))) == "c"
+
+    def test_gb1_t1(self, V):
+        """G_{b1,2}(T1) = {ab1, b1a, b1b1, b1B, Bb1} (paper Eq. (3))."""
+        t1 = enc(V, "a", "b1", "a", "b1")
+        got = pivot_subsequences(V, t1, gamma=1, lam=2, pivot=V.id("b1"))
+        assert decode_all(V, got) == {
+            ("a", "b1"), ("b1", "a"), ("b1", "b1"), ("b1", "B"), ("B", "b1"),
+        }
+
+    def test_bb_excluded_from_gb1(self, V):
+        """BB has pivot B ≠ b1 and is not a b1-pivot sequence."""
+        t1 = enc(V, "a", "b1", "a", "b1")
+        got = pivot_subsequences(V, t1, gamma=1, lam=2, pivot=V.id("b1"))
+        assert enc(V, "B", "B") not in got
+
+    def test_gB_t2_equivalence(self, V):
+        """G_{B,2}(T2) = G_{B,2}(a b3 c c b1) = G_{B,2}(aB) = {aB} (Sec. 4.1)."""
+        pivot = V.id("B")
+        for seq in (
+            enc(V, "a", "b3", "c", "c", "b2"),
+            enc(V, "a", "b3", "c", "c", "b1"),
+            enc(V, "a", "B"),
+        ):
+            got = pivot_subsequences(V, seq, gamma=1, lam=2, pivot=pivot)
+            assert decode_all(V, got) == {("a", "B")}, seq

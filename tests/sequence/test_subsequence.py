@@ -1,0 +1,144 @@
+"""Unit tests for gap/hierarchy-aware matching (paper Sec. 2 examples)."""
+
+import pytest
+
+from repro.constants import BLANK
+from repro.sequence.subsequence import (
+    end_positions,
+    is_generalized_subsequence,
+    is_subsequence,
+    occurrence_pairs,
+    start_positions,
+    support,
+)
+
+
+@pytest.fixture
+def V(fig1_vocabulary):
+    return fig1_vocabulary
+
+
+def enc(V, *names):
+    return tuple(V.id(n) for n in names)
+
+
+class TestPlainSubsequence:
+    """Paper examples for ⊆γ on T5 = a b12 d1 c."""
+
+    def test_contiguous(self, V):
+        t5 = enc(V, "a", "b12", "d1", "c")
+        assert is_subsequence(enc(V, "a"), t5, 0)
+        assert is_subsequence(enc(V, "a", "b12"), t5, 0)
+
+    def test_gap_one(self, V):
+        t5 = enc(V, "a", "b12", "d1", "c")
+        assert is_subsequence(enc(V, "a", "d1", "c"), t5, 1)
+
+    def test_gap_violations(self, V):
+        t5 = enc(V, "a", "b12", "d1", "c")
+        assert not is_subsequence(enc(V, "b12", "a"), t5, None)  # order
+        assert not is_subsequence(enc(V, "a", "d1", "c"), t5, 0)  # gap
+
+    def test_empty_pattern(self, V):
+        assert is_subsequence((), enc(V, "a"), 0)
+
+    def test_unconstrained(self, V):
+        t = enc(V, "a", "c", "c", "c", "a")
+        assert is_subsequence(enc(V, "a", "a"), t, None)
+        assert not is_subsequence(enc(V, "a", "a"), t, 2)
+
+
+class TestGeneralizedSubsequence:
+    """Paper examples for ⊑γ on T5 = a b12 d1 c."""
+
+    def test_ad1_gap1(self, V):
+        t5 = enc(V, "a", "b12", "d1", "c")
+        assert is_generalized_subsequence(V, enc(V, "a", "d1"), t5, 1)
+
+    def test_aD_holds_even_though_D_absent(self, V):
+        t5 = enc(V, "a", "b12", "d1", "c")
+        assert is_generalized_subsequence(V, enc(V, "a", "D"), t5, 1)
+
+    def test_specialization_does_not_match_general_item(self, V):
+        # B in the data does not support pattern item b1
+        t = (V.id("B"),)
+        assert not is_generalized_subsequence(V, enc(V, "b1"), t, 0)
+
+    def test_plain_subsequence_implies_generalized(self, V):
+        t5 = enc(V, "a", "b12", "d1", "c")
+        assert is_generalized_subsequence(V, enc(V, "a", "b12"), t5, 0)
+
+    def test_blank_never_matches_but_occupies_gap(self, V):
+        seq = (V.id("a"), BLANK, V.id("c"))
+        assert not is_generalized_subsequence(V, enc(V, "a", "c"), seq, 0)
+        assert is_generalized_subsequence(V, enc(V, "a", "c"), seq, 1)
+
+    def test_gap0_contiguity(self, V):
+        # Sup0(aBc, D) = {T2}: aBc ⊑0 T2 via a(1), b3→B(2), c(3).
+        t2 = enc(V, "a", "b3", "c", "c", "b2")
+        assert is_generalized_subsequence(V, enc(V, "a", "B", "c"), t2, 0)
+
+
+class TestOccurrencePairs:
+    def test_single_item(self, V):
+        t1 = enc(V, "a", "b1", "a", "b1")
+        assert occurrence_pairs(V, enc(V, "a"), t1, 0) == {(0, 0), (2, 2)}
+
+    def test_pair_pattern(self, V):
+        t1 = enc(V, "a", "b1", "a", "b1")
+        # γ=1 forbids the (0, 3) embedding: two items sit between.
+        got = occurrence_pairs(V, enc(V, "a", "b1"), t1, 1)
+        assert got == {(0, 1), (2, 3)}
+        assert occurrence_pairs(V, enc(V, "a", "b1"), t1, None) == {
+            (0, 1),
+            (0, 3),
+            (2, 3),
+        }
+
+    def test_generalization_in_pairs(self, V):
+        t1 = enc(V, "a", "b1", "a", "b1")
+        got = occurrence_pairs(V, enc(V, "B", "a"), t1, 0)
+        assert got == {(1, 2)}
+
+    def test_empty_pattern_no_pairs(self, V):
+        assert occurrence_pairs(V, (), enc(V, "a"), 0) == set()
+
+    def test_no_match(self, V):
+        assert occurrence_pairs(V, enc(V, "D"), enc(V, "a", "c"), 0) == set()
+
+    def test_end_and_start_positions(self, V):
+        t1 = enc(V, "a", "b1", "a", "b1")
+        assert end_positions(V, enc(V, "a", "b1"), t1, 1) == {1, 3}
+        assert start_positions(V, enc(V, "a", "b1"), t1, 1) == {0, 2}
+
+
+class TestSupport:
+    def test_paper_support_example(self, V, fig1_database):
+        """Sup0(aBc) = {T2}, Sup1(aBc) = {T2, T5} (paper Sec. 2)."""
+        db = [V.encode_sequence(t) for t in fig1_database]
+        pattern = enc(V, "a", "B", "c")
+        assert support(V, pattern, db, 0) == 1
+        assert support(V, pattern, db, 1) == 2
+
+    def test_frequencies_of_output_patterns(self, V, fig1_database):
+        """Spot-check the paper's GSM output frequencies (σ=2, γ=1, λ=3)."""
+        db = [V.encode_sequence(t) for t in fig1_database]
+        expected = {
+            ("a", "a"): 2,
+            ("a", "b1"): 2,
+            ("b1", "a"): 2,
+            ("a", "B"): 3,
+            ("B", "a"): 2,
+            ("a", "B", "c"): 2,
+            ("B", "c"): 2,
+            ("a", "c"): 2,
+            ("b1", "D"): 2,
+            ("B", "D"): 2,
+        }
+        for names, freq in expected.items():
+            assert support(V, enc(V, *names), db, 1) == freq, names
+
+    def test_b1D_not_present_directly(self, V, fig1_database):
+        """b1D is frequent although it never occurs literally (paper Sec. 2)."""
+        for t in fig1_database:
+            assert not ("b1" in t and "D" in t)

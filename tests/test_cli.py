@@ -1,0 +1,290 @@
+"""Integration tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import example_database, example_hierarchy
+
+
+@pytest.fixture
+def example_files(tmp_path):
+    db = tmp_path / "db.txt"
+    hierarchy = tmp_path / "h.txt"
+    example_database().to_file(db)
+    example_hierarchy().to_file(hierarchy)
+    return str(db), str(hierarchy)
+
+
+class TestGenerate:
+    def test_text(self, tmp_path, capsys):
+        rc = main([
+            "generate", "text", "--out", str(tmp_path / "t"),
+            "--sentences", "30",
+        ])
+        assert rc == 0
+        assert (tmp_path / "t" / "corpus.txt").exists()
+        assert (tmp_path / "t" / "hierarchy-CLP.txt").exists()
+        assert "30 sentences" in capsys.readouterr().out
+
+    def test_products(self, tmp_path, capsys):
+        rc = main([
+            "generate", "products", "--out", str(tmp_path / "p"),
+            "--users", "25", "--products", "40",
+        ])
+        assert rc == 0
+        assert (tmp_path / "p" / "sessions.txt").exists()
+        assert (tmp_path / "p" / "hierarchy-h8.txt").exists()
+
+    def test_events(self, tmp_path, capsys):
+        rc = main([
+            "generate", "events", "--out", str(tmp_path / "e"),
+            "--machines", "50",
+        ])
+        assert rc == 0
+        assert (tmp_path / "e" / "logs.txt").exists()
+        assert (tmp_path / "e" / "hierarchy.txt").exists()
+        assert "planted cascades" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats(self, example_files, capsys):
+        db, hierarchy = example_files
+        rc = main(["stats", "--db", db, "--hierarchy", hierarchy])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Sequences=6" in out
+        assert "Levels=3" in out
+
+
+class TestMine:
+    def test_lash(self, example_files, capsys, tmp_path):
+        db, hierarchy = example_files
+        out_file = tmp_path / "patterns.tsv"
+        rc = main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--out", str(out_file),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "10 patterns" in out
+        assert "a B" in out
+        assert len(out_file.read_text().strip().split("\n")) == 10
+
+    @pytest.mark.parametrize(
+        "algorithm", ["naive", "semi-naive", "gsp", "mg-fsm"]
+    )
+    def test_other_algorithms(self, example_files, capsys, algorithm):
+        db, hierarchy = example_files
+        rc = main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--algorithm", algorithm,
+        ])
+        assert rc == 0
+        assert "patterns" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("miner", ["spam", "bfs"])
+    def test_alternative_local_miners(self, example_files, capsys, miner):
+        db, hierarchy = example_files
+        rc = main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--miner", miner,
+        ])
+        assert rc == 0
+        assert "10 patterns" in capsys.readouterr().out
+
+    def test_closed_filter(self, example_files, capsys):
+        db, hierarchy = example_files
+        rc = main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--filter", "closed",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "+closed" in out
+
+    def test_flist_reuse(self, example_files, capsys, tmp_path):
+        db, hierarchy = example_files
+        flist = tmp_path / "flist.tsv"
+        rc = main(["flist", "--db", db, "--hierarchy", hierarchy,
+                   "--out", str(flist)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        rc = main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--flist", str(flist),
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+        ])
+        assert rc == 0
+        assert "10 patterns" in capsys.readouterr().out
+
+    def test_flist_without_hierarchy_rejected(self, example_files, tmp_path):
+        db, hierarchy = example_files
+        flist = tmp_path / "flist.tsv"
+        main(["flist", "--db", db, "--hierarchy", hierarchy,
+              "--out", str(flist)])
+        with pytest.raises(SystemExit):
+            main([
+                "mine", "--db", db, "--flist", str(flist),
+                "--sigma", "2",
+            ])
+
+    def test_gzip_paths(self, example_files, capsys, tmp_path):
+        from repro.datasets import example_database
+        from repro.io import write_database
+
+        _, hierarchy = example_files
+        db_gz = tmp_path / "db.txt.gz"
+        write_database(example_database(), db_gz)
+        out_gz = tmp_path / "patterns.tsv.gz"
+        rc = main([
+            "mine", "--db", str(db_gz), "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--out", str(out_gz),
+        ])
+        assert rc == 0
+        assert out_gz.exists()
+
+    def test_unbounded_gamma(self, example_files, capsys):
+        db, hierarchy = example_files
+        rc = main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "-1", "--lam", "3",
+        ])
+        assert rc == 0
+
+    def test_flat_mining_without_hierarchy(self, example_files, capsys):
+        db, _ = example_files
+        rc = main(["mine", "--db", db, "--sigma", "2", "--gamma", "1",
+                   "--lam", "3"])
+        assert rc == 0
+
+
+class TestCompare:
+    def test_agree(self, example_files, tmp_path, capsys):
+        db, hierarchy = example_files
+        a, b = tmp_path / "a.tsv", tmp_path / "b.tsv"
+        base = ["mine", "--db", db, "--hierarchy", hierarchy,
+                "--sigma", "2", "--gamma", "1", "--lam", "3"]
+        main(base + ["--out", str(a)])
+        main(base + ["--algorithm", "naive", "--out", str(b)])
+        rc = main(["compare", str(a), str(b)])
+        assert rc == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_differ(self, example_files, tmp_path, capsys):
+        db, hierarchy = example_files
+        a, b = tmp_path / "a.tsv", tmp_path / "b.tsv"
+        base = ["mine", "--db", db, "--hierarchy", hierarchy,
+                "--gamma", "1", "--lam", "3"]
+        main(base + ["--sigma", "2", "--out", str(a)])
+        main(base + ["--sigma", "3", "--out", str(b)])
+        rc = main(["compare", str(a), str(b)])
+        assert rc == 1
+        assert "differ" in capsys.readouterr().out
+
+    def test_hierarchy_file_roundtrip(self, tmp_path):
+        from repro.hierarchy import Hierarchy
+
+        h = example_hierarchy()
+        path = tmp_path / "h.txt"
+        h.to_file(path)
+        loaded = Hierarchy.from_file(path)
+        assert set(loaded.items) == set(h.items)
+        assert loaded.ancestors_or_self("b11") == h.ancestors_or_self("b11")
+
+
+class TestClosedLash:
+    def test_direct_closed(self, example_files, capsys):
+        db, hierarchy = example_files
+        rc = main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--algorithm", "closed-lash",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "closed-lash[closed,psm]" in out
+
+    def test_direct_maximal_matches_filter(
+        self, example_files, tmp_path, capsys
+    ):
+        db, hierarchy = example_files
+        direct = tmp_path / "direct.tsv"
+        filtered = tmp_path / "filtered.tsv"
+        common = [
+            "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+        ]
+        assert main([
+            "mine", *common, "--algorithm", "closed-lash",
+            "--mode", "maximal", "--out", str(direct),
+        ]) == 0
+        assert main([
+            "mine", *common, "--filter", "maximal", "--out", str(filtered),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(direct), str(filtered)]) == 0
+
+
+class TestQuery:
+    @pytest.fixture
+    def mined_patterns(self, example_files, tmp_path, capsys):
+        db, hierarchy = example_files
+        patterns = tmp_path / "patterns.tsv"
+        main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--out", str(patterns),
+        ])
+        capsys.readouterr()
+        return str(patterns), hierarchy
+
+    def test_exact_query(self, mined_patterns, capsys):
+        patterns, hierarchy = mined_patterns
+        rc = main([
+            "query", "--patterns", patterns, "--hierarchy", hierarchy,
+            "a ?",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "a B" in out and "mass" in out
+
+    def test_under_query_needs_hierarchy(self, mined_patterns, capsys):
+        patterns, hierarchy = mined_patterns
+        rc = main([
+            "query", "--patterns", patterns, "--hierarchy", hierarchy,
+            "^B ?",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "b1 a" in out
+
+    def test_query_without_hierarchy_still_matches_wildcards(
+        self, mined_patterns, capsys
+    ):
+        patterns, _ = mined_patterns
+        rc = main(["query", "--patterns", patterns, "? ? ?"])
+        assert rc == 0
+        assert "a B c" in capsys.readouterr().out
+
+    def test_no_match_returns_nonzero(self, mined_patterns, capsys):
+        patterns, hierarchy = mined_patterns
+        rc = main([
+            "query", "--patterns", patterns, "--hierarchy", hierarchy,
+            "? ? ? ?",
+        ])
+        assert rc == 1
+
+    def test_multiple_queries(self, mined_patterns, capsys):
+        patterns, hierarchy = mined_patterns
+        rc = main([
+            "query", "--patterns", patterns, "--hierarchy", hierarchy,
+            "a ?", "* D",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("query:") == 2
