@@ -1,0 +1,129 @@
+"""Extension — store-backed serving vs per-query index rebuild.
+
+The ``lash query`` command rebuilds a vocabulary and inverted index from
+the patterns TSV on every invocation; ``lash serve`` opens a binary
+:class:`~repro.serve.store.PatternStore` once and answers from it.  This
+bench quantifies the split the serving subsystem exists for:
+
+* **startup** — store ``open()`` is O(header) and must beat both the
+  TSV rebuild and the in-memory index build by orders of magnitude;
+* **throughput** — queries/sec through a warm :class:`QueryService`
+  (store-backed, with and without its LRU cache) vs the
+  rebuild-per-query regime a stateless CLI imposes.
+
+Shape targets: store-backed serving sustains thousands of queries/sec;
+rebuild-per-query manages a few; the cache multiplies throughput again
+on repeated traffic.
+"""
+
+import time
+
+from repro import Lash, MiningParams, PatternIndex
+from repro.io import read_patterns, write_patterns
+from repro.query import code_patterns
+from repro.serve import PatternStore, QueryService
+from conftest import NYT_SIGMA_LOW
+from reporting import BenchReport
+
+QUERIES = [
+    "the ^ADJ ?",
+    "^PRON ^VERB",
+    "? ^PREP ?",
+    "^DET * ^NOUN",
+    "? ?",
+]
+
+
+def _rebuild_index(tsv_path, hierarchy):
+    """What every ``lash query`` invocation pays before matching."""
+    patterns = read_patterns(tsv_path)
+    coded, vocabulary = code_patterns(patterns, hierarchy)
+    return PatternIndex(coded, vocabulary)
+
+
+def test_store_vs_rebuild_throughput(benchmark, nyt, tmp_path):
+    report = BenchReport(
+        "Ext. serving", "store-backed vs rebuild-from-TSV query serving"
+    )
+    hierarchy = nyt.hierarchy("CLP")
+    params = MiningParams(NYT_SIGMA_LOW, 0, 5)
+    result = Lash(params).mine(nyt.database, hierarchy)
+
+    tsv_path = tmp_path / "patterns.tsv"
+    write_patterns(result, tsv_path)
+    store_path = tmp_path / "patterns.store"
+    build_start = time.perf_counter()
+    result.to_store(store_path)
+    store_build_s = time.perf_counter() - build_start
+
+    # --- startup cost -------------------------------------------------
+    start = time.perf_counter()
+    index = PatternIndex.from_result(result)
+    index_build_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    store = PatternStore.open(store_path)
+    store_open_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _rebuild_index(tsv_path, hierarchy)
+    rebuild_s = time.perf_counter() - start
+
+    report.add(
+        "store build (once)",
+        {"s": round(store_build_s, 4), "qps": "-"},
+    )
+    report.add(
+        "index build (in-mem)",
+        {"s": round(index_build_s, 4), "qps": "-"},
+    )
+    report.add(
+        "TSV rebuild (per query)",
+        {"s": round(rebuild_s, 4), "qps": "-"},
+    )
+    report.add(
+        "store open (per process)",
+        {"s": round(store_open_s, 6), "qps": "-"},
+    )
+
+    # --- throughput ---------------------------------------------------
+    def qps(serve_one, seconds=1.0):
+        served = 0
+        deadline = time.perf_counter() + seconds
+        while time.perf_counter() < deadline:
+            serve_one(QUERIES[served % len(QUERIES)])
+            served += 1
+        return served / seconds
+
+    service = QueryService(store, cache_size=256)
+    uncached = QueryService(store, cache_size=0)
+    timings = {}
+
+    def battery():
+        timings["rebuild"] = qps(
+            lambda q: _rebuild_index(tsv_path, hierarchy).search(q, limit=10),
+            seconds=2.0,
+        )
+        timings["store"] = qps(lambda q: uncached.query(q, limit=10))
+        timings["store+cache"] = qps(lambda q: service.query(q, limit=10))
+        return timings
+
+    benchmark.pedantic(battery, rounds=1, iterations=1)
+    for label in ("rebuild", "store", "store+cache"):
+        report.add(
+            f"{label} serving",
+            {"s": "-", "qps": round(timings[label], 1)},
+        )
+    report.emit()
+
+    # answers are identical across regimes
+    for query in QUERIES:
+        assert store.search(query) == index.search(query)
+    store.close()
+
+    # store-backed serving beats rebuild-per-query by a wide margin
+    assert timings["store"] > 10 * timings["rebuild"]
+    assert timings["store+cache"] >= timings["store"]
+    # opening the store is far cheaper than any rebuild
+    assert store_open_s < rebuild_s / 10
+    assert store_open_s < index_build_s

@@ -1,0 +1,79 @@
+"""Mine once, serve many: the pattern store + HTTP query server.
+
+The exploration tools the paper cites (Google n-gram viewer, Netspeak)
+are long-lived services: mining runs offline, queries arrive forever.
+This script walks that whole pipeline in-process:
+
+1. mine generalized n-grams from a synthetic corpus,
+2. export them to a compact binary :class:`repro.serve.PatternStore`,
+3. reopen the store (O(header) — no corpus, no rebuild),
+4. serve HTTP queries from it and hit the endpoints with urllib.
+
+Run:  python examples/pattern_server.py
+"""
+
+import json
+import tempfile
+import threading
+import time
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+from repro import PatternStore, QueryService, mine
+from repro.datasets import TextCorpusConfig, generate_text_corpus
+from repro.serve import create_server
+
+SIGMA, GAMMA, LAM = 25, 0, 3
+
+print("mining …")
+corpus = generate_text_corpus(TextCorpusConfig(num_sentences=4000, seed=42))
+result = mine(
+    corpus.database, corpus.hierarchy("CLP"), sigma=SIGMA, gamma=GAMMA,
+    lam=LAM,
+)
+print(f"  {len(result)} generalized n-grams\n")
+
+store_path = Path(tempfile.mkdtemp()) / "patterns.store"
+result.to_store(store_path)
+print(f"exported store: {store_path} ({store_path.stat().st_size} bytes)")
+
+start = time.perf_counter()
+store = PatternStore.open(store_path)
+print(f"reopened in {1000 * (time.perf_counter() - start):.3f} ms "
+      f"(header only: {store.describe()['patterns']} patterns)\n")
+
+service = QueryService(store, cache_size=256)
+server = create_server(service, port=0)  # ephemeral port
+threading.Thread(target=server.serve_forever, daemon=True).start()
+base = f"http://127.0.0.1:{server.server_port}"
+print(f"serving on {base}\n")
+
+
+def get(path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return json.loads(response.read())
+
+
+for query in ["the ^ADJ ?", "^PRON ^VERB", "? ^PREP ?"]:
+    body = get("/query?q=" + urllib.parse.quote(query) + "&limit=5")
+    print(f"GET /query?q={query!r}  ({body['count']} matches, "
+          f"mass {body['total_frequency']})")
+    for match in body["matches"]:
+        print(f"  {match['frequency']:>7}  {match['pattern']}")
+    print()
+
+print("GET /topk?n=3")
+for match in get("/topk?n=3")["matches"]:
+    print(f"  {match['frequency']:>7}  {match['pattern']}")
+
+get("/query?q=" + urllib.parse.quote("the ^ADJ ?") + "&limit=5")  # cache hit
+stats = get("/stats")
+print(f"\nGET /stats → queries={stats['queries']} "
+      f"cache_hit_rate={stats['cache_hit_rate']} "
+      f"avg_latency_ms={stats['avg_latency_ms']}")
+
+server.shutdown()
+server.server_close()
+store.close()
+print("\ndone — in production: lash index build … && lash serve …")

@@ -56,7 +56,17 @@ from repro.baselines import (
     SemiNaiveAlgorithm,
 )
 from repro.mapreduce import ClusterSpec, MapReduceEngine
-from repro.query import PatternIndex, Q, parse_query
+from repro.query import PatternIndex, Q, code_patterns, parse_query
+
+
+def __getattr__(name):
+    # the serving stack (http.server etc.) stays opt-in: resolve its
+    # exports lazily so `import repro` never pays for it
+    if name in ("PatternStore", "QueryService"):
+        from repro import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
 
@@ -97,7 +107,10 @@ __all__ = [
     "ClusterSpec",
     "MapReduceEngine",
     "PatternIndex",
+    "PatternStore",
+    "QueryService",
     "Q",
+    "code_patterns",
     "parse_query",
     "__version__",
 ]

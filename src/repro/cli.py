@@ -20,6 +20,14 @@ Compare two algorithms on the same input::
     lash mine --db db.txt --hierarchy h.txt --algorithm lash  --out lash.tsv
     lash compare naive.tsv lash.tsv
 
+Mine once, then serve queries over HTTP from a persistent binary store::
+
+    lash mine --db db.txt --hierarchy h.txt --sigma 20 --out patterns.tsv
+    lash index build --patterns patterns.tsv --hierarchy h.txt \
+         --out patterns.store
+    lash serve --store patterns.store --port 8080
+    curl 'http://127.0.0.1:8080/query?q=the+%5EADJ+%3F'
+
 All ``--db`` / ``--hierarchy`` / ``--out`` paths accept ``.gz``.
 """
 
@@ -151,11 +159,26 @@ def _build_algorithm(args: argparse.Namespace, params: MiningParams):
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
-    database = read_database(args.db)
-    hierarchy = read_hierarchy(args.hierarchy) if args.hierarchy else None
+    # flag validation first: don't load a multi-GB corpus to then die
+    # on an inconsistent engine option
     gamma = None if args.gamma < 0 else args.gamma
     params = MiningParams(sigma=args.sigma, gamma=gamma, lam=args.lam)
     algorithm = _build_algorithm(args, params)
+    if args.engine == "parallel":
+        from repro.mapreduce.parallel import ParallelMapReduceEngine
+
+        if not hasattr(algorithm, "engine"):
+            raise SystemExit(
+                f"--engine parallel is not supported for {args.algorithm}"
+            )
+        algorithm.engine = ParallelMapReduceEngine(
+            max_workers=args.max_workers
+        )
+    elif args.max_workers is not None:
+        raise SystemExit("--max-workers requires --engine parallel")
+
+    database = read_database(args.db)
+    hierarchy = read_hierarchy(args.hierarchy) if args.hierarchy else None
 
     vocabulary = None
     if args.flist:
@@ -189,51 +212,94 @@ def cmd_mine(args: argparse.Namespace) -> int:
     if args.out:
         write_patterns(result, args.out)
         print(f"wrote all patterns to {args.out}")
+    if args.store:
+        result.to_store(args.store)
+        print(f"wrote pattern store to {args.store}")
     return 0
+
+
+def _load_coded_patterns(patterns_path: str, hierarchy_path: str | None):
+    """Patterns TSV (+ optional hierarchy) → ``(coded, vocabulary)``."""
+    from repro.query import code_patterns
+
+    patterns = read_patterns(patterns_path)
+    hierarchy = read_hierarchy(hierarchy_path) if hierarchy_path else None
+    return code_patterns(patterns, hierarchy)
+
+
+def _load_query_index(patterns_path: str, hierarchy_path: str | None):
+    """Patterns TSV (+ optional hierarchy) → in-memory ``PatternIndex``."""
+    from repro.query import PatternIndex
+
+    return PatternIndex(*_load_coded_patterns(patterns_path, hierarchy_path))
 
 
 def cmd_query(args: argparse.Namespace) -> int:
     """Wildcard search over a mined pattern file (Netspeak-style)."""
-    from repro.hierarchy import Hierarchy, build_vocabulary
-    from repro.query import PatternIndex
-    from repro.sequence import SequenceDatabase
-
-    patterns = read_patterns(args.patterns)
-    if args.hierarchy:
-        hierarchy = read_hierarchy(args.hierarchy)
-    else:
-        hierarchy = Hierarchy.flat(
-            {item for pattern in patterns for item in pattern}
-        )
-    for pattern in patterns:
-        for item in pattern:
-            if item not in hierarchy:
-                hierarchy.add_item(item)
-    # The patterns themselves serve as the ordering corpus: query answers
-    # depend only on the hierarchy edges, not on the exact item order.
-    vocabulary = build_vocabulary(
-        SequenceDatabase(list(patterns)), hierarchy
-    )
-    index = PatternIndex(
-        {
-            vocabulary.encode_sequence(pattern): freq
-            for pattern, freq in patterns.items()
-        },
-        vocabulary,
-    )
+    index = _load_query_index(args.patterns, args.hierarchy)
     status = 0
     for query in args.queries:
-        matches = index.search(query, limit=args.top)
-        print(
-            f"query: {query!r}  ({index.count(query)} patterns, "
-            f"mass {index.total_frequency(query)})"
-        )
+        # one unlimited search yields the shown prefix, count and mass
+        matches = index.search(query)
+        mass = sum(match.frequency for match in matches)
+        print(f"query: {query!r}  ({len(matches)} patterns, mass {mass})")
         if not matches:
             status = 1
-        for match in matches:
+        for match in matches[: args.top]:
             print(f"{match.frequency:>9}  {match.render()}")
         print()
     return status
+
+
+def cmd_index_build(args: argparse.Namespace) -> int:
+    """Build a binary pattern store from a mined pattern file."""
+    from repro.serve import PatternStore
+
+    start = time.perf_counter()
+    coded, vocabulary = _load_coded_patterns(args.patterns, args.hierarchy)
+    with PatternStore.build(args.out, coded, vocabulary) as store:
+        info = store.describe()
+    elapsed = time.perf_counter() - start
+    print(
+        f"wrote {info['patterns']} patterns / {info['items']} items "
+        f"({info['file_bytes']} bytes) to {args.out} in {elapsed:.2f}s"
+    )
+    return 0
+
+
+def cmd_index_info(args: argparse.Namespace) -> int:
+    """Print store metadata (header-only, no section decoding)."""
+    from repro.serve import PatternStore
+
+    with PatternStore.open(args.store) as store:
+        _print_row("store", store.describe())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a pattern store over HTTP until interrupted."""
+    from repro.serve import PatternStore, QueryService, create_server
+    from repro.serve.http import run_server
+
+    store = PatternStore.open(args.store)
+    service = QueryService(store, cache_size=args.cache_size)
+    server = create_server(
+        service, args.host, args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving {store.describe()['patterns']} patterns "
+        f"on http://{host}:{port}"
+    )
+    print(
+        "endpoints: /query?q=  /count?q=  /topk?n=  /batch (POST)  "
+        "/stats  /healthz"
+    )
+    try:
+        run_server(server)
+    finally:
+        store.close()
+    return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -338,8 +404,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["closed", "maximal"],
         help="keep only closed or maximal patterns",
     )
+    minep.add_argument(
+        "--engine",
+        choices=["serial", "parallel"],
+        default="serial",
+        help="MapReduce engine: serial (simulated placement) or parallel "
+        "(real worker processes)",
+    )
+    minep.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker processes for --engine parallel "
+        "(default: CPU count capped by task counts)",
+    )
     minep.add_argument("--top", type=int, default=10)
     minep.add_argument("--out", help="write all patterns to this TSV file")
+    minep.add_argument(
+        "--store", help="also export a binary pattern store for serving"
+    )
     minep.set_defaults(func=cmd_mine)
 
     query = sub.add_parser(
@@ -355,6 +436,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries: 'name', '^name', '?', '+', '*' tokens",
     )
     query.set_defaults(func=cmd_query)
+
+    index = sub.add_parser(
+        "index", help="build or inspect a binary pattern store"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    build = index_sub.add_parser(
+        "build", help="compile a pattern TSV into a store file"
+    )
+    build.add_argument("--patterns", required=True, help="pattern TSV file")
+    build.add_argument(
+        "--hierarchy", help="hierarchy file enabling ^name queries"
+    )
+    build.add_argument("--out", required=True, help="store output path")
+    build.set_defaults(func=cmd_index_build)
+    info = index_sub.add_parser("info", help="print store metadata")
+    info.add_argument("--store", required=True, help="store file")
+    info.set_defaults(func=cmd_index_info)
+
+    serve = sub.add_parser(
+        "serve", help="serve a pattern store over HTTP (JSON endpoints)"
+    )
+    serve.add_argument("--store", required=True, help="store file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU result-cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log every request to stderr",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     cmp_ = sub.add_parser("compare", help="compare two pattern TSV files")
     cmp_.add_argument("left")

@@ -70,6 +70,13 @@ class MiningResult:
             for pattern, freq in self.top(len(self.patterns)):
                 f.write(f"{pattern}\t{freq}\n")
 
+    def to_store(self, path: str | Path) -> None:
+        """Export to a binary :class:`~repro.serve.store.PatternStore`
+        file for query serving (``lash serve``)."""
+        from repro.serve.store import write_store
+
+        write_store(path, self.patterns, self.vocabulary)
+
     # ------------------------------------------------------------------
     # measurements
     # ------------------------------------------------------------------

@@ -14,6 +14,9 @@ suffix).  Formats:
   reused across runs exactly as Sec. 3.4 describes (:mod:`repro.io.flist`);
 * **patterns** — ``item item …<TAB>frequency`` lines
   (:mod:`repro.io.patterns`).
+
+:mod:`repro.io.codec` holds the binary primitives (varint, zigzag,
+delta lists) behind the pattern-store format of :mod:`repro.serve`.
 """
 
 from repro.io.lines import open_text

@@ -1,0 +1,126 @@
+"""Varint / zigzag / delta primitives for the binary pattern store.
+
+LEB128-style unsigned varints (7 bits per byte, high bit = continuation),
+zigzag mapping for signed deltas, and delta coding for ascending integer
+lists (postings).  Pure functions over ``bytes``-like buffers so they
+work directly on a memory-mapped file without copying sections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import EncodingError
+
+
+def write_uvarint(buf: bytearray, value: int) -> None:
+    """Append an unsigned varint to ``buf``."""
+    if value < 0:
+        raise EncodingError(f"uvarint cannot encode negative value {value}")
+    while value >= 0x80:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def read_uvarint(data, offset: int) -> tuple[int, int]:
+    """Decode one unsigned varint at ``offset``; returns (value, end)."""
+    value = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[offset]
+        except IndexError:
+            raise EncodingError("truncated uvarint") from None
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 63:
+            raise EncodingError("uvarint too long (corrupt store?)")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int to an unsigned one with small absolute values
+    staying small: 0, -1, 1, -2, … → 0, 1, 2, 3, …"""
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    return (value >> 1) if value % 2 == 0 else -((value + 1) >> 1)
+
+
+def write_sequence(buf: bytearray, items: Sequence[int]) -> None:
+    """Append a length-prefixed item-id sequence, zigzag-delta coded.
+
+    The first id is stored absolute, later ids as signed deltas from
+    their predecessor — pattern items are drawn from a frequency-skewed
+    vocabulary, so consecutive ids tend to be numerically close and the
+    deltas pack into fewer bytes than the raw ids.
+    """
+    write_uvarint(buf, len(items))
+    previous = 0
+    for i, item in enumerate(items):
+        if i == 0:
+            write_uvarint(buf, item)
+        else:
+            write_uvarint(buf, zigzag_encode(item - previous))
+        previous = item
+
+
+def read_sequence(data, offset: int) -> tuple[tuple[int, ...], int]:
+    """Decode one :func:`write_sequence` record; returns (items, end)."""
+    n, offset = read_uvarint(data, offset)
+    items: list[int] = []
+    previous = 0
+    for i in range(n):
+        raw, offset = read_uvarint(data, offset)
+        previous = raw if i == 0 else previous + zigzag_decode(raw)
+        items.append(previous)
+    return tuple(items), offset
+
+
+def write_deltas(buf: bytearray, values: Iterable[int]) -> None:
+    """Append an ascending integer list as first-absolute-then-gap varints
+    (classic postings compression).  No length prefix: the caller bounds
+    the record with section offsets."""
+    previous = 0
+    first = True
+    for value in values:
+        if first:
+            write_uvarint(buf, value)
+            first = False
+        else:
+            if value <= previous:
+                raise EncodingError(
+                    f"delta list not strictly ascending: {value} after "
+                    f"{previous}"
+                )
+            write_uvarint(buf, value - previous)
+        previous = value
+
+
+def read_deltas(data, offset: int, end: int) -> list[int]:
+    """Decode an ascending delta list occupying ``data[offset:end]``."""
+    values: list[int] = []
+    previous = 0
+    first = True
+    while offset < end:
+        raw, offset = read_uvarint(data, offset)
+        previous = raw if first else previous + raw
+        first = False
+        values.append(previous)
+    return values
+
+
+__all__ = [
+    "write_uvarint",
+    "read_uvarint",
+    "zigzag_encode",
+    "zigzag_decode",
+    "write_sequence",
+    "read_sequence",
+    "write_deltas",
+    "read_deltas",
+]

@@ -22,9 +22,13 @@ from repro.query.tokens import (
     UnderToken,
     parse_query,
 )
+from repro.query.base import PatternSearchBase
+from repro.query.build import code_patterns
 from repro.query.index import PatternIndex, QueryMatch
 
 __all__ = [
+    "PatternSearchBase",
+    "code_patterns",
     "AnyToken",
     "ItemToken",
     "PlusToken",

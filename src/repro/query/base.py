@@ -1,0 +1,391 @@
+"""Backend-agnostic wildcard search over a set of mined patterns.
+
+:class:`PatternSearchBase` holds everything about *matching* — query
+compilation, the regex-style DP matcher, candidate pruning via postings,
+hierarchy descendant expansion — and leaves *storage* to subclasses.
+Two backends implement it:
+
+* :class:`~repro.query.index.PatternIndex` — everything in memory, built
+  directly from a mining result;
+* :class:`~repro.serve.store.PatternStore` — a compact on-disk binary
+  file, loaded lazily section by section.
+
+Because both run the identical compiled matcher over the identical
+candidate sets, their answers are byte-for-byte the same; the tests
+assert this on randomized pattern sets.
+
+A subclass provides the storage primitives:
+
+``_vocabulary_instance()``
+    The :class:`~repro.hierarchy.vocabulary.Vocabulary` the patterns are
+    coded against (may be loaded lazily).
+``_num_patterns()``
+    Number of stored patterns.
+``_pattern_at(idx)``
+    ``(coded_pattern, frequency)`` of the pattern at ``idx``.  Index
+    order is frequency-descending, ties by coded pattern ascending, so
+    ascending indexes enumerate "most frequent first".
+``_postings_for(item_id)``
+    Ascending indexes of patterns containing the item.
+``_length_groups()``
+    Mapping ``pattern length -> ascending indexes``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.hierarchy.vocabulary import Vocabulary
+from repro.query.tokens import (
+    AnyToken,
+    ItemToken,
+    PlusToken,
+    QueryToken,
+    SpanToken,
+    UnderToken,
+    normalize_query,
+)
+
+Pattern = tuple[int, ...]
+
+
+def rank_patterns(patterns) -> list[tuple[Pattern, int]]:
+    """The canonical index order every backend stores patterns in: most
+    frequent first, ties by coded pattern ascending.  Both
+    :class:`~repro.query.index.PatternIndex` and the on-disk store sort
+    with this one function — their ranked answers are identical because
+    the order is shared, not merely repeated."""
+    return sorted(patterns.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One search hit: the decoded pattern and its mined frequency."""
+
+    pattern: tuple[str, ...]
+    frequency: int
+
+    def render(self) -> str:
+        return " ".join(self.pattern)
+
+    def __repr__(self) -> str:
+        return f"QueryMatch({self.render()!r}, {self.frequency})"
+
+
+class PatternSearchBase:
+    """Shared matching engine over any pattern storage backend."""
+
+    def __init__(self) -> None:
+        self._children_map: dict[int, list[int]] | None = None
+        self._descendants_cache: dict[int, tuple[int, ...]] = {}
+        self._descendants_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # storage primitives (subclass responsibility)
+    # ------------------------------------------------------------------
+
+    def _vocabulary_instance(self) -> Vocabulary:
+        raise NotImplementedError
+
+    def _num_patterns(self) -> int:
+        raise NotImplementedError
+
+    def _pattern_at(self, idx: int) -> tuple[Pattern, int]:
+        raise NotImplementedError
+
+    def _postings_for(self, item_id: int) -> Sequence[int]:
+        raise NotImplementedError
+
+    def _length_groups(self) -> dict[int, Sequence[int]]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # basic access
+    # ------------------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary_instance()
+
+    def __len__(self) -> int:
+        return self._num_patterns()
+
+    def __iter__(self) -> Iterator[QueryMatch]:
+        vocabulary = self.vocabulary
+        for idx in range(self._num_patterns()):
+            pattern, frequency = self._pattern_at(idx)
+            yield QueryMatch(vocabulary.decode_sequence(pattern), frequency)
+
+    def __contains__(self, names: object) -> bool:
+        try:
+            coded = self.vocabulary.encode_sequence(tuple(names))  # type: ignore[arg-type]
+        except Exception:
+            return False
+        return self._find_coded(coded) is not None
+
+    def frequency(self, *names: str) -> int:
+        """Mined frequency of an exact pattern; 0 when absent."""
+        try:
+            coded = self.vocabulary.encode_sequence(names)
+        except Exception:
+            return 0
+        found = self._find_coded(coded)
+        return 0 if found is None else found
+
+    def _find_coded(self, coded: Pattern) -> int | None:
+        """Frequency of an exactly-stored pattern, ``None`` when absent
+        (membership and frequency stay distinct: a stored frequency-0
+        pattern is still a member).  Default: exact lookup through the
+        postings of the rarest item."""
+        if not coded:
+            return None
+        best: Sequence[int] | None = None
+        for item in set(coded):
+            postings = self._postings_for(item)
+            if best is None or len(postings) < len(best):
+                best = postings
+        for idx in best or ():
+            pattern, freq = self._pattern_at(idx)
+            if pattern == coded:
+                return freq
+        return None
+
+    def top(self, n: int = 10) -> list[QueryMatch]:
+        """The ``n`` most frequent patterns in the index."""
+        vocabulary = self.vocabulary
+        out: list[QueryMatch] = []
+        for idx in range(min(n, self._num_patterns())):
+            pattern, frequency = self._pattern_at(idx)
+            out.append(
+                QueryMatch(vocabulary.decode_sequence(pattern), frequency)
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: str | QueryToken | tuple | list,
+        limit: int | None = None,
+    ) -> list[QueryMatch]:
+        """All indexed patterns matching the query, most frequent first.
+
+        ``query`` is a string in the wildcard syntax or a sequence of
+        :class:`~repro.query.tokens.QueryToken`.  Unknown item names raise
+        :class:`~repro.errors.UnknownItemError`.
+        """
+        compiled = self._compile(normalize_query(query))
+        candidates = self._candidates(compiled)
+        vocabulary = self.vocabulary
+        matches: list[QueryMatch] = []
+        for idx in candidates:
+            pattern, frequency = self._pattern_at(idx)
+            if self._matches(compiled, pattern):
+                matches.append(
+                    QueryMatch(vocabulary.decode_sequence(pattern), frequency)
+                )
+                if limit is not None and len(matches) >= limit:
+                    break
+        return matches
+
+    def count(self, query) -> int:
+        """Number of indexed patterns matching the query."""
+        return len(self.search(query))
+
+    def total_frequency(self, query) -> int:
+        """Sum of frequencies over all matches (n-gram-viewer style mass)."""
+        return sum(match.frequency for match in self.search(query))
+
+    def slot_fillers(
+        self, query, slot: int
+    ) -> list[tuple[str, int]]:
+        """Aggregate the items filling one wildcard slot of a fixed-length
+        query, with their total frequency (most frequent first).
+
+        Only queries without ``*``/``+`` have an unambiguous alignment, so
+        span tokens are rejected.  Typical use: *which items appear after
+        "NOUN lives in"?* → ``slot_fillers("NOUN lives in ?", 3)``.
+        """
+        tokens = normalize_query(query)
+        if any(isinstance(t, (SpanToken, PlusToken)) for t in tokens):
+            raise InvalidParameterError(
+                "slot_fillers requires a fixed-length query (no '*'/'+')"
+            )
+        if not 0 <= slot < len(tokens):
+            raise InvalidParameterError(
+                f"slot {slot} out of range for a {len(tokens)}-token query"
+            )
+        fillers: dict[str, int] = {}
+        for match in self.search(tokens):
+            name = match.pattern[slot]
+            fillers[name] = fillers.get(name, 0) + match.frequency
+        return sorted(fillers.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    # ------------------------------------------------------------------
+    # hierarchy navigation
+    # ------------------------------------------------------------------
+
+    def generalizations_of(self, names) -> list[QueryMatch]:
+        """Indexed patterns that are itemwise generalizations of ``names``
+        (same length, each item an ancestor-or-self), including the pattern
+        itself when indexed."""
+        vocabulary = self.vocabulary
+        coded = vocabulary.encode_sequence(tuple(names))
+        hits: list[QueryMatch] = []
+        for idx in self._length_groups().get(len(coded), ()):
+            pattern, frequency = self._pattern_at(idx)
+            if all(
+                vocabulary.generalizes_to(s, p)
+                for s, p in zip(coded, pattern)
+            ):
+                hits.append(
+                    QueryMatch(vocabulary.decode_sequence(pattern), frequency)
+                )
+        return hits
+
+    def specializations_of(self, names) -> list[QueryMatch]:
+        """Indexed patterns that are itemwise specializations of ``names``
+        (same length, each item a descendant-or-self), including the
+        pattern itself when indexed."""
+        vocabulary = self.vocabulary
+        coded = vocabulary.encode_sequence(tuple(names))
+        hits: list[QueryMatch] = []
+        for idx in self._length_groups().get(len(coded), ()):
+            pattern, frequency = self._pattern_at(idx)
+            if all(
+                vocabulary.generalizes_to(p, s)
+                for s, p in zip(coded, pattern)
+            ):
+                hits.append(
+                    QueryMatch(vocabulary.decode_sequence(pattern), frequency)
+                )
+        return hits
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _descendants_or_self(self, item_id: int) -> tuple[int, ...]:
+        # lock-free fast path; build-and-insert under the lock so the
+        # caches stay consistent across concurrent server threads
+        cached = self._descendants_cache.get(item_id)
+        if cached is not None:
+            return cached
+        with self._descendants_lock:
+            cached = self._descendants_cache.get(item_id)
+            if cached is not None:
+                return cached
+            if self._children_map is None:
+                vocabulary = self.vocabulary
+                children: dict[int, list[int]] = {
+                    i: [] for i in range(len(vocabulary))
+                }
+                for child in range(len(vocabulary)):
+                    for parent in vocabulary.parent_ids(child):
+                        children[parent].append(child)
+                self._children_map = children
+            seen: set[int] = set()
+            stack = [item_id]
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(self._children_map[current])
+            result = tuple(sorted(seen))
+            self._descendants_cache[item_id] = result
+            return result
+
+    def _compile(
+        self, tokens: tuple[QueryToken, ...]
+    ) -> list[tuple[str, int]]:
+        """Resolve item names to ids once, validating the whole query
+        upfront.  Compiled form: ``(kind, id-or--1)`` pairs."""
+        vocabulary = self.vocabulary
+        compiled: list[tuple[str, int]] = []
+        for token in tokens:
+            if isinstance(token, ItemToken):
+                compiled.append(("item", vocabulary.id(token.name)))
+            elif isinstance(token, UnderToken):
+                compiled.append(("under", vocabulary.id(token.name)))
+            elif isinstance(token, AnyToken):
+                compiled.append(("any", -1))
+            elif isinstance(token, PlusToken):
+                compiled.append(("plus", -1))
+            else:
+                compiled.append(("span", -1))
+        return compiled
+
+    def _candidates(self, compiled: list[tuple[str, int]]) -> list[int]:
+        """Candidate pattern indexes, ascending (= frequency-descending),
+        from the most selective concrete token's postings."""
+        best: Sequence[int] | None = None
+        for kind, item in compiled:
+            if kind == "item":
+                postings = self._postings_for(item)
+            elif kind == "under":
+                merged: set[int] = set()
+                for descendant in self._descendants_or_self(item):
+                    merged.update(self._postings_for(descendant))
+                postings = sorted(merged)
+            else:
+                continue
+            if best is None or len(postings) < len(best):
+                best = postings
+        if best is not None:
+            return list(best)
+        # wildcard-only query: filter by achievable lengths
+        fixed = sum(1 for kind, _ in compiled if kind != "span")
+        elastic = any(kind in ("span", "plus") for kind, _ in compiled)
+        indexes: list[int] = []
+        for length, idxs in self._length_groups().items():
+            if length == fixed or (elastic and length >= fixed):
+                indexes.extend(idxs)
+        return sorted(indexes)
+
+    def _matches(
+        self, compiled: list[tuple[str, int]], pattern: Pattern
+    ) -> bool:
+        """Regex-style DP over token positions × pattern positions."""
+        vocabulary = self.vocabulary
+        n_items = len(pattern)
+        # reachable[j] = True if a prefix of tokens consumed pattern[:j]
+        reachable = [True] + [False] * n_items
+        for kind, target in compiled:
+            nxt = [False] * (n_items + 1)
+            if kind == "span":
+                # zero or more: propagate the earliest reachable point right
+                running = False
+                for j in range(n_items + 1):
+                    running = running or reachable[j]
+                    nxt[j] = running
+            elif kind == "plus":
+                running = False
+                for j in range(1, n_items + 1):
+                    running = running or reachable[j - 1]
+                    nxt[j] = running
+            else:
+                for j in range(n_items):
+                    if not reachable[j]:
+                        continue
+                    item = pattern[j]
+                    if kind == "any":
+                        nxt[j + 1] = True
+                    elif kind == "item":
+                        if item == target:
+                            nxt[j + 1] = True
+                    else:  # under
+                        if vocabulary.generalizes_to(item, target):
+                            nxt[j + 1] = True
+            reachable = nxt
+            if not any(reachable):
+                return False
+        return reachable[n_items]
+
+
+__all__ = ["PatternSearchBase", "QueryMatch", "Pattern", "rank_patterns"]

@@ -1,0 +1,53 @@
+"""Turn a decoded pattern file into a queryable (coded, vocabulary) pair.
+
+Both serving paths — the throwaway in-memory index of ``lash query`` and
+the persistent :class:`~repro.serve.store.PatternStore` builder — need
+the same warm-up: make sure every item mentioned by a pattern exists in
+the hierarchy, derive a vocabulary, and integer-code the patterns.  This
+helper does it once and in one pass (the CLI used to re-probe the
+hierarchy item by item on every invocation).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.vocabulary import Vocabulary
+
+
+def code_patterns(
+    patterns: Mapping[tuple[str, ...], int],
+    hierarchy: Hierarchy | None = None,
+) -> tuple[dict[tuple[int, ...], int], Vocabulary]:
+    """Vocabulary + integer-coded patterns for a decoded pattern mapping.
+
+    ``hierarchy`` enables ``^name`` queries; when omitted, a flat
+    hierarchy over the pattern items is used.  Items that appear in
+    patterns but not in the hierarchy are registered as isolated roots
+    — on a copy, so the caller's hierarchy is never mutated.  The
+    patterns themselves serve as the ordering corpus: query answers
+    depend only on the hierarchy edges, not on the exact item order.
+    """
+    from repro.hierarchy import build_vocabulary
+    from repro.sequence import SequenceDatabase
+
+    pattern_items = {item for pattern in patterns for item in pattern}
+    if hierarchy is None:
+        hierarchy = Hierarchy.flat(pattern_items)
+    else:
+        hierarchy = hierarchy.copy()
+        for item in pattern_items:
+            if item not in hierarchy:
+                hierarchy.add_item(item)
+    vocabulary = build_vocabulary(
+        SequenceDatabase(list(patterns)), hierarchy
+    )
+    coded = {
+        vocabulary.encode_sequence(pattern): freq
+        for pattern, freq in patterns.items()
+    }
+    return coded, vocabulary
+
+
+__all__ = ["code_patterns"]

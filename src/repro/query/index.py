@@ -10,44 +10,28 @@ containing it: the matcher only runs on the postings of the query's most
 selective concrete token.  ``^name`` tokens union the postings of the
 item's descendants; queries with no concrete token fall back to a
 length-filtered scan.
+
+The matching machinery itself lives in
+:class:`~repro.query.base.PatternSearchBase` and is shared with the
+on-disk :class:`~repro.serve.store.PatternStore`; this class is the
+all-in-memory backend.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Mapping, Sequence
 
-from repro.errors import InvalidParameterError
 from repro.hierarchy.vocabulary import Vocabulary
-from repro.query.tokens import (
-    AnyToken,
-    ItemToken,
-    PlusToken,
-    QueryToken,
-    SpanToken,
-    UnderToken,
-    normalize_query,
+from repro.query.base import (
+    Pattern,
+    PatternSearchBase,
+    QueryMatch,
+    rank_patterns,
 )
 
-Pattern = tuple[int, ...]
 
-
-@dataclass(frozen=True)
-class QueryMatch:
-    """One search hit: the decoded pattern and its mined frequency."""
-
-    pattern: tuple[str, ...]
-    frequency: int
-
-    def render(self) -> str:
-        return " ".join(self.pattern)
-
-    def __repr__(self) -> str:
-        return f"QueryMatch({self.render()!r}, {self.frequency})"
-
-
-class PatternIndex:
-    """Immutable index over a set of mined generalized sequences.
+class PatternIndex(PatternSearchBase):
+    """Immutable in-memory index over a set of mined generalized sequences.
 
     Parameters
     ----------
@@ -68,11 +52,9 @@ class PatternIndex:
     def __init__(
         self, patterns: Mapping[Pattern, int], vocabulary: Vocabulary
     ) -> None:
+        super().__init__()
         self._vocabulary = vocabulary
-        # deterministic order: most frequent first, ties by coded pattern
-        self._patterns: list[tuple[Pattern, int]] = sorted(
-            patterns.items(), key=lambda kv: (-kv[1], kv[0])
-        )
+        self._patterns: list[tuple[Pattern, int]] = rank_patterns(patterns)
         self._frequencies: dict[Pattern, int] = dict(patterns)
         self._postings: dict[int, list[int]] = {}
         self._by_length: dict[int, list[int]] = {}
@@ -80,13 +62,6 @@ class PatternIndex:
             self._by_length.setdefault(len(pattern), []).append(idx)
             for item in set(pattern):
                 self._postings.setdefault(item, []).append(idx)
-        self._children: dict[int, list[int]] = {
-            i: [] for i in range(len(vocabulary))
-        }
-        for item_id in range(len(vocabulary)):
-            for parent in vocabulary.parent_ids(item_id):
-                self._children[parent].append(item_id)
-        self._descendants_cache: dict[int, tuple[int, ...]] = {}
 
     @classmethod
     def from_result(cls, result) -> "PatternIndex":
@@ -94,246 +69,27 @@ class PatternIndex:
         return cls(result.patterns, result.vocabulary)
 
     # ------------------------------------------------------------------
-    # basic access
+    # storage primitives (see PatternSearchBase)
     # ------------------------------------------------------------------
 
-    def __len__(self) -> int:
+    def _vocabulary_instance(self) -> Vocabulary:
+        return self._vocabulary
+
+    def _num_patterns(self) -> int:
         return len(self._patterns)
 
-    def __iter__(self) -> Iterator[QueryMatch]:
-        vocabulary = self._vocabulary
-        for pattern, frequency in self._patterns:
-            yield QueryMatch(vocabulary.decode_sequence(pattern), frequency)
+    def _pattern_at(self, idx: int) -> tuple[Pattern, int]:
+        return self._patterns[idx]
 
-    def __contains__(self, names: object) -> bool:
-        try:
-            coded = self._vocabulary.encode_sequence(tuple(names))  # type: ignore[arg-type]
-        except Exception:
-            return False
-        return coded in self._frequencies
+    def _postings_for(self, item_id: int) -> Sequence[int]:
+        return self._postings.get(item_id, ())
 
-    def frequency(self, *names: str) -> int:
-        """Mined frequency of an exact pattern; 0 when absent."""
-        try:
-            coded = self._vocabulary.encode_sequence(names)
-        except Exception:
-            return 0
-        return self._frequencies.get(coded, 0)
+    def _length_groups(self) -> dict[int, Sequence[int]]:
+        return self._by_length
 
-    def top(self, n: int = 10) -> list[QueryMatch]:
-        """The ``n`` most frequent patterns in the index."""
-        vocabulary = self._vocabulary
-        return [
-            QueryMatch(vocabulary.decode_sequence(p), f)
-            for p, f in self._patterns[:n]
-        ]
-
-    # ------------------------------------------------------------------
-    # search
-    # ------------------------------------------------------------------
-
-    def search(
-        self,
-        query: str | QueryToken | tuple | list,
-        limit: int | None = None,
-    ) -> list[QueryMatch]:
-        """All indexed patterns matching the query, most frequent first.
-
-        ``query`` is a string in the wildcard syntax or a sequence of
-        :class:`~repro.query.tokens.QueryToken`.  Unknown item names raise
-        :class:`~repro.errors.UnknownItemError`.
-        """
-        compiled = self._compile(normalize_query(query))
-        candidates = self._candidates(compiled)
-        vocabulary = self._vocabulary
-        matches: list[QueryMatch] = []
-        for idx in candidates:
-            pattern, frequency = self._patterns[idx]
-            if self._matches(compiled, pattern):
-                matches.append(
-                    QueryMatch(vocabulary.decode_sequence(pattern), frequency)
-                )
-                if limit is not None and len(matches) >= limit:
-                    break
-        return matches
-
-    def count(self, query) -> int:
-        """Number of indexed patterns matching the query."""
-        return len(self.search(query))
-
-    def total_frequency(self, query) -> int:
-        """Sum of frequencies over all matches (n-gram-viewer style mass)."""
-        return sum(match.frequency for match in self.search(query))
-
-    def slot_fillers(
-        self, query, slot: int
-    ) -> list[tuple[str, int]]:
-        """Aggregate the items filling one wildcard slot of a fixed-length
-        query, with their total frequency (most frequent first).
-
-        Only queries without ``*``/``+`` have an unambiguous alignment, so
-        span tokens are rejected.  Typical use: *which items appear after
-        "NOUN lives in"?* → ``slot_fillers("NOUN lives in ?", 3)``.
-        """
-        tokens = normalize_query(query)
-        if any(isinstance(t, (SpanToken, PlusToken)) for t in tokens):
-            raise InvalidParameterError(
-                "slot_fillers requires a fixed-length query (no '*'/'+')"
-            )
-        if not 0 <= slot < len(tokens):
-            raise InvalidParameterError(
-                f"slot {slot} out of range for a {len(tokens)}-token query"
-            )
-        fillers: dict[str, int] = {}
-        for match in self.search(tokens):
-            name = match.pattern[slot]
-            fillers[name] = fillers.get(name, 0) + match.frequency
-        return sorted(fillers.items(), key=lambda kv: (-kv[1], kv[0]))
-
-    # ------------------------------------------------------------------
-    # hierarchy navigation
-    # ------------------------------------------------------------------
-
-    def generalizations_of(self, names) -> list[QueryMatch]:
-        """Indexed patterns that are itemwise generalizations of ``names``
-        (same length, each item an ancestor-or-self), including the pattern
-        itself when indexed."""
-        vocabulary = self._vocabulary
-        coded = vocabulary.encode_sequence(tuple(names))
-        hits: list[QueryMatch] = []
-        for idx in self._by_length.get(len(coded), ()):
-            pattern, frequency = self._patterns[idx]
-            if all(
-                vocabulary.generalizes_to(s, p)
-                for s, p in zip(coded, pattern)
-            ):
-                hits.append(
-                    QueryMatch(vocabulary.decode_sequence(pattern), frequency)
-                )
-        return hits
-
-    def specializations_of(self, names) -> list[QueryMatch]:
-        """Indexed patterns that are itemwise specializations of ``names``
-        (same length, each item a descendant-or-self), including the
-        pattern itself when indexed."""
-        vocabulary = self._vocabulary
-        coded = vocabulary.encode_sequence(tuple(names))
-        hits: list[QueryMatch] = []
-        for idx in self._by_length.get(len(coded), ()):
-            pattern, frequency = self._patterns[idx]
-            if all(
-                vocabulary.generalizes_to(p, s)
-                for s, p in zip(coded, pattern)
-            ):
-                hits.append(
-                    QueryMatch(vocabulary.decode_sequence(pattern), frequency)
-                )
-        return hits
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-
-    def _descendants_or_self(self, item_id: int) -> tuple[int, ...]:
-        cached = self._descendants_cache.get(item_id)
-        if cached is not None:
-            return cached
-        seen: set[int] = set()
-        stack = [item_id]
-        while stack:
-            current = stack.pop()
-            if current in seen:
-                continue
-            seen.add(current)
-            stack.extend(self._children[current])
-        result = tuple(sorted(seen))
-        self._descendants_cache[item_id] = result
-        return result
-
-    def _compile(
-        self, tokens: tuple[QueryToken, ...]
-    ) -> list[tuple[str, int]]:
-        """Resolve item names to ids once, validating the whole query
-        upfront.  Compiled form: ``(kind, id-or--1)`` pairs."""
-        compiled: list[tuple[str, int]] = []
-        for token in tokens:
-            if isinstance(token, ItemToken):
-                compiled.append(("item", self._vocabulary.id(token.name)))
-            elif isinstance(token, UnderToken):
-                compiled.append(("under", self._vocabulary.id(token.name)))
-            elif isinstance(token, AnyToken):
-                compiled.append(("any", -1))
-            elif isinstance(token, PlusToken):
-                compiled.append(("plus", -1))
-            else:
-                compiled.append(("span", -1))
-        return compiled
-
-    def _candidates(self, compiled: list[tuple[str, int]]) -> list[int]:
-        """Candidate pattern indexes, ascending (= frequency-descending),
-        from the most selective concrete token's postings."""
-        best: list[int] | None = None
-        for kind, item in compiled:
-            if kind == "item":
-                postings = self._postings.get(item, [])
-            elif kind == "under":
-                merged: set[int] = set()
-                for descendant in self._descendants_or_self(item):
-                    merged.update(self._postings.get(descendant, ()))
-                postings = sorted(merged)
-            else:
-                continue
-            if best is None or len(postings) < len(best):
-                best = postings
-        if best is not None:
-            return best
-        # wildcard-only query: filter by achievable lengths
-        fixed = sum(1 for kind, _ in compiled if kind != "span")
-        elastic = any(kind in ("span", "plus") for kind, _ in compiled)
-        indexes: list[int] = []
-        for length, idxs in self._by_length.items():
-            if length == fixed or (elastic and length >= fixed):
-                indexes.extend(idxs)
-        return sorted(indexes)
-
-    def _matches(
-        self, compiled: list[tuple[str, int]], pattern: Pattern
-    ) -> bool:
-        """Regex-style DP over token positions × pattern positions."""
-        vocabulary = self._vocabulary
-        n_items = len(pattern)
-        # reachable[j] = True if a prefix of tokens consumed pattern[:j]
-        reachable = [True] + [False] * n_items
-        for kind, target in compiled:
-            nxt = [False] * (n_items + 1)
-            if kind == "span":
-                # zero or more: propagate the earliest reachable point right
-                running = False
-                for j in range(n_items + 1):
-                    running = running or reachable[j]
-                    nxt[j] = running
-            elif kind == "plus":
-                running = False
-                for j in range(1, n_items + 1):
-                    running = running or reachable[j - 1]
-                    nxt[j] = running
-            else:
-                for j in range(n_items):
-                    if not reachable[j]:
-                        continue
-                    item = pattern[j]
-                    if kind == "any":
-                        nxt[j + 1] = True
-                    elif kind == "item":
-                        if item == target:
-                            nxt[j + 1] = True
-                    else:  # under
-                        if vocabulary.generalizes_to(item, target):
-                            nxt[j + 1] = True
-            reachable = nxt
-            if not any(reachable):
-                return False
-        return reachable[n_items]
+    def _find_coded(self, coded: Pattern) -> int | None:
+        # O(1) via the retained mapping instead of a postings scan.
+        return self._frequencies.get(coded)
 
 
 __all__ = ["PatternIndex", "QueryMatch"]

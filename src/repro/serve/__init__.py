@@ -1,0 +1,45 @@
+"""Pattern serving: mine once, answer many queries fast.
+
+The mining side of this library produces a pattern set; this package
+turns it into a long-lived query-serving system:
+
+* :class:`~repro.serve.store.PatternStore` — a compact binary on-disk
+  index (vocabulary + varint-coded patterns + gap-coded postings) that
+  opens in O(header) time via ``mmap`` and decodes sections lazily;
+* :class:`~repro.serve.service.QueryService` — a thread-safe façade
+  with an LRU result cache, batch API and serving stats;
+* :mod:`~repro.serve.http` — a dependency-free ``ThreadingHTTPServer``
+  exposing ``/query``, ``/count``, ``/topk``, ``/batch``, ``/stats``
+  and ``/healthz`` as JSON endpoints.
+
+Build a store from a mining result and serve it::
+
+    result.to_store("patterns.store")            # once, after mining
+
+    store = PatternStore.open("patterns.store")  # O(header) startup
+    service = QueryService(store)
+    serve(service, port=8080)                    # lash serve --store ...
+"""
+
+from repro.serve.store import PatternStore, write_store
+from repro.serve.service import QueryService
+
+_HTTP_EXPORTS = ("PatternHTTPServer", "create_server", "run_server", "serve")
+
+
+def __getattr__(name):
+    # store-only paths (MiningResult.to_store, `lash index build`) never
+    # pay the http.server import; resolve the server lazily
+    if name in _HTTP_EXPORTS:
+        from repro.serve import http
+
+        return getattr(http, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "PatternStore",
+    "write_store",
+    "QueryService",
+    *_HTTP_EXPORTS,
+]

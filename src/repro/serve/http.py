@@ -1,0 +1,246 @@
+"""Stdlib HTTP server exposing a :class:`QueryService` as JSON endpoints.
+
+No framework, no dependencies: a :class:`ThreadingHTTPServer` running one
+thread per request against the thread-safe service.  Endpoints::
+
+    GET  /healthz                 liveness + store metadata
+    GET  /stats                   service counters (cache hit-rate, latency)
+    GET  /query?q=a+%3F&limit=10  ranked matches for a wildcard query
+    GET  /count?q=a+%3F           match count + frequency mass only
+    GET  /topk?n=10               globally most frequent patterns
+    POST /batch                   {"queries": [...], "limit": 10}
+
+Queries use the language of :mod:`repro.query.tokens` (``?``, ``+``,
+``*``, ``^name``), URL-encoded.  Malformed queries and unknown items
+answer 400 with ``{"error": ...}`` instead of tearing down the
+connection.
+
+>>> server = create_server(service, port=0)     # ephemeral port
+>>> threading.Thread(target=server.serve_forever, daemon=True).start()
+>>> urllib.request.urlopen(f"http://127.0.0.1:{server.server_port}/healthz")
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ReproError
+from repro.serve.service import DEFAULT_LIMIT, QueryService, error_message
+
+MAX_BATCH = 1000
+_MAX_BODY = 1 << 20  # 1 MiB request bodies are plenty for query batches
+
+
+class PatternHTTPServer(ThreadingHTTPServer):
+    """Threaded server carrying the shared :class:`QueryService`.
+
+    Request threads are non-daemon so ``server_close()`` drains them —
+    the store's mmap is only closed after the last in-flight answer.
+    The per-request socket timeout bounds how long a stalled client can
+    pin a thread.
+    """
+
+    daemon_threads = False
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, PatternRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+
+class PatternRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    #: socket timeout: a client that stalls mid-request (e.g. a body
+    #: shorter than its Content-Length) frees its thread after this
+    timeout = 30
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle(self._route_post)
+
+    def _handle(self, route) -> None:
+        try:
+            try:
+                route()
+            except _BadRequest as exc:
+                self._respond(400, {"error": str(exc)})
+            except ReproError as exc:
+                self._respond(400, {"error": error_message(exc)})
+            except (BrokenPipeError, ConnectionResetError):
+                raise
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                self._respond(
+                    500, {"error": f"internal error: {type(exc).__name__}"}
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            # client went away mid-response — on the success path or
+            # while we were writing an error; nothing left to tell it
+            self.close_connection = True
+
+    def _route_get(self) -> None:
+        url = urlsplit(self.path)
+        params = parse_qs(url.query)
+        if url.path == "/healthz":
+            self._respond(200, self._healthz())
+        elif url.path == "/stats":
+            self._respond(200, self.server.service.stats())
+        elif url.path == "/query":
+            query = self._require_query(params)
+            limit = self._int_param(params, "limit", DEFAULT_LIMIT)
+            self._respond(200, self.server.service.query(query, limit))
+        elif url.path == "/count":
+            query = self._require_query(params)
+            self._respond(200, self.server.service.count(query))
+        elif url.path == "/topk":
+            n = self._int_param(params, "n", DEFAULT_LIMIT)
+            self._respond(200, self.server.service.topk(n))
+        else:
+            self._respond(404, {"error": f"unknown path {url.path!r}"})
+
+    def _route_post(self) -> None:
+        url = urlsplit(self.path)
+        if url.path != "/batch":
+            self._respond(404, {"error": f"unknown path {url.path!r}"})
+            return
+        payload = self._read_json()
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not all(
+            isinstance(q, str) for q in queries
+        ):
+            raise _BadRequest("'queries' must be a list of strings")
+        if len(queries) > MAX_BATCH:
+            raise _BadRequest(
+                f"batch of {len(queries)} exceeds limit {MAX_BATCH}"
+            )
+        limit = payload.get("limit", DEFAULT_LIMIT)
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int)
+        ):
+            raise _BadRequest("'limit' must be an integer or null")
+        if limit is not None and limit < 1:
+            raise _BadRequest("'limit' must be >= 1 or null")
+        results = self.server.service.batch(queries, limit)
+        self._respond(200, {"results": results})
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _healthz(self) -> dict:
+        backend = self.server.service.backend
+        info = {"status": "ok", "patterns": len(backend)}
+        describe = getattr(backend, "describe", None)
+        if describe is not None:
+            info["store"] = describe()
+        return info
+
+    def _require_query(self, params: dict[str, list[str]]) -> str:
+        values = params.get("q")
+        if not values or not values[0].strip():
+            raise _BadRequest("missing query parameter 'q'")
+        return values[0]
+
+    def _int_param(
+        self, params: dict[str, list[str]], name: str, default: int
+    ) -> int:
+        values = params.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[0])
+        except ValueError:
+            raise _BadRequest(
+                f"parameter {name!r} must be an integer, got {values[0]!r}"
+            ) from None
+
+    def _read_json(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            raise _BadRequest("invalid Content-Length") from None
+        if length <= 0:
+            raise _BadRequest("empty request body")
+        if length > _MAX_BODY:
+            raise _BadRequest(f"request body exceeds {_MAX_BODY} bytes")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("JSON body must be an object")
+        return payload
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # a rejected POST may leave an undrained request body on the
+            # socket; close so it cannot desync the next keep-alive request
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):  # pragma: no cover
+            super().log_message(format, *args)
+
+
+class _BadRequest(Exception):
+    """Client error carrying the message for the 400 response."""
+
+
+def create_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> PatternHTTPServer:
+    """Bind a server (``port=0`` picks an ephemeral port) without
+    serving.  ``quiet=False`` enables per-request access logging."""
+    return PatternHTTPServer((host, port), service, quiet=quiet)
+
+
+def run_server(
+    server: PatternHTTPServer,
+) -> None:  # pragma: no cover - blocking loop, exercised manually
+    """Serve until interrupted, then close the socket (``lash serve``
+    builds the server itself so it can print the bound address first)."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+def serve(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8080
+) -> None:  # pragma: no cover - blocking entry point, exercised manually
+    """Bind and serve until interrupted."""
+    run_server(create_server(service, host, port))
+
+
+__all__ = [
+    "PatternHTTPServer",
+    "PatternRequestHandler",
+    "create_server",
+    "run_server",
+    "serve",
+    "MAX_BATCH",
+]

@@ -1,0 +1,263 @@
+"""Query service: result caching, batching and stats over a pattern backend.
+
+Wraps any :class:`~repro.query.base.PatternSearchBase` (an in-memory
+:class:`~repro.query.index.PatternIndex` or an on-disk
+:class:`~repro.serve.store.PatternStore`) behind a small JSON-ready API.
+Heavy query traffic is dominated by repeats — popular n-gram lookups,
+dashboard refreshes — so full match lists land in a bounded LRU cache
+keyed by the query string alone (one entry serves every ``limit`` and
+both ``/query`` and ``/count``), and the service keeps the counters a
+production deployment would export: served queries, cache hit-rate,
+error count and cumulative latency.
+
+All entry points are thread-safe; the HTTP layer calls them from one
+thread per request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.errors import InvalidParameterError, ReproError
+from repro.query.base import PatternSearchBase, QueryMatch
+
+DEFAULT_CACHE_SIZE = 1024
+DEFAULT_LIMIT = 10
+#: rendered matches retained per cache entry; aggregates always cover
+#: the full result set, so broad queries don't pin it in memory
+MAX_CACHED_MATCHES = 1000
+
+
+def _render(matches: Sequence[QueryMatch]) -> list[dict]:
+    return [
+        {"pattern": m.render(), "frequency": m.frequency} for m in matches
+    ]
+
+
+def error_message(exc: ReproError) -> str:
+    """Client-facing message; KeyError-derived errors (UnknownItemError)
+    repr-quote their ``str()``, so prefer the raw argument."""
+    if exc.args and isinstance(exc.args[0], str):
+        return exc.args[0]
+    return str(exc)
+
+
+class QueryService:
+    """LRU-cached, instrumented façade over a pattern search backend.
+
+    Parameters
+    ----------
+    backend:
+        Any pattern search backend (index or store).
+    cache_size:
+        Maximum cached queries; 0 disables caching.
+    max_cached_matches:
+        Rendered matches retained per cache entry; requests needing a
+        longer prefix recompute instead of reading the cache.
+    """
+
+    def __init__(
+        self,
+        backend: PatternSearchBase,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_cached_matches: int = MAX_CACHED_MATCHES,
+    ) -> None:
+        if cache_size < 0:
+            raise InvalidParameterError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
+        if max_cached_matches < 1:
+            raise InvalidParameterError(
+                f"max_cached_matches must be >= 1, got {max_cached_matches}"
+            )
+        self._backend = backend
+        self._cache_size = cache_size
+        self._max_cached_matches = max_cached_matches
+        self._cache: OrderedDict[tuple, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._cache_hits = 0
+        self._errors = 0
+        self._latency_s = 0.0
+
+    @property
+    def backend(self) -> PatternSearchBase:
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # query API — every method returns a JSON-serializable dict
+    # ------------------------------------------------------------------
+
+    def query(self, query: str, limit: int | None = DEFAULT_LIMIT) -> dict:
+        """Ranked matches plus match count and total frequency mass.
+
+        ``limit=None`` returns every match; otherwise ``limit >= 1``
+        (``search`` treats ``limit <= 0`` as 1, which would surprise an
+        HTTP caller asking for 0 results).
+        """
+        if limit is not None and limit < 1:
+            self._reject(f"limit must be >= 1 or null, got {limit}")
+        (rendered, count, total), hit, matches = self._search(query)
+        wanted = count if limit is None else min(limit, count)
+        if wanted <= len(rendered):
+            shown = rendered[:wanted]
+        elif matches is not None:
+            # a miss just computed the full match list; render the part
+            # beyond the cached prefix from it instead of re-searching
+            shown = _render(matches[:wanted])
+        else:
+            # hit on a capped entry that can't cover the request: one
+            # full re-search, latency-accounted and not a cache hit
+            start = time.perf_counter()
+            shown = _render(self._backend.search(query, limit=limit))
+            with self._lock:
+                self._latency_s += time.perf_counter() - start
+                self._cache_hits -= 1
+        return {
+            "query": query,
+            "matches": shown,
+            "count": count,
+            "total_frequency": total,
+            "truncated": count > len(shown),
+        }
+
+    def count(self, query: str) -> dict:
+        """Match count and frequency mass only (no result list)."""
+        (_, count, total), _hit, _matches = self._search(query)
+        return {
+            "query": query,
+            "count": count,
+            "total_frequency": total,
+        }
+
+    def topk(self, n: int = DEFAULT_LIMIT) -> dict:
+        """The ``n`` globally most frequent patterns (``n >= 1``).
+
+        ``n`` is clamped to ``max_cached_matches`` so one request cannot
+        render (and cache) the entire store; the response's ``k`` is the
+        clamped value.
+        """
+        if n < 1:
+            self._reject(f"n must be >= 1, got {n}")
+        n = min(n, self._max_cached_matches)
+        value, _hit = self._cached(
+            ("topk", "", n),
+            lambda key: {"k": key[2], "matches": _render(self._backend.top(key[2]))},
+        )
+        return value
+
+    def _search(self, query: str):
+        """``((rendered, count, total), was_hit, raw_matches_or_None)``
+        for the full (limit-independent) result set.  One cache entry
+        per query serves every limit and both ``/query`` and ``/count``,
+        with aggregates precomputed so cache hits cost O(limit), not
+        O(matches).  Only the first ``max_cached_matches`` rendered
+        matches are retained (bounding memory on broad queries); on a
+        miss the raw match list is handed back so the caller can serve
+        beyond the prefix without re-searching."""
+        spill: dict = {}
+
+        def compute(key: tuple) -> tuple[list[dict], int, int]:
+            matches = self._backend.search(key[1])
+            spill["matches"] = matches
+            return (
+                _render(matches[: self._max_cached_matches]),
+                len(matches),
+                sum(m.frequency for m in matches),
+            )
+
+        value, hit = self._cached(("search", query, None), compute)
+        return value, hit, spill.get("matches")
+
+    def batch(
+        self, queries: Sequence[str], limit: int | None = DEFAULT_LIMIT
+    ) -> list[dict]:
+        """Answer many queries in one call (shares the cache per query).
+
+        One bad query does not poison the batch: its entry carries an
+        ``error`` field while the other answers come back intact.
+        """
+        results: list[dict] = []
+        for query in queries:
+            try:
+                results.append(self.query(query, limit))
+            except ReproError as exc:
+                results.append(
+                    {"query": query, "error": error_message(exc)}
+                )
+        return results
+
+    def stats(self) -> dict:
+        """Service counters; ``patterns`` comes from the backend header."""
+        with self._lock:
+            queries = self._queries
+            hits = self._cache_hits
+            stats = {
+                "patterns": len(self._backend),
+                "queries": queries,
+                "cache_hits": hits,
+                "cache_hit_rate": round(hits / queries, 4) if queries else 0.0,
+                "cache_entries": len(self._cache),
+                "cache_size": self._cache_size,
+                "errors": self._errors,
+                "total_latency_ms": round(1000 * self._latency_s, 3),
+            }
+            stats["avg_latency_ms"] = (
+                round(stats["total_latency_ms"] / queries, 3) if queries
+                else 0.0
+            )
+            return stats
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _reject(self, message: str) -> None:
+        """Validation failures count as served-and-errored requests so
+        ``/stats`` reflects them like any other client error."""
+        with self._lock:
+            self._queries += 1
+            self._errors += 1
+        raise InvalidParameterError(message)
+
+    def _cached(self, key: tuple, compute):
+        """``(value, was_cache_hit)`` with LRU bookkeeping."""
+        with self._lock:
+            self._queries += 1
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                self._cache.move_to_end(key)
+                return cached, True
+        start = time.perf_counter()
+        try:
+            value = compute(key)
+        except ReproError:
+            with self._lock:
+                self._errors += 1
+            raise
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._latency_s += elapsed
+            if self._cache_size:
+                self._cache[key] = value
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return value, False
+
+
+__all__ = [
+    "QueryService",
+    "error_message",
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_LIMIT",
+    "MAX_CACHED_MATCHES",
+]

@@ -1,0 +1,372 @@
+"""The pattern store: a compact on-disk binary index of mined patterns.
+
+``lash mine`` is the expensive, run-once half of the paper's exploration
+story; this module is the cheap, run-many half.  A store file is built
+once from a mining result (or a patterns TSV) and then serves wildcard
+queries directly from disk: opening it reads only a fixed-size header,
+the file is memory-mapped, and every section — vocabulary, pattern
+records, postings — is decoded lazily on first use.  A server process
+is answering its first query microseconds after ``open()`` instead of
+re-deriving a vocabulary and inverted index from text.
+
+File layout (little-endian)::
+
+    magic "RPROPST1"                                          8 bytes
+    header: version, flags, n_items, n_patterns,
+            total_frequency, max_length                       28 bytes
+    section table: 7 × u64 absolute offsets                   56 bytes
+    [vocab]     per item: name, frequency, parent ids         varint
+    [lengths]   per pattern: its length                       varint
+    [pat_offs]  (n_patterns+1) × u64, relative to [patterns]  fixed
+    [patterns]  per pattern: frequency + zigzag-delta items   varint
+    [post_offs] (n_items+1) × u64, relative to [postings]     fixed
+    [postings]  per item: ascending pattern indexes, gap-coded
+
+Patterns are stored most-frequent-first (ties by coded pattern), the
+exact order :class:`~repro.query.index.PatternIndex` uses, so the two
+backends return identical ranked results.  The fixed-width offset
+tables give O(1) random access into the varint sections — the store
+never has to decode records it does not touch.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import threading
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import EncodingError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.vocabulary import Vocabulary
+from repro.query.base import Pattern, PatternSearchBase, rank_patterns
+from repro.io.codec import (
+    read_deltas,
+    read_sequence,
+    read_uvarint,
+    write_deltas,
+    write_sequence,
+    write_uvarint,
+)
+
+MAGIC = b"RPROPST1"
+VERSION = 1
+_HEADER = struct.Struct("<HHIQQI")
+_SECTIONS = struct.Struct("<7Q")
+_U64 = struct.Struct("<Q")
+#: bytes read by :meth:`PatternStore.open` before any query arrives
+HEADER_SIZE = len(MAGIC) + _HEADER.size + _SECTIONS.size
+
+
+# ----------------------------------------------------------------------
+# building
+# ----------------------------------------------------------------------
+
+def write_store(
+    path: str | Path,
+    patterns: Mapping[Pattern, int],
+    vocabulary: Vocabulary,
+) -> None:
+    """Serialize coded patterns + vocabulary into a store file.
+
+    Empty patterns are rejected: no miner produces them, and the
+    postings-based exact lookup could not find them, so storing one
+    would break the store/index answer-equivalence invariant.
+    """
+    ordered = rank_patterns(patterns)
+    if any(not pattern for pattern, _ in ordered):
+        raise EncodingError("empty pattern cannot be stored")
+    n_items = len(vocabulary)
+
+    vocab = bytearray()
+    for item_id in range(n_items):
+        name = vocabulary.name(item_id).encode("utf-8")
+        write_uvarint(vocab, len(name))
+        vocab.extend(name)
+        write_uvarint(vocab, vocabulary.frequency(item_id))
+        parents = vocabulary.parent_ids(item_id)
+        write_uvarint(vocab, len(parents))
+        for parent in parents:
+            write_uvarint(vocab, parent)
+
+    lengths = bytearray()
+    for pattern, _ in ordered:
+        write_uvarint(lengths, len(pattern))
+
+    records = bytearray()
+    pattern_offsets = [0]
+    postings: dict[int, list[int]] = {}
+    for idx, (pattern, freq) in enumerate(ordered):
+        write_uvarint(records, freq)
+        write_sequence(records, pattern)
+        pattern_offsets.append(len(records))
+        for item in set(pattern):
+            postings.setdefault(item, []).append(idx)
+
+    posting_bytes = bytearray()
+    posting_offsets = [0]
+    for item_id in range(n_items):
+        write_deltas(posting_bytes, postings.get(item_id, ()))
+        posting_offsets.append(len(posting_bytes))
+
+    sections: list[int] = []
+    cursor = HEADER_SIZE
+    for size in (
+        len(vocab),
+        len(lengths),
+        _U64.size * len(pattern_offsets),
+        len(records),
+        _U64.size * len(posting_offsets),
+        len(posting_bytes),
+    ):
+        sections.append(cursor)
+        cursor += size
+    sections.append(cursor)  # end of file
+
+    header = _HEADER.pack(
+        VERSION,
+        0,
+        n_items,
+        len(ordered),
+        sum(freq for _, freq in ordered),
+        max((len(p) for p, _ in ordered), default=0),
+    )
+    # write-then-rename: rebuilding a store a live server has mmapped
+    # must not truncate the mapped inode (SIGBUS) or expose a half file
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as f:
+            f.write(MAGIC)
+            f.write(header)
+            f.write(_SECTIONS.pack(*sections))
+            f.write(vocab)
+            f.write(lengths)
+            for offset in pattern_offsets:
+                f.write(_U64.pack(offset))
+            f.write(records)
+            for offset in posting_offsets:
+                f.write(_U64.pack(offset))
+            f.write(posting_bytes)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+# ----------------------------------------------------------------------
+# serving
+# ----------------------------------------------------------------------
+
+class PatternStore(PatternSearchBase):
+    """Lazily loaded, memory-mapped pattern store.
+
+    Opening is O(header): the constructor validates the magic, reads the
+    section table and maps the file.  The vocabulary, pattern records,
+    postings lists and length groups are each decoded on first access
+    and cached, so a process that only ever runs selective queries never
+    pays for the sections those queries skip.
+
+    Thread-safe for concurrent reads (the HTTP server runs one thread
+    per request): one-time section builds (vocabulary, length groups)
+    are lock-guarded; per-record decodes are lock-free pure reads of
+    the immutable map with locked cache inserts, so cold-cache misses
+    proceed in parallel.
+
+    Decoded records are memoized up to ``pattern_cache_size`` patterns
+    and ``postings_cache_size`` postings lists; past the caps, decodes
+    still answer but are not retained, so a single broad scan cannot
+    pin the whole decoded store in memory.
+
+    Use as a context manager or call :meth:`close` to release the map.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        pattern_cache_size: int = 1 << 16,
+        postings_cache_size: int = 1 << 12,
+    ) -> None:
+        super().__init__()
+        self._pattern_cache_size = pattern_cache_size
+        self._postings_cache_size = postings_cache_size
+        self._path = Path(path)
+        self._file = open(self._path, "rb")
+        try:
+            head = self._file.read(HEADER_SIZE)
+            if len(head) < HEADER_SIZE or not head.startswith(MAGIC):
+                raise EncodingError(
+                    f"{self._path}: not a pattern store (bad magic)"
+                )
+            (
+                self._version,
+                _flags,
+                self._n_items,
+                self._n_patterns,
+                self._total_frequency,
+                self._max_length,
+            ) = _HEADER.unpack_from(head, len(MAGIC))
+            if self._version != VERSION:
+                raise EncodingError(
+                    f"{self._path}: unsupported store version "
+                    f"{self._version} (expected {VERSION})"
+                )
+            (
+                self._off_vocab,
+                self._off_lengths,
+                self._off_pat_offsets,
+                self._off_patterns,
+                self._off_post_offsets,
+                self._off_postings,
+                self._off_end,
+            ) = _SECTIONS.unpack_from(head, len(MAGIC) + _HEADER.size)
+            if self._off_end != os.fstat(self._file.fileno()).st_size:
+                raise EncodingError(f"{self._path}: truncated pattern store")
+            self._data = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except Exception:
+            self._file.close()
+            raise
+        self._lock = threading.RLock()
+        self._vocab: Vocabulary | None = None
+        self._pattern_cache: dict[int, tuple[Pattern, int]] = {}
+        self._postings_cache: dict[int, list[int]] = {}
+        self._by_length: dict[int, list[int]] | None = None
+
+    @classmethod
+    def open(cls, path: str | Path) -> "PatternStore":
+        return cls(path)
+
+    @classmethod
+    def build(
+        cls,
+        path: str | Path,
+        patterns: Mapping[Pattern, int],
+        vocabulary: Vocabulary,
+    ) -> "PatternStore":
+        """Write a store file and open it."""
+        write_store(path, patterns, vocabulary)
+        return cls(path)
+
+    def close(self) -> None:
+        self._data.close()
+        self._file.close()
+
+    def __enter__(self) -> "PatternStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # header-only metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def describe(self) -> dict:
+        """Store metadata; available without decoding any section."""
+        return {
+            "path": str(self._path),
+            "version": self._version,
+            "items": self._n_items,
+            "patterns": self._n_patterns,
+            "total_frequency": self._total_frequency,
+            "max_length": self._max_length,
+            "file_bytes": self._off_end,
+        }
+
+    # ------------------------------------------------------------------
+    # storage primitives (see PatternSearchBase)
+    # ------------------------------------------------------------------
+
+    def _vocabulary_instance(self) -> Vocabulary:
+        if self._vocab is None:
+            with self._lock:
+                if self._vocab is None:
+                    self._vocab = self._decode_vocabulary()
+        return self._vocab
+
+    def _decode_vocabulary(self) -> Vocabulary:
+        data = self._data
+        offset = self._off_vocab
+        names: list[str] = []
+        frequencies: list[int] = []
+        parent_lists: list[tuple[int, ...]] = []
+        for _ in range(self._n_items):
+            n, offset = read_uvarint(data, offset)
+            names.append(data[offset:offset + n].decode("utf-8"))
+            offset += n
+            freq, offset = read_uvarint(data, offset)
+            frequencies.append(freq)
+            n_parents, offset = read_uvarint(data, offset)
+            parents = []
+            for _ in range(n_parents):
+                parent, offset = read_uvarint(data, offset)
+                parents.append(parent)
+            parent_lists.append(tuple(parents))
+        hierarchy = Hierarchy()
+        for name in names:
+            hierarchy.add_item(name)
+        for name, parents in zip(names, parent_lists):
+            for parent in parents:
+                hierarchy.add_edge(name, names[parent])
+        return Vocabulary(names, hierarchy, frequencies)
+
+    def _num_patterns(self) -> int:
+        return self._n_patterns
+
+    def _pattern_at(self, idx: int) -> tuple[Pattern, int]:
+        # per-record decodes are pure reads of the immutable mmap, so
+        # concurrent cold misses decode in parallel (worst case: two
+        # threads build the same record); only the insert takes the lock
+        cached = self._pattern_cache.get(idx)
+        if cached is not None:
+            return cached
+        if not 0 <= idx < self._n_patterns:
+            raise IndexError(f"pattern index {idx} out of range")
+        base = self._off_pat_offsets + _U64.size * idx
+        start = _U64.unpack_from(self._data, base)[0] + self._off_patterns
+        freq, offset = read_uvarint(self._data, start)
+        pattern, _ = read_sequence(self._data, offset)
+        record = (pattern, freq)
+        with self._lock:
+            if len(self._pattern_cache) < self._pattern_cache_size:
+                self._pattern_cache[idx] = record
+        return record
+
+    def _postings_for(self, item_id: int) -> Sequence[int]:
+        cached = self._postings_cache.get(item_id)
+        if cached is not None:
+            return cached
+        if not 0 <= item_id < self._n_items:
+            return ()
+        base = self._off_post_offsets + _U64.size * item_id
+        start, end = struct.unpack_from("<2Q", self._data, base)
+        postings = read_deltas(
+            self._data, self._off_postings + start, self._off_postings + end
+        )
+        with self._lock:
+            if len(self._postings_cache) < self._postings_cache_size:
+                self._postings_cache[item_id] = postings
+        return postings
+
+    def _length_groups(self) -> dict[int, Sequence[int]]:
+        if self._by_length is None:
+            with self._lock:
+                if self._by_length is None:
+                    groups: dict[int, list[int]] = {}
+                    offset = self._off_lengths
+                    for idx in range(self._n_patterns):
+                        length, offset = read_uvarint(self._data, offset)
+                        groups.setdefault(length, []).append(idx)
+                    self._by_length = groups
+        return self._by_length
+
+
+__all__ = ["PatternStore", "write_store", "HEADER_SIZE", "MAGIC", "VERSION"]

@@ -1,0 +1,202 @@
+"""HTTP server: live endpoint behavior and concurrent query traffic."""
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.core import Lash, MiningParams
+from repro.query import PatternIndex
+from repro.serve import PatternStore, QueryService, create_server
+
+
+@pytest.fixture
+def mining_result(fig1_database, fig1_hierarchy):
+    return Lash(MiningParams(sigma=2, gamma=1, lam=3)).mine(
+        fig1_database, fig1_hierarchy
+    )
+
+
+@pytest.fixture
+def server(mining_result, tmp_path):
+    """A live server on an ephemeral port, backed by a store file."""
+    path = tmp_path / "patterns.store"
+    mining_result.to_store(path)
+    store = PatternStore.open(path)
+    service = QueryService(store)
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    store.close()
+    thread.join(timeout=5)
+
+
+def _get(server, path):
+    url = f"http://127.0.0.1:{server.server_port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(server, path, payload):
+    url = f"http://127.0.0.1:{server.server_port}{path}"
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server, mining_result):
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["patterns"] == len(mining_result)
+        assert body["store"]["items"] == len(mining_result.vocabulary)
+
+    def test_query_matches_in_memory_index(self, server, mining_result):
+        index = PatternIndex.from_result(mining_result)
+        for query in ["a ?", "^B ?", "? ? ?", "a * c"]:
+            status, body = _get(
+                server, "/query?q=" + urllib.parse.quote(query)
+            )
+            assert status == 200
+            expected = [
+                {"pattern": m.render(), "frequency": m.frequency}
+                for m in index.search(query, limit=10)
+            ]
+            assert body["matches"] == expected
+
+    def test_count(self, server, mining_result):
+        index = PatternIndex.from_result(mining_result)
+        status, body = _get(server, "/count?q=%5EB+%3F")  # "^B ?"
+        assert status == 200
+        assert body["count"] == index.count("^B ?")
+        assert body["total_frequency"] == index.total_frequency("^B ?")
+
+    def test_topk(self, server, mining_result):
+        index = PatternIndex.from_result(mining_result)
+        status, body = _get(server, "/topk?n=3")
+        assert status == 200
+        assert [m["pattern"] for m in body["matches"]] == [
+            m.render() for m in index.top(3)
+        ]
+
+    def test_batch_post(self, server):
+        status, body = _post(
+            server, "/batch", {"queries": ["a ?", "? ? ?"], "limit": 5}
+        )
+        assert status == 200
+        assert [r["query"] for r in body["results"]] == ["a ?", "? ? ?"]
+
+    def test_stats_counts_traffic(self, server):
+        _get(server, "/query?q=a+%3F")
+        _get(server, "/query?q=a+%3F")
+        status, body = _get(server, "/stats")
+        assert status == 200
+        assert body["queries"] >= 2
+        assert body["cache_hits"] >= 1
+
+
+class TestErrors:
+    def _get_error(self, server, path):
+        try:
+            _get(server, path)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+        pytest.fail(f"expected an HTTP error for {path}")
+
+    def test_missing_query_param(self, server):
+        code, body = self._get_error(server, "/query")
+        assert code == 400
+        assert "missing query parameter" in body["error"]
+
+    def test_unknown_item_is_400(self, server):
+        code, body = self._get_error(server, "/query?q=nosuchitem")
+        assert code == 400
+        assert "nosuchitem" in body["error"]
+
+    def test_bad_limit(self, server):
+        code, body = self._get_error(server, "/query?q=a&limit=ten")
+        assert code == 400
+
+    def test_unknown_path_is_404(self, server):
+        code, _ = self._get_error(server, "/nope")
+        assert code == 404
+
+    def test_bad_batch_body(self, server):
+        try:
+            _post(server, "/batch", {"queries": "a ?"})
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+        else:
+            pytest.fail("expected 400 for non-list queries")
+
+    def test_post_error_closes_connection(self, server):
+        """An undrained POST body must not desync keep-alive reuse."""
+        import socket
+
+        sock = socket.create_connection(
+            ("127.0.0.1", server.server_port), timeout=10
+        )
+        try:
+            body = b'{"queries": ["a ?"]}'
+            sock.sendall(
+                b"POST /nope HTTP/1.1\r\nHost: x\r\nContent-Length: "
+                + str(len(body)).encode() + b"\r\n\r\n" + body
+            )
+            response = sock.recv(65536)
+            assert response.startswith(b"HTTP/1.1 404")
+            assert b"Connection: close" in response
+        finally:
+            sock.close()
+
+
+class TestConcurrency:
+    def test_parallel_clients_get_identical_answers(
+        self, server, mining_result
+    ):
+        """Many threads hammer the server; every response is exact."""
+        index = PatternIndex.from_result(mining_result)
+        queries = ["a ?", "^B ?", "? ? ?", "a * c", "+"]
+        expected = {
+            q: [
+                {"pattern": m.render(), "frequency": m.frequency}
+                for m in index.search(q, limit=10)
+            ]
+            for q in queries
+        }
+        failures: list[str] = []
+
+        def client(worker: int) -> None:
+            for i in range(10):
+                query = queries[(worker + i) % len(queries)]
+                try:
+                    status, body = _get(
+                        server, "/query?q=" + urllib.parse.quote(query)
+                    )
+                    if status != 200 or body["matches"] != expected[query]:
+                        failures.append(f"{query}: {body}")
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    failures.append(f"{query}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=client, args=(w,)) for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures, failures[:3]
+
+        status, stats = _get(server, "/stats")
+        assert stats["queries"] >= 80
+        assert stats["errors"] == 0

@@ -1,0 +1,212 @@
+"""QueryService: LRU caching, batching, stats and error accounting."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, UnknownItemError
+from repro.hierarchy import Hierarchy
+from repro.query import PatternIndex, code_patterns
+from repro.serve import QueryService
+
+
+@pytest.fixture
+def backend():
+    patterns = {
+        ("a", "B"): 9,
+        ("a", "b1"): 5,
+        ("a",): 12,
+        ("c", "a"): 3,
+        ("B", "c"): 2,
+    }
+    hierarchy = Hierarchy()
+    for root in ("a", "B", "c"):
+        hierarchy.add_item(root)
+    hierarchy.add_edge("b1", "B")
+    coded, vocabulary = code_patterns(patterns, hierarchy)
+    return PatternIndex(coded, vocabulary)
+
+
+class TestQueryApi:
+    def test_query_shape(self, backend):
+        service = QueryService(backend)
+        response = service.query("a ?")
+        assert response["query"] == "a ?"
+        assert response["count"] == 2
+        assert response["total_frequency"] == 14
+        assert response["matches"][0] == {"pattern": "a B", "frequency": 9}
+
+    def test_query_limit_reports_true_totals(self, backend):
+        service = QueryService(backend)
+        response = service.query("a ?", limit=1)
+        assert len(response["matches"]) == 1
+        assert response["count"] == 2
+        assert response["truncated"] is True
+
+    def test_count(self, backend):
+        service = QueryService(backend)
+        assert service.count("? ?")["count"] == 4
+
+    def test_topk(self, backend):
+        service = QueryService(backend)
+        matches = service.topk(2)["matches"]
+        assert [m["pattern"] for m in matches] == ["a", "a B"]
+
+    def test_batch(self, backend):
+        service = QueryService(backend)
+        results = service.batch(["a ?", "? ?"], limit=None)
+        assert [r["count"] for r in results] == [2, 4]
+
+    def test_batch_isolates_bad_queries(self, backend):
+        service = QueryService(backend)
+        results = service.batch(["a ?", "nosuchitem", "? ?"])
+        assert results[0]["count"] == 2
+        assert "nosuchitem" in results[1]["error"]
+        assert "matches" not in results[1]
+        assert results[2]["count"] == 4
+
+    def test_unknown_item_raises_and_counts(self, backend):
+        service = QueryService(backend)
+        with pytest.raises(UnknownItemError):
+            service.query("nosuchitem")
+        assert service.stats()["errors"] == 1
+
+    def test_negative_cache_size_rejected(self, backend):
+        with pytest.raises(InvalidParameterError):
+            QueryService(backend, cache_size=-1)
+
+    @pytest.mark.parametrize("limit", [0, -1])
+    def test_non_positive_limit_rejected(self, backend, limit):
+        service = QueryService(backend)
+        with pytest.raises(InvalidParameterError, match="limit"):
+            service.query("a ?", limit=limit)
+        stats = service.stats()
+        assert stats["errors"] == 1
+        assert stats["queries"] == 1
+
+    @pytest.mark.parametrize("n", [0, -5])
+    def test_non_positive_topk_rejected(self, backend, n):
+        service = QueryService(backend)
+        with pytest.raises(InvalidParameterError, match="n must be"):
+            service.topk(n)
+
+    def test_topk_clamped_to_cache_cap(self, backend):
+        service = QueryService(backend, max_cached_matches=2)
+        response = service.topk(10**9)
+        assert response["k"] == 2
+        assert len(response["matches"]) == 2
+        # huge n values collapse onto one cache entry
+        service.topk(10**6)
+        assert service.stats()["cache_hits"] == 1
+
+
+class TestLruCache:
+    def test_repeat_query_hits_cache(self, backend):
+        service = QueryService(backend, cache_size=8)
+        first = service.query("a ?")
+        second = service.query("a ?")
+        assert first == second
+        stats = service.stats()
+        assert stats["queries"] == 2
+        assert stats["cache_hits"] == 1
+        assert stats["cache_hit_rate"] == 0.5
+
+    def test_distinct_limits_share_one_entry(self, backend):
+        service = QueryService(backend, cache_size=8)
+        service.query("a ?", limit=1)
+        service.query("a ?", limit=2)
+        assert service.stats()["cache_hits"] == 1
+        assert service.stats()["cache_entries"] == 1
+
+    def test_eviction_is_least_recently_used(self, backend):
+        service = QueryService(backend, cache_size=2)
+        service.query("a ?")      # A
+        service.query("? ?")      # B
+        service.query("a ?")      # hit A → A most recent
+        service.query("c ?")      # C evicts B
+        assert service.stats()["cache_entries"] == 2
+        hits_before = service.stats()["cache_hits"]
+        service.query("a ?")      # still cached
+        assert service.stats()["cache_hits"] == hits_before + 1
+        hits_before = service.stats()["cache_hits"]
+        service.query("? ?")      # was evicted → recomputed
+        assert service.stats()["cache_hits"] == hits_before
+
+    def test_cache_disabled(self, backend):
+        service = QueryService(backend, cache_size=0)
+        service.query("a ?")
+        service.query("a ?")
+        stats = service.stats()
+        assert stats["cache_hits"] == 0
+        assert stats["cache_entries"] == 0
+
+    def test_cached_prefix_is_capped_but_answers_stay_complete(
+        self, backend
+    ):
+        service = QueryService(backend, max_cached_matches=2)
+        full = service.query("? ?", limit=None)
+        assert len(full["matches"]) == full["count"] == 4  # recompute path
+        assert full["truncated"] is False
+        # the cached entry holds only the capped prefix
+        small = service.query("? ?", limit=2)
+        assert len(small["matches"]) == 2
+        assert small["count"] == 4
+        assert service.stats()["cache_hits"] == 1
+        # counts stay exact even though the list was capped
+        assert service.count("? ?")["count"] == 4
+
+    def test_cold_overflow_searches_once(self, backend):
+        service = QueryService(backend, max_cached_matches=2)
+        calls = []
+        original = backend.search
+
+        def counting_search(query, limit=None):
+            calls.append(query)
+            return original(query, limit=limit)
+
+        backend.search = counting_search
+        try:
+            full = service.query("? ?", limit=None)  # cold miss, overflow
+            assert full["count"] == 4 and len(full["matches"]) == 4
+            assert len(calls) == 1  # the miss's search served the overflow
+        finally:
+            backend.search = original
+
+    def test_overflow_requests_are_not_counted_as_hits(self, backend):
+        service = QueryService(backend, max_cached_matches=2)
+        service.query("? ?", limit=1)          # miss, caches 2-prefix
+        service.query("? ?", limit=None)       # recomputes → not a hit
+        assert service.stats()["cache_hits"] == 0
+        service.query("? ?", limit=2)          # served from prefix → hit
+        assert service.stats()["cache_hits"] == 1
+
+    def test_clear_cache(self, backend):
+        service = QueryService(backend)
+        service.query("a ?")
+        service.clear_cache()
+        assert service.stats()["cache_entries"] == 0
+
+    def test_count_reuses_query_search(self, backend):
+        service = QueryService(backend)
+        service.query("a ?", limit=None)
+        service.count("a ?")
+        assert service.stats()["cache_hits"] == 1
+        assert service.stats()["cache_entries"] == 1
+
+
+class TestStats:
+    def test_fields(self, backend):
+        service = QueryService(backend, cache_size=4)
+        service.query("a ?")
+        stats = service.stats()
+        assert stats["patterns"] == 5
+        assert stats["queries"] == 1
+        assert stats["cache_size"] == 4
+        assert stats["total_latency_ms"] >= 0
+        assert stats["avg_latency_ms"] >= 0
+        assert stats["errors"] == 0
+
+    def test_cache_hits_skip_latency(self, backend):
+        service = QueryService(backend)
+        service.query("a ?")
+        latency = service.stats()["total_latency_ms"]
+        service.query("a ?")  # cache hit: no extra search latency
+        assert service.stats()["total_latency_ms"] == latency

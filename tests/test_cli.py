@@ -162,6 +162,34 @@ class TestMine:
                    "--lam", "3"])
         assert rc == 0
 
+    def test_parallel_engine(self, example_files, tmp_path, capsys):
+        db, hierarchy = example_files
+        serial, parallel = tmp_path / "serial.tsv", tmp_path / "par.tsv"
+        base = ["mine", "--db", db, "--hierarchy", hierarchy,
+                "--sigma", "2", "--gamma", "1", "--lam", "3"]
+        assert main(base + ["--out", str(serial)]) == 0
+        assert main(base + ["--engine", "parallel", "--max-workers", "2",
+                            "--out", str(parallel)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(serial), str(parallel)]) == 0
+
+    def test_max_workers_requires_parallel_engine(self, example_files):
+        db, hierarchy = example_files
+        with pytest.raises(SystemExit, match="requires --engine parallel"):
+            main([
+                "mine", "--db", db, "--hierarchy", hierarchy,
+                "--sigma", "2", "--max-workers", "2",
+            ])
+
+    def test_parallel_engine_rejected_for_mgfsm(self, example_files):
+        db, hierarchy = example_files
+        with pytest.raises(SystemExit, match="not supported"):
+            main([
+                "mine", "--db", db, "--hierarchy", hierarchy,
+                "--sigma", "2", "--algorithm", "mg-fsm",
+                "--engine", "parallel",
+            ])
+
 
 class TestCompare:
     def test_agree(self, example_files, tmp_path, capsys):
@@ -288,3 +316,68 @@ class TestQuery:
         assert rc == 0
         out = capsys.readouterr().out
         assert out.count("query:") == 2
+
+
+class TestIndex:
+    @pytest.fixture
+    def mined_patterns(self, example_files, tmp_path, capsys):
+        db, hierarchy = example_files
+        patterns = tmp_path / "patterns.tsv"
+        main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--out", str(patterns),
+        ])
+        capsys.readouterr()
+        return str(patterns), hierarchy
+
+    def test_build_and_info(self, mined_patterns, tmp_path, capsys):
+        patterns, hierarchy = mined_patterns
+        store = tmp_path / "patterns.store"
+        rc = main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(store),
+        ])
+        assert rc == 0
+        assert "wrote 10 patterns" in capsys.readouterr().out
+        rc = main(["index", "info", "--store", str(store)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "patterns=10" in out
+
+    def test_store_answers_like_query_command(
+        self, mined_patterns, tmp_path, capsys
+    ):
+        from repro.serve import PatternStore
+
+        patterns, hierarchy = mined_patterns
+        store_path = tmp_path / "patterns.store"
+        main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(store_path),
+        ])
+        capsys.readouterr()
+        assert main([
+            "query", "--patterns", patterns, "--hierarchy", hierarchy,
+            "^B ?",
+        ]) == 0
+        cli_out = capsys.readouterr().out
+        with PatternStore.open(store_path) as store:
+            # CLI prints at most the default --top 10 matches
+            for match in store.search("^B ?", limit=10):
+                assert match.render() in cli_out
+
+    def test_mine_store_export(self, example_files, tmp_path, capsys):
+        from repro.serve import PatternStore
+
+        db, hierarchy = example_files
+        store_path = tmp_path / "mined.store"
+        rc = main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--store", str(store_path),
+        ])
+        assert rc == 0
+        with PatternStore.open(store_path) as store:
+            assert len(store) == 10
+            assert store.frequency("a", "B") == 3
