@@ -1,0 +1,124 @@
+"""Extension — incremental store builds: merge vs full rebuild.
+
+A serving index must absorb new mining runs; this bench quantifies the
+two ways to do it.  A corpus arrives in batches; after each batch the
+serving store must cover everything seen so far:
+
+* **full rebuild** — re-mine the accumulated corpus and rewrite the
+  store from scratch (cost grows with history);
+* **incremental merge** — mine only the new batch and
+  ``merge_stores`` its store into the existing one (cost grows with
+  the pattern set, not with re-mining history).
+
+Shape targets: per-batch merge cost stays well below per-batch rebuild
+cost once history accumulates, while both regimes produce
+byte-identical stores (σ=1, so merging mined results is exact).  A
+sharded variant shows the merge writing shard sets at comparable cost.
+"""
+
+import time
+
+from repro import Lash, MiningParams
+from repro.sequence import SequenceDatabase
+from repro.serve import merge_stores, open_store
+from conftest import NYT_SENTENCES
+from reporting import BenchReport
+
+BATCHES = 4
+SIGMA = 1
+PARAMS = MiningParams(SIGMA, 0, 3)
+
+
+def _mine(sequences, hierarchy):
+    return Lash(PARAMS).mine(SequenceDatabase(sequences), hierarchy)
+
+
+def test_merge_vs_full_rebuild(nyt, tmp_path):
+    report = BenchReport(
+        "Ext. store build",
+        "incremental merge vs full rebuild per corpus batch",
+    )
+    hierarchy = nyt.hierarchy("CLP")
+    sequences = list(nyt.database)
+    batch_size = max(1, len(sequences) // BATCHES)
+    batches = [
+        sequences[i:i + batch_size]
+        for i in range(0, batch_size * BATCHES, batch_size)
+    ]
+
+    served = tmp_path / "serving.store"
+    seen: list = []
+    for number, batch in enumerate(batches, start=1):
+        seen.extend(batch)
+
+        start = time.perf_counter()
+        full = _mine(seen, hierarchy)
+        full_path = tmp_path / f"full{number}.store"
+        full.to_store(full_path)
+        rebuild_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        delta = _mine(batch, hierarchy)
+        delta_path = tmp_path / f"delta{number}.store"
+        delta.to_store(delta_path)
+        if number == 1:
+            delta_path.replace(served)
+        else:
+            merge_stores([served, delta_path], served)
+        merge_s = time.perf_counter() - start
+
+        assert served.read_bytes() == full_path.read_bytes()
+        report.add(
+            f"batch {number}/{BATCHES}",
+            {
+                "seen_seqs": len(seen),
+                "patterns": len(full),
+                "rebuild_s": round(rebuild_s, 3),
+                "merge_s": round(merge_s, 3),
+                "speedup": round(rebuild_s / merge_s, 2),
+            },
+        )
+    report.emit()
+
+
+def test_sharded_merge_build(nyt, tmp_path):
+    """Merging into a shard set costs about the same as a single file
+    and serves identical answers."""
+    report = BenchReport(
+        "Ext. sharded build", "merge target: single file vs 4-shard set"
+    )
+    hierarchy = nyt.hierarchy("CLP")
+    sequences = list(nyt.database)
+    half = len(sequences) // 2
+    first = _mine(sequences[:half], hierarchy)
+    second = _mine(sequences[half:], hierarchy)
+    first_path = tmp_path / "first.store"
+    second_path = tmp_path / "second.store"
+    first.to_store(first_path)
+    second.to_store(second_path)
+
+    timings = {}
+    single_path = tmp_path / "merged.store"
+    start = time.perf_counter()
+    merge_stores([first_path, second_path], single_path)
+    timings["single"] = time.perf_counter() - start
+
+    sharded_path = tmp_path / "merged.shards"
+    start = time.perf_counter()
+    merge_stores([first_path, second_path], sharded_path, shards=4)
+    timings["4 shards"] = time.perf_counter() - start
+
+    with open_store(single_path) as single, (
+        open_store(sharded_path)
+    ) as sharded:
+        assert list(sharded) == list(single)
+        for label, seconds in timings.items():
+            report.add(
+                label,
+                {
+                    "merge_s": round(seconds, 3),
+                    "patterns": len(single),
+                    "sentences": NYT_SENTENCES,
+                },
+            )
+    report.emit()

@@ -62,7 +62,13 @@ from repro.query import PatternIndex, Q, code_patterns, parse_query
 def __getattr__(name):
     # the serving stack (http.server etc.) stays opt-in: resolve its
     # exports lazily so `import repro` never pays for it
-    if name in ("PatternStore", "QueryService"):
+    if name in (
+        "PatternStore",
+        "ShardedPatternStore",
+        "open_store",
+        "merge_stores",
+        "QueryService",
+    ):
         from repro import serve
 
         return getattr(serve, name)
@@ -108,6 +114,9 @@ __all__ = [
     "MapReduceEngine",
     "PatternIndex",
     "PatternStore",
+    "ShardedPatternStore",
+    "open_store",
+    "merge_stores",
     "QueryService",
     "Q",
     "code_patterns",

@@ -28,6 +28,15 @@ Mine once, then serve queries over HTTP from a persistent binary store::
     lash serve --store patterns.store --port 8080
     curl 'http://127.0.0.1:8080/query?q=the+%5EADJ+%3F'
 
+Shard large stores across files, and fold new mining runs into an
+existing index without re-mining::
+
+    lash index build --patterns patterns.tsv --out patterns.shards \
+         --shards 8
+    lash index merge patterns.shards new-run.store --out merged.shards \
+         --shards 8
+    lash serve --store merged.shards
+
 All ``--db`` / ``--hierarchy`` / ``--out`` paths accept ``.gz``.
 """
 
@@ -251,49 +260,90 @@ def cmd_query(args: argparse.Namespace) -> int:
     return status
 
 
+def _report_written_store(verb: str, out: str, start: float) -> None:
+    """Print the one-line summary both index writers share.  The store
+    was produced in-process moments ago, so the inspection open skips
+    the checksum sweep — no second full read of a just-written file."""
+    from repro.serve import open_store
+
+    with open_store(out, verify_checksums=False) as store:
+        info = store.describe()
+    elapsed = time.perf_counter() - start
+    layout = (
+        f"{info['shards']} shards" if "shards" in info else "single file"
+    )
+    print(
+        f"{verb} {info['patterns']} patterns / {info['items']} items "
+        f"({info['file_bytes']} bytes, {layout}) at {out} in {elapsed:.2f}s"
+    )
+
+
 def cmd_index_build(args: argparse.Namespace) -> int:
     """Build a binary pattern store from a mined pattern file."""
-    from repro.serve import PatternStore
+    from repro.serve import write_sharded_store, write_store
 
     start = time.perf_counter()
     coded, vocabulary = _load_coded_patterns(args.patterns, args.hierarchy)
-    with PatternStore.build(args.out, coded, vocabulary) as store:
-        info = store.describe()
-    elapsed = time.perf_counter() - start
-    print(
-        f"wrote {info['patterns']} patterns / {info['items']} items "
-        f"({info['file_bytes']} bytes) to {args.out} in {elapsed:.2f}s"
+    checksums = not args.no_checksums
+    if args.shards is None:
+        write_store(args.out, coded, vocabulary, checksums=checksums)
+    else:
+        write_sharded_store(
+            args.out, coded, vocabulary, args.shards, checksums=checksums
+        )
+    _report_written_store("wrote", args.out, start)
+    return 0
+
+
+def cmd_index_merge(args: argparse.Namespace) -> int:
+    """Merge stores/shard sets into one store without re-mining."""
+    from repro.serve import merge_stores
+
+    start = time.perf_counter()
+    merge_stores(
+        args.sources,
+        args.out,
+        shards=args.shards,
+        checksums=not args.no_checksums,
+    )
+    _report_written_store(
+        f"merged {len(args.sources)} stores into", args.out, start
     )
     return 0
 
 
 def cmd_index_info(args: argparse.Namespace) -> int:
     """Print store metadata (header-only, no section decoding)."""
-    from repro.serve import PatternStore
+    from repro.serve import open_store
 
-    with PatternStore.open(args.store) as store:
-        _print_row("store", store.describe())
+    with open_store(args.store) as store:
+        info = store.describe()
+        shard_stats = info.pop("shard_stats", None)
+        _print_row("store", info)
+        for i, shard in enumerate(shard_stats or ()):
+            _print_row(f"shard {i}", shard)
     return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Serve a pattern store over HTTP until interrupted."""
-    from repro.serve import PatternStore, QueryService, create_server
+    """Serve a pattern store (single file or shard set) over HTTP."""
+    from repro.serve import QueryService, create_server, open_store
     from repro.serve.http import run_server
 
-    store = PatternStore.open(args.store)
+    store = open_store(args.store, verify_checksums=not args.no_verify)
     service = QueryService(store, cache_size=args.cache_size)
     server = create_server(
         service, args.host, args.port, quiet=not args.verbose
     )
     host, port = server.server_address[:2]
+    shards = getattr(store, "num_shards", None)
+    layout = f" across {shards} shards" if shards is not None else ""
     print(
-        f"serving {store.describe()['patterns']} patterns "
-        f"on http://{host}:{port}"
+        f"serving {len(store)} patterns{layout} on http://{host}:{port}"
     )
     print(
         "endpoints: /query?q=  /count?q=  /topk?n=  /batch (POST)  "
-        "/stats  /healthz"
+        "/stats  /metrics  /healthz"
     )
     try:
         run_server(server)
@@ -438,31 +488,65 @@ def build_parser() -> argparse.ArgumentParser:
     query.set_defaults(func=cmd_query)
 
     index = sub.add_parser(
-        "index", help="build or inspect a binary pattern store"
+        "index", help="build, merge or inspect binary pattern stores"
     )
     index_sub = index.add_subparsers(dest="index_command", required=True)
     build = index_sub.add_parser(
-        "build", help="compile a pattern TSV into a store file"
+        "build", help="compile a pattern TSV into a store file or shard set"
     )
     build.add_argument("--patterns", required=True, help="pattern TSV file")
     build.add_argument(
         "--hierarchy", help="hierarchy file enabling ^name queries"
     )
     build.add_argument("--out", required=True, help="store output path")
+    build.add_argument(
+        "--shards", type=int, default=None,
+        help="write a sharded store directory with this many shard files",
+    )
+    build.add_argument(
+        "--no-checksums", action="store_true",
+        help="skip the per-section CRC-32 checksums",
+    )
     build.set_defaults(func=cmd_index_build)
+    merge = index_sub.add_parser(
+        "merge",
+        help="combine existing stores/shard sets (ids remapped, "
+        "frequencies summed) without re-mining",
+    )
+    merge.add_argument(
+        "sources", nargs="+", help="store files or shard directories"
+    )
+    merge.add_argument("--out", required=True, help="merged store path")
+    merge.add_argument(
+        "--shards", type=int, default=None,
+        help="write the merged store as a shard set of this size",
+    )
+    merge.add_argument(
+        "--no-checksums", action="store_true",
+        help="skip the per-section CRC-32 checksums",
+    )
+    merge.set_defaults(func=cmd_index_merge)
     info = index_sub.add_parser("info", help="print store metadata")
-    info.add_argument("--store", required=True, help="store file")
+    info.add_argument(
+        "--store", required=True, help="store file or shard directory"
+    )
     info.set_defaults(func=cmd_index_info)
 
     serve = sub.add_parser(
         "serve", help="serve a pattern store over HTTP (JSON endpoints)"
     )
-    serve.add_argument("--store", required=True, help="store file")
+    serve.add_argument(
+        "--store", required=True, help="store file or shard directory"
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument(
         "--cache-size", type=int, default=1024,
         help="LRU result-cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--no-verify", action="store_true",
+        help="skip checksum verification on open",
     )
     serve.add_argument(
         "--verbose", action="store_true",

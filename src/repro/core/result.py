@@ -70,12 +70,26 @@ class MiningResult:
             for pattern, freq in self.top(len(self.patterns)):
                 f.write(f"{pattern}\t{freq}\n")
 
-    def to_store(self, path: str | Path) -> None:
+    def to_store(
+        self,
+        path: str | Path,
+        shards: int | None = None,
+        checksums: bool = True,
+    ) -> None:
         """Export to a binary :class:`~repro.serve.store.PatternStore`
-        file for query serving (``lash serve``)."""
-        from repro.serve.store import write_store
+        for query serving (``lash serve``).  ``shards=N`` writes a
+        sharded store directory instead of a single file — same
+        answers, postings split across N mmaps."""
+        if shards is None:
+            from repro.serve.writer import write_store
 
-        write_store(path, self.patterns, self.vocabulary)
+            write_store(path, self.patterns, self.vocabulary, checksums)
+        else:
+            from repro.serve.writer import write_sharded_store
+
+            write_sharded_store(
+                path, self.patterns, self.vocabulary, shards, checksums
+            )
 
     # ------------------------------------------------------------------
     # measurements

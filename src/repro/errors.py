@@ -25,3 +25,10 @@ class InvalidParameterError(ReproError, ValueError):
 
 class EncodingError(ReproError):
     """Raised when (de)serialization of sequences or key-value pairs fails."""
+
+
+class StoreCorruptError(EncodingError):
+    """Raised when a pattern store file fails integrity validation —
+    truncation or a per-section checksum mismatch.  Subclasses
+    :class:`EncodingError` so callers handling decode failures keep
+    working; catch this type to distinguish bit-rot from format bugs."""

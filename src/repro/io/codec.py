@@ -8,6 +8,7 @@ work directly on a memory-mapped file without copying sections.
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterable, Sequence
 
 from repro.errors import EncodingError
@@ -114,6 +115,18 @@ def read_deltas(data, offset: int, end: int) -> list[int]:
     return values
 
 
+def section_checksum(data, start: int = 0, end: int | None = None) -> int:
+    """CRC-32 of ``data[start:end]`` as an unsigned 32-bit value.
+
+    Used for the optional per-section checksums of the pattern store.
+    Accepts any buffer (``bytes``, ``bytearray``, ``mmap``); the slice is
+    taken through a :class:`memoryview` so mmapped sections are not
+    copied before hashing.
+    """
+    view = memoryview(data)[start:len(data) if end is None else end]
+    return zlib.crc32(view) & 0xFFFFFFFF
+
+
 __all__ = [
     "write_uvarint",
     "read_uvarint",
@@ -123,4 +136,5 @@ __all__ = [
     "read_sequence",
     "write_deltas",
     "read_deltas",
+    "section_checksum",
 ]

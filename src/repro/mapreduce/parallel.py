@@ -14,10 +14,11 @@ Scope notes (documented limitations, not surprises):
 * Jobs are pickled to workers, so a job must be picklable — true for
   every job in this library (they hold vocabularies, params and miners,
   all plain data).
-* Mutations a job makes to itself inside a worker stay in the worker;
-  in particular a local miner's ``ExplorationStats`` are not aggregated
-  back (use the serial engine for Fig. 4(d)-style search-space
-  measurements).
+* Mutations a job makes to itself inside a worker stay in the worker —
+  with one deliberate exception: a local miner's ``ExplorationStats``
+  are measured per reduce task, shipped back with the task output, and
+  merged into the driver-side miner, so Fig. 4(d)-style search-space
+  measurements read identically under either engine.
 * Failure injection and the disk-backed shuffle are features of the
   serial engine; combining them with process parallelism is rejected
   rather than half-supported.
@@ -46,9 +47,12 @@ from repro.mapreduce.engine import (
 )
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
+from repro.miners.base import ExplorationStats
 
 #: payloads are (job, task input); results are (records, counters, seconds)
 _TaskResult = tuple[list, Counters, float]
+#: reduce results additionally carry the task's local-miner stats delta
+_ReduceResult = tuple[list, Counters, float, ExplorationStats | None]
 
 
 def _map_worker(payload: tuple[MapReduceJob, Sequence[Any]]) -> _TaskResult:
@@ -61,12 +65,20 @@ def _map_worker(payload: tuple[MapReduceJob, Sequence[Any]]) -> _TaskResult:
 
 def _reduce_worker(
     payload: tuple[MapReduceJob, dict[Any, list[Any]]]
-) -> _TaskResult:
+) -> _ReduceResult:
     job, partition = payload
+    # the job arrived by pickle, so its miner may carry stats accumulated
+    # before shipping; zero the worker-local copy to measure this task's
+    # delta alone — the driver merges deltas, never absolute counts
+    miner = getattr(job, "miner", None)
+    stats: ExplorationStats | None = getattr(miner, "stats", None)
+    if stats is not None and hasattr(miner, "reset_stats"):
+        miner.reset_stats()
     counters = Counters()
     start = time.perf_counter()
     output = run_reduce_task(job, partition, counters)
-    return output, counters, time.perf_counter() - start
+    stats = getattr(miner, "stats", None)
+    return output, counters, time.perf_counter() - start, stats
 
 
 class ParallelMapReduceEngine(MapReduceEngine):
@@ -128,10 +140,15 @@ class ParallelMapReduceEngine(MapReduceEngine):
                 )
             )
         output: list[Any] = []
-        for records_out, task_counters, elapsed in reduce_results:
+        driver_miner = getattr(job, "miner", None)
+        for records_out, task_counters, elapsed, task_stats in reduce_results:
             output.extend(records_out)
             counters.merge(task_counters)
             metrics.reduce_task_s.append(elapsed)
+            if task_stats is not None and driver_miner is not None:
+                # fold each worker's search-space delta into the driver's
+                # miner, matching the serial engine's in-place accounting
+                driver_miner.stats.merge(task_stats)
         return JobResult(output=output, counters=counters, metrics=metrics)
 
 

@@ -23,12 +23,13 @@ from repro.query.tokens import (
     parse_query,
 )
 from repro.query.base import PatternSearchBase
-from repro.query.build import code_patterns
+from repro.query.build import code_patterns, merge_pattern_sets
 from repro.query.index import PatternIndex, QueryMatch
 
 __all__ = [
     "PatternSearchBase",
     "code_patterns",
+    "merge_pattern_sets",
     "AnyToken",
     "ItemToken",
     "PlusToken",

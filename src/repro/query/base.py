@@ -29,6 +29,14 @@ A subclass provides the storage primitives:
     Ascending indexes of patterns containing the item.
 ``_length_groups()``
     Mapping ``pattern length -> ascending indexes``.
+
+Every public read path is expressed over three rank-ordered generators
+(:meth:`~PatternSearchBase._iter_ranked`,
+:meth:`~PatternSearchBase._iter_search`,
+:meth:`~PatternSearchBase._iter_itemwise`), so a composite backend —
+:class:`~repro.serve.sharded.ShardedPatternStore` — can answer by k-way
+merging the streams of its member stores without re-implementing any of
+the matching or ranking logic.
 """
 
 from __future__ import annotations
@@ -52,13 +60,21 @@ from repro.query.tokens import (
 Pattern = tuple[int, ...]
 
 
+def rank_key(record: tuple[Pattern, int]) -> tuple[int, Pattern]:
+    """Sort key of the canonical index order for one ``(pattern, freq)``
+    record.  Shared by :func:`rank_patterns` and the sharded store's
+    k-way merge, so a merged stream interleaves exactly as a single
+    backend would have ranked the union."""
+    return (-record[1], record[0])
+
+
 def rank_patterns(patterns) -> list[tuple[Pattern, int]]:
     """The canonical index order every backend stores patterns in: most
     frequent first, ties by coded pattern ascending.  Both
     :class:`~repro.query.index.PatternIndex` and the on-disk store sort
     with this one function — their ranked answers are identical because
     the order is shared, not merely repeated."""
-    return sorted(patterns.items(), key=lambda kv: (-kv[1], kv[0]))
+    return sorted(patterns.items(), key=rank_key)
 
 
 @dataclass(frozen=True)
@@ -115,8 +131,7 @@ class PatternSearchBase:
 
     def __iter__(self) -> Iterator[QueryMatch]:
         vocabulary = self.vocabulary
-        for idx in range(self._num_patterns()):
-            pattern, frequency = self._pattern_at(idx)
+        for pattern, frequency in self._iter_ranked():
             yield QueryMatch(vocabulary.decode_sequence(pattern), frequency)
 
     def __contains__(self, names: object) -> bool:
@@ -157,8 +172,9 @@ class PatternSearchBase:
         """The ``n`` most frequent patterns in the index."""
         vocabulary = self.vocabulary
         out: list[QueryMatch] = []
-        for idx in range(min(n, self._num_patterns())):
-            pattern, frequency = self._pattern_at(idx)
+        for pattern, frequency in self._iter_ranked():
+            if len(out) >= n:
+                break
             out.append(
                 QueryMatch(vocabulary.decode_sequence(pattern), frequency)
             )
@@ -180,17 +196,14 @@ class PatternSearchBase:
         :class:`~repro.errors.UnknownItemError`.
         """
         compiled = self._compile(normalize_query(query))
-        candidates = self._candidates(compiled)
         vocabulary = self.vocabulary
         matches: list[QueryMatch] = []
-        for idx in candidates:
-            pattern, frequency = self._pattern_at(idx)
-            if self._matches(compiled, pattern):
-                matches.append(
-                    QueryMatch(vocabulary.decode_sequence(pattern), frequency)
-                )
-                if limit is not None and len(matches) >= limit:
-                    break
+        for pattern, frequency in self._iter_search(compiled):
+            matches.append(
+                QueryMatch(vocabulary.decode_sequence(pattern), frequency)
+            )
+            if limit is not None and len(matches) >= limit:
+                break
         return matches
 
     def count(self, query) -> int:
@@ -236,17 +249,10 @@ class PatternSearchBase:
         itself when indexed."""
         vocabulary = self.vocabulary
         coded = vocabulary.encode_sequence(tuple(names))
-        hits: list[QueryMatch] = []
-        for idx in self._length_groups().get(len(coded), ()):
-            pattern, frequency = self._pattern_at(idx)
-            if all(
-                vocabulary.generalizes_to(s, p)
-                for s, p in zip(coded, pattern)
-            ):
-                hits.append(
-                    QueryMatch(vocabulary.decode_sequence(pattern), frequency)
-                )
-        return hits
+        return [
+            QueryMatch(vocabulary.decode_sequence(pattern), frequency)
+            for pattern, frequency in self._iter_itemwise(coded, upward=True)
+        ]
 
     def specializations_of(self, names) -> list[QueryMatch]:
         """Indexed patterns that are itemwise specializations of ``names``
@@ -254,17 +260,52 @@ class PatternSearchBase:
         pattern itself when indexed."""
         vocabulary = self.vocabulary
         coded = vocabulary.encode_sequence(tuple(names))
-        hits: list[QueryMatch] = []
+        return [
+            QueryMatch(vocabulary.decode_sequence(pattern), frequency)
+            for pattern, frequency in self._iter_itemwise(coded, upward=False)
+        ]
+
+    # ------------------------------------------------------------------
+    # rank-ordered streams (composite backends merge these)
+    # ------------------------------------------------------------------
+
+    def _iter_ranked(self) -> Iterator[tuple[Pattern, int]]:
+        """All ``(pattern, frequency)`` records, most frequent first
+        (ties by coded pattern): the backend's native index order."""
+        for idx in range(self._num_patterns()):
+            yield self._pattern_at(idx)
+
+    def _iter_search(
+        self, compiled: list[tuple[str, int]]
+    ) -> Iterator[tuple[Pattern, int]]:
+        """Records matching a compiled query, in rank order.  The
+        compiled form is id-based, so it is only portable to another
+        backend holding an identical vocabulary (shards do)."""
+        for idx in self._candidates(compiled):
+            pattern, frequency = self._pattern_at(idx)
+            if self._matches(compiled, pattern):
+                yield pattern, frequency
+
+    def _iter_itemwise(
+        self, coded: Pattern, upward: bool
+    ) -> Iterator[tuple[Pattern, int]]:
+        """Same-length patterns itemwise generalizing (``upward``) or
+        specializing ``coded``, in rank order."""
+        vocabulary = self.vocabulary
         for idx in self._length_groups().get(len(coded), ()):
             pattern, frequency = self._pattern_at(idx)
-            if all(
-                vocabulary.generalizes_to(p, s)
-                for s, p in zip(coded, pattern)
-            ):
-                hits.append(
-                    QueryMatch(vocabulary.decode_sequence(pattern), frequency)
+            if upward:
+                ok = all(
+                    vocabulary.generalizes_to(s, p)
+                    for s, p in zip(coded, pattern)
                 )
-        return hits
+            else:
+                ok = all(
+                    vocabulary.generalizes_to(p, s)
+                    for s, p in zip(coded, pattern)
+                )
+            if ok:
+                yield pattern, frequency
 
     # ------------------------------------------------------------------
     # internals
@@ -388,4 +429,10 @@ class PatternSearchBase:
         return reachable[n_items]
 
 
-__all__ = ["PatternSearchBase", "QueryMatch", "Pattern", "rank_patterns"]
+__all__ = [
+    "PatternSearchBase",
+    "QueryMatch",
+    "Pattern",
+    "rank_patterns",
+    "rank_key",
+]

@@ -10,8 +10,9 @@ hierarchy item by item on every invocation).
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
+from repro.errors import EncodingError
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.vocabulary import Vocabulary
 
@@ -50,4 +51,59 @@ def code_patterns(
     return coded, vocabulary
 
 
-__all__ = ["code_patterns"]
+def merge_pattern_sets(
+    sources: Sequence[tuple[Mapping[tuple[str, ...], int], Vocabulary]],
+) -> tuple[dict[tuple[int, ...], int], Vocabulary]:
+    """Combine decoded pattern sets into one coded set + merged vocabulary.
+
+    The incremental-build core: hierarchies are unioned edge by edge,
+    item frequencies (the generalized f-list) are summed per name, the
+    LASH total order is recomputed over the merged f-list, and every
+    pattern is re-encoded against the resulting ids — the "remap ids,
+    union postings, sum frequencies" step of ``lash index merge``.
+    Frequencies of patterns appearing in several sources add, exactly as
+    document support adds over a disjoint union of corpora; the output
+    is therefore identical to what a fresh build over the combined runs
+    would produce.
+
+    Hierarchies must agree where they overlap: an edge present in one
+    source is adopted globally, and conflicting edges (a cycle between
+    sources) raise :class:`~repro.errors.HierarchyError` from the union.
+    """
+    if not sources:
+        raise EncodingError("merge needs at least one pattern set")
+    merged_hierarchy = Hierarchy()
+    frequencies: dict[str, int] = {}
+    combined: dict[tuple[str, ...], int] = {}
+    for patterns, vocabulary in sources:
+        hierarchy = vocabulary.hierarchy
+        for item in hierarchy:
+            merged_hierarchy.add_item(item)
+            for parent in hierarchy.parents(item):
+                merged_hierarchy.add_edge(item, parent)
+        for item_id in range(len(vocabulary)):
+            name = vocabulary.name(item_id)
+            merged_hierarchy.add_item(name)
+            frequencies[name] = (
+                frequencies.get(name, 0) + vocabulary.frequency(item_id)
+            )
+        for pattern, freq in patterns.items():
+            combined[pattern] = combined.get(pattern, 0) + freq
+
+    from repro.hierarchy import build_vocabulary
+
+    # hierarchy-only items (possible when a source vocabulary predates
+    # this library persisting frequency-0 items) still need an id
+    for item in merged_hierarchy:
+        frequencies.setdefault(item, 0)
+    merged_vocabulary = build_vocabulary(
+        (), merged_hierarchy, frequencies=frequencies
+    )
+    coded = {
+        merged_vocabulary.encode_sequence(pattern): freq
+        for pattern, freq in combined.items()
+    }
+    return coded, merged_vocabulary
+
+
+__all__ = ["code_patterns", "merge_pattern_sets"]

@@ -5,23 +5,33 @@ turns it into a long-lived query-serving system:
 
 * :class:`~repro.serve.store.PatternStore` — a compact binary on-disk
   index (vocabulary + varint-coded patterns + gap-coded postings) that
-  opens in O(header) time via ``mmap`` and decodes sections lazily;
+  opens in O(header) time via ``mmap`` and decodes sections lazily,
+  with optional per-section checksums (:mod:`~repro.serve.format`,
+  :mod:`~repro.serve.writer`);
+* :class:`~repro.serve.sharded.ShardedPatternStore` — many shard files
+  behind one backend: hash-routed exact lookups, k-way-merged ranked
+  answers, byte-identical to a single-file store;
+* :func:`~repro.serve.writer.merge_stores` — incremental builds: fold
+  new mining output into existing stores without re-mining;
 * :class:`~repro.serve.service.QueryService` — a thread-safe façade
   with an LRU result cache, batch API and serving stats;
 * :mod:`~repro.serve.http` — a dependency-free ``ThreadingHTTPServer``
-  exposing ``/query``, ``/count``, ``/topk``, ``/batch``, ``/stats``
-  and ``/healthz`` as JSON endpoints.
+  exposing ``/query``, ``/count``, ``/topk``, ``/batch``, ``/stats``,
+  ``/metrics`` (Prometheus text) and ``/healthz``.
 
 Build a store from a mining result and serve it::
 
     result.to_store("patterns.store")            # once, after mining
+    result.to_store("patterns.shards", shards=8) # or sharded
 
-    store = PatternStore.open("patterns.store")  # O(header) startup
+    store = open_store("patterns.shards")        # either layout
     service = QueryService(store)
     serve(service, port=8080)                    # lash serve --store ...
 """
 
-from repro.serve.store import PatternStore, write_store
+from repro.serve.store import PatternStore
+from repro.serve.sharded import ShardedPatternStore, open_store
+from repro.serve.writer import merge_stores, write_sharded_store, write_store
 from repro.serve.service import QueryService
 
 _HTTP_EXPORTS = ("PatternHTTPServer", "create_server", "run_server", "serve")
@@ -39,7 +49,11 @@ def __getattr__(name):
 
 __all__ = [
     "PatternStore",
+    "ShardedPatternStore",
+    "open_store",
     "write_store",
+    "write_sharded_store",
+    "merge_stores",
     "QueryService",
     *_HTTP_EXPORTS,
 ]

@@ -5,6 +5,7 @@ thread per request against the thread-safe service.  Endpoints::
 
     GET  /healthz                 liveness + store metadata
     GET  /stats                   service counters (cache hit-rate, latency)
+    GET  /metrics                 the same counters, Prometheus text format
     GET  /query?q=a+%3F&limit=10  ranked matches for a wildcard query
     GET  /count?q=a+%3F           match count + frequency mass only
     GET  /topk?n=10               globally most frequent patterns
@@ -31,6 +32,79 @@ from repro.serve.service import DEFAULT_LIMIT, QueryService, error_message
 
 MAX_BATCH = 1000
 _MAX_BODY = 1 << 20  # 1 MiB request bodies are plenty for query batches
+
+#: exposition format version expected by Prometheus scrapers
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_metrics(stats: dict) -> str:
+    """Render :meth:`QueryService.stats` as Prometheus text format.
+
+    Derived entirely from the existing counters — no extra bookkeeping
+    in the service.  Rates and averages are left out deliberately:
+    Prometheus computes those from the raw counters (``rate()``,
+    latency sum / query count), and exporting precomputed ratios is an
+    exposition-format antipattern.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, help_: str, value, labels: str = "") -> None:
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{labels} {value}")
+
+    emit(
+        "lash_patterns", "gauge",
+        "Patterns in the served store.", stats["patterns"],
+    )
+    emit(
+        "lash_queries_total", "counter",
+        "Queries served (including rejected ones).", stats["queries"],
+    )
+    emit(
+        "lash_cache_hits_total", "counter",
+        "Queries answered from the result cache.", stats["cache_hits"],
+    )
+    emit(
+        "lash_errors_total", "counter",
+        "Queries rejected or failed.", stats["errors"],
+    )
+    emit(
+        "lash_query_latency_seconds_total", "counter",
+        "Cumulative backend search time.",
+        stats["total_latency_ms"] / 1000.0,
+    )
+    emit(
+        "lash_cache_entries", "gauge",
+        "Result-cache entries currently held.", stats["cache_entries"],
+    )
+    emit(
+        "lash_cache_size", "gauge",
+        "Result-cache capacity (0 = caching disabled).",
+        stats["cache_size"],
+    )
+    store = stats.get("store")
+    if store:
+        emit(
+            "lash_store_file_bytes", "gauge",
+            "Total bytes of the store file(s).", store["file_bytes"],
+        )
+        shard_stats = store.get("shard_stats")
+        if shard_stats is not None:
+            emit(
+                "lash_store_shards", "gauge",
+                "Shard files behind the served store.", store["shards"],
+            )
+            lines.append(
+                "# HELP lash_shard_patterns Patterns stored per shard."
+            )
+            lines.append("# TYPE lash_shard_patterns gauge")
+            for i, shard in enumerate(shard_stats):
+                lines.append(
+                    f'lash_shard_patterns{{shard="{i}"}} '
+                    f'{shard["patterns"]}'
+                )
+    return "\n".join(lines) + "\n"
 
 
 class PatternHTTPServer(ThreadingHTTPServer):
@@ -98,6 +172,12 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
             self._respond(200, self._healthz())
         elif url.path == "/stats":
             self._respond(200, self.server.service.stats())
+        elif url.path == "/metrics":
+            self._respond_text(
+                200,
+                render_metrics(self.server.service.stats()),
+                METRICS_CONTENT_TYPE,
+            )
         elif url.path == "/query":
             query = self._require_query(params)
             limit = self._int_param(params, "limit", DEFAULT_LIMIT)
@@ -185,9 +265,20 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
         return payload
 
     def _respond(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._respond_bytes(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def _respond_text(
+        self, status: int, text: str, content_type: str
+    ) -> None:
+        self._respond_bytes(status, text.encode("utf-8"), content_type)
+
+    def _respond_bytes(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if status >= 400:
             # a rejected POST may leave an undrained request body on the
@@ -242,5 +333,7 @@ __all__ = [
     "create_server",
     "run_server",
     "serve",
+    "render_metrics",
     "MAX_BATCH",
+    "METRICS_CONTENT_TYPE",
 ]

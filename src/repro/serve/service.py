@@ -191,7 +191,13 @@ class QueryService:
         return results
 
     def stats(self) -> dict:
-        """Service counters; ``patterns`` comes from the backend header."""
+        """Service counters; ``patterns`` comes from the backend header.
+
+        Backends exposing ``describe()`` (the on-disk stores) contribute
+        a ``store`` entry — for a sharded store that includes the
+        per-shard breakdown, so ``/stats`` shows where the bytes and
+        patterns live.
+        """
         with self._lock:
             queries = self._queries
             hits = self._cache_hits
@@ -209,7 +215,10 @@ class QueryService:
                 round(stats["total_latency_ms"] / queries, 3) if queries
                 else 0.0
             )
-            return stats
+        describe = getattr(self._backend, "describe", None)
+        if describe is not None:
+            stats["store"] = describe()
+        return stats
 
     def clear_cache(self) -> None:
         with self._lock:

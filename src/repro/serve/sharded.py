@@ -1,0 +1,243 @@
+"""Sharded pattern stores: one logical index over many store files.
+
+A corpus whose postings outgrow one comfortable ``mmap`` is split across
+shard files at build time (:func:`~repro.serve.writer.write_sharded_store`):
+every pattern lives in the shard selected by a stable hash of its first
+item's *name*, and all shards carry the identical shared vocabulary.
+:class:`ShardedPatternStore` presents the set as a single
+:class:`~repro.query.base.PatternSearchBase` backend:
+
+* each shard opens lazily (O(header) + mmap) the first time a query
+  touches it, so ``open()`` on the directory reads only the manifest;
+* ranked read paths — search, iteration, top-k, hierarchy navigation —
+  k-way merge the shards' rank-ordered streams with a heap keyed by the
+  shared :func:`~repro.query.base.rank_key`, so answers are
+  byte-identical to a single-file store of the same patterns;
+* exact lookups route straight to the owning shard via the same hash
+  the writer used — one shard touched, not N.
+
+:func:`open_store` dispatches on the path (directory with manifest →
+sharded, file → single) so callers serve either layout transparently.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.hierarchy.vocabulary import Vocabulary
+from repro.query.base import Pattern, PatternSearchBase, rank_key
+from repro.serve.format import is_sharded_store, read_manifest, shard_of
+from repro.serve.store import PatternStore
+
+
+class ShardedPatternStore(PatternSearchBase):
+    """Read a shard-set directory as one pattern search backend.
+
+    Parameters mirror :class:`~repro.serve.store.PatternStore`; the
+    cache sizes apply **per shard** (each shard is its own store with
+    its own decode caches).  Opening reads only ``manifest.json``;
+    shard files are opened on first use, under a lock, and reused.
+
+    Use as a context manager or call :meth:`close` to release all maps.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        pattern_cache_size: int = 1 << 16,
+        postings_cache_size: int = 1 << 12,
+        verify_checksums: bool = True,
+    ) -> None:
+        super().__init__()
+        self._path = Path(path)
+        self._manifest = read_manifest(self._path)
+        self._files: list[str] = self._manifest["shard_files"]
+        self._pattern_cache_size = pattern_cache_size
+        self._postings_cache_size = postings_cache_size
+        self._verify_checksums = verify_checksums
+        self._open_lock = threading.Lock()
+        self._stores: list[PatternStore | None] = [None] * len(self._files)
+        self._shared_vocab: Vocabulary | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # shard lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._files)
+
+    def _shard(self, index: int) -> PatternStore:
+        store = self._stores[index]
+        if store is None:
+            with self._open_lock:
+                store = self._stores[index]
+                if store is None:
+                    if self._closed:
+                        raise ValueError("sharded store is closed")
+                    store = PatternStore(
+                        self._path / self._files[index],
+                        pattern_cache_size=self._pattern_cache_size,
+                        postings_cache_size=self._postings_cache_size,
+                        verify_checksums=self._verify_checksums,
+                        # one decoded vocabulary serves every shard
+                        vocabulary=self._shared_vocab,
+                    )
+                    # descendant expansions (^name queries) are pure
+                    # functions of the shared vocabulary: let shards
+                    # reuse each other's BFS results
+                    store._descendants_cache = self._descendants_cache
+                    store._descendants_lock = self._descendants_lock
+                    self._stores[index] = store
+        return store
+
+    def _shards(self) -> list[PatternStore]:
+        return [self._shard(i) for i in range(len(self._files))]
+
+    @classmethod
+    def open(
+        cls, path: str | Path, verify_checksums: bool = True
+    ) -> "ShardedPatternStore":
+        return cls(path, verify_checksums=verify_checksums)
+
+    def close(self) -> None:
+        with self._open_lock:
+            self._closed = True
+            for store in self._stores:
+                if store is not None:
+                    store.close()
+            self._stores = [None] * len(self._files)
+
+    def __enter__(self) -> "ShardedPatternStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Aggregate metadata plus a per-shard breakdown.
+
+        Opens every shard (each O(header)); the per-shard entries power
+        ``lash index info`` and the server's ``/healthz`` / ``/metrics``.
+        """
+        shards = [store.describe() for store in self._shards()]
+        return {
+            "path": str(self._path),
+            "shards": len(shards),
+            "items": self._manifest["items"],
+            "patterns": self._manifest["patterns"],
+            "total_frequency": self._manifest["total_frequency"],
+            "max_length": max((s["max_length"] for s in shards), default=0),
+            "file_bytes": sum(s["file_bytes"] for s in shards),
+            "shard_stats": shards,
+        }
+
+    # ------------------------------------------------------------------
+    # storage primitives / rank-ordered streams
+    # ------------------------------------------------------------------
+
+    def _vocabulary_instance(self) -> Vocabulary:
+        # every shard stores the identical shared vocabulary: decode it
+        # once (from whichever shard opens first) and hand the one copy
+        # to shards opened later
+        if self._shared_vocab is None:
+            vocabulary = self._shard(0).vocabulary
+            with self._open_lock:
+                if self._shared_vocab is None:
+                    self._shared_vocab = vocabulary
+                # shards opened before the first vocabulary access (e.g.
+                # by describe()) adopt the shared copy too
+                for store in self._stores:
+                    if store is not None and store._vocab is None:
+                        store._vocab = self._shared_vocab
+        return self._shared_vocab
+
+    def _num_patterns(self) -> int:
+        return self._manifest["patterns"]
+
+    def _iter_ranked(self) -> Iterator[tuple[Pattern, int]]:
+        return heapq.merge(
+            *(store._iter_ranked() for store in self._shards()), key=rank_key
+        )
+
+    def _iter_search(
+        self, compiled: list[tuple[str, int]]
+    ) -> Iterator[tuple[Pattern, int]]:
+        # the compiled ids are valid in every shard (shared vocabulary);
+        # per-shard streams are rank-ordered, so the heap interleaves
+        # them into exactly the order one monolithic store would emit
+        return heapq.merge(
+            *(store._iter_search(compiled) for store in self._shards()),
+            key=rank_key,
+        )
+
+    def _iter_itemwise(
+        self, coded: Pattern, upward: bool
+    ) -> Iterator[tuple[Pattern, int]]:
+        return heapq.merge(
+            *(store._iter_itemwise(coded, upward) for store in self._shards()),
+            key=rank_key,
+        )
+
+    def _find_coded(self, coded: Pattern) -> int | None:
+        if not coded:
+            return None
+        # the writer routed this pattern by its first item's name; the
+        # same hash finds the one shard that can hold it
+        name = self.vocabulary.name(coded[0])
+        return self._shard(shard_of(name, len(self._files)))._find_coded(coded)
+
+    def _pattern_at(self, idx: int):  # pragma: no cover - defensive
+        raise NotImplementedError(
+            "sharded stores have no global pattern numbering; "
+            "use the rank-ordered iterators"
+        )
+
+    def _postings_for(self, item_id: int):  # pragma: no cover - defensive
+        raise NotImplementedError(
+            "sharded stores have no global postings; "
+            "use the rank-ordered iterators"
+        )
+
+    def _length_groups(self):  # pragma: no cover - defensive
+        raise NotImplementedError(
+            "sharded stores have no global length groups; "
+            "use the rank-ordered iterators"
+        )
+
+
+def open_store(
+    path: str | Path,
+    pattern_cache_size: int = 1 << 16,
+    postings_cache_size: int = 1 << 12,
+    verify_checksums: bool = True,
+) -> PatternStore | ShardedPatternStore:
+    """Open a store path of either layout.
+
+    A directory containing a shard manifest opens as a
+    :class:`ShardedPatternStore`; anything else as a single-file
+    :class:`~repro.serve.store.PatternStore`.  Serving code calls this
+    and never needs to know which it got.
+    """
+    cls = ShardedPatternStore if is_sharded_store(path) else PatternStore
+    return cls(
+        path,
+        pattern_cache_size=pattern_cache_size,
+        postings_cache_size=postings_cache_size,
+        verify_checksums=verify_checksums,
+    )
+
+
+__all__ = ["ShardedPatternStore", "open_store"]

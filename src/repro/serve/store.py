@@ -1,32 +1,25 @@
-"""The pattern store: a compact on-disk binary index of mined patterns.
+"""The pattern store reader: a memory-mapped binary index of mined patterns.
 
 ``lash mine`` is the expensive, run-once half of the paper's exploration
 story; this module is the cheap, run-many half.  A store file is built
-once from a mining result (or a patterns TSV) and then serves wildcard
-queries directly from disk: opening it reads only a fixed-size header,
-the file is memory-mapped, and every section — vocabulary, pattern
-records, postings — is decoded lazily on first use.  A server process
-is answering its first query microseconds after ``open()`` instead of
-re-deriving a vocabulary and inverted index from text.
+once (:mod:`repro.serve.writer`) from a mining result or a patterns TSV
+and then serves wildcard queries directly from disk: opening it reads
+only a fixed-size header, the file is memory-mapped, and every section —
+vocabulary, pattern records, postings — is decoded lazily on first use.
+A server process is answering its first query microseconds after
+``open()`` instead of re-deriving a vocabulary and inverted index from
+text.
 
-File layout (little-endian)::
-
-    magic "RPROPST1"                                          8 bytes
-    header: version, flags, n_items, n_patterns,
-            total_frequency, max_length                       28 bytes
-    section table: 7 × u64 absolute offsets                   56 bytes
-    [vocab]     per item: name, frequency, parent ids         varint
-    [lengths]   per pattern: its length                       varint
-    [pat_offs]  (n_patterns+1) × u64, relative to [patterns]  fixed
-    [patterns]  per pattern: frequency + zigzag-delta items   varint
-    [post_offs] (n_items+1) × u64, relative to [postings]     fixed
-    [postings]  per item: ascending pattern indexes, gap-coded
-
-Patterns are stored most-frequent-first (ties by coded pattern), the
-exact order :class:`~repro.query.index.PatternIndex` uses, so the two
-backends return identical ranked results.  The fixed-width offset
-tables give O(1) random access into the varint sections — the store
-never has to decode records it does not touch.
+The byte layout lives in :mod:`repro.serve.format`; patterns are stored
+most-frequent-first (ties by coded pattern), the exact order
+:class:`~repro.query.index.PatternIndex` uses, so the two backends
+return identical ranked results.  The fixed-width offset tables give
+O(1) random access into the varint sections — the store never has to
+decode records it does not touch.  For stores written with per-section
+checksums, ``open()`` verifies every section's CRC-32 and raises
+:class:`~repro.errors.StoreCorruptError` on a mismatch (skippable with
+``verify_checksums=False`` when O(header) startup matters more than
+bit-rot detection).
 """
 
 from __future__ import annotations
@@ -38,136 +31,40 @@ import threading
 from pathlib import Path
 from typing import Mapping, Sequence
 
-from repro.errors import EncodingError
+from repro.errors import EncodingError, StoreCorruptError
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.vocabulary import Vocabulary
-from repro.query.base import Pattern, PatternSearchBase, rank_patterns
+from repro.query.base import Pattern, PatternSearchBase
 from repro.io.codec import (
     read_deltas,
     read_sequence,
     read_uvarint,
-    write_deltas,
-    write_sequence,
-    write_uvarint,
+    section_checksum,
 )
+from repro.serve.format import (
+    CHECKSUMS_STRUCT,
+    FLAG_CHECKSUMS,
+    HEADER_SIZE,
+    HEADER_STRUCT,
+    MAGIC,
+    SECTION_NAMES,
+    SECTIONS_STRUCT,
+    U64,
+    VERSION,
+)
+from repro.serve.writer import write_store
 
-MAGIC = b"RPROPST1"
-VERSION = 1
-_HEADER = struct.Struct("<HHIQQI")
-_SECTIONS = struct.Struct("<7Q")
-_U64 = struct.Struct("<Q")
-#: bytes read by :meth:`PatternStore.open` before any query arrives
-HEADER_SIZE = len(MAGIC) + _HEADER.size + _SECTIONS.size
-
-
-# ----------------------------------------------------------------------
-# building
-# ----------------------------------------------------------------------
-
-def write_store(
-    path: str | Path,
-    patterns: Mapping[Pattern, int],
-    vocabulary: Vocabulary,
-) -> None:
-    """Serialize coded patterns + vocabulary into a store file.
-
-    Empty patterns are rejected: no miner produces them, and the
-    postings-based exact lookup could not find them, so storing one
-    would break the store/index answer-equivalence invariant.
-    """
-    ordered = rank_patterns(patterns)
-    if any(not pattern for pattern, _ in ordered):
-        raise EncodingError("empty pattern cannot be stored")
-    n_items = len(vocabulary)
-
-    vocab = bytearray()
-    for item_id in range(n_items):
-        name = vocabulary.name(item_id).encode("utf-8")
-        write_uvarint(vocab, len(name))
-        vocab.extend(name)
-        write_uvarint(vocab, vocabulary.frequency(item_id))
-        parents = vocabulary.parent_ids(item_id)
-        write_uvarint(vocab, len(parents))
-        for parent in parents:
-            write_uvarint(vocab, parent)
-
-    lengths = bytearray()
-    for pattern, _ in ordered:
-        write_uvarint(lengths, len(pattern))
-
-    records = bytearray()
-    pattern_offsets = [0]
-    postings: dict[int, list[int]] = {}
-    for idx, (pattern, freq) in enumerate(ordered):
-        write_uvarint(records, freq)
-        write_sequence(records, pattern)
-        pattern_offsets.append(len(records))
-        for item in set(pattern):
-            postings.setdefault(item, []).append(idx)
-
-    posting_bytes = bytearray()
-    posting_offsets = [0]
-    for item_id in range(n_items):
-        write_deltas(posting_bytes, postings.get(item_id, ()))
-        posting_offsets.append(len(posting_bytes))
-
-    sections: list[int] = []
-    cursor = HEADER_SIZE
-    for size in (
-        len(vocab),
-        len(lengths),
-        _U64.size * len(pattern_offsets),
-        len(records),
-        _U64.size * len(posting_offsets),
-        len(posting_bytes),
-    ):
-        sections.append(cursor)
-        cursor += size
-    sections.append(cursor)  # end of file
-
-    header = _HEADER.pack(
-        VERSION,
-        0,
-        n_items,
-        len(ordered),
-        sum(freq for _, freq in ordered),
-        max((len(p) for p, _ in ordered), default=0),
-    )
-    # write-then-rename: rebuilding a store a live server has mmapped
-    # must not truncate the mapped inode (SIGBUS) or expose a half file
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    try:
-        with open(tmp, "wb") as f:
-            f.write(MAGIC)
-            f.write(header)
-            f.write(_SECTIONS.pack(*sections))
-            f.write(vocab)
-            f.write(lengths)
-            for offset in pattern_offsets:
-                f.write(_U64.pack(offset))
-            f.write(records)
-            for offset in posting_offsets:
-                f.write(_U64.pack(offset))
-            f.write(posting_bytes)
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
-
-
-# ----------------------------------------------------------------------
-# serving
-# ----------------------------------------------------------------------
 
 class PatternStore(PatternSearchBase):
     """Lazily loaded, memory-mapped pattern store.
 
-    Opening is O(header): the constructor validates the magic, reads the
-    section table and maps the file.  The vocabulary, pattern records,
-    postings lists and length groups are each decoded on first access
-    and cached, so a process that only ever runs selective queries never
-    pays for the sections those queries skip.
+    Opening is O(header) plus, for checksummed files, one CRC-32 sweep
+    (disable with ``verify_checksums=False``): the constructor validates
+    the magic, reads the section table and maps the file.  The
+    vocabulary, pattern records, postings lists and length groups are
+    each decoded on first access and cached, so a process that only ever
+    runs selective queries never pays for the sections those queries
+    skip.
 
     Thread-safe for concurrent reads (the HTTP server runs one thread
     per request): one-time section builds (vocabulary, length groups)
@@ -188,7 +85,14 @@ class PatternStore(PatternSearchBase):
         path: str | Path,
         pattern_cache_size: int = 1 << 16,
         postings_cache_size: int = 1 << 12,
+        verify_checksums: bool = True,
+        vocabulary: Vocabulary | None = None,
     ) -> None:
+        """``vocabulary`` pre-supplies the decoded vocabulary, skipping
+        the vocab-section decode entirely.  The caller asserts it equals
+        the file's own section — the sharded store passes the one copy
+        all its shards share instead of letting each shard re-decode the
+        identical bytes."""
         super().__init__()
         self._pattern_cache_size = pattern_cache_size
         self._postings_cache_size = postings_cache_size
@@ -202,12 +106,12 @@ class PatternStore(PatternSearchBase):
                 )
             (
                 self._version,
-                _flags,
+                self._flags,
                 self._n_items,
                 self._n_patterns,
                 self._total_frequency,
                 self._max_length,
-            ) = _HEADER.unpack_from(head, len(MAGIC))
+            ) = HEADER_STRUCT.unpack_from(head, len(MAGIC))
             if self._version != VERSION:
                 raise EncodingError(
                     f"{self._path}: unsupported store version "
@@ -221,24 +125,54 @@ class PatternStore(PatternSearchBase):
                 self._off_post_offsets,
                 self._off_postings,
                 self._off_end,
-            ) = _SECTIONS.unpack_from(head, len(MAGIC) + _HEADER.size)
-            if self._off_end != os.fstat(self._file.fileno()).st_size:
-                raise EncodingError(f"{self._path}: truncated pattern store")
+            ) = SECTIONS_STRUCT.unpack_from(head, len(MAGIC) + HEADER_STRUCT.size)
+            self._checksummed = bool(self._flags & FLAG_CHECKSUMS)
+            expected_size = self._off_end + (
+                CHECKSUMS_STRUCT.size if self._checksummed else 0
+            )
+            if expected_size != os.fstat(self._file.fileno()).st_size:
+                raise StoreCorruptError(
+                    f"{self._path}: truncated pattern store"
+                )
             self._data = mmap.mmap(
                 self._file.fileno(), 0, access=mmap.ACCESS_READ
             )
+            if self._checksummed and verify_checksums:
+                self._verify_checksums()
         except Exception:
             self._file.close()
             raise
         self._lock = threading.RLock()
-        self._vocab: Vocabulary | None = None
+        self._vocab: Vocabulary | None = vocabulary
         self._pattern_cache: dict[int, tuple[Pattern, int]] = {}
         self._postings_cache: dict[int, list[int]] = {}
         self._by_length: dict[int, list[int]] | None = None
 
+    def _verify_checksums(self) -> None:
+        """CRC-check every section against the trailing checksum block."""
+        stored = CHECKSUMS_STRUCT.unpack_from(self._data, self._off_end)
+        bounds = (
+            self._off_vocab,
+            self._off_lengths,
+            self._off_pat_offsets,
+            self._off_patterns,
+            self._off_post_offsets,
+            self._off_postings,
+            self._off_end,
+        )
+        for i, name in enumerate(SECTION_NAMES):
+            actual = section_checksum(self._data, bounds[i], bounds[i + 1])
+            if actual != stored[i]:
+                raise StoreCorruptError(
+                    f"{self._path}: checksum mismatch in {name} section "
+                    f"(stored {stored[i]:#010x}, computed {actual:#010x})"
+                )
+
     @classmethod
-    def open(cls, path: str | Path) -> "PatternStore":
-        return cls(path)
+    def open(
+        cls, path: str | Path, verify_checksums: bool = True
+    ) -> "PatternStore":
+        return cls(path, verify_checksums=verify_checksums)
 
     @classmethod
     def build(
@@ -246,9 +180,10 @@ class PatternStore(PatternSearchBase):
         path: str | Path,
         patterns: Mapping[Pattern, int],
         vocabulary: Vocabulary,
+        checksums: bool = True,
     ) -> "PatternStore":
         """Write a store file and open it."""
-        write_store(path, patterns, vocabulary)
+        write_store(path, patterns, vocabulary, checksums=checksums)
         return cls(path)
 
     def close(self) -> None:
@@ -278,7 +213,9 @@ class PatternStore(PatternSearchBase):
             "patterns": self._n_patterns,
             "total_frequency": self._total_frequency,
             "max_length": self._max_length,
-            "file_bytes": self._off_end,
+            "file_bytes": self._off_end
+            + (CHECKSUMS_STRUCT.size if self._checksummed else 0),
+            "checksums": self._checksummed,
         }
 
     # ------------------------------------------------------------------
@@ -330,8 +267,8 @@ class PatternStore(PatternSearchBase):
             return cached
         if not 0 <= idx < self._n_patterns:
             raise IndexError(f"pattern index {idx} out of range")
-        base = self._off_pat_offsets + _U64.size * idx
-        start = _U64.unpack_from(self._data, base)[0] + self._off_patterns
+        base = self._off_pat_offsets + U64.size * idx
+        start = U64.unpack_from(self._data, base)[0] + self._off_patterns
         freq, offset = read_uvarint(self._data, start)
         pattern, _ = read_sequence(self._data, offset)
         record = (pattern, freq)
@@ -346,7 +283,7 @@ class PatternStore(PatternSearchBase):
             return cached
         if not 0 <= item_id < self._n_items:
             return ()
-        base = self._off_post_offsets + _U64.size * item_id
+        base = self._off_post_offsets + U64.size * item_id
         start, end = struct.unpack_from("<2Q", self._data, base)
         postings = read_deltas(
             self._data, self._off_postings + start, self._off_postings + end
@@ -369,4 +306,5 @@ class PatternStore(PatternSearchBase):
         return self._by_length
 
 
+#: re-exported for the pre-split import path ``repro.serve.store.HEADER_SIZE``
 __all__ = ["PatternStore", "write_store", "HEADER_SIZE", "MAGIC", "VERSION"]

@@ -1,0 +1,282 @@
+"""Building pattern stores: single files, shard sets, and merges.
+
+The write side of the store format (layout in :mod:`repro.serve.format`).
+:func:`write_store` serializes one ranked pattern set + vocabulary into
+one file; :func:`write_sharded_store` routes patterns across shard files
+by stable hash of the first item and drops a manifest next to them;
+:func:`merge_stores` combines existing stores (single or sharded) with
+each other — remapping item ids onto a merged vocabulary and summing
+frequencies — so a new mining run is folded into a serving index without
+re-mining the old corpora.
+
+All writers are atomic (write-then-rename): rebuilding a store a live
+server has mmapped never truncates the mapped inode or exposes a half
+file.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import EncodingError
+from repro.hierarchy.vocabulary import Vocabulary
+from repro.query.base import Pattern, rank_patterns
+from repro.io.codec import (
+    section_checksum,
+    write_deltas,
+    write_sequence,
+    write_uvarint,
+)
+from repro.serve.format import (
+    CHECKSUMS_STRUCT,
+    FLAG_CHECKSUMS,
+    HEADER_SIZE,
+    HEADER_STRUCT,
+    MAGIC,
+    MANIFEST_NAME,
+    SECTIONS_STRUCT,
+    U64,
+    VERSION,
+    shard_filename,
+    shard_of,
+    write_manifest,
+)
+
+#: names a shard build may leave behind (shard files, manifest, their tmps)
+_SHARD_ENTRY_RE = re.compile(
+    r"(shard-\d{5}-of-\d{5}\.store|" + re.escape(MANIFEST_NAME) + r")(\.tmp)?"
+)
+
+
+def _pack_offsets(offsets: Sequence[int]) -> bytes:
+    return b"".join(U64.pack(offset) for offset in offsets)
+
+
+def _remove_shard_dir(directory: Path) -> None:
+    """Delete a directory holding (only) a shard build.
+
+    Every entry must look like a shard file or manifest; anything else
+    aborts before a single unlink, so a mistyped ``--out`` pointing at a
+    real data directory can never be destroyed by a rebuild."""
+    for entry in directory.iterdir():
+        if not _SHARD_ENTRY_RE.fullmatch(entry.name):
+            raise EncodingError(
+                f"{directory}: refusing to overwrite — contains "
+                f"{entry.name!r}, which is not part of a sharded store"
+            )
+    shutil.rmtree(directory)
+
+
+def write_store(
+    path: str | Path,
+    patterns: Mapping[Pattern, int],
+    vocabulary: Vocabulary,
+    checksums: bool = True,
+) -> None:
+    """Serialize coded patterns + vocabulary into a store file.
+
+    ``checksums=True`` (the default) appends a CRC-32 per section and
+    sets :data:`~repro.serve.format.FLAG_CHECKSUMS`, letting readers
+    detect bit-rot on open.  Empty patterns are rejected: no miner
+    produces them, and the postings-based exact lookup could not find
+    them, so storing one would break the store/index answer-equivalence
+    invariant.
+    """
+    ordered = rank_patterns(patterns)
+    if any(not pattern for pattern, _ in ordered):
+        raise EncodingError("empty pattern cannot be stored")
+    n_items = len(vocabulary)
+
+    vocab = bytearray()
+    for item_id in range(n_items):
+        name = vocabulary.name(item_id).encode("utf-8")
+        write_uvarint(vocab, len(name))
+        vocab.extend(name)
+        write_uvarint(vocab, vocabulary.frequency(item_id))
+        parents = vocabulary.parent_ids(item_id)
+        write_uvarint(vocab, len(parents))
+        for parent in parents:
+            write_uvarint(vocab, parent)
+
+    lengths = bytearray()
+    for pattern, _ in ordered:
+        write_uvarint(lengths, len(pattern))
+
+    records = bytearray()
+    pattern_offsets = [0]
+    postings: dict[int, list[int]] = {}
+    for idx, (pattern, freq) in enumerate(ordered):
+        write_uvarint(records, freq)
+        write_sequence(records, pattern)
+        pattern_offsets.append(len(records))
+        for item in set(pattern):
+            postings.setdefault(item, []).append(idx)
+
+    posting_bytes = bytearray()
+    posting_offsets = [0]
+    for item_id in range(n_items):
+        write_deltas(posting_bytes, postings.get(item_id, ()))
+        posting_offsets.append(len(posting_bytes))
+
+    section_bytes = (
+        bytes(vocab),
+        bytes(lengths),
+        _pack_offsets(pattern_offsets),
+        bytes(records),
+        _pack_offsets(posting_offsets),
+        bytes(posting_bytes),
+    )
+    sections: list[int] = []
+    cursor = HEADER_SIZE
+    for blob in section_bytes:
+        sections.append(cursor)
+        cursor += len(blob)
+    sections.append(cursor)  # end of the data sections
+
+    header = HEADER_STRUCT.pack(
+        VERSION,
+        FLAG_CHECKSUMS if checksums else 0,
+        n_items,
+        len(ordered),
+        sum(freq for _, freq in ordered),
+        max((len(p) for p, _ in ordered), default=0),
+    )
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as f:
+            f.write(MAGIC)
+            f.write(header)
+            f.write(SECTIONS_STRUCT.pack(*sections))
+            for blob in section_bytes:
+                f.write(blob)
+            if checksums:
+                f.write(
+                    CHECKSUMS_STRUCT.pack(
+                        *(section_checksum(blob) for blob in section_bytes)
+                    )
+                )
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def write_sharded_store(
+    path: str | Path,
+    patterns: Mapping[Pattern, int],
+    vocabulary: Vocabulary,
+    shards: int,
+    checksums: bool = True,
+) -> Path:
+    """Write a sharded store: a directory of shard files plus a manifest.
+
+    Patterns are routed by :func:`~repro.serve.format.shard_of` over the
+    *name* of their first item; each shard file carries the full shared
+    vocabulary, so any shard also opens as a standalone
+    :class:`~repro.serve.store.PatternStore`.
+
+    The set is built in a sibling ``.build-tmp`` directory and swapped
+    in whole, so rebuilding over an existing shard set (even with a
+    different shard count) can never expose a manifest describing a mix
+    of old and new shard files: a crash leaves either the previous set
+    or no readable set, never a hybrid.  A destination containing
+    anything that is not a sharded store is refused, not deleted.
+    """
+    if shards < 1:
+        raise EncodingError(f"shard count must be >= 1, got {shards}")
+    if any(not pattern for pattern in patterns):
+        raise EncodingError("empty pattern cannot be stored")
+    directory = Path(path)
+    if directory.exists() and not directory.is_dir():
+        raise EncodingError(
+            f"{directory}: exists and is not a directory; omit shards to "
+            "overwrite a single-file store"
+        )
+
+    buckets: list[dict[Pattern, int]] = [{} for _ in range(shards)]
+    for pattern, freq in patterns.items():
+        index = shard_of(vocabulary.name(pattern[0]), shards)
+        buckets[index][pattern] = freq
+
+    tmp = directory.with_name(directory.name + ".build-tmp")
+    if tmp.exists():
+        _remove_shard_dir(tmp)  # leftover of a crashed build
+    tmp.mkdir(parents=True)
+    try:
+        files = [shard_filename(i, shards) for i in range(shards)]
+        for name, bucket in zip(files, buckets):
+            write_store(tmp / name, bucket, vocabulary, checksums=checksums)
+        write_manifest(
+            tmp,
+            files,
+            {
+                "items": len(vocabulary),
+                "patterns": len(patterns),
+                "total_frequency": sum(patterns.values()),
+            },
+        )
+        if directory.exists():
+            _remove_shard_dir(directory)  # validates contents first
+        os.replace(tmp, directory)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return directory
+
+
+def merge_stores(
+    sources: Sequence[str | Path],
+    out: str | Path,
+    shards: int | None = None,
+    checksums: bool = True,
+) -> None:
+    """Merge existing stores (files or shard directories) into one store.
+
+    The incremental-build path: vocabularies are unioned (item
+    frequencies summed, the total order recomputed, pattern ids
+    remapped), postings are rebuilt over the union, and frequencies of
+    patterns present in several sources are summed.  Over mining runs of
+    disjoint corpora this reproduces, byte for byte, the store a full
+    rebuild over the combined runs would produce — except patterns whose
+    support crosses the σ threshold only on the combined corpus, which
+    no merge of already-thresholded results can recover.
+
+    ``shards=None`` writes a single file; ``shards=N`` a shard set.
+    """
+    from repro.query.build import merge_pattern_sets
+    from repro.serve.sharded import open_store
+
+    if not sources:
+        raise EncodingError("merge needs at least one source store")
+    collected: list[tuple[dict[tuple[str, ...], int], Vocabulary]] = []
+    for source in sources:
+        with open_store(source) as store:
+            decoded = {
+                match.pattern: match.frequency for match in store
+            }
+            collected.append((decoded, store.vocabulary))
+    coded, vocabulary = merge_pattern_sets(collected)
+
+    out = Path(out)
+    if shards is None:
+        if out.is_dir():
+            # a directory here is almost certainly a previous sharded
+            # build; replacing it with a file silently would orphan it
+            raise EncodingError(
+                f"{out}: is a directory; pass shards=N to overwrite a "
+                "sharded store"
+            )
+        write_store(out, coded, vocabulary, checksums=checksums)
+    else:
+        # the sources were fully decoded above, so `out` may be one of
+        # them; write_sharded_store swaps the new set in atomically and
+        # refuses to delete anything that is not a sharded store
+        write_sharded_store(out, coded, vocabulary, shards, checksums=checksums)
+
+
+__all__ = ["write_store", "write_sharded_store", "merge_stores"]

@@ -7,6 +7,7 @@ from repro.io.codec import (
     read_deltas,
     read_sequence,
     read_uvarint,
+    section_checksum,
     write_deltas,
     write_sequence,
     write_uvarint,
@@ -106,3 +107,26 @@ class TestDeltas:
             write_deltas(bytearray(), [3, 3])
         with pytest.raises(EncodingError):
             write_deltas(bytearray(), [5, 2])
+
+
+class TestSectionChecksum:
+    def test_slice_bounds(self):
+        data = b"abcdefgh"
+        assert section_checksum(data, 2, 5) == section_checksum(b"cde")
+        assert section_checksum(data) == section_checksum(data, 0, len(data))
+
+    def test_detects_any_byte_flip(self):
+        data = bytearray(b"pattern store section bytes")
+        reference = section_checksum(bytes(data))
+        for i in range(len(data)):
+            mutated = bytearray(data)
+            mutated[i] ^= 0x01
+            assert section_checksum(bytes(mutated)) != reference
+
+    def test_accepts_bytearray_and_memoryview_sources(self):
+        data = b"xyz" * 100
+        assert (
+            section_checksum(bytearray(data))
+            == section_checksum(memoryview(data))
+            == section_checksum(data)
+        )

@@ -91,6 +91,49 @@ def test_lash_with_parallel_engine(fig1_database, fig1_hierarchy):
     )
 
 
+def test_exploration_stats_shipped_back(fig1_database, fig1_hierarchy):
+    """Workers' local-miner search-space accounting is aggregated into
+    the driver's miner: Fig. 4(d)-style measurements no longer require
+    the serial engine."""
+    params = MiningParams(2, 1, 3)
+    serial = Lash(params).mine(fig1_database, fig1_hierarchy)
+    lash = Lash(params)
+    lash.engine = ParallelMapReduceEngine(
+        num_map_tasks=4, num_reduce_tasks=4, max_workers=2
+    )
+    parallel = lash.mine(fig1_database, fig1_hierarchy)
+    assert parallel.local_stats.candidates == serial.local_stats.candidates
+    assert parallel.local_stats.outputs == serial.local_stats.outputs
+    assert parallel.local_stats.candidates > 0
+    assert (
+        parallel.local_stats.candidates_per_output()
+        == serial.local_stats.candidates_per_output()
+    )
+
+
+def test_exploration_stats_not_double_counted(fig1_database, fig1_hierarchy):
+    """A driver miner that already carries stats accumulates only
+    per-task deltas from the workers — the pickled copies' pre-existing
+    counts are zeroed worker-side, never echoed back."""
+    from repro.core.lash import PartitionMineJob
+
+    params = MiningParams(2, 1, 3)
+    expected = Lash(params).mine(
+        fig1_database, fig1_hierarchy
+    ).local_stats.candidates
+
+    lash = Lash(params)
+    vocabulary, _ = lash.preprocess(fig1_database, fig1_hierarchy)
+    miner = lash.miner_factory(vocabulary, params)
+    miner.stats.candidates = 7  # pre-existing driver-side accounting
+    job = PartitionMineJob(vocabulary, params, miner, lash.rewrite_plan)
+    encoded = [vocabulary.encode_sequence(seq) for seq in fig1_database]
+    ParallelMapReduceEngine(
+        num_map_tasks=4, num_reduce_tasks=4, max_workers=2
+    ).run(job, encoded)
+    assert miner.stats.candidates == 7 + expected
+
+
 def test_closedlash_with_parallel_engine(fig1_database, fig1_hierarchy):
     from repro import ClosedLash
 

@@ -10,7 +10,8 @@ import pytest
 
 from repro.core import Lash, MiningParams
 from repro.query import PatternIndex
-from repro.serve import PatternStore, QueryService, create_server
+from repro.serve import QueryService, create_server, open_store
+from repro.serve.http import METRICS_CONTENT_TYPE
 
 
 @pytest.fixture
@@ -20,12 +21,17 @@ def mining_result(fig1_database, fig1_hierarchy):
     )
 
 
-@pytest.fixture
-def server(mining_result, tmp_path):
-    """A live server on an ephemeral port, backed by a store file."""
-    path = tmp_path / "patterns.store"
-    mining_result.to_store(path)
-    store = PatternStore.open(path)
+@pytest.fixture(params=["single", "sharded"])
+def server(mining_result, tmp_path, request):
+    """A live server on an ephemeral port — backed by a single store
+    file or a shard set; every endpoint must behave identically."""
+    if request.param == "single":
+        path = tmp_path / "patterns.store"
+        mining_result.to_store(path)
+    else:
+        path = tmp_path / "patterns.shards"
+        mining_result.to_store(path, shards=3)
+    store = open_store(path)
     service = QueryService(store)
     server = create_server(service, port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -104,6 +110,37 @@ class TestEndpoints:
         assert status == 200
         assert body["queries"] >= 2
         assert body["cache_hits"] >= 1
+
+    def test_stats_expose_store_breakdown(self, server, mining_result):
+        status, body = _get(server, "/stats")
+        assert status == 200
+        store = body["store"]
+        assert store["patterns"] == len(mining_result)
+        if "shard_stats" in store:  # sharded variant of the fixture
+            assert store["shards"] == len(store["shard_stats"])
+            assert sum(
+                s["patterns"] for s in store["shard_stats"]
+            ) == len(mining_result)
+
+    def test_metrics_prometheus_text(self, server, mining_result):
+        _get(server, "/query?q=a+%3F")
+        url = f"http://127.0.0.1:{server.server_port}/metrics"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == METRICS_CONTENT_TYPE
+            text = response.read().decode("utf-8")
+        lines = text.splitlines()
+        assert f"lash_patterns {len(mining_result)}" in lines
+        assert "# TYPE lash_queries_total counter" in lines
+        samples = {
+            line.split(" ")[0]: line.split(" ")[1]
+            for line in lines
+            if line and not line.startswith("#")
+        }
+        assert int(samples["lash_queries_total"]) >= 1
+        assert int(samples["lash_errors_total"]) == 0
+        if any(line.startswith("lash_store_shards") for line in lines):
+            assert 'lash_shard_patterns{shard="0"}' in samples
 
 
 class TestErrors:

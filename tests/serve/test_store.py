@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core import Lash, MiningParams
-from repro.errors import EncodingError
+from repro.errors import EncodingError, StoreCorruptError
 from repro.hierarchy import Hierarchy
 from repro.query import PatternIndex, code_patterns
 from repro.serve import PatternStore, write_store
@@ -185,8 +185,72 @@ class TestCorruption:
         write_store(path, fig1_result.patterns, fig1_result.vocabulary)
         data = path.read_bytes()
         path.write_bytes(data[:-10])
-        with pytest.raises(EncodingError, match="truncated"):
+        with pytest.raises(StoreCorruptError, match="truncated"):
             PatternStore.open(path)
+
+
+class TestChecksums:
+    def _flip_byte(self, path, offset_from_header: int) -> None:
+        data = bytearray(path.read_bytes())
+        index = HEADER_SIZE + offset_from_header
+        data[index] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+    def test_bit_rot_detected_on_open(self, fig1_result, tmp_path):
+        path = tmp_path / "rot.store"
+        write_store(path, fig1_result.patterns, fig1_result.vocabulary)
+        self._flip_byte(path, 3)  # somewhere in the vocabulary section
+        with pytest.raises(StoreCorruptError, match="checksum mismatch"):
+            PatternStore.open(path)
+
+    def test_mismatch_names_the_section(self, fig1_result, tmp_path):
+        path = tmp_path / "rot.store"
+        write_store(path, fig1_result.patterns, fig1_result.vocabulary)
+        self._flip_byte(path, 0)
+        with pytest.raises(StoreCorruptError, match="vocabulary section"):
+            PatternStore.open(path)
+
+    def test_verification_skippable(self, fig1_result, tmp_path):
+        """`verify_checksums=False` restores O(header) open even on a
+        damaged file; decode errors then surface lazily (or not at all
+        for untouched sections)."""
+        path = tmp_path / "rot.store"
+        write_store(path, fig1_result.patterns, fig1_result.vocabulary)
+        self._flip_byte(path, 0)
+        store = PatternStore.open(path, verify_checksums=False)
+        store.close()
+
+    def test_unchecksummed_store_opens_without_validation(
+        self, fig1_result, tmp_path
+    ):
+        path = tmp_path / "plain.store"
+        write_store(
+            path,
+            fig1_result.patterns,
+            fig1_result.vocabulary,
+            checksums=False,
+        )
+        with PatternStore.open(path) as store:
+            assert store.describe()["checksums"] is False
+            index = PatternIndex.from_result(fig1_result)
+            assert store.search("a ?") == index.search("a ?")
+
+    def test_checksums_add_exactly_one_trailer(self, fig1_result, tmp_path):
+        plain = tmp_path / "plain.store"
+        summed = tmp_path / "summed.store"
+        write_store(
+            plain,
+            fig1_result.patterns,
+            fig1_result.vocabulary,
+            checksums=False,
+        )
+        write_store(summed, fig1_result.patterns, fig1_result.vocabulary)
+        # same sections, plus 6 × u32 checksums and the flags bit
+        assert (
+            summed.stat().st_size == plain.stat().st_size + 24
+        )
+        with PatternStore.open(summed) as store:
+            assert store.describe()["checksums"] is True
 
 
 def _random_setup(rng: random.Random):

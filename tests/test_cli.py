@@ -381,3 +381,90 @@ class TestIndex:
         with PatternStore.open(store_path) as store:
             assert len(store) == 10
             assert store.frequency("a", "B") == 3
+
+    def test_build_sharded_and_info(self, mined_patterns, tmp_path, capsys):
+        from repro.serve import ShardedPatternStore, open_store
+
+        patterns, hierarchy = mined_patterns
+        shards_path = tmp_path / "patterns.shards"
+        rc = main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(shards_path),
+            "--shards", "4",
+        ])
+        assert rc == 0
+        assert "4 shards" in capsys.readouterr().out
+        rc = main(["index", "info", "--store", str(shards_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shards=4" in out
+        assert "shard 0" in out and "shard 3" in out
+        with open_store(shards_path) as store:
+            assert isinstance(store, ShardedPatternStore)
+            assert len(store) == 10
+
+    def test_sharded_build_matches_single(
+        self, mined_patterns, tmp_path, capsys
+    ):
+        from repro.serve import open_store
+
+        patterns, hierarchy = mined_patterns
+        single = tmp_path / "single.store"
+        sharded = tmp_path / "sharded.store"
+        for args in (
+            ["index", "build", "--patterns", patterns, "--hierarchy",
+             hierarchy, "--out", str(single)],
+            ["index", "build", "--patterns", patterns, "--hierarchy",
+             hierarchy, "--out", str(sharded), "--shards", "3"],
+        ):
+            assert main(args) == 0
+        capsys.readouterr()
+        with open_store(single) as a, open_store(sharded) as b:
+            assert list(a) == list(b)
+            assert a.search("^B ?") == b.search("^B ?")
+
+    def test_merge_two_stores(self, mined_patterns, tmp_path, capsys):
+        from repro.serve import open_store
+
+        patterns, hierarchy = mined_patterns
+        first = tmp_path / "first.store"
+        second = tmp_path / "second.shards"
+        merged = tmp_path / "merged.store"
+        main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(first),
+        ])
+        main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(second),
+            "--shards", "2",
+        ])
+        capsys.readouterr()
+        rc = main([
+            "index", "merge", str(first), str(second),
+            "--out", str(merged),
+        ])
+        assert rc == 0
+        assert "merged 2 stores" in capsys.readouterr().out
+        with open_store(first) as single, open_store(merged) as combined:
+            # same corpus twice: same patterns, doubled frequencies
+            assert len(combined) == len(single)
+            for match in single:
+                assert (
+                    combined.frequency(*match.pattern)
+                    == 2 * match.frequency
+                )
+
+    def test_no_checksums_flag(self, mined_patterns, tmp_path, capsys):
+        from repro.serve import PatternStore
+
+        patterns, hierarchy = mined_patterns
+        store_path = tmp_path / "plain.store"
+        rc = main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(store_path),
+            "--no-checksums",
+        ])
+        assert rc == 0
+        with PatternStore.open(store_path) as store:
+            assert store.describe()["checksums"] is False
