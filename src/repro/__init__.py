@@ -56,7 +56,13 @@ from repro.baselines import (
     SemiNaiveAlgorithm,
 )
 from repro.mapreduce import ClusterSpec, MapReduceEngine
-from repro.query import PatternIndex, Q, code_patterns, parse_query
+from repro.query import (
+    PatternIndex,
+    Q,
+    code_patterns,
+    normalize_query,
+    parse_query,
+)
 
 
 def __getattr__(name):
@@ -120,6 +126,7 @@ __all__ = [
     "QueryService",
     "Q",
     "code_patterns",
+    "normalize_query",
     "parse_query",
     "__version__",
 ]

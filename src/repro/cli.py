@@ -27,6 +27,8 @@ Mine once, then serve queries over HTTP from a persistent binary store::
          --out patterns.store
     lash serve --store patterns.store --port 8080
     curl 'http://127.0.0.1:8080/query?q=the+%5EADJ+%3F'
+    lash query --patterns patterns.tsv --hierarchy h.txt \
+         '(big|small|^ADJ)@50 ?'      # disjunction + frequency floor
 
 Shard large stores across files, and fold new mining runs into an
 existing index without re-mining::
@@ -483,7 +485,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--top", type=int, default=10)
     query.add_argument(
         "queries", nargs="+",
-        help="queries: 'name', '^name', '?', '+', '*' tokens",
+        help="queries: 'name', '^name', '?', '+', '*', '(a|b|^C)' "
+        "disjunction and 'token@N' frequency-floor tokens",
     )
     query.set_defaults(func=cmd_query)
 

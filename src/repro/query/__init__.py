@@ -14,12 +14,15 @@ are aware of the item hierarchy.
 
 from repro.query.tokens import (
     AnyToken,
+    FloorToken,
     ItemToken,
+    OneOfToken,
     PlusToken,
     Q,
     QueryToken,
     SpanToken,
     UnderToken,
+    normalize_query,
     parse_query,
 )
 from repro.query.base import PatternSearchBase
@@ -31,12 +34,15 @@ __all__ = [
     "code_patterns",
     "merge_pattern_sets",
     "AnyToken",
+    "FloorToken",
     "ItemToken",
+    "OneOfToken",
     "PlusToken",
     "Q",
     "QueryToken",
     "SpanToken",
     "UnderToken",
+    "normalize_query",
     "parse_query",
     "PatternIndex",
     "QueryMatch",

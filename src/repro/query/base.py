@@ -49,7 +49,9 @@ from repro.errors import InvalidParameterError
 from repro.hierarchy.vocabulary import Vocabulary
 from repro.query.tokens import (
     AnyToken,
+    FloorToken,
     ItemToken,
+    OneOfToken,
     PlusToken,
     QueryToken,
     SpanToken,
@@ -58,6 +60,12 @@ from repro.query.tokens import (
 )
 
 Pattern = tuple[int, ...]
+
+#: one compiled query token: ``(kind, payload)``.  ``kind`` is one of
+#: ``item``/``under`` (payload: item id), ``any``/``plus``/``span``
+#: (payload: -1), or ``oneof`` (payload: frozenset of admissible item
+#: ids — disjunctions and frequency floors both lower to this form).
+CompiledToken = tuple[str, "int | frozenset[int]"]
 
 
 def rank_key(record: tuple[Pattern, int]) -> tuple[int, Pattern]:
@@ -276,7 +284,7 @@ class PatternSearchBase:
             yield self._pattern_at(idx)
 
     def _iter_search(
-        self, compiled: list[tuple[str, int]]
+        self, compiled: list[CompiledToken]
     ) -> Iterator[tuple[Pattern, int]]:
         """Records matching a compiled query, in rank order.  The
         compiled form is id-based, so it is only portable to another
@@ -344,28 +352,86 @@ class PatternSearchBase:
 
     def _compile(
         self, tokens: tuple[QueryToken, ...]
-    ) -> list[tuple[str, int]]:
+    ) -> list[CompiledToken]:
         """Resolve item names to ids once, validating the whole query
-        upfront.  Compiled form: ``(kind, id-or--1)`` pairs."""
-        vocabulary = self.vocabulary
-        compiled: list[tuple[str, int]] = []
-        for token in tokens:
-            if isinstance(token, ItemToken):
-                compiled.append(("item", vocabulary.id(token.name)))
-            elif isinstance(token, UnderToken):
-                compiled.append(("under", vocabulary.id(token.name)))
-            elif isinstance(token, AnyToken):
-                compiled.append(("any", -1))
-            elif isinstance(token, PlusToken):
-                compiled.append(("plus", -1))
-            else:
-                compiled.append(("span", -1))
-        return compiled
+        upfront.  Compiled form: :data:`CompiledToken` pairs.
 
-    def _candidates(self, compiled: list[tuple[str, int]]) -> list[int]:
+        Disjunctions expand to the union of their choices' id sets
+        (``^name`` choices pull in the whole subtree) and frequency
+        floors intersect the inner token's id set with the items whose
+        corpus frequency clears the floor — so by the time matching
+        runs, both new token kinds are plain ``oneof`` id-set tests and
+        the matcher/candidate machinery needs no per-backend logic.  The
+        id sets derive only from the vocabulary, so the compiled query
+        stays portable across shards sharing that vocabulary.
+        """
+        vocabulary = self.vocabulary
+        return [self._compile_token(token, vocabulary) for token in tokens]
+
+    def _compile_token(
+        self, token: QueryToken, vocabulary: Vocabulary
+    ) -> CompiledToken:
+        if isinstance(token, ItemToken):
+            return ("item", vocabulary.id(token.name))
+        if isinstance(token, UnderToken):
+            return ("under", vocabulary.id(token.name))
+        if isinstance(token, AnyToken):
+            return ("any", -1)
+        if isinstance(token, PlusToken):
+            return ("plus", -1)
+        if isinstance(token, SpanToken):
+            return ("span", -1)
+        if isinstance(token, OneOfToken):
+            ids: set[int] = set()
+            for choice in token.choices:
+                if isinstance(choice, UnderToken):
+                    ids.update(
+                        self._descendants_or_self(vocabulary.id(choice.name))
+                    )
+                else:
+                    ids.add(vocabulary.id(choice.name))
+            return ("oneof", frozenset(ids))
+        if isinstance(token, FloorToken):
+            kind, payload = self._compile_token(token.inner, vocabulary)
+            if kind == "item":
+                if vocabulary.frequency(payload) >= token.floor:
+                    return ("item", payload)
+                return ("oneof", frozenset())
+            if kind == "under":
+                candidates: Sequence[int] = self._descendants_or_self(payload)
+            elif kind == "any":
+                if token.floor == 0:
+                    return ("any", -1)
+                candidates = range(len(vocabulary))
+            else:  # oneof
+                candidates = payload
+            return (
+                "oneof",
+                frozenset(
+                    item
+                    for item in candidates
+                    if vocabulary.frequency(item) >= token.floor
+                ),
+            )
+        raise InvalidParameterError(
+            f"unsupported query token {token!r}"
+        )  # pragma: no cover - normalize_query guards this
+
+    def _candidates(self, compiled: list[CompiledToken]) -> list[int]:
         """Candidate pattern indexes, ascending (= frequency-descending),
-        from the most selective concrete token's postings."""
+        from the most selective concrete token's postings.  ``oneof``
+        tokens consume exactly one item from their id set, so the union
+        of those ids' postings is a complete candidate set — an empty
+        id set (an unsatisfiable floor) yields no candidates at all.
+
+        Single-item and subtree postings are sized up first; ``oneof``
+        unions (potentially the whole vocabulary, e.g. ``?@N``) run
+        last and abort as soon as they outgrow the best set so far —
+        the chosen candidate set is identical either way, only the
+        wasted union work goes.
+        """
         best: Sequence[int] | None = None
+        oneofs: list[frozenset[int]] = []
         for kind, item in compiled:
             if kind == "item":
                 postings = self._postings_for(item)
@@ -374,10 +440,25 @@ class PatternSearchBase:
                 for descendant in self._descendants_or_self(item):
                     merged.update(self._postings_for(descendant))
                 postings = sorted(merged)
+            elif kind == "oneof":
+                oneofs.append(item)
+                continue
             else:
                 continue
             if best is None or len(postings) < len(best):
                 best = postings
+        for ids in oneofs:
+            if ids and len(ids) == len(self.vocabulary) and best is not None:
+                continue  # unions to every pattern; cannot beat `best`
+            merged = set()
+            overflow = False
+            for member in ids:
+                merged.update(self._postings_for(member))
+                if best is not None and len(merged) >= len(best):
+                    overflow = True
+                    break
+            if not overflow:
+                best = sorted(merged)
         if best is not None:
             return list(best)
         # wildcard-only query: filter by achievable lengths
@@ -390,7 +471,7 @@ class PatternSearchBase:
         return sorted(indexes)
 
     def _matches(
-        self, compiled: list[tuple[str, int]], pattern: Pattern
+        self, compiled: list[CompiledToken], pattern: Pattern
     ) -> bool:
         """Regex-style DP over token positions × pattern positions."""
         vocabulary = self.vocabulary
@@ -420,6 +501,9 @@ class PatternSearchBase:
                     elif kind == "item":
                         if item == target:
                             nxt[j + 1] = True
+                    elif kind == "oneof":
+                        if item in target:
+                            nxt[j + 1] = True
                     else:  # under
                         if vocabulary.generalizes_to(item, target):
                             nxt[j + 1] = True
@@ -433,6 +517,7 @@ __all__ = [
     "PatternSearchBase",
     "QueryMatch",
     "Pattern",
+    "CompiledToken",
     "rank_patterns",
     "rank_key",
 ]

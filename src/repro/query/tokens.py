@@ -2,26 +2,39 @@
 
 A query is a whitespace-separated list of tokens, one per matched region:
 
-=========  =====================================================
-syntax     meaning
-=========  =====================================================
-``name``   exactly this item
-``^name``  this item or any of its hierarchy descendants
-``?``      exactly one item, any item
-``+``      one or more items
-``*``      zero or more items
-=========  =====================================================
+============  =====================================================
+syntax        meaning
+============  =====================================================
+``name``      exactly this item
+``^name``     this item or any of its hierarchy descendants
+``?``         exactly one item, any item
+``+``         one or more items
+``*``         zero or more items
+``(a|b|^C)``  one item drawn from any listed alternative: an exact
+              item (``a``, ``b``) or a hierarchy subtree (``^C``)
+``token@N``   the single item bound by ``token`` must have corpus
+              frequency ≥ N (``token``: ``name``, ``^name``, ``?``
+              or a disjunction)
+============  =====================================================
 
 ``?``/``*``/``+`` follow Netspeak's conventions [2]; ``^`` adds the
-hierarchy dimension that plain n-gram indexes lack.  Items whose *name*
-is literally ``?``, ``*``, ``+`` or starts with ``^`` cannot be written in
-the string syntax — build those queries from :class:`Q` constructors
-instead.
+hierarchy dimension that plain n-gram indexes lack.  ``(a|b)`` is a
+single region, not a span: exactly one item is consumed, so floors
+compose — ``(a|^B)@10`` matches one item that is ``a`` or under ``B``
+*and* occurs at least 10 times in the corpus.  ``*@N``/``+@N`` are
+rejected: a gap binds no single item to bound.  Items whose *name* is
+literally ``?``, ``*``, ``+``, starts with ``^`` or ``(``, or ends with
+``@digits`` cannot be written in the string syntax — build those
+queries from :class:`Q` constructors instead.
 
 >>> parse_query("the ^ADJ ?")
 (ItemToken('the'), UnderToken('ADJ'), AnyToken())
 >>> (Q.item("the"), Q.under("ADJ"), Q.any())
 (ItemToken('the'), UnderToken('ADJ'), AnyToken())
+>>> parse_query("(a|^B)@3 ?")
+(FloorToken(OneOfToken(ItemToken('a'), UnderToken('B')), 3), AnyToken())
+>>> (Q.floor(Q.oneof("a", Q.under("B")), 3), Q.any())
+(FloorToken(OneOfToken(ItemToken('a'), UnderToken('B')), 3), AnyToken())
 """
 
 from __future__ import annotations
@@ -32,7 +45,7 @@ from repro.errors import InvalidParameterError
 
 
 class QueryToken:
-    """Base class for the five token kinds."""
+    """Base class for the seven token kinds."""
 
     __slots__ = ()
 
@@ -81,6 +94,73 @@ class SpanToken(QueryToken):
         return "SpanToken()"
 
 
+@dataclass(frozen=True)
+class OneOfToken(QueryToken):
+    """Matches one item drawn from any of the alternatives (``(a|b|^C)``).
+
+    Each choice is an :class:`ItemToken` (exact item) or an
+    :class:`UnderToken` (item or hierarchy descendant).  Choices are
+    stored deduplicated and canonically ordered, so ``(a|b)`` and
+    ``(b|a)`` compare (and cache) equal.
+    """
+
+    choices: tuple[QueryToken, ...]
+
+    def __post_init__(self) -> None:
+        for choice in self.choices:
+            if not isinstance(choice, (ItemToken, UnderToken)):
+                raise InvalidParameterError(
+                    f"disjunction choice {choice!r} must be an item or "
+                    "'^name' token"
+                )
+        if not self.choices:
+            raise InvalidParameterError("disjunction needs at least one choice")
+        canonical = tuple(
+            sorted(
+                set(self.choices),
+                key=lambda c: (isinstance(c, UnderToken), c.name),
+            )
+        )
+        object.__setattr__(self, "choices", canonical)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(choice) for choice in self.choices)
+        return f"OneOfToken({inner})"
+
+
+@dataclass(frozen=True)
+class FloorToken(QueryToken):
+    """Matches what ``inner`` matches, with the bound item's corpus
+    frequency required to be ≥ ``floor`` (``token@N``).
+
+    ``inner`` must bind exactly one item — ``name``, ``^name``, ``?`` or
+    a disjunction; gaps (``*``/``+``) and nested floors are rejected.
+    """
+
+    inner: QueryToken
+    floor: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(
+            self.inner, (ItemToken, UnderToken, AnyToken, OneOfToken)
+        ):
+            raise InvalidParameterError(
+                f"frequency floor requires a single-item token, "
+                f"got {self.inner!r}"
+            )
+        if not isinstance(self.floor, int) or isinstance(self.floor, bool):
+            raise InvalidParameterError(
+                f"frequency floor must be an integer, got {self.floor!r}"
+            )
+        if self.floor < 0:
+            raise InvalidParameterError(
+                f"frequency floor must be >= 0, got {self.floor}"
+            )
+
+    def __repr__(self) -> str:
+        return f"FloorToken({self.inner!r}, {self.floor})"
+
+
 class Q:
     """Programmatic token constructors (escape hatch for odd item names)."""
 
@@ -104,40 +184,111 @@ class Q:
     def span() -> SpanToken:
         return SpanToken()
 
+    @staticmethod
+    def oneof(*choices: str | QueryToken) -> OneOfToken:
+        """Disjunction over item names (strings match exactly) and/or
+        :class:`ItemToken`/:class:`UnderToken` instances."""
+        return OneOfToken(
+            tuple(
+                ItemToken(c) if isinstance(c, str) else c for c in choices
+            )
+        )
+
+    @staticmethod
+    def floor(inner: str | QueryToken, floor: int) -> FloorToken:
+        """Frequency floor over an item name (exact) or single-item token."""
+        if isinstance(inner, str):
+            inner = ItemToken(inner)
+        return FloorToken(inner, floor)
+
+
+def _parse_choice(raw: str, text: str) -> QueryToken:
+    """One ``|``-separated alternative inside ``(...)``."""
+    if not raw:
+        raise InvalidParameterError(
+            f"empty alternative in disjunction in query {text!r}"
+        )
+    if raw in ("?", "*", "+") or "(" in raw or ")" in raw:
+        raise InvalidParameterError(
+            f"disjunction alternative {raw!r} in query {text!r} must be "
+            "'name' or '^name'"
+        )
+    if raw.startswith("^"):
+        name = raw[1:]
+        if not name:
+            raise InvalidParameterError(
+                f"bare '^' in disjunction in query {text!r}: expected '^name'"
+            )
+        return UnderToken(name)
+    return ItemToken(raw)
+
+
+def _parse_token(raw: str, text: str) -> QueryToken:
+    """One whitespace-separated token of the string syntax."""
+    if "@" in raw:
+        head, _, tail = raw.rpartition("@")
+        # isascii() too: isdigit() alone admits characters like '³'
+        # that int() rejects, which would escape as a bare ValueError
+        if tail.isdigit() and tail.isascii():
+            if not head:
+                raise InvalidParameterError(
+                    f"bare frequency floor {raw!r} in query {text!r}: "
+                    "expected 'token@N'"
+                )
+            return FloorToken(_parse_token(head, text), int(tail))
+    if raw == "?":
+        return AnyToken()
+    if raw == "*":
+        return SpanToken()
+    if raw == "+":
+        return PlusToken()
+    if raw.startswith("("):
+        if not raw.endswith(")") or len(raw) < 2:
+            raise InvalidParameterError(
+                f"malformed disjunction {raw!r} in query {text!r}: "
+                "expected '(a|b|^C)'"
+            )
+        return OneOfToken(
+            tuple(
+                _parse_choice(part, text) for part in raw[1:-1].split("|")
+            )
+        )
+    if raw.startswith("^"):
+        name = raw[1:]
+        if not name:
+            raise InvalidParameterError(
+                f"bare '^' in query {text!r}: expected '^name'"
+            )
+        return UnderToken(name)
+    return ItemToken(raw)
+
 
 def parse_query(text: str) -> tuple[QueryToken, ...]:
     """Parse the string syntax into a token tuple.
 
-    Raises :class:`~repro.errors.InvalidParameterError` for an empty query
-    or a bare ``^``.
+    Raises :class:`~repro.errors.InvalidParameterError` for an empty
+    query or malformed tokens (a bare ``^``, an unbalanced or empty
+    disjunction, a floor on a gap token, a bare ``@N``).
     """
-    tokens: list[QueryToken] = []
-    for raw in text.split():
-        if raw == "?":
-            tokens.append(AnyToken())
-        elif raw == "*":
-            tokens.append(SpanToken())
-        elif raw == "+":
-            tokens.append(PlusToken())
-        elif raw.startswith("^"):
-            name = raw[1:]
-            if not name:
-                raise InvalidParameterError(
-                    f"bare '^' in query {text!r}: expected '^name'"
-                )
-            tokens.append(UnderToken(name))
-        else:
-            tokens.append(ItemToken(raw))
+    tokens = tuple(_parse_token(raw, text) for raw in text.split())
     if not tokens:
         raise InvalidParameterError("empty query")
-    return tuple(tokens)
+    return tokens
 
 
 def normalize_query(
     query: str | QueryToken | tuple | list,
 ) -> tuple[QueryToken, ...]:
-    """Accept a query string, a single token, or a token sequence."""
+    """Accept a query string, a single token, or a token sequence.
+
+    Raises :class:`~repro.errors.InvalidParameterError` for an empty or
+    whitespace-only string, an empty sequence, or sequence elements that
+    are not tokens — every caller (index, store, HTTP) sees the same
+    rejection.
+    """
     if isinstance(query, str):
+        if not query.strip():
+            raise InvalidParameterError("empty query")
         return parse_query(query)
     if isinstance(query, QueryToken):
         return (query,)
@@ -159,6 +310,8 @@ __all__ = [
     "AnyToken",
     "PlusToken",
     "SpanToken",
+    "OneOfToken",
+    "FloorToken",
     "Q",
     "parse_query",
     "normalize_query",

@@ -12,9 +12,11 @@ thread per request against the thread-safe service.  Endpoints::
     POST /batch                   {"queries": [...], "limit": 10}
 
 Queries use the language of :mod:`repro.query.tokens` (``?``, ``+``,
-``*``, ``^name``), URL-encoded.  Malformed queries and unknown items
-answer 400 with ``{"error": ...}`` instead of tearing down the
-connection.
+``*``, ``^name``, ``(a|b|^C)`` disjunctions, ``token@N`` frequency
+floors), URL-encoded.  Malformed queries and unknown items answer 400
+with ``{"error": ...}`` instead of tearing down the connection; a
+store that fails integrity validation mid-request answers 503 so load
+balancers retry a healthy replica instead of blaming the client.
 
 >>> server = create_server(service, port=0)     # ephemeral port
 >>> threading.Thread(target=server.serve_forever, daemon=True).start()
@@ -27,7 +29,7 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreCorruptError
 from repro.serve.service import DEFAULT_LIMIT, QueryService, error_message
 
 MAX_BATCH = 1000
@@ -152,6 +154,11 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
                 route()
             except _BadRequest as exc:
                 self._respond(400, {"error": str(exc)})
+            except StoreCorruptError as exc:
+                # the store, not the request, is broken: a 4xx would
+                # tell the client to fix its query; 503 tells the load
+                # balancer this replica needs a rebuilt store
+                self._respond(503, {"error": error_message(exc)})
             except ReproError as exc:
                 self._respond(400, {"error": error_message(exc)})
             except (BrokenPipeError, ConnectionResetError):

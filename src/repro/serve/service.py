@@ -5,10 +5,11 @@ Wraps any :class:`~repro.query.base.PatternSearchBase` (an in-memory
 :class:`~repro.serve.store.PatternStore`) behind a small JSON-ready API.
 Heavy query traffic is dominated by repeats — popular n-gram lookups,
 dashboard refreshes — so full match lists land in a bounded LRU cache
-keyed by the query string alone (one entry serves every ``limit`` and
-both ``/query`` and ``/count``), and the service keeps the counters a
-production deployment would export: served queries, cache hit-rate,
-error count and cumulative latency.
+keyed by the *normalized* query (the parsed token tuple: one entry
+serves every ``limit``, both ``/query`` and ``/count``, and syntactic
+variants like ``(a|b)`` vs ``(b|a)``), and the service keeps the
+counters a production deployment would export: served queries, cache
+hit-rate, error count and cumulative latency.
 
 All entry points are thread-safe; the HTTP layer calls them from one
 thread per request.
@@ -21,8 +22,13 @@ import time
 from collections import OrderedDict
 from typing import Sequence
 
-from repro.errors import InvalidParameterError, ReproError
+from repro.errors import (
+    InvalidParameterError,
+    ReproError,
+    StoreCorruptError,
+)
 from repro.query.base import PatternSearchBase, QueryMatch
+from repro.query.tokens import normalize_query
 
 DEFAULT_CACHE_SIZE = 1024
 DEFAULT_LIMIT = 10
@@ -100,7 +106,7 @@ class QueryService:
         """
         if limit is not None and limit < 1:
             self._reject(f"limit must be >= 1 or null, got {limit}")
-        (rendered, count, total), hit, matches = self._search(query)
+        (rendered, count, total), hit, matches, tokens = self._search(query)
         wanted = count if limit is None else min(limit, count)
         if wanted <= len(rendered):
             shown = rendered[:wanted]
@@ -112,7 +118,7 @@ class QueryService:
             # hit on a capped entry that can't cover the request: one
             # full re-search, latency-accounted and not a cache hit
             start = time.perf_counter()
-            shown = _render(self._backend.search(query, limit=limit))
+            shown = _render(self._backend.search(tokens, limit=limit))
             with self._lock:
                 self._latency_s += time.perf_counter() - start
                 self._cache_hits -= 1
@@ -126,7 +132,7 @@ class QueryService:
 
     def count(self, query: str) -> dict:
         """Match count and frequency mass only (no result list)."""
-        (_, count, total), _hit, _matches = self._search(query)
+        (_, count, total), _hit, _matches, _tokens = self._search(query)
         return {
             "query": query,
             "count": count,
@@ -150,18 +156,31 @@ class QueryService:
         return value
 
     def _search(self, query: str):
-        """``((rendered, count, total), was_hit, raw_matches_or_None)``
-        for the full (limit-independent) result set.  One cache entry
-        per query serves every limit and both ``/query`` and ``/count``,
-        with aggregates precomputed so cache hits cost O(limit), not
-        O(matches).  Only the first ``max_cached_matches`` rendered
-        matches are retained (bounding memory on broad queries); on a
-        miss the raw match list is handed back so the caller can serve
-        beyond the prefix without re-searching."""
+        """``((rendered, count, total), was_hit, raw_matches_or_None,
+        tokens)`` for the full (limit-independent) result set.  The
+        query is parsed here and the cache keyed on the *normalized
+        token tuple*, so syntactic variants — extra whitespace,
+        reordered disjunction alternatives like ``(a|b)``/``(b|a)`` —
+        share one entry.  One entry per normalized query serves every
+        limit and both ``/query`` and ``/count``, with aggregates
+        precomputed so cache hits cost O(limit), not O(matches).  Only
+        the first ``max_cached_matches`` rendered matches are retained
+        (bounding memory on broad queries); on a miss the raw match
+        list is handed back so the caller can serve beyond the prefix
+        without re-searching."""
+        try:
+            tokens = normalize_query(query)
+        except ReproError:
+            # parse rejections are served-and-errored requests, exactly
+            # like rejections raised inside the backend search
+            with self._lock:
+                self._queries += 1
+                self._errors += 1
+            raise
         spill: dict = {}
 
         def compute(key: tuple) -> tuple[list[dict], int, int]:
-            matches = self._backend.search(key[1])
+            matches = self._backend.search(tokens)
             spill["matches"] = matches
             return (
                 _render(matches[: self._max_cached_matches]),
@@ -169,8 +188,8 @@ class QueryService:
                 sum(m.frequency for m in matches),
             )
 
-        value, hit = self._cached(("search", query, None), compute)
-        return value, hit, spill.get("matches")
+        value, hit = self._cached(("search", tokens, None), compute)
+        return value, hit, spill.get("matches"), tokens
 
     def batch(
         self, queries: Sequence[str], limit: int | None = DEFAULT_LIMIT
@@ -178,12 +197,16 @@ class QueryService:
         """Answer many queries in one call (shares the cache per query).
 
         One bad query does not poison the batch: its entry carries an
-        ``error`` field while the other answers come back intact.
+        ``error`` field while the other answers come back intact.  A
+        corrupt store is not a per-query problem, though — that one
+        propagates so the HTTP layer can answer 503 for the whole batch.
         """
         results: list[dict] = []
         for query in queries:
             try:
                 results.append(self.query(query, limit))
+            except StoreCorruptError:
+                raise
             except ReproError as exc:
                 results.append(
                     {"query": query, "error": error_message(exc)}

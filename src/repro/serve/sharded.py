@@ -28,7 +28,12 @@ from pathlib import Path
 from typing import Iterator, Sequence
 
 from repro.hierarchy.vocabulary import Vocabulary
-from repro.query.base import Pattern, PatternSearchBase, rank_key
+from repro.query.base import (
+    CompiledToken,
+    Pattern,
+    PatternSearchBase,
+    rank_key,
+)
 from repro.serve.format import is_sharded_store, read_manifest, shard_of
 from repro.serve.store import PatternStore
 
@@ -173,11 +178,12 @@ class ShardedPatternStore(PatternSearchBase):
         )
 
     def _iter_search(
-        self, compiled: list[tuple[str, int]]
+        self, compiled: list[CompiledToken]
     ) -> Iterator[tuple[Pattern, int]]:
-        # the compiled ids are valid in every shard (shared vocabulary);
-        # per-shard streams are rank-ordered, so the heap interleaves
-        # them into exactly the order one monolithic store would emit
+        # the compiled ids and id sets are valid in every shard (shared
+        # vocabulary); per-shard streams are rank-ordered, so the heap
+        # interleaves them into exactly the order one monolithic store
+        # would emit
         return heapq.merge(
             *(store._iter_search(compiled) for store in self._shards()),
             key=rank_key,

@@ -1,0 +1,329 @@
+"""Differential fuzzing of the query language across all backends.
+
+The evaluate-everywhere-and-compare discipline: random hierarchies,
+databases and queries (drawn from all seven token kinds — item,
+``^name``, ``?``, ``+``, ``*``, ``(a|b|^C)`` disjunction, ``token@N``
+frequency floor) are answered by four implementations that must agree
+byte for byte on the ranked ``(pattern, frequency)`` list:
+
+* a naive oracle — backtracking matcher over the raw pattern mapping,
+  no compiled form, no postings, no candidate pruning;
+* :class:`~repro.query.index.PatternIndex` — in-memory, inverted index;
+* :class:`~repro.serve.store.PatternStore` — single mmap'd store file;
+* :class:`~repro.serve.sharded.ShardedPatternStore` — k-way heap merge
+  over shard files.
+
+``LASH_DIFF_SEED`` reseeds the generator (CI runs the fixed default
+plus one randomized seed per build); ``LASH_DIFF_INSTANCES`` scales the
+number of mined instances.  Every failure message carries the seed,
+instance and query needed to replay it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro import Hierarchy, Lash, MiningParams, SequenceDatabase
+from repro.errors import UnknownItemError
+from repro.query import PatternIndex, parse_query
+from repro.query.tokens import (
+    AnyToken,
+    FloorToken,
+    ItemToken,
+    OneOfToken,
+    PlusToken,
+    QueryToken,
+    SpanToken,
+    UnderToken,
+)
+from repro.serve import open_store
+
+SEED = int(os.environ.get("LASH_DIFF_SEED", "20260729"))
+N_INSTANCES = int(os.environ.get("LASH_DIFF_INSTANCES", "24"))
+QUERIES_PER_INSTANCE = 10
+
+KINDS = ("item", "under", "any", "plus", "span", "oneof", "floor")
+
+
+# ----------------------------------------------------------------------
+# the oracle: brute-force matching over the raw pattern mapping
+# ----------------------------------------------------------------------
+
+
+def _oracle_token_matches(token: QueryToken, item: int, vocab) -> bool:
+    """Does this single-item token admit the item?  Hierarchy facts come
+    from the *string-level* hierarchy, not the backends' id-level caches.
+    """
+    if isinstance(token, AnyToken):
+        return True
+    if isinstance(token, ItemToken):
+        return vocab.name(item) == token.name
+    if isinstance(token, UnderToken):
+        return token.name in vocab.hierarchy.ancestors_or_self(
+            vocab.name(item)
+        )
+    if isinstance(token, OneOfToken):
+        return any(
+            _oracle_token_matches(choice, item, vocab)
+            for choice in token.choices
+        )
+    if isinstance(token, FloorToken):
+        return vocab.frequency(item) >= token.floor and _oracle_token_matches(
+            token.inner, item, vocab
+        )
+    raise AssertionError(f"oracle cannot match {token!r}")
+
+
+def _oracle_match(tokens, pattern, vocab) -> bool:
+    """Backtracking recursion — deliberately nothing like the DP in
+    :meth:`PatternSearchBase._matches`."""
+
+    def rec(i: int, j: int) -> bool:
+        if i == len(tokens):
+            return j == len(pattern)
+        token = tokens[i]
+        if isinstance(token, SpanToken):
+            return any(rec(i + 1, k) for k in range(j, len(pattern) + 1))
+        if isinstance(token, PlusToken):
+            return any(rec(i + 1, k) for k in range(j + 1, len(pattern) + 1))
+        return (
+            j < len(pattern)
+            and _oracle_token_matches(token, pattern[j], vocab)
+            and rec(i + 1, j + 1)
+        )
+
+    return rec(0, 0)
+
+
+def _oracle_search(patterns, vocab, tokens):
+    """Ranked (decoded pattern, frequency) hits, most frequent first,
+    ties by coded pattern ascending — the shared index order, re-stated
+    here independently."""
+    hits = [
+        (coded, freq)
+        for coded, freq in patterns.items()
+        if _oracle_match(tokens, coded, vocab)
+    ]
+    hits.sort(key=lambda record: (-record[1], record[0]))
+    return [(vocab.decode_sequence(coded), freq) for coded, freq in hits]
+
+
+# ----------------------------------------------------------------------
+# random instances and queries
+# ----------------------------------------------------------------------
+
+
+def _random_hierarchy(rng: random.Random) -> Hierarchy:
+    """A random forest with occasional extra DAG edges."""
+    n = rng.randint(3, 9)
+    names = [f"i{k}" for k in range(n)]
+    hierarchy = Hierarchy()
+    for idx, name in enumerate(names):
+        parent = None
+        if idx and rng.random() < 0.6:
+            parent = names[rng.randrange(idx)]
+        hierarchy.add_item(name, parent)
+    for idx in range(2, n):
+        if rng.random() < 0.15:
+            candidate = names[rng.randrange(idx)]
+            if candidate not in hierarchy.ancestors_or_self(names[idx]):
+                hierarchy.add_edge(names[idx], candidate)
+    return hierarchy
+
+
+def _random_database(rng: random.Random, names) -> SequenceDatabase:
+    return SequenceDatabase(
+        [
+            [rng.choice(names) for _ in range(rng.randint(1, 6))]
+            for _ in range(rng.randint(2, 10))
+        ]
+    )
+
+
+def _random_name(rng: random.Random, vocab) -> str:
+    return vocab.name(rng.randrange(len(vocab)))
+
+
+def _random_single_token(rng: random.Random, vocab, kind: str) -> QueryToken:
+    if kind == "item":
+        return ItemToken(_random_name(rng, vocab))
+    if kind == "under":
+        return UnderToken(_random_name(rng, vocab))
+    if kind == "any":
+        return AnyToken()
+    if kind == "oneof":
+        return OneOfToken(
+            tuple(
+                _random_single_token(
+                    rng, vocab, rng.choice(("item", "under"))
+                )
+                for _ in range(rng.randint(1, 3))
+            )
+        )
+    assert kind == "floor"
+    inner = _random_single_token(
+        rng, vocab, rng.choice(("item", "under", "any", "oneof"))
+    )
+    # floors drawn around real corpus frequencies so some pass, some cut
+    anchor = vocab.frequency(rng.randrange(len(vocab)))
+    return FloorToken(inner, max(0, anchor + rng.randint(-1, 2)))
+
+
+def _random_query(
+    rng: random.Random, vocab, required_kind: str
+) -> tuple[QueryToken, ...]:
+    """1–4 tokens, at least one of ``required_kind`` (cycling the
+    requirement over all seven kinds guarantees full coverage even on
+    unlucky seeds)."""
+    length = rng.randint(1, 4)
+    kinds = [rng.choice(KINDS) for _ in range(length)]
+    kinds[rng.randrange(length)] = required_kind
+    tokens = []
+    for kind in kinds:
+        if kind == "plus":
+            tokens.append(PlusToken())
+        elif kind == "span":
+            tokens.append(SpanToken())
+        else:
+            tokens.append(_random_single_token(rng, vocab, kind))
+    return tuple(tokens)
+
+
+def _render_token(token: QueryToken) -> str:
+    """The string syntax for a token (all generated names are
+    syntax-safe ``i<k>`` identifiers)."""
+    if isinstance(token, ItemToken):
+        return token.name
+    if isinstance(token, UnderToken):
+        return f"^{token.name}"
+    if isinstance(token, AnyToken):
+        return "?"
+    if isinstance(token, PlusToken):
+        return "+"
+    if isinstance(token, SpanToken):
+        return "*"
+    if isinstance(token, OneOfToken):
+        return "(" + "|".join(_render_token(c) for c in token.choices) + ")"
+    assert isinstance(token, FloorToken)
+    return f"{_render_token(token.inner)}@{token.floor}"
+
+
+def _token_kinds(tokens) -> set[str]:
+    kinds: set[str] = set()
+    for token in tokens:
+        if isinstance(token, ItemToken):
+            kinds.add("item")
+        elif isinstance(token, UnderToken):
+            kinds.add("under")
+        elif isinstance(token, AnyToken):
+            kinds.add("any")
+        elif isinstance(token, PlusToken):
+            kinds.add("plus")
+        elif isinstance(token, SpanToken):
+            kinds.add("span")
+        elif isinstance(token, OneOfToken):
+            kinds.add("oneof")
+        elif isinstance(token, FloorToken):
+            kinds.add("floor")
+    return kinds
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+
+
+def test_differential_oracle_vs_all_backends(tmp_path):
+    rng = random.Random(SEED)
+    cases = 0
+    kinds_covered: set[str] = set()
+    for instance in range(N_INSTANCES):
+        hierarchy = _random_hierarchy(rng)
+        database = _random_database(rng, list(hierarchy.items))
+        params = MiningParams(
+            sigma=rng.randint(1, 2),
+            gamma=rng.choice([0, 1, 2, None]),
+            lam=rng.randint(2, 4),
+        )
+        result = Lash(params).mine(database, hierarchy)
+        patterns, vocab = result.patterns, result.vocabulary
+
+        index = PatternIndex(patterns, vocab)
+        single_path = tmp_path / f"i{instance}.store"
+        result.to_store(single_path)
+        sharded_path = tmp_path / f"i{instance}.shards"
+        result.to_store(sharded_path, shards=rng.randint(2, 4))
+
+        with open_store(single_path) as single, open_store(
+            sharded_path
+        ) as sharded:
+            backends = [index, single, sharded]
+            for q in range(QUERIES_PER_INSTANCE):
+                tokens = _random_query(rng, vocab, KINDS[q % len(KINDS)])
+                kinds_covered |= _token_kinds(tokens)
+                context = (
+                    f"seed={SEED} instance={instance} "
+                    f"query={' '.join(_render_token(t) for t in tokens)!r}"
+                )
+
+                # the string syntax round-trips to the generated tokens
+                assert parse_query(
+                    " ".join(_render_token(t) for t in tokens)
+                ) == tokens, context
+
+                expected = _oracle_search(patterns, vocab, tokens)
+                for backend in backends:
+                    got = [
+                        (m.pattern, m.frequency)
+                        for m in backend.search(tokens)
+                    ]
+                    assert got == expected, (
+                        f"{context} backend={type(backend).__name__}: "
+                        f"{got!r} != oracle {expected!r}"
+                    )
+
+                # limit must be a plain prefix of the full ranking
+                if expected:
+                    cut = rng.randint(1, len(expected))
+                    for backend in backends:
+                        prefix = [
+                            (m.pattern, m.frequency)
+                            for m in backend.search(tokens, limit=cut)
+                        ]
+                        assert prefix == expected[:cut], context
+                cases += 1
+    assert cases >= 200, f"only {cases} differential cases executed"
+    assert kinds_covered == set(KINDS), (
+        f"token kinds never generated: {set(KINDS) - kinds_covered}"
+    )
+
+
+def test_differential_error_equivalence(tmp_path):
+    """Invalid queries fail identically — same exception type — on
+    every backend, so a serving tier swap cannot change the API's
+    error contract."""
+    rng = random.Random(SEED + 1)
+    hierarchy = _random_hierarchy(rng)
+    database = _random_database(rng, list(hierarchy.items))
+    result = Lash(MiningParams(sigma=1, gamma=1, lam=3)).mine(
+        database, hierarchy
+    )
+    index = PatternIndex(result.patterns, result.vocabulary)
+    single_path = tmp_path / "err.store"
+    result.to_store(single_path)
+    sharded_path = tmp_path / "err.shards"
+    result.to_store(sharded_path, shards=2)
+    with open_store(single_path) as single, open_store(
+        sharded_path
+    ) as sharded:
+        for query in [
+            "no-such-item ?",
+            "(i0|no-such-item)",
+            "^no-such-item@2",
+        ]:
+            for backend in (index, single, sharded):
+                with pytest.raises(UnknownItemError):
+                    backend.search(query)

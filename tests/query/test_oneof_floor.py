@@ -1,0 +1,152 @@
+"""Disjunction and frequency-floor semantics on a hand-checked index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hierarchy
+from repro.errors import InvalidParameterError, UnknownItemError
+from repro.query import PatternIndex, Q, code_patterns
+from repro.serve import open_store
+
+
+@pytest.fixture(scope="module")
+def small_index() -> PatternIndex:
+    """Five patterns over {a, c, B > {b1, b2}}.
+
+    ``code_patterns`` derives item frequencies from the pattern set as a
+    corpus, so f0 here is: B=4 (every pattern containing B, b1 or b2),
+    a=3, b1=2, c=1, b2=1 — the floors below are chosen around these.
+    """
+    hierarchy = Hierarchy()
+    for root in ("a", "B", "c"):
+        hierarchy.add_item(root)
+    for child in ("b1", "b2"):
+        hierarchy.add_edge(child, "B")
+    patterns = {
+        ("a", "b1"): 5,
+        ("a", "b2"): 3,
+        ("a", "c"): 2,
+        ("B",): 7,
+        ("b1",): 4,
+    }
+    return PatternIndex(*code_patterns(patterns, hierarchy))
+
+
+def _answers(index, query):
+    return [(m.render(), m.frequency) for m in index.search(query)]
+
+
+class TestDisjunctionSemantics:
+    def test_item_choices(self, small_index):
+        assert _answers(small_index, "a (b1|c)") == [
+            ("a b1", 5),
+            ("a c", 2),
+        ]
+
+    def test_under_choice_expands_subtree(self, small_index):
+        assert _answers(small_index, "(^B)") == [("B", 7), ("b1", 4)]
+
+    def test_mixed_choices(self, small_index):
+        assert _answers(small_index, "a (c|^B)") == [
+            ("a b1", 5),
+            ("a b2", 3),
+            ("a c", 2),
+        ]
+
+    def test_consumes_exactly_one_item(self, small_index):
+        # a disjunction is a region, not a gap: the length-1 pattern
+        # ("B",) cannot satisfy a two-token query by itself
+        assert _answers(small_index, "(^B) (^B)") == []
+
+    def test_string_and_q_paths_agree(self, small_index):
+        assert small_index.search("a (b1|c)") == small_index.search(
+            (Q.item("a"), Q.oneof("b1", "c"))
+        )
+
+    def test_unknown_choice_raises(self, small_index):
+        with pytest.raises(UnknownItemError):
+            small_index.search("(a|nope)")
+
+    def test_slot_fillers_accepts_disjunction(self, small_index):
+        assert small_index.slot_fillers("a (b1|b2)", 1) == [
+            ("b1", 5),
+            ("b2", 3),
+        ]
+
+
+class TestFloorSemantics:
+    def test_floor_on_any(self, small_index):
+        # only B (f0=4) clears the floor among single-item patterns
+        assert _answers(small_index, "?@4") == [("B", 7)]
+
+    def test_floor_on_item(self, small_index):
+        assert _answers(small_index, "a b1@2") == [("a b1", 5)]
+        assert _answers(small_index, "a b1@3") == []
+
+    def test_floor_on_under(self, small_index):
+        # descendants of B with f0 >= 3: only B itself
+        assert _answers(small_index, "^B@3") == [("B", 7)]
+
+    def test_floor_on_disjunction(self, small_index):
+        assert _answers(small_index, "(b1|c)@2") == [("b1", 4)]
+
+    def test_floor_zero_is_identity(self, small_index):
+        assert small_index.search("?@0") == small_index.search("?")
+        assert small_index.search("^B@0") == small_index.search("^B")
+
+    def test_unsatisfiable_floor_matches_nothing(self, small_index):
+        assert small_index.search("a@99") == []
+        assert small_index.count("?@99 *") == 0
+
+    def test_floor_bounds_corpus_frequency_not_pattern_frequency(
+        self, small_index
+    ):
+        # ("b1",) was mined with frequency 4, but the floor reads the
+        # *item's* corpus frequency f0(b1)=2, so @3 cuts it
+        assert _answers(small_index, "b1@3") == []
+        assert _answers(small_index, "b1@2") == [("b1", 4)]
+
+
+class TestEmptyQueryConsistency:
+    """Satellite: every backend rejects empty queries identically."""
+
+    @pytest.mark.parametrize("empty", ["", "   ", (), []])
+    def test_index_rejects(self, small_index, empty):
+        with pytest.raises(InvalidParameterError):
+            small_index.search(empty)
+
+    @pytest.mark.parametrize("empty", ["", "   ", ()])
+    @pytest.mark.parametrize("shards", [None, 2])
+    def test_stores_reject(self, small_index, tmp_path, empty, shards):
+        from repro.serve import write_sharded_store, write_store
+
+        coded = dict(small_index._patterns)
+        path = tmp_path / f"s{shards}.store"
+        if shards is None:
+            write_store(path, coded, small_index.vocabulary)
+        else:
+            write_sharded_store(
+                path, coded, small_index.vocabulary, shards
+            )
+        with open_store(path) as store:
+            with pytest.raises(InvalidParameterError):
+                store.search(empty)
+
+
+def test_new_tokens_round_trip_through_stores(small_index, tmp_path):
+    """Single-file and sharded stores answer the new token kinds exactly
+    like the in-memory index (spot check; the property harness fuzzes
+    this broadly)."""
+    from repro.serve import write_sharded_store, write_store
+
+    coded = dict(small_index._patterns)
+    single = tmp_path / "rt.store"
+    write_store(single, coded, small_index.vocabulary)
+    sharded = tmp_path / "rt.shards"
+    write_sharded_store(sharded, coded, small_index.vocabulary, 3)
+    for query in ["a (c|^B)", "(b1|c)@2", "?@4 *", "(a|b2) +"]:
+        expected = small_index.search(query)
+        for path in (single, sharded):
+            with open_store(path) as store:
+                assert store.search(query) == expected, query

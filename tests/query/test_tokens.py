@@ -7,7 +7,9 @@ import pytest
 from repro.errors import InvalidParameterError
 from repro.query import (
     AnyToken,
+    FloorToken,
     ItemToken,
+    OneOfToken,
     PlusToken,
     Q,
     SpanToken,
@@ -97,3 +99,83 @@ def test_token_reprs_roundtrip_visually():
     assert repr(Q.any()) == "AnyToken()"
     assert repr(Q.span()) == "SpanToken()"
     assert repr(Q.plus()) == "PlusToken()"
+    assert repr(Q.oneof("a", Q.under("B"))) == (
+        "OneOfToken(ItemToken('a'), UnderToken('B'))"
+    )
+    assert repr(Q.floor("a", 3)) == "FloorToken(ItemToken('a'), 3)"
+
+
+class TestDisjunction:
+    def test_parse(self):
+        assert parse_query("(a|b|^C)") == (
+            Q.oneof("a", "b", Q.under("C")),
+        )
+
+    def test_choice_order_is_canonical(self):
+        assert parse_query("(b|a)") == parse_query("(a|b)")
+        assert Q.oneof("b", "a") == Q.oneof("a", "b")
+        assert Q.oneof("a", "a", "b") == Q.oneof("a", "b")
+
+    def test_single_choice_allowed(self):
+        assert parse_query("(a)") == (OneOfToken((ItemToken("a"),)),)
+
+    @pytest.mark.parametrize(
+        "bad", ["()", "(a|", "(a||b)", "(|a)", "(^|a)", "(?|a)", "(*|a)"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            parse_query(bad)
+
+    def test_choices_must_be_item_or_under(self):
+        with pytest.raises(InvalidParameterError):
+            OneOfToken((AnyToken(),))
+        with pytest.raises(InvalidParameterError):
+            Q.oneof()
+
+
+class TestFloor:
+    def test_parse_forms(self):
+        assert parse_query("a@3 ^B@2 ?@1 (a|b)@4") == (
+            Q.floor("a", 3),
+            Q.floor(Q.under("B"), 2),
+            Q.floor(Q.any(), 1),
+            Q.floor(Q.oneof("a", "b"), 4),
+        )
+
+    def test_floor_zero_parses(self):
+        assert parse_query("a@0") == (FloorToken(ItemToken("a"), 0),)
+
+    @pytest.mark.parametrize("bad", ["*@3", "+@3", "@3", "a@3@4"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            parse_query(bad)
+
+    def test_non_numeric_suffix_stays_an_item_name(self):
+        """Only '@digits' is floor syntax; 'user@host' is still an item."""
+        assert parse_query("user@host") == (ItemToken("user@host"),)
+
+    def test_non_ascii_digits_are_not_floor_syntax(self):
+        """'³'.isdigit() is True but int('³') raises — such tails must
+        parse as item names, not escape as a bare ValueError."""
+        assert parse_query("a@³") == (ItemToken("a@³"),)
+        assert parse_query("a@١٢") == (ItemToken("a@١٢"),)
+
+    def test_negative_or_non_int_floor_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Q.floor("a", -1)
+        with pytest.raises(InvalidParameterError):
+            FloorToken(ItemToken("a"), True)
+
+    def test_floor_on_gap_or_floor_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FloorToken(SpanToken(), 1)
+        with pytest.raises(InvalidParameterError):
+            FloorToken(PlusToken(), 1)
+        with pytest.raises(InvalidParameterError):
+            FloorToken(FloorToken(ItemToken("a"), 1), 2)
+
+
+def test_normalize_rejects_empty_and_blank_strings():
+    for empty in ["", "   ", "\t\n"]:
+        with pytest.raises(InvalidParameterError):
+            normalize_query(empty)

@@ -197,6 +197,181 @@ class TestErrors:
             sock.close()
 
 
+class TestQueryLanguageOverHTTP:
+    """The expanded language — disjunctions and frequency floors —
+    answers identically through the HTTP layer."""
+
+    def test_matches_in_memory_index(self, server, mining_result):
+        index = PatternIndex.from_result(mining_result)
+        for query in [
+            "(a|^B) ?", "(b1|b2)", "a ?@2", "^B@1 *", "(a|c)@2 +",
+        ]:
+            status, body = _get(
+                server, "/query?q=" + urllib.parse.quote(query)
+            )
+            assert status == 200
+            assert body["matches"] == [
+                {"pattern": m.render(), "frequency": m.frequency}
+                for m in index.search(query, limit=10)
+            ], query
+            assert body["count"] == index.count(query), query
+
+    def test_equivalent_disjunction_orders_share_cache(self, server):
+        _get(server, "/query?q=" + urllib.parse.quote("(a|^B) ?"))
+        _, before = _get(server, "/stats")
+        _get(server, "/query?q=" + urllib.parse.quote("(^B|a) ?"))
+        _, after = _get(server, "/stats")
+        assert after["cache_hits"] == before["cache_hits"] + 1
+
+
+class TestErrorPaths:
+    """Error surfaces: syntax, unknown items, oversized batches, and a
+    corrupt store answering 503 instead of blaming the client."""
+
+    def _get_error(self, server, path):
+        try:
+            _get(server, path)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+        pytest.fail(f"expected an HTTP error for {path}")
+
+    def _post_error(self, server, path, payload):
+        try:
+            _post(server, path, payload)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+        pytest.fail(f"expected an HTTP error for {path}")
+
+    def test_malformed_syntax_is_400(self, server):
+        for bad in ["(a|", "(a||b)", "()", "^", "@3", "*@3", "a@1@2"]:
+            code, body = self._get_error(
+                server, "/query?q=" + urllib.parse.quote(bad)
+            )
+            assert code == 400, bad
+            assert "error" in body, bad
+
+    def test_unknown_item_is_400(self, server):
+        for bad in ["(a|nosuchitem)", "^nosuchitem@2", "nosuchitem ?"]:
+            code, body = self._get_error(
+                server, "/query?q=" + urllib.parse.quote(bad)
+            )
+            assert code == 400, bad
+            assert "nosuchitem" in body["error"], bad
+
+    def test_empty_query_is_400(self, server):
+        for q in ("/query?q=", "/query?q=%20%20", "/count?q="):
+            code, body = self._get_error(server, q)
+            assert code == 400, q
+
+    def test_batch_over_query_limit_is_400(self, server):
+        from repro.serve.http import MAX_BATCH
+
+        code, body = self._post_error(
+            server, "/batch", {"queries": ["a"] * (MAX_BATCH + 1)}
+        )
+        assert code == 400
+        assert "exceeds limit" in body["error"]
+
+    def test_batch_over_body_limit_is_400(self, server):
+        """A Content-Length past the 1 MiB cap is refused up front —
+        before the body is read — so the client sees the 400 instead of
+        a broken pipe mid-upload."""
+        import socket
+
+        sock = socket.create_connection(
+            ("127.0.0.1", server.server_port), timeout=10
+        )
+        try:
+            sock.sendall(
+                b"POST /batch HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 2097152\r\n\r\n"
+            )
+            response = b""
+            while b"exceeds" not in response:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+            assert response.startswith(b"HTTP/1.1 400")
+            assert b"exceeds" in response
+        finally:
+            sock.close()
+
+    def test_batch_bad_query_is_isolated_not_fatal(self, server):
+        status, body = _post(
+            server, "/batch", {"queries": ["a ?", "(a|", "nosuchitem"]}
+        )
+        assert status == 200
+        results = body["results"]
+        assert "matches" in results[0]
+        assert "error" in results[1] and "error" in results[2]
+
+
+class _CorruptBackend:
+    """Backend stub whose every search trips integrity validation, the
+    way a store with rotten postings would."""
+
+    def __len__(self):
+        return 0
+
+    def search(self, query, limit=None):
+        from repro.errors import StoreCorruptError
+        from repro.query.tokens import normalize_query
+
+        normalize_query(query)  # syntax errors must still win a 400
+        raise StoreCorruptError("checksum mismatch in postings section")
+
+    def top(self, n):
+        from repro.errors import StoreCorruptError
+
+        raise StoreCorruptError("checksum mismatch in patterns section")
+
+
+class TestCorruptStoreIs503:
+    @pytest.fixture
+    def corrupt_server(self):
+        service = QueryService(_CorruptBackend())
+        server = create_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def _expect(self, code, fn):
+        try:
+            fn()
+        except urllib.error.HTTPError as exc:
+            assert exc.code == code
+            return json.loads(exc.read())
+        pytest.fail(f"expected HTTP {code}")
+
+    def test_query_is_503(self, corrupt_server):
+        body = self._expect(
+            503, lambda: _get(corrupt_server, "/query?q=a")
+        )
+        assert "checksum mismatch" in body["error"]
+
+    def test_topk_is_503(self, corrupt_server):
+        self._expect(503, lambda: _get(corrupt_server, "/topk?n=3"))
+
+    def test_batch_is_503_not_per_query_error(self, corrupt_server):
+        self._expect(
+            503,
+            lambda: _post(
+                corrupt_server, "/batch", {"queries": ["a", "b"]}
+            ),
+        )
+
+    def test_malformed_query_still_400(self, corrupt_server):
+        # client errors keep their status even on a corrupt replica
+        self._expect(
+            400, lambda: _get(corrupt_server, "/query?q=%28a%7C")
+        )
+
+
 class TestConcurrency:
     def test_parallel_clients_get_identical_answers(
         self, server, mining_result

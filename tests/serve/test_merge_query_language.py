@@ -1,0 +1,123 @@
+"""Merged stores answer the expanded query language exactly like a
+rebuild.
+
+PR 2 proved ``merge_stores`` byte-equal to a full rebuild for σ=1 runs;
+these tests pin the *query-level* consequence for the two token kinds
+added after that proof — disjunctions and frequency floors — whose
+answers additionally depend on the merged vocabulary's summed item
+frequencies, not just the pattern records."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Lash, MiningParams
+from repro.sequence import SequenceDatabase
+from repro.serve import merge_stores, open_store
+
+from tests.conftest import paper_hierarchy
+
+QUERIES = [
+    "(a|c)",
+    "(a|^B) ?",
+    "(^B|^D)",
+    "(b1|b2|b3)@1",
+    "?@2",
+    "^B@2 *",
+    "a (c|^B)@1",
+    "(a|e|f) +",
+    "?@3 ?@1",
+]
+
+
+def _mine(sequences, hierarchy):
+    return Lash(MiningParams(sigma=1, gamma=1, lam=3)).mine(
+        SequenceDatabase(sequences), hierarchy
+    )
+
+
+CORPUS_A = [
+    ["a", "b1", "a", "b1"],
+    ["a", "b3", "c", "c", "b2"],
+    ["a", "c"],
+]
+CORPUS_B = [
+    ["b11", "a", "e", "a"],
+    ["a", "b12", "d1", "c"],
+    ["b13", "f", "d2"],
+    ["a", "c"],
+]
+
+
+def _answers(path, query):
+    with open_store(path) as store:
+        return [(m.pattern, m.frequency) for m in store.search(query)]
+
+
+@pytest.mark.parametrize("shards", [None, 3])
+def test_merged_equals_rebuilt_on_new_token_kinds(tmp_path, shards):
+    hierarchy = paper_hierarchy()
+    a_path, b_path = tmp_path / "a.store", tmp_path / "b.store"
+    _mine(CORPUS_A, hierarchy).to_store(a_path)
+    _mine(CORPUS_B, hierarchy).to_store(b_path)
+    merged = tmp_path / "merged.out"
+    merge_stores([a_path, b_path], merged, shards=shards)
+    rebuilt = tmp_path / "rebuilt.out"
+    _mine(CORPUS_A + CORPUS_B, hierarchy).to_store(
+        rebuilt, shards=shards
+    )
+    for query in QUERIES:
+        assert _answers(merged, query) == _answers(rebuilt, query), query
+
+
+def test_merged_floor_sees_summed_item_frequencies(tmp_path):
+    """A floor that neither part clears on its own must clear on the
+    merged store: item frequencies sum across sources."""
+    hierarchy = paper_hierarchy()
+    part_a = [["e", "a"], ["e", "c"]]
+    part_b = [["e", "f"], ["e", "b1"]]
+    a_path, b_path = tmp_path / "fa.store", tmp_path / "fb.store"
+    _mine(part_a, hierarchy).to_store(a_path)
+    _mine(part_b, hierarchy).to_store(b_path)
+    with open_store(a_path) as store:
+        vocabulary = store.vocabulary
+        part_freq = vocabulary.frequency_of("e")
+    merged = tmp_path / "fmerged.store"
+    merge_stores([a_path, b_path], merged)
+    with open_store(merged) as store:
+        merged_freq = store.vocabulary.frequency_of("e")
+        assert merged_freq == 2 * part_freq
+        # the floor between the two values admits 'e' only post-merge
+        floor = part_freq + 1
+        assert store.search(f"e@{floor} ?")
+    assert not _answers(a_path, f"e@{floor} ?")
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_randomized_merge_answers_match_rebuild(tmp_path, seed):
+    rng = random.Random(seed)
+    hierarchy = paper_hierarchy()
+    items = ["a", "b1", "b2", "b3", "b11", "c", "e", "f", "d1", "d2"]
+    corpus = [
+        [rng.choice(items) for _ in range(rng.randint(1, 5))]
+        for _ in range(rng.randint(6, 16))
+    ]
+    cut = rng.randint(1, len(corpus) - 1)
+    part_paths = []
+    for label, part in (("a", corpus[:cut]), ("b", corpus[cut:])):
+        path = tmp_path / f"{label}{seed}.store"
+        _mine(part, hierarchy).to_store(path)
+        part_paths.append(path)
+    merged = tmp_path / f"merged{seed}.store"
+    merge_stores(part_paths, merged)
+    rebuilt = tmp_path / f"rebuilt{seed}.store"
+    _mine(corpus, hierarchy).to_store(rebuilt)
+    queries = QUERIES + [
+        f"({rng.choice(items)}|^B)@{rng.randint(0, 4)}" for _ in range(4)
+    ]
+    for query in queries:
+        assert _answers(merged, query) == _answers(rebuilt, query), (
+            f"seed={seed} query={query!r}"
+        )

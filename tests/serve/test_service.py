@@ -192,6 +192,49 @@ class TestLruCache:
         assert service.stats()["cache_entries"] == 1
 
 
+class TestNormalizedCacheKeys:
+    """The cache is keyed on the parsed token tuple, so syntactic
+    variants of one query share a single entry."""
+
+    def test_whitespace_variants_share_an_entry(self, backend):
+        service = QueryService(backend)
+        first = service.query("a ?")
+        assert service.query("  a   ? ")["matches"] == first["matches"]
+        assert service.stats()["cache_hits"] == 1
+        assert service.stats()["cache_entries"] == 1
+
+    def test_disjunction_order_variants_share_an_entry(self, backend):
+        service = QueryService(backend)
+        first = service.query("(a|^B) ?")
+        assert service.query("(^B|a) ?")["matches"] == first["matches"]
+        assert service.stats()["cache_hits"] == 1
+
+    def test_string_and_token_queries_share_an_entry(self, backend):
+        from repro.query import Q
+
+        service = QueryService(backend)
+        service.query("a ?@2")
+        service.query((Q.item("a"), Q.floor(Q.any(), 2)))
+        assert service.stats()["cache_hits"] == 1
+
+    def test_distinct_floors_do_not_collide(self, backend):
+        service = QueryService(backend)
+        low = service.query("?@1")
+        high = service.query("?@100")
+        assert service.stats()["cache_hits"] == 0
+        assert low["count"] >= high["count"]
+
+    def test_parse_errors_count_as_served_errors(self, backend):
+        service = QueryService(backend)
+        for bad in ["", "   ", "(a|", "a@1@2"]:
+            with pytest.raises(InvalidParameterError):
+                service.query(bad)
+        stats = service.stats()
+        assert stats["queries"] == 4
+        assert stats["errors"] == 4
+        assert stats["cache_entries"] == 0
+
+
 class TestStats:
     def test_fields(self, backend):
         service = QueryService(backend, cache_size=4)

@@ -299,6 +299,26 @@ class TestQuery:
         assert rc == 0
         assert "a B c" in capsys.readouterr().out
 
+    def test_disjunction_query(self, mined_patterns, capsys):
+        patterns, hierarchy = mined_patterns
+        rc = main([
+            "query", "--patterns", patterns, "--hierarchy", hierarchy,
+            "(a|^B) ?",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "a B" in out
+
+    def test_frequency_floor_query(self, mined_patterns, capsys):
+        patterns, hierarchy = mined_patterns
+        # an unsatisfiable floor matches nothing → exit status 1
+        rc = main([
+            "query", "--patterns", patterns, "--hierarchy", hierarchy,
+            "?@100000 ?",
+        ])
+        assert rc == 1
+        assert "(0 patterns" in capsys.readouterr().out
+
     def test_no_match_returns_nonzero(self, mined_patterns, capsys):
         patterns, hierarchy = mined_patterns
         rc = main([
