@@ -16,7 +16,14 @@ byte-identical stores (σ=1, so merging mined results is exact).  A
 sharded variant shows the merge writing shard sets at comparable cost.
 """
 
+import os
+import sys
 import time
+
+if __name__ == "__main__" and "--quick" in sys.argv:
+    # the CI smoke entry point: shrink the session corpora; must land
+    # before the conftest import below reads the scale knob
+    os.environ.setdefault("REPRO_BENCH_SCALE", "0.1")
 
 from repro import Lash, MiningParams
 from repro.sequence import SequenceDatabase
@@ -122,3 +129,12 @@ def test_sharded_merge_build(nyt, tmp_path):
                 },
             )
     report.emit()
+
+
+if __name__ == "__main__":
+    # `python benchmarks/bench_store_build.py [--quick]` runs this file
+    # through pytest — `--quick` is the store-pipeline CI smoke mode
+    import pytest
+
+    argv = [arg for arg in sys.argv[1:] if arg != "--quick"]
+    sys.exit(pytest.main([__file__, "-q", *argv]))

@@ -39,6 +39,13 @@ existing index without re-mining::
          --shards 8
     lash serve --store merged.shards
 
+Or compact deltas into the *live* shard set without restarting readers
+(atomic manifest swap; ``lash serve --compact-spool DIR`` does the same
+from a background thread)::
+
+    lash index compact --store merged.shards new-run.store
+    lash index compact --store merged.shards --shards 16   # rebalance
+
 All ``--db`` / ``--hierarchy`` / ``--out`` paths accept ``.gz``.
 """
 
@@ -318,12 +325,34 @@ def cmd_index_info(args: argparse.Namespace) -> int:
     """Print store metadata (header-only, no section decoding)."""
     from repro.serve import open_store
 
-    with open_store(args.store) as store:
+    # metadata lives in the manifest and the fixed-size shard headers;
+    # skipping the checksum sweep keeps `info` O(header) instead of
+    # reading every shard body just to print counts
+    with open_store(args.store, verify_checksums=False) as store:
         info = store.describe()
         shard_stats = info.pop("shard_stats", None)
         _print_row("store", info)
         for i, shard in enumerate(shard_stats or ()):
             _print_row(f"shard {i}", shard)
+    return 0
+
+
+def cmd_index_compact(args: argparse.Namespace) -> int:
+    """Fold delta stores into a live shard set (atomic manifest swap)."""
+    from repro.serve import StoreCompactor
+
+    compactor = StoreCompactor(
+        args.store,
+        checksums=not args.no_checksums,
+        verify_checksums=not args.no_verify,
+    )
+    stats = compactor.compact(args.deltas, shards=args.shards)
+    print(
+        f"compacted {stats['deltas']} deltas into {args.store} "
+        f"(generation {stats['generation']}, {stats['patterns']} patterns "
+        f"/ {stats['items']} items across {stats['shards']} shards) "
+        f"in {stats['seconds']:.2f}s"
+    )
     return 0
 
 
@@ -334,6 +363,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     store = open_store(args.store, verify_checksums=not args.no_verify)
     service = QueryService(store, cache_size=args.cache_size)
+    daemon = None
+    if args.compact_spool is not None:
+        from repro.serve import CompactionDaemon
+
+        if not hasattr(store, "num_shards"):
+            raise SystemExit(
+                "--compact-spool requires a sharded store "
+                "(build with --shards)"
+            )
+        daemon = CompactionDaemon(
+            service,
+            args.store,
+            args.compact_spool,
+            interval=args.compact_interval,
+            verify_checksums=not args.no_verify,
+        )
     server = create_server(
         service, args.host, args.port, quiet=not args.verbose
     )
@@ -347,9 +392,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "endpoints: /query?q=  /count?q=  /topk?n=  /batch (POST)  "
         "/stats  /metrics  /healthz"
     )
+    if daemon is not None:
+        print(
+            f"compacting deltas from {args.compact_spool} every "
+            f"{args.compact_interval:g}s"
+        )
+        daemon.start()
     try:
         run_server(server)
     finally:
+        if daemon is not None:
+            daemon.stop()
+        # after compaction swaps, the live backend may no longer be the
+        # store opened above; close whatever is currently served (close
+        # is idempotent, so double-closing the original is harmless)
+        service.backend.close()
         store.close()
     return 0
 
@@ -529,6 +586,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-section CRC-32 checksums",
     )
     merge.set_defaults(func=cmd_index_merge)
+    compact = index_sub.add_parser(
+        "compact",
+        help="fold delta stores into a live shard set (atomic manifest "
+        "swap; concurrent readers keep serving)",
+    )
+    compact.add_argument(
+        "--store", required=True, help="sharded store directory to compact"
+    )
+    compact.add_argument(
+        "deltas", nargs="*",
+        help="delta store files or shard directories to fold in "
+        "(none = pure rebalance/rewrite)",
+    )
+    compact.add_argument(
+        "--shards", type=int, default=None,
+        help="re-route the compacted store across this many shards "
+        "(default: keep the current count)",
+    )
+    compact.add_argument(
+        "--no-checksums", action="store_true",
+        help="skip the per-section CRC-32 checksums on the new generation",
+    )
+    compact.add_argument(
+        "--no-verify", action="store_true",
+        help="skip checksum verification of the sources",
+    )
+    compact.set_defaults(func=cmd_index_compact)
     info = index_sub.add_parser("info", help="print store metadata")
     info.add_argument(
         "--store", required=True, help="store file or shard directory"
@@ -550,6 +634,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-verify", action="store_true",
         help="skip checksum verification on open",
+    )
+    serve.add_argument(
+        "--compact-spool",
+        help="watch this directory for delta stores and fold them into "
+        "the served shard set in the background (sharded stores only)",
+    )
+    serve.add_argument(
+        "--compact-interval", type=float, default=30.0,
+        help="seconds between spool scans (with --compact-spool)",
     )
     serve.add_argument(
         "--verbose", action="store_true",

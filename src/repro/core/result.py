@@ -79,7 +79,9 @@ class MiningResult:
         """Export to a binary :class:`~repro.serve.store.PatternStore`
         for query serving (``lash serve``).  ``shards=N`` writes a
         sharded store directory instead of a single file — same
-        answers, postings split across N mmaps."""
+        answers, postings split across N mmaps.  The mined patterns
+        stream straight into the store writers, so the export never
+        builds a second in-memory copy of the result."""
         if shards is None:
             from repro.serve.writer import write_store
 

@@ -26,13 +26,18 @@ from repro.query.tokens import (
     parse_query,
 )
 from repro.query.base import PatternSearchBase
-from repro.query.build import code_patterns, merge_pattern_sets
+from repro.query.build import (
+    code_patterns,
+    merge_pattern_sets,
+    merge_vocabularies,
+)
 from repro.query.index import PatternIndex, QueryMatch
 
 __all__ = [
     "PatternSearchBase",
     "code_patterns",
     "merge_pattern_sets",
+    "merge_vocabularies",
     "AnyToken",
     "FloorToken",
     "ItemToken",

@@ -51,31 +51,26 @@ def code_patterns(
     return coded, vocabulary
 
 
-def merge_pattern_sets(
-    sources: Sequence[tuple[Mapping[tuple[str, ...], int], Vocabulary]],
-) -> tuple[dict[tuple[int, ...], int], Vocabulary]:
-    """Combine decoded pattern sets into one coded set + merged vocabulary.
+def merge_vocabularies(vocabularies: Sequence[Vocabulary]) -> Vocabulary:
+    """Union vocabularies into one merged vocabulary.
 
-    The incremental-build core: hierarchies are unioned edge by edge,
-    item frequencies (the generalized f-list) are summed per name, the
-    LASH total order is recomputed over the merged f-list, and every
-    pattern is re-encoded against the resulting ids — the "remap ids,
-    union postings, sum frequencies" step of ``lash index merge``.
-    Frequencies of patterns appearing in several sources add, exactly as
-    document support adds over a disjoint union of corpora; the output
-    is therefore identical to what a fresh build over the combined runs
-    would produce.
+    The incremental-build core shared by the in-memory
+    :func:`merge_pattern_sets` and the streaming
+    :func:`~repro.serve.writer.merge_stores`: hierarchies are unioned
+    edge by edge, item frequencies (the generalized f-list) are summed
+    per name, and the LASH total order is recomputed over the merged
+    f-list — giving every item the id a fresh build over the combined
+    corpora would have assigned.
 
     Hierarchies must agree where they overlap: an edge present in one
     source is adopted globally, and conflicting edges (a cycle between
     sources) raise :class:`~repro.errors.HierarchyError` from the union.
     """
-    if not sources:
-        raise EncodingError("merge needs at least one pattern set")
+    if not vocabularies:
+        raise EncodingError("merge needs at least one vocabulary")
     merged_hierarchy = Hierarchy()
     frequencies: dict[str, int] = {}
-    combined: dict[tuple[str, ...], int] = {}
-    for patterns, vocabulary in sources:
+    for vocabulary in vocabularies:
         hierarchy = vocabulary.hierarchy
         for item in hierarchy:
             merged_hierarchy.add_item(item)
@@ -87,8 +82,6 @@ def merge_pattern_sets(
             frequencies[name] = (
                 frequencies.get(name, 0) + vocabulary.frequency(item_id)
             )
-        for pattern, freq in patterns.items():
-            combined[pattern] = combined.get(pattern, 0) + freq
 
     from repro.hierarchy import build_vocabulary
 
@@ -96,9 +89,33 @@ def merge_pattern_sets(
     # this library persisting frequency-0 items) still need an id
     for item in merged_hierarchy:
         frequencies.setdefault(item, 0)
-    merged_vocabulary = build_vocabulary(
-        (), merged_hierarchy, frequencies=frequencies
+    return build_vocabulary((), merged_hierarchy, frequencies=frequencies)
+
+
+def merge_pattern_sets(
+    sources: Sequence[tuple[Mapping[tuple[str, ...], int], Vocabulary]],
+) -> tuple[dict[tuple[int, ...], int], Vocabulary]:
+    """Combine decoded pattern sets into one coded set + merged vocabulary.
+
+    The in-memory face of :func:`merge_vocabularies`: every pattern is
+    re-encoded against the merged ids — the "remap ids, union postings,
+    sum frequencies" step of ``lash index merge``.  Frequencies of
+    patterns appearing in several sources add, exactly as document
+    support adds over a disjoint union of corpora; the output is
+    therefore identical to what a fresh build over the combined runs
+    would produce.  (``lash index merge`` itself now streams through
+    :func:`~repro.serve.writer.merge_stores` instead of materializing
+    sources through this helper.)
+    """
+    if not sources:
+        raise EncodingError("merge needs at least one pattern set")
+    merged_vocabulary = merge_vocabularies(
+        [vocabulary for _, vocabulary in sources]
     )
+    combined: dict[tuple[str, ...], int] = {}
+    for patterns, _ in sources:
+        for pattern, freq in patterns.items():
+            combined[pattern] = combined.get(pattern, 0) + freq
     coded = {
         merged_vocabulary.encode_sequence(pattern): freq
         for pattern, freq in combined.items()
@@ -106,4 +123,4 @@ def merge_pattern_sets(
     return coded, merged_vocabulary
 
 
-__all__ = ["code_patterns", "merge_pattern_sets"]
+__all__ = ["code_patterns", "merge_pattern_sets", "merge_vocabularies"]

@@ -276,10 +276,27 @@ def parse_query(text: str) -> tuple[QueryToken, ...]:
     return tokens
 
 
+def _canonical_token(token: QueryToken) -> QueryToken:
+    """Drop no-op decorations so syntactic variants normalize equal.
+
+    A ``@0`` frequency floor admits every item (corpus frequencies are
+    ≥ 0), so ``a@0`` *is* ``a`` — rewriting it away here means ``a@0 *``
+    and ``a *`` compile identically and share one result-cache entry.
+    """
+    if isinstance(token, FloorToken) and token.floor == 0:
+        return token.inner
+    return token
+
+
 def normalize_query(
     query: str | QueryToken | tuple | list,
 ) -> tuple[QueryToken, ...]:
     """Accept a query string, a single token, or a token sequence.
+
+    The returned tuple is *canonical*: beyond parsing, semantic no-ops
+    (currently ``@0`` floors) are rewritten away, so every equivalent
+    spelling yields the same token tuple — the tuple the service keys
+    its result cache on.
 
     Raises :class:`~repro.errors.InvalidParameterError` for an empty or
     whitespace-only string, an empty sequence, or sequence elements that
@@ -289,18 +306,19 @@ def normalize_query(
     if isinstance(query, str):
         if not query.strip():
             raise InvalidParameterError("empty query")
-        return parse_query(query)
-    if isinstance(query, QueryToken):
-        return (query,)
-    tokens = tuple(query)
-    if not tokens:
-        raise InvalidParameterError("empty query")
-    for token in tokens:
-        if not isinstance(token, QueryToken):
-            raise InvalidParameterError(
-                f"query element {token!r} is not a QueryToken"
-            )
-    return tokens
+        tokens = parse_query(query)
+    elif isinstance(query, QueryToken):
+        tokens = (query,)
+    else:
+        tokens = tuple(query)
+        if not tokens:
+            raise InvalidParameterError("empty query")
+        for token in tokens:
+            if not isinstance(token, QueryToken):
+                raise InvalidParameterError(
+                    f"query element {token!r} is not a QueryToken"
+                )
+    return tuple(_canonical_token(token) for token in tokens)
 
 
 __all__ = [

@@ -12,7 +12,13 @@ turns it into a long-lived query-serving system:
   behind one backend: hash-routed exact lookups, k-way-merged ranked
   answers, byte-identical to a single-file store;
 * :func:`~repro.serve.writer.merge_stores` — incremental builds: fold
-  new mining output into existing stores without re-mining;
+  new mining output into existing stores without re-mining, streaming
+  in constant memory through :class:`~repro.serve.writer.PatternWriter`;
+* :class:`~repro.serve.compact.StoreCompactor` /
+  :class:`~repro.serve.compact.CompactionDaemon` — online compaction:
+  fold delta stores into a *live* sharded store with an atomic,
+  generation-tagged manifest swap (``lash index compact``, ``lash
+  serve --compact-spool``);
 * :class:`~repro.serve.service.QueryService` — a thread-safe façade
   with an LRU result cache, batch API and serving stats;
 * :mod:`~repro.serve.http` — a dependency-free ``ThreadingHTTPServer``
@@ -31,7 +37,14 @@ Build a store from a mining result and serve it::
 
 from repro.serve.store import PatternStore
 from repro.serve.sharded import ShardedPatternStore, open_store
-from repro.serve.writer import merge_stores, write_sharded_store, write_store
+from repro.serve.writer import (
+    PatternWriter,
+    ShardedPatternWriter,
+    merge_stores,
+    write_sharded_store,
+    write_store,
+)
+from repro.serve.compact import CompactionDaemon, StoreCompactor
 from repro.serve.service import QueryService
 
 _HTTP_EXPORTS = ("PatternHTTPServer", "create_server", "run_server", "serve")
@@ -51,9 +64,13 @@ __all__ = [
     "PatternStore",
     "ShardedPatternStore",
     "open_store",
+    "PatternWriter",
+    "ShardedPatternWriter",
     "write_store",
     "write_sharded_store",
     "merge_stores",
+    "StoreCompactor",
+    "CompactionDaemon",
     "QueryService",
     *_HTTP_EXPORTS,
 ]

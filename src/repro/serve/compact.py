@@ -1,0 +1,552 @@
+"""Online compaction: fold delta stores into a live sharded store.
+
+A serving index must absorb new mining runs without downtime.
+:class:`StoreCompactor` runs the streaming merge of
+:mod:`repro.serve.writer` *in place*: new shard files are written next
+to the live generation under generation-tagged names, then the manifest
+is swapped atomically (``os.replace``).  At no point does a reader see a
+torn index:
+
+* a :class:`~repro.serve.sharded.ShardedPatternStore` opened before the
+  swap keeps serving the old shard files — the outgoing generation is
+  kept on disk until the *following* compaction (so even its lazily
+  not-yet-opened shards stay reachable), and open mmaps pin the inodes
+  beyond that;
+* a store opened after the swap sees only the new generation;
+* a crash anywhere mid-compaction leaves the old manifest pointing at
+  the old (untouched) files; orphaned new-generation files are cleaned
+  up on failure, and a crashed run's leftovers are simply overwritten
+  by the next attempt.
+
+:class:`CompactionDaemon` is the opt-in background thread behind
+``lash serve --compact-spool``: it watches a spool directory for delta
+stores, compacts them in, reopens the store at the new generation and
+swaps it into the live :class:`~repro.serve.service.QueryService` —
+also picking up generation bumps made by an *external* ``lash index
+compact`` run against the same directory.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import shutil
+import threading
+import time
+from pathlib import Path
+from typing import Sequence
+
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import EncodingError, ReproError
+from repro.serve.format import (
+    MANIFEST_NAME,
+    SHARD_FILE_RE,
+    is_sharded_store,
+    read_manifest,
+    shard_filename,
+    write_manifest,
+)
+from repro.serve.stream import DEFAULT_SORT_BUFFER
+from repro.serve.writer import (
+    _ShardStreamWriter,
+    iter_merged_records,
+    merged_vocabulary,
+)
+
+
+#: folded-delta signatures retained in the manifest (enough to cover
+#: any realistic crash-recovery window without growing unboundedly)
+FOLDED_LOG_LIMIT = 64
+
+
+def delta_signature(path: str | Path) -> dict:
+    """Identity of a delta store for the manifest's folded log: name
+    plus size/mtime of the file (or of a shard set's manifest).  Lets a
+    spool scanner recognize a delta that was already folded in by a
+    cycle that crashed before archiving it — re-folding would silently
+    double every frequency it contributed."""
+    path = Path(path)
+    probe = path / MANIFEST_NAME if path.is_dir() else path
+    stat = probe.stat()
+    return {
+        "name": path.name,
+        "size": stat.st_size,
+        "mtime_ns": stat.st_mtime_ns,
+    }
+
+
+def _signature_key(signature: dict) -> tuple:
+    return (
+        signature.get("name"),
+        signature.get("size"),
+        signature.get("mtime_ns"),
+    )
+
+
+class StoreCompactor:
+    """Fold delta stores into a sharded store directory, atomically.
+
+    Parameters
+    ----------
+    path:
+        A sharded store directory (must carry a manifest).
+    checksums:
+        Whether the new generation's shard files carry per-section
+        CRC-32 checksums.
+    verify_checksums:
+        Whether to CRC-verify the base store and deltas before folding
+        them in (corrupt input fails the compaction, never the store).
+    sort_buffer:
+        Records per in-memory sort run of the streaming merge — the
+        knob bounding compaction memory.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        checksums: bool = True,
+        verify_checksums: bool = True,
+        sort_buffer: int = DEFAULT_SORT_BUFFER,
+    ) -> None:
+        self._path = Path(path)
+        if not is_sharded_store(self._path):
+            raise EncodingError(
+                f"{self._path}: not a sharded store directory; only shard "
+                "sets support online compaction (build with --shards)"
+            )
+        self._checksums = checksums
+        self._verify = verify_checksums
+        self._sort_buffer = sort_buffer
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def generation(self) -> int:
+        """Current on-disk manifest generation."""
+        return read_manifest(self._path)["generation"]
+
+    def _sweep_retired(self, keep: set[str]) -> None:
+        """Delete every shard file (or its crashed ``.tmp``) not in
+        ``keep`` — the new generation plus the one it just replaced.
+        Sweeping the directory instead of trusting one manifest's
+        snapshot also reclaims generations orphaned by a crash between
+        an earlier manifest swap and its unlink loop.  Runs under the
+        compaction lock, so no concurrent build can be mid-write."""
+        for entry in self._path.iterdir():
+            name = entry.name
+            if name in keep:
+                continue
+            bare = name[:-4] if name.endswith(".tmp") else name
+            if SHARD_FILE_RE.fullmatch(bare):
+                entry.unlink(missing_ok=True)
+
+    @contextlib.contextmanager
+    def _exclusive(self):
+        """Serialize compactions of one store directory across
+        processes: a daemon-driven compact and an operator's ``lash
+        index compact`` racing each other would both build the same
+        next generation and the losing manifest write would silently
+        discard the winner's deltas.  The flock is held from manifest
+        read to manifest write, so the second compactor starts from the
+        first one's result instead."""
+        lock_path = self._path / ".compact.lock"
+        handle = open(lock_path, "a+b")
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            handle.close()  # releases the flock
+
+    def compact(
+        self,
+        deltas: Sequence[str | Path] = (),
+        shards: int | None = None,
+    ) -> dict:
+        """Merge the live store with ``deltas`` into the next generation.
+
+        ``shards=None`` keeps the current shard count; ``shards=M``
+        re-routes the merged stream across ``M`` shards (rebalancing —
+        also useful with no deltas at all).  Returns a stats dict
+        (generation, shard/pattern counts, seconds).  Compactions of
+        one store are serialized by an advisory lock in the store
+        directory, so concurrent callers queue instead of fighting over
+        the same next generation.
+        """
+        with self._exclusive():
+            return self._compact_locked(deltas, shards)
+
+    def _compact_locked(
+        self,
+        deltas: Sequence[str | Path],
+        shards: int | None,
+    ) -> dict:
+        from repro.serve.sharded import open_store
+
+        manifest = read_manifest(self._path)
+        old_files = list(manifest["shard_files"])
+        generation = manifest["generation"] + 1
+        num_shards = manifest["shards"] if shards is None else shards
+        if num_shards < 1:
+            raise EncodingError(
+                f"shard count must be >= 1, got {num_shards}"
+            )
+        # the already-folded filter must run HERE, under the lock, on
+        # the manifest just read: a caller that classified a delta as
+        # fresh before a concurrent compactor folded it would otherwise
+        # fold it twice and double its frequencies
+        folded_keys = {
+            _signature_key(entry)
+            for entry in manifest.get("folded_log", ())
+        }
+        skipped: list[str] = []
+        fresh: list[str | Path] = []
+        for delta in deltas:
+            if _signature_key(delta_signature(delta)) in folded_keys:
+                skipped.append(Path(delta).name)
+            else:
+                fresh.append(delta)
+        if deltas and not fresh and shards is None:
+            # every delta was already folded by an earlier (possibly
+            # crashed-before-archiving) compaction: nothing to rewrite
+            return {
+                "path": str(self._path),
+                "generation": manifest["generation"],
+                "shards": manifest["shards"],
+                "items": manifest["items"],
+                "patterns": manifest["patterns"],
+                "total_frequency": manifest["total_frequency"],
+                "deltas": 0,
+                "skipped_deltas": skipped,
+                "seconds": 0.0,
+                "noop": True,
+            }
+        deltas = fresh
+        new_files = [
+            shard_filename(i, num_shards, generation)
+            for i in range(num_shards)
+        ]
+        # signatures go into the manifest's folded log so a spool
+        # scanner can tell an applied delta from a pending one even if
+        # the archiving step after this compaction never ran
+        folded_log = list(manifest.get("folded_log", ())) + [
+            {**delta_signature(delta), "generation": generation}
+            for delta in deltas
+        ]
+        # never truncate away this batch: a crash before archiving must
+        # find every one of these signatures, or the deltas re-fold and
+        # double their frequencies
+        folded_log = folded_log[-max(FOLDED_LOG_LIMIT, len(deltas)):]
+
+        start = time.perf_counter()
+        opened = []
+        writer: _ShardStreamWriter | None = None
+        try:
+            for source in (self._path, *deltas):
+                opened.append(
+                    open_store(
+                        source,
+                        pattern_cache_size=0,
+                        postings_cache_size=0,
+                        verify_checksums=self._verify,
+                    )
+                )
+            vocabulary = merged_vocabulary(opened)
+            records = iter_merged_records(
+                opened, vocabulary, sort_buffer=self._sort_buffer,
+                spill_dir=self._path,
+            )
+            writer = _ShardStreamWriter(
+                self._path,
+                new_files,
+                vocabulary,
+                checksums=self._checksums,
+                postings_buffer=self._sort_buffer,
+            )
+            for pattern, frequency in records:
+                writer.write(pattern, frequency)
+            writer.close()
+            # the swap: readers opened before this line keep the old
+            # files (their mmaps pin the inodes); readers opened after
+            # see only the new generation
+            write_manifest(
+                self._path,
+                new_files,
+                {
+                    "items": len(vocabulary),
+                    "patterns": writer.count,
+                    "total_frequency": writer.total_frequency,
+                    "generation": generation,
+                    # the outgoing generation stays on disk until the
+                    # *next* compaction: a reader opened against the old
+                    # manifest may not have lazily opened every shard
+                    # yet, and those late opens must still find their
+                    # files.  One swap later every such reader has
+                    # reopened (or answers from already-pinned inodes).
+                    "previous_files": [
+                        name for name in old_files if name not in new_files
+                    ],
+                    "folded_log": folded_log,
+                },
+            )
+        except BaseException:
+            if writer is not None:
+                writer.abort()
+            for name in new_files:
+                (self._path / name).unlink(missing_ok=True)
+            raise
+        finally:
+            for store in opened:
+                store.close()
+        self._sweep_retired(keep=set(new_files) | set(old_files))
+        return {
+            "path": str(self._path),
+            "generation": generation,
+            "shards": num_shards,
+            "items": len(vocabulary),
+            "patterns": writer.count,
+            "total_frequency": writer.total_frequency,
+            "deltas": len(deltas),
+            "skipped_deltas": skipped,
+            "seconds": round(time.perf_counter() - start, 3),
+        }
+
+
+#: spool subdirectory applied deltas are moved into (never rescanned)
+APPLIED_DIR = "applied"
+
+#: seconds a backend retired by a swap stays open before it may be
+#: closed — the bound on how long one in-flight request may keep
+#: scanning it, even when compaction cycles are much shorter
+RETIRE_GRACE_S = 60.0
+
+
+class CompactionDaemon:
+    """Background re-merge thread for a serving process.
+
+    Every ``interval`` seconds the daemon scans ``spool`` for delta
+    stores (``*.store`` files or sharded directories), folds any it
+    finds into the served store via :class:`StoreCompactor`, moves the
+    consumed deltas into ``spool/applied/``, reopens the store at the
+    new generation and swaps it into the
+    :class:`~repro.serve.service.QueryService`.  A generation bump made
+    by an external ``lash index compact`` is detected the same way and
+    triggers a reopen without a local merge.
+
+    A backend retired by a swap is closed only once it has been retired
+    for at least :data:`RETIRE_GRACE_S` seconds (and always at
+    :meth:`stop`), so a request that grabbed it before the swap can
+    keep scanning its mmaps for up to the grace period even when
+    compaction cycles are much shorter.
+
+    Each delta is validated on its own before a batch is folded: one
+    unreadable file (a crashed copy, bit rot) is quarantined by its
+    signature — the healthy deltas around it keep folding, the bad one
+    is skipped until its file changes, and the error is published via
+    ``/stats``.
+    """
+
+    def __init__(
+        self,
+        service,
+        store_path: str | Path,
+        spool: str | Path,
+        interval: float = 30.0,
+        checksums: bool = True,
+        verify_checksums: bool = True,
+        sort_buffer: int = DEFAULT_SORT_BUFFER,
+    ) -> None:
+        self._service = service
+        self._store_path = Path(store_path)
+        self._compactor = StoreCompactor(
+            store_path,
+            checksums=checksums,
+            verify_checksums=verify_checksums,
+            sort_buffer=sort_buffer,
+        )
+        self._spool = Path(spool)
+        self._spool.mkdir(parents=True, exist_ok=True)
+        self._interval = interval
+        self._verify = verify_checksums
+        self._stop_event = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="lash-compactor", daemon=True
+        )
+        #: (retired_at_monotonic, backend) pairs awaiting their grace
+        self._retired: list[tuple[float, object]] = []
+        #: signature → error of deltas that failed validation; skipped
+        #: until the file changes (new signature) or leaves the spool
+        self._rejected: dict[tuple, str] = {}
+        self._compactions = 0
+        self._last_error: str | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        self._stop_event.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+        for _, backend in self._retired:
+            backend.close()
+        self._retired = []
+
+    def _run(self) -> None:  # pragma: no cover - exercised via poll_once
+        while not self._stop_event.wait(self._interval):
+            try:
+                self.poll_once()
+            except Exception as exc:  # noqa: BLE001 - the loop must
+                # outlive any single failed cycle: a dead compactor
+                # thread looks like a healthy server that silently
+                # stopped folding deltas.  The error is surfaced on
+                # /stats instead.
+                self._note(error=f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # one scan (also the test surface)
+    # ------------------------------------------------------------------
+
+    def pending_deltas(self) -> list[Path]:
+        """Delta stores currently waiting in the spool."""
+        deltas = []
+        for entry in sorted(self._spool.iterdir()):
+            if entry.name.startswith(".") or entry.name == APPLIED_DIR:
+                continue
+            if entry.is_dir() and is_sharded_store(entry):
+                deltas.append(entry)
+            elif entry.is_file() and entry.suffix == ".store":
+                deltas.append(entry)
+        return deltas
+
+    def poll_once(self) -> bool:
+        """One spool scan; returns True when the served store changed."""
+        usable = self._usable_deltas(self.pending_deltas())
+        if usable:
+            # compact() re-checks the manifest's folded log *under the
+            # compaction lock*, so a delta folded meanwhile by another
+            # compactor (or by a cycle that crashed before archiving)
+            # is skipped there, never folded twice
+            stats = self._compactor.compact(usable)
+            self._archive(usable)
+            if not stats.get("noop"):
+                self._compactions += 1
+                self._swap()
+                self._note(stats=stats)
+                return True
+        served = getattr(self._service.backend, "generation", None)
+        if served is not None and self._compactor.generation() != served:
+            # an external `lash index compact` bumped the manifest
+            self._swap()
+            self._note()
+            return True
+        return False
+
+    def _usable_deltas(self, deltas: Sequence[Path]) -> list[Path]:
+        """Filter out deltas that cannot be opened, quarantining them by
+        signature so one bad file (a crashed copy, bit rot) cannot fail
+        every future batch and wedge the healthy deltas behind it."""
+        from repro.serve.sharded import open_store
+
+        usable: list[Path] = []
+        pending_keys: set[tuple] = set()
+        for delta in deltas:
+            try:
+                key = _signature_key(delta_signature(delta))
+            except OSError as exc:
+                self._note(error=f"{delta.name}: {exc}")
+                continue
+            pending_keys.add(key)
+            if key in self._rejected:
+                continue
+            try:
+                # cheap structural probe (plus CRC sweep when verifying);
+                # compact() re-opens, but correctness of the batch beats
+                # one redundant validation pass
+                open_store(
+                    delta,
+                    pattern_cache_size=0,
+                    postings_cache_size=0,
+                    verify_checksums=self._verify,
+                ).close()
+            except (ReproError, OSError) as exc:
+                self._rejected[key] = str(exc)
+                self._note(error=f"{delta.name}: {exc}")
+                continue
+            usable.append(delta)
+        # forget quarantined signatures whose files left the spool
+        self._rejected = {
+            key: error
+            for key, error in self._rejected.items()
+            if key in pending_keys
+        }
+        return usable
+
+    def _archive(self, deltas: Sequence[Path]) -> None:
+        applied = self._spool / APPLIED_DIR
+        applied.mkdir(exist_ok=True)
+        for delta in deltas:
+            target = applied / delta.name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = applied / f"{delta.name}.{suffix}"
+            shutil.move(str(delta), str(target))
+
+    def _swap(self) -> None:
+        from repro.serve.sharded import open_store
+
+        backend = open_store(
+            self._store_path, verify_checksums=self._verify
+        )
+        old = self._service.swap_backend(backend)
+        now = time.monotonic()
+        still_in_grace = []
+        for retired_at, retired in self._retired:
+            if now - retired_at >= RETIRE_GRACE_S:
+                retired.close()
+            else:
+                still_in_grace.append((retired_at, retired))
+        self._retired = still_in_grace + [(now, old)]
+
+    def _note(self, stats: dict | None = None, error: str | None = None) -> None:
+        self._last_error = error
+        info = {
+            "spool": str(self._spool),
+            "compactions": self._compactions,
+            "generation": getattr(
+                self._service.backend, "generation", None
+            ),
+        }
+        if stats is not None:
+            info["last"] = {
+                key: stats[key]
+                for key in ("generation", "shards", "patterns", "deltas",
+                            "seconds")
+            }
+        if error is not None:
+            info["last_error"] = error
+        if self._rejected:
+            # quarantined deltas stay visible across later (successful)
+            # notes: they are still sitting in the spool unapplied
+            info["rejected"] = {
+                key[0]: message
+                for key, message in sorted(self._rejected.items())
+            }
+        self._service.note_compaction(info)
+
+
+__all__ = [
+    "StoreCompactor",
+    "CompactionDaemon",
+    "APPLIED_DIR",
+    "FOLDED_LOG_LIMIT",
+    "delta_signature",
+]

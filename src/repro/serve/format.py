@@ -31,6 +31,7 @@ vocabulary, making each one a valid standalone store.
 from __future__ import annotations
 
 import json
+import re
 import struct
 from pathlib import Path
 from typing import Sequence
@@ -84,8 +85,23 @@ def shard_of(first_item: str, num_shards: int) -> int:
     return stable_hash(first_item) % num_shards
 
 
-def shard_filename(index: int, num_shards: int) -> str:
-    return f"shard-{index:05d}-of-{num_shards:05d}.store"
+#: any generation's shard file name (used to validate directory
+#: contents before deletion and to sweep retired generations)
+SHARD_FILE_RE = re.compile(r"shard-\d{5}-of-\d{5}(-g\d{6})?\.store")
+
+
+def shard_filename(index: int, num_shards: int, generation: int = 0) -> str:
+    """Name of one shard file.
+
+    Generation 0 (a fresh build) keeps the historical name; online
+    compaction writes generation ``g+1`` files next to the live
+    generation ``g`` set, so the tag keeps the two sets from colliding
+    until the manifest swap retires the old one.
+    """
+    base = f"shard-{index:05d}-of-{num_shards:05d}"
+    if generation:
+        base += f"-g{generation:06d}"
+    return base + ".store"
 
 
 def write_manifest(directory: Path, shard_files: Sequence[str], meta: dict) -> None:
@@ -140,6 +156,11 @@ def read_manifest(directory: Path) -> dict:
         isinstance(f, str) for f in files
     ):
         raise StoreCorruptError(f"{path}: manifest lists no shard files")
+    generation = manifest.setdefault("generation", 0)
+    if not isinstance(generation, int) or isinstance(generation, bool):
+        raise StoreCorruptError(
+            f"{path}: manifest generation {generation!r} is not an integer"
+        )
     return manifest
 
 
@@ -163,6 +184,7 @@ __all__ = [
     "MANIFEST_FORMAT",
     "MANIFEST_VERSION",
     "PARTITIONER",
+    "SHARD_FILE_RE",
     "shard_of",
     "shard_filename",
     "write_manifest",

@@ -26,6 +26,7 @@ balancers retry a healthy replica instead of blaming the client.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -37,6 +38,13 @@ _MAX_BODY = 1 << 20  # 1 MiB request bodies are plenty for query batches
 
 #: exposition format version expected by Prometheus scrapers
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: endpoints whose wall time lands in the per-endpoint latency
+#: histograms; unknown paths are excluded so scanners cannot explode
+#: the label cardinality
+TRACKED_ENDPOINTS = frozenset(
+    {"/query", "/count", "/topk", "/batch", "/stats", "/metrics", "/healthz"}
+)
 
 
 def render_metrics(stats: dict) -> str:
@@ -91,6 +99,13 @@ def render_metrics(stats: dict) -> str:
             "lash_store_file_bytes", "gauge",
             "Total bytes of the store file(s).", store["file_bytes"],
         )
+        if "generation" in store:
+            emit(
+                "lash_store_generation", "gauge",
+                "Manifest generation of the served shard set "
+                "(bumped by online compaction).",
+                store["generation"],
+            )
         shard_stats = store.get("shard_stats")
         if shard_stats is not None:
             emit(
@@ -106,6 +121,33 @@ def render_metrics(stats: dict) -> str:
                     f'lash_shard_patterns{{shard="{i}"}} '
                     f'{shard["patterns"]}'
                 )
+    compaction = stats.get("compaction")
+    if compaction:
+        emit(
+            "lash_compactions_total", "counter",
+            "Background compactions folded into the served store.",
+            compaction.get("compactions", 0),
+        )
+    latency = stats.get("request_latency")
+    if latency:
+        name = "lash_request_latency_seconds"
+        lines.append(
+            f"# HELP {name} Request wall time by endpoint "
+            "(tracked requests, errors included)."
+        )
+        lines.append(f"# TYPE {name} histogram")
+        for endpoint, hist in latency.items():
+            label = f'endpoint="{endpoint}"'
+            for bound, cumulative in hist["buckets"]:
+                lines.append(
+                    f'{name}_bucket{{{label},le="{format(bound, "g")}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(
+                f'{name}_bucket{{{label},le="+Inf"}} {hist["count"]}'
+            )
+            lines.append(f'{name}_sum{{{label}}} {hist["sum_seconds"]}')
+            lines.append(f'{name}_count{{{label}}} {hist["count"]}')
     return "\n".join(lines) + "\n"
 
 
@@ -149,6 +191,7 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
         self._handle(self._route_post)
 
     def _handle(self, route) -> None:
+        start = time.perf_counter()
         try:
             try:
                 route()
@@ -171,6 +214,12 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
             # client went away mid-response — on the success path or
             # while we were writing an error; nothing left to tell it
             self.close_connection = True
+        finally:
+            endpoint = urlsplit(self.path).path
+            if endpoint in TRACKED_ENDPOINTS:
+                self.server.service.observe_latency(
+                    endpoint.lstrip("/"), time.perf_counter() - start
+                )
 
     def _route_get(self) -> None:
         url = urlsplit(self.path)
@@ -343,4 +392,5 @@ __all__ = [
     "render_metrics",
     "MAX_BATCH",
     "METRICS_CONTENT_TYPE",
+    "TRACKED_ENDPOINTS",
 ]

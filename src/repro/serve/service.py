@@ -17,6 +17,7 @@ thread per request.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from collections import OrderedDict
@@ -35,6 +36,51 @@ DEFAULT_LIMIT = 10
 #: rendered matches retained per cache entry; aggregates always cover
 #: the full result set, so broad queries don't pin it in memory
 MAX_CACHED_MATCHES = 1000
+
+#: upper bucket bounds (seconds) of the request-latency histograms; the
+#: implicit final bucket is +Inf.  Spread for an in-process index: most
+#: answers are sub-millisecond cache hits, the tail is broad scans.
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with Prometheus semantics.
+
+    Buckets store per-range counts; :meth:`snapshot` cumulates them into
+    the ``le``-labeled form scrapers expect.  Not thread-safe on its
+    own — the owning service observes under its lock.
+    """
+
+    __slots__ = ("_counts", "_sum", "_total")
+
+    def __init__(self) -> None:
+        self._counts = [0] * len(LATENCY_BUCKETS)
+        self._sum = 0.0
+        self._total = 0
+
+    def observe(self, seconds: float) -> None:
+        index = bisect.bisect_left(LATENCY_BUCKETS, seconds)
+        if index < len(self._counts):
+            self._counts[index] += 1
+        # past the last bound the observation lands only in +Inf
+        self._sum += seconds
+        self._total += 1
+
+    def snapshot(self) -> dict:
+        """``{"buckets": [[le, cumulative_count], ...], "sum_seconds",
+        "count"}`` — the +Inf bucket is ``count`` itself."""
+        cumulative = 0
+        buckets: list[list[float | int]] = []
+        for bound, count in zip(LATENCY_BUCKETS, self._counts):
+            cumulative += count
+            buckets.append([bound, cumulative])
+        return {
+            "buckets": buckets,
+            "sum_seconds": round(self._sum, 6),
+            "count": self._total,
+        }
 
 
 def _render(matches: Sequence[QueryMatch]) -> list[dict]:
@@ -88,10 +134,47 @@ class QueryService:
         self._cache_hits = 0
         self._errors = 0
         self._latency_s = 0.0
+        self._request_hists: dict[str, LatencyHistogram] = {}
+        self._compaction: dict | None = None
+        #: bumped by swap_backend; a result computed under an older
+        #: epoch is never cached (it answered for a retired backend)
+        self._epoch = 0
 
     @property
     def backend(self) -> PatternSearchBase:
         return self._backend
+
+    def swap_backend(self, backend: PatternSearchBase) -> PatternSearchBase:
+        """Atomically replace the served backend; returns the old one.
+
+        The cache is dropped (its entries answered for the old pattern
+        set) while the serving counters continue.  In-flight requests
+        keep the backend reference they already grabbed, so the caller
+        must not close the returned backend until those drain — the
+        compaction daemon closes a retired backend only after the *next*
+        swap.
+        """
+        with self._lock:
+            old = self._backend
+            self._backend = backend
+            self._cache.clear()
+            self._epoch += 1
+        return old
+
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        """Record one request's wall time into the endpoint's histogram
+        (the HTTP layer calls this for every tracked request, errors
+        included)."""
+        with self._lock:
+            hist = self._request_hists.get(endpoint)
+            if hist is None:
+                hist = self._request_hists[endpoint] = LatencyHistogram()
+            hist.observe(seconds)
+
+    def note_compaction(self, info: dict) -> None:
+        """Publish background-compaction progress into ``/stats``."""
+        with self._lock:
+            self._compaction = dict(info)
 
     # ------------------------------------------------------------------
     # query API — every method returns a JSON-serializable dict
@@ -238,6 +321,13 @@ class QueryService:
                 round(stats["total_latency_ms"] / queries, 3) if queries
                 else 0.0
             )
+            if self._request_hists:
+                stats["request_latency"] = {
+                    endpoint: hist.snapshot()
+                    for endpoint, hist in sorted(self._request_hists.items())
+                }
+            if self._compaction is not None:
+                stats["compaction"] = dict(self._compaction)
         describe = getattr(self._backend, "describe", None)
         if describe is not None:
             stats["store"] = describe()
@@ -268,6 +358,7 @@ class QueryService:
                 self._cache_hits += 1
                 self._cache.move_to_end(key)
                 return cached, True
+            epoch = self._epoch
         start = time.perf_counter()
         try:
             value = compute(key)
@@ -278,7 +369,11 @@ class QueryService:
         elapsed = time.perf_counter() - start
         with self._lock:
             self._latency_s += elapsed
-            if self._cache_size:
+            # a swap_backend between the miss and here cleared the
+            # cache for a reason: this value answered for the retired
+            # backend, so inserting it would undo the clear and serve
+            # stale pre-compaction results indefinitely
+            if self._cache_size and epoch == self._epoch:
                 self._cache[key] = value
                 self._cache.move_to_end(key)
                 while len(self._cache) > self._cache_size:
@@ -288,8 +383,10 @@ class QueryService:
 
 __all__ = [
     "QueryService",
+    "LatencyHistogram",
     "error_message",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_LIMIT",
     "MAX_CACHED_MATCHES",
+    "LATENCY_BUCKETS",
 ]

@@ -27,6 +27,7 @@ import threading
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from repro.errors import StoreCorruptError
 from repro.hierarchy.vocabulary import Vocabulary
 from repro.query.base import (
     CompiledToken,
@@ -65,6 +66,21 @@ class ShardedPatternStore(PatternSearchBase):
         self._verify_checksums = verify_checksums
         self._open_lock = threading.Lock()
         self._stores: list[PatternStore | None] = [None] * len(self._files)
+        # pin every shard's inode now (no reads — decode stays lazy):
+        # online compaction may unlink this generation's files while
+        # this handle lives, and a shard first touched after that must
+        # still find its data
+        self._pins: list = []
+        try:
+            for name in self._files:
+                self._pins.append(open(self._path / name, "rb"))
+        except FileNotFoundError as exc:
+            for pin in self._pins:
+                pin.close()
+            raise StoreCorruptError(
+                f"{self._path}: manifest references missing shard file "
+                f"({exc.filename})"
+            ) from None
         self._shared_vocab: Vocabulary | None = None
         self._closed = False
 
@@ -80,6 +96,14 @@ class ShardedPatternStore(PatternSearchBase):
     def num_shards(self) -> int:
         return len(self._files)
 
+    @property
+    def generation(self) -> int:
+        """Manifest generation this handle serves.  Online compaction
+        (:class:`~repro.serve.compact.StoreCompactor`) bumps it on every
+        manifest swap; a server compares it against the on-disk manifest
+        to decide when to reopen."""
+        return self._manifest.get("generation", 0)
+
     def _shard(self, index: int) -> PatternStore:
         store = self._stores[index]
         if store is None:
@@ -88,6 +112,13 @@ class ShardedPatternStore(PatternSearchBase):
                 if store is None:
                     if self._closed:
                         raise ValueError("sharded store is closed")
+                    # hand the pin over before constructing: a failed
+                    # open (e.g. CRC mismatch) closes the handle, and a
+                    # poisoned slot would turn every retry into a
+                    # ValueError on a closed file instead of the real
+                    # store error.  Retries fall back to a path open.
+                    pin = self._pins[index]
+                    self._pins[index] = None
                     store = PatternStore(
                         self._path / self._files[index],
                         pattern_cache_size=self._pattern_cache_size,
@@ -95,6 +126,9 @@ class ShardedPatternStore(PatternSearchBase):
                         verify_checksums=self._verify_checksums,
                         # one decoded vocabulary serves every shard
                         vocabulary=self._shared_vocab,
+                        # the handle pinned at mount time: reads work
+                        # even if the path was since unlinked
+                        fileobj=pin,
                     )
                     # descendant expansions (^name queries) are pure
                     # functions of the shared vocabulary: let shards
@@ -120,6 +154,10 @@ class ShardedPatternStore(PatternSearchBase):
                 if store is not None:
                     store.close()
             self._stores = [None] * len(self._files)
+            for pin in self._pins:
+                if pin is not None:
+                    pin.close()
+            self._pins = [None] * len(self._files)
 
     def __enter__(self) -> "ShardedPatternStore":
         return self
@@ -141,6 +179,7 @@ class ShardedPatternStore(PatternSearchBase):
         return {
             "path": str(self._path),
             "shards": len(shards),
+            "generation": self.generation,
             "items": self._manifest["items"],
             "patterns": self._manifest["patterns"],
             "total_frequency": self._manifest["total_frequency"],

@@ -87,17 +87,24 @@ class PatternStore(PatternSearchBase):
         postings_cache_size: int = 1 << 12,
         verify_checksums: bool = True,
         vocabulary: Vocabulary | None = None,
+        fileobj=None,
     ) -> None:
         """``vocabulary`` pre-supplies the decoded vocabulary, skipping
         the vocab-section decode entirely.  The caller asserts it equals
         the file's own section — the sharded store passes the one copy
         all its shards share instead of letting each shard re-decode the
-        identical bytes."""
+        identical bytes.
+
+        ``fileobj`` supplies an already-open binary handle for ``path``
+        (ownership transfers; it is closed with the store).  The sharded
+        store opens one per shard at mount time, so a shard file
+        unlinked later — e.g. a generation retired by online compaction
+        — can still be lazily mapped through the pinned inode."""
         super().__init__()
         self._pattern_cache_size = pattern_cache_size
         self._postings_cache_size = postings_cache_size
         self._path = Path(path)
-        self._file = open(self._path, "rb")
+        self._file = open(self._path, "rb") if fileobj is None else fileobj
         try:
             head = self._file.read(HEADER_SIZE)
             if len(head) < HEADER_SIZE or not head.startswith(MAGIC):

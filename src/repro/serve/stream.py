@@ -1,0 +1,178 @@
+"""Bounded-memory record streams: spill runs and external sorting.
+
+The store pipeline (build → write → merge → compact) is expressed over
+streams of ``(coded_pattern, frequency)`` records.  Streams arriving in
+the wrong order for the next stage — e.g. per-source rank order when the
+merge needs merged-vocabulary pattern order — are re-sorted here with a
+classic external sort: records accumulate in a bounded in-memory buffer,
+full buffers are sorted and spilled to anonymous temp files, and the
+sorted runs are k-way heap-merged back into one ordered stream.  Peak
+memory is O(buffer + runs), never O(records); when everything fits in
+one buffer no file is ever created.
+
+Run files use the store codec (:mod:`repro.io.codec`): each record is a
+length-prefixed blob of ``write_sequence(pattern)`` + ``uvarint(freq)``,
+so a run reader needs only a small read-ahead, not the whole run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import tempfile
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.errors import EncodingError
+from repro.io.codec import (
+    read_sequence,
+    read_uvarint,
+    write_sequence,
+    write_uvarint,
+)
+
+Record = tuple[tuple[int, ...], int]
+
+#: records per in-memory sort run; the one knob bounding pipeline memory
+DEFAULT_SORT_BUFFER = 8192
+
+
+def write_record(buf: bytearray, pattern: tuple[int, ...], frequency: int) -> None:
+    """Append one length-prefixed record to ``buf``."""
+    payload = bytearray()
+    write_sequence(payload, pattern)
+    write_uvarint(payload, frequency)
+    write_uvarint(buf, len(payload))
+    buf.extend(payload)
+
+
+def read_file_uvarint(f: IO[bytes]) -> int | None:
+    """One uvarint from a (buffered) file; ``None`` at clean EOF."""
+    value = 0
+    shift = 0
+    while True:
+        byte = f.read(1)
+        if not byte:
+            if shift:
+                raise EncodingError("truncated uvarint in spill run")
+            return None
+        value |= (byte[0] & 0x7F) << shift
+        if not byte[0] & 0x80:
+            return value
+        shift += 7
+        if shift > 63:
+            raise EncodingError("uvarint too long in spill run")
+
+
+def iter_run(f: IO[bytes]) -> Iterator[Record]:
+    """Decode a spilled run file from its start."""
+    f.seek(0)
+    while True:
+        size = read_file_uvarint(f)
+        if size is None:
+            return
+        payload = f.read(size)
+        if len(payload) < size:
+            raise EncodingError("truncated record in spill run")
+        pattern, offset = read_sequence(payload, 0)
+        frequency, _ = read_uvarint(payload, offset)
+        yield pattern, frequency
+
+
+#: io buffer of one spill-run file; kept small because the number of
+#: open runs grows with the data (runs ≈ records / buffer_records), so
+#: per-run buffers are the one memory term that scales
+RUN_BUFFERING = 1 << 12
+
+
+def spill_run(records: Iterable[Record], spill_dir: str | Path | None) -> IO[bytes]:
+    """Write records to an anonymous temp file (deleted on close)."""
+    f = tempfile.TemporaryFile(
+        prefix="repro-spill-",
+        dir=None if spill_dir is None else str(spill_dir),
+        buffering=RUN_BUFFERING,
+    )
+    buf = bytearray()
+    try:
+        for pattern, frequency in records:
+            write_record(buf, pattern, frequency)
+            if len(buf) >= 1 << 16:
+                f.write(buf)
+                buf.clear()
+        if buf:
+            f.write(buf)
+    except BaseException:
+        f.close()
+        raise
+    return f
+
+
+def sorted_records(
+    records: Iterable[Record],
+    key,
+    buffer_records: int = DEFAULT_SORT_BUFFER,
+    spill_dir: str | Path | None = None,
+) -> Iterator[Record]:
+    """Yield ``records`` sorted by ``key`` in bounded memory.
+
+    Consumes the input fully (a sort cannot emit before it has seen the
+    last record), spilling every ``buffer_records`` as a sorted run.  A
+    stream that fits one buffer is sorted purely in memory.  Run files
+    are closed (and thereby deleted) once the output is exhausted or the
+    generator is discarded.
+    """
+    if buffer_records < 1:
+        raise EncodingError(
+            f"sort buffer must be >= 1 record, got {buffer_records}"
+        )
+    buffer: list[Record] = []
+    runs: list[IO[bytes]] = []
+    try:
+        for record in records:
+            buffer.append(record)
+            if len(buffer) >= buffer_records:
+                buffer.sort(key=key)
+                runs.append(spill_run(buffer, spill_dir))
+                buffer = []
+        buffer.sort(key=key)
+        if not runs:
+            yield from buffer
+            return
+        streams: list[Iterator[Record]] = [iter_run(run) for run in runs]
+        if buffer:
+            streams.append(iter(buffer))
+        yield from heapq.merge(*streams, key=key)
+    finally:
+        for run in runs:
+            run.close()
+
+
+def sum_equal_patterns(records: Iterable[Record]) -> Iterator[Record]:
+    """Collapse a pattern-ordered stream: adjacent records with the same
+    pattern become one record with their frequencies summed — document
+    support adds over a disjoint union of corpora, so this is exactly
+    the merge semantics of :func:`~repro.serve.writer.merge_stores`."""
+    iterator = iter(records)
+    try:
+        pattern, frequency = next(iterator)
+    except StopIteration:
+        return
+    for next_pattern, next_frequency in iterator:
+        if next_pattern == pattern:
+            frequency += next_frequency
+        else:
+            yield pattern, frequency
+            pattern, frequency = next_pattern, next_frequency
+    yield pattern, frequency
+
+
+__all__ = [
+    "Record",
+    "DEFAULT_SORT_BUFFER",
+    "RUN_BUFFERING",
+    "write_record",
+    "read_file_uvarint",
+    "iter_run",
+    "spill_run",
+    "sorted_records",
+    "sum_equal_patterns",
+]

@@ -179,3 +179,36 @@ def test_normalize_rejects_empty_and_blank_strings():
     for empty in ["", "   ", "\t\n"]:
         with pytest.raises(InvalidParameterError):
             normalize_query(empty)
+
+
+class TestCanonicalization:
+    """``normalize_query`` rewrites semantic no-ops away, so equivalent
+    spellings share one compiled form (and one service cache entry)."""
+
+    def test_floor_zero_rewritten_to_inner(self):
+        assert normalize_query("a@0 *") == normalize_query("a *")
+        assert normalize_query("^B@0") == (UnderToken("B"),)
+        assert normalize_query("?@0") == (AnyToken(),)
+        assert normalize_query("(a|b)@0") == (
+            OneOfToken((ItemToken("a"), ItemToken("b"))),
+        )
+
+    def test_floor_zero_rewritten_from_token_sequences(self):
+        assert normalize_query([Q.floor("a", 0), Q.span()]) == (
+            ItemToken("a"),
+            SpanToken(),
+        )
+        assert normalize_query(Q.floor(Q.under("B"), 0)) == (
+            UnderToken("B"),
+        )
+
+    def test_positive_floor_preserved(self):
+        assert normalize_query("a@1 *") == (
+            FloorToken(ItemToken("a"), 1),
+            SpanToken(),
+        )
+
+    def test_parse_still_keeps_floor_zero(self):
+        """The rewrite is normalize-time policy; the parser stays a
+        faithful reading of the string."""
+        assert parse_query("a@0") == (FloorToken(ItemToken("a"), 0),)

@@ -1,0 +1,555 @@
+"""Online compaction: atomic manifest swaps under live readers."""
+
+import threading
+
+import pytest
+
+from repro.core import Lash, MiningParams
+from repro.errors import EncodingError
+from repro.sequence import SequenceDatabase
+from repro.serve import (
+    CompactionDaemon,
+    QueryService,
+    StoreCompactor,
+    merge_stores,
+    open_store,
+)
+from repro.serve import compact as compact_module
+from repro.serve.format import read_manifest, shard_filename
+
+CORPUS_A = [
+    ["a", "b1", "a", "b1"],
+    ["a", "b3", "c", "c", "b2"],
+    ["a", "c"],
+]
+CORPUS_B = [
+    ["b11", "a", "e", "a"],
+    ["a", "b12", "d1", "c"],
+    ["b13", "f", "d2"],
+    ["a", "c"],
+]
+
+QUERIES = ["a ?", "^B ?", "*", "a + a", "^D"]
+
+
+def _mine(sequences, hierarchy):
+    return Lash(MiningParams(sigma=1, gamma=1, lam=3)).mine(
+        SequenceDatabase(sequences), hierarchy
+    )
+
+
+@pytest.fixture
+def base(fig1_hierarchy, tmp_path):
+    path = tmp_path / "base.shards"
+    _mine(CORPUS_A, fig1_hierarchy).to_store(path, shards=3)
+    return path
+
+
+@pytest.fixture
+def delta(fig1_hierarchy, tmp_path):
+    path = tmp_path / "delta.store"
+    _mine(CORPUS_B, fig1_hierarchy).to_store(path)
+    return path
+
+
+class TestStoreCompactor:
+    def test_compact_equals_offline_merge(
+        self, base, delta, fig1_hierarchy, tmp_path
+    ):
+        """Folding a delta in place produces shard files byte-identical
+        to an offline ``merge_stores`` (and therefore to a full rebuild
+        over the union, per the merge equivalence suite)."""
+        reference = tmp_path / "reference.shards"
+        merge_stores([base, delta], reference, shards=3)
+
+        stats = StoreCompactor(base).compact([delta])
+        assert stats["generation"] == 1
+        assert stats["deltas"] == 1
+        for i in range(3):
+            compacted = base / shard_filename(i, 3, generation=1)
+            assert compacted.read_bytes() == (
+                reference / shard_filename(i, 3)
+            ).read_bytes()
+
+    def test_generation_bumps_and_old_files_retire_one_swap_late(
+        self, base, delta
+    ):
+        old_files = read_manifest(base)["shard_files"]
+        StoreCompactor(base).compact([delta])
+        manifest = read_manifest(base)
+        assert manifest["generation"] == 1
+        assert manifest["shard_files"] == [
+            shard_filename(i, 3, generation=1) for i in range(3)
+        ]
+        # generation 0 survives one swap: readers opened against the old
+        # manifest may still lazily open these shards
+        assert manifest["previous_files"] == old_files
+        for name in old_files:
+            assert (base / name).exists()
+        # ... and is gone after the next swap
+        StoreCompactor(base).compact()
+        for name in old_files:
+            assert not (base / name).exists()
+        assert read_manifest(base)["previous_files"] == [
+            shard_filename(i, 3, generation=1) for i in range(3)
+        ]
+
+    def test_rebalance_without_deltas(self, base, delta):
+        StoreCompactor(base).compact([delta])
+        with open_store(base) as before:
+            expected = list(before)
+        stats = StoreCompactor(base).compact(shards=5)
+        assert stats["generation"] == 2
+        assert stats["shards"] == 5
+        with open_store(base) as store:
+            assert store.num_shards == 5
+            assert list(store) == expected
+
+    def test_repeated_compactions(self, base, delta, fig1_hierarchy, tmp_path):
+        other = tmp_path / "other.store"
+        _mine([["e", "f"], ["a", "c"]], fig1_hierarchy).to_store(other)
+        StoreCompactor(base).compact([delta])
+        StoreCompactor(base).compact([other])
+        assert read_manifest(base)["generation"] == 2
+
+        reference = tmp_path / "reference.shards"
+        merge_stores([tmp_path / "delta.store", other], reference, shards=3)
+        # compare through the backends (filenames differ by generation)
+        with open_store(base) as compacted:
+            rebuilt = tmp_path / "all.shards"
+            merge_stores([base], rebuilt, shards=3)
+            for query in QUERIES:
+                with open_store(rebuilt) as expected:
+                    assert compacted.search(query) == expected.search(query)
+
+    def test_single_file_store_rejected(self, delta):
+        with pytest.raises(EncodingError, match="not a sharded store"):
+            StoreCompactor(delta)
+
+    def test_crash_before_manifest_swap_leaves_store_intact(
+        self, base, delta, monkeypatch
+    ):
+        """A failure after the new generation's shards are written but
+        before the manifest swap must leave the old generation fully
+        readable and clean up the orphaned new files."""
+        before = read_manifest(base)
+        with open_store(base) as store:
+            expected = list(store)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("simulated crash before manifest swap")
+
+        monkeypatch.setattr(compact_module, "write_manifest", explode)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            StoreCompactor(base).compact([delta])
+        monkeypatch.undo()
+
+        assert read_manifest(base) == before
+        for i in range(3):
+            assert not (base / shard_filename(i, 3, generation=1)).exists()
+        with open_store(base) as store:
+            assert list(store) == expected
+
+    def test_crash_recovery_next_compaction_succeeds(
+        self, base, delta, tmp_path, monkeypatch
+    ):
+        attempted = {"fail": True}
+        real_write_manifest = compact_module.write_manifest
+
+        def flaky(*args, **kwargs):
+            if attempted.pop("fail", None):
+                raise OSError("disk hiccup")
+            return real_write_manifest(*args, **kwargs)
+
+        monkeypatch.setattr(compact_module, "write_manifest", flaky)
+        with pytest.raises(OSError):
+            StoreCompactor(base).compact([delta])
+        StoreCompactor(base).compact([delta])
+        assert read_manifest(base)["generation"] == 1
+
+        reference = tmp_path / "reference.shards"
+        merge_stores([tmp_path / "delta.store"], reference, shards=3)
+        with open_store(base) as compacted:
+            assert len(compacted) > 0
+
+    def test_concurrent_reader_never_sees_a_torn_index(self, base, delta):
+        """The acceptance criterion: a ShardedPatternStore querying
+        throughout repeated compactions keeps answering from its
+        generation — every answer matches either the pre- or the
+        post-compaction state, never an error or a mix."""
+        reader = open_store(base)
+        with open_store(base) as snapshot:
+            expected = {q: snapshot.search(q) for q in QUERIES}
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    for query in QUERIES:
+                        # the reader was opened at generation 0 and keeps
+                        # its mmaps: answers must stay exactly the old ones
+                        assert reader.search(query) == expected[query]
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            StoreCompactor(base).compact([delta])
+            StoreCompactor(base).compact(shards=5)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        reader.close()
+        assert not errors
+        # a fresh open sees the fully compacted generation
+        with open_store(base) as fresh:
+            assert fresh.generation == 2
+            assert fresh.num_shards == 5
+            assert len(fresh) >= len(expected["*"])
+
+
+class TestCompactionDaemon:
+    def _service(self, base):
+        store = open_store(base)
+        return QueryService(store)
+
+    def test_poll_folds_spooled_delta(self, base, delta, tmp_path):
+        service = self._service(base)
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        delta.rename(spool / delta.name)
+        daemon = CompactionDaemon(service, base, spool, interval=3600)
+        try:
+            before = len(service.backend)
+            assert daemon.poll_once() is True
+            assert service.backend.generation == 1
+            assert len(service.backend) > before
+            # consumed deltas are archived, not rescanned
+            assert daemon.pending_deltas() == []
+            assert (spool / "applied" / delta.name).exists()
+            assert daemon.poll_once() is False
+            stats = service.stats()
+            assert stats["compaction"]["compactions"] == 1
+            assert stats["compaction"]["generation"] == 1
+            assert stats["compaction"]["last"]["deltas"] == 1
+        finally:
+            daemon.stop()
+            service.backend.close()
+
+    def test_poll_reopens_after_external_compaction(
+        self, base, delta, tmp_path
+    ):
+        service = self._service(base)
+        spool = tmp_path / "spool"
+        daemon = CompactionDaemon(service, base, spool, interval=3600)
+        try:
+            # an operator runs `lash index compact` out of band
+            StoreCompactor(base).compact([delta])
+            assert service.backend.generation == 0
+            assert daemon.poll_once() is True
+            assert service.backend.generation == 1
+        finally:
+            daemon.stop()
+            service.backend.close()
+
+    def test_in_flight_backend_survives_swap(self, base, delta, tmp_path):
+        """The retired backend is closed one swap late, so requests that
+        grabbed it before a swap keep a live mmap."""
+        service = self._service(base)
+        old_backend = service.backend
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        delta.rename(spool / "delta.store")
+        daemon = CompactionDaemon(service, base, spool, interval=3600)
+        try:
+            daemon.poll_once()
+            # one generation behind: still queryable
+            assert old_backend.search("a ?") is not None
+        finally:
+            daemon.stop()
+            service.backend.close()
+
+    def test_daemon_thread_runs(self, base, delta, tmp_path):
+        service = self._service(base)
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        delta.rename(spool / "delta.store")
+        daemon = CompactionDaemon(service, base, spool, interval=0.05)
+        daemon.start()
+        try:
+            deadline = threading.Event()
+            for _ in range(100):
+                if service.backend.generation == 1:
+                    break
+                deadline.wait(0.1)
+            assert service.backend.generation == 1
+        finally:
+            daemon.stop()
+            service.backend.close()
+
+
+class TestReviewRegressions:
+    """Regressions for the race/crash findings of the pipeline review."""
+
+    def test_stale_miss_not_cached_across_swap(self, base):
+        """A cache miss computed against the pre-swap backend must not
+        be inserted after swap_backend cleared the cache."""
+        store = open_store(base)
+        service = QueryService(store)
+
+        class SwappingBackend:
+            """Backend whose search triggers a swap mid-computation —
+            the deterministic version of the daemon racing a request."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def search(self, query, limit=None):
+                matches = self._inner.search(query, limit=limit)
+                service.swap_backend(self._inner)
+                return matches
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        service.swap_backend(SwappingBackend(store))
+        service.query("a ?")
+        try:
+            assert service.stats()["cache_entries"] == 0
+            # the same query afterwards computes (and caches) fresh
+            service.query("a ?")
+            assert service.stats()["cache_entries"] == 1
+        finally:
+            store.close()
+
+    def test_idle_reader_survives_many_compactions(self, base, delta):
+        """A reader that never reopens (plain `lash serve`) pins every
+        shard inode at mount, so compactions that unlink its generation
+        — even several of them — cannot break its lazy shard opens."""
+        reader = open_store(base)
+        try:
+            with open_store(base) as snapshot:
+                expected = {q: snapshot.search(q) for q in QUERIES}
+            StoreCompactor(base).compact([delta])
+            StoreCompactor(base).compact(shards=5)
+            StoreCompactor(base).compact(shards=2)
+            # generation 0 files are long gone from the directory
+            assert not list(base.glob("shard-*-of-00003.store"))
+            # first-ever reads on the stale handle still work and
+            # answer from its own generation
+            for query in QUERIES:
+                assert reader.search(query) == expected[query]
+            # the hash-routed exact-lookup path opens one shard lazily
+            assert reader.frequency("a", "c") > 0
+        finally:
+            reader.close()
+
+    def test_crash_between_compact_and_archive_never_refolds(
+        self, base, delta, tmp_path, monkeypatch
+    ):
+        """If the daemon dies after the manifest swap but before moving
+        the delta to applied/, the next scan must archive it, not fold
+        it a second time (which would double its frequencies)."""
+        service = QueryService(open_store(base))
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        delta.rename(spool / "delta.store")
+        daemon = CompactionDaemon(service, base, spool, interval=3600)
+        real_archive = CompactionDaemon._archive
+        monkeypatch.setattr(
+            CompactionDaemon,
+            "_archive",
+            lambda self, deltas: (_ for _ in ()).throw(
+                OSError("simulated crash before archive")
+            ),
+        )
+        try:
+            with pytest.raises(OSError, match="before archive"):
+                daemon.poll_once()
+            # folded, but still sitting in the spool
+            assert daemon.pending_deltas() != []
+            frequencies = {
+                match.pattern: match.frequency
+                for match in open_store(base)
+            }
+            monkeypatch.setattr(CompactionDaemon, "_archive", real_archive)
+            daemon.poll_once()
+            # archived without a second fold: frequencies unchanged
+            assert daemon.pending_deltas() == []
+            assert (spool / "applied" / "delta.store").exists()
+            with open_store(base) as store:
+                after = {m.pattern: m.frequency for m in store}
+            assert after == frequencies
+            assert read_manifest(base)["generation"] == 1
+        finally:
+            daemon.stop()
+            service.backend.close()
+
+    def test_concurrent_compactions_serialize(self, base, delta, tmp_path):
+        """Two compactors racing the same store queue on the advisory
+        lock instead of both building the same generation."""
+        import threading as _threading
+
+        compactor = StoreCompactor(base)
+        started = _threading.Event()
+        finished = _threading.Event()
+
+        def background():
+            started.set()
+            StoreCompactor(base).compact()
+            finished.set()
+
+        with compactor._exclusive():
+            thread = _threading.Thread(target=background)
+            thread.start()
+            started.wait(5)
+            assert not finished.wait(0.3), "compact ran despite held lock"
+        thread.join(timeout=10)
+        assert finished.is_set()
+        # both compactions landed, one after the other
+        compactor.compact([delta])
+        assert read_manifest(base)["generation"] == 2
+
+
+class TestSecondReviewRegressions:
+    def test_folded_log_always_covers_current_batch(
+        self, base, fig1_hierarchy, tmp_path, monkeypatch
+    ):
+        """Truncating the folded log below the just-folded batch would
+        let a crash-before-archive re-fold the dropped deltas."""
+        monkeypatch.setattr(compact_module, "FOLDED_LOG_LIMIT", 2)
+        deltas = []
+        for i in range(5):
+            path = tmp_path / f"batch{i}.store"
+            _mine([["a", "c"], ["e", "f"]], fig1_hierarchy).to_store(path)
+            deltas.append(path)
+        StoreCompactor(base).compact(deltas)
+        log = read_manifest(base)["folded_log"]
+        assert {entry["name"] for entry in log} == {
+            f"batch{i}.store" for i in range(5)
+        }
+
+    def test_corrupt_shard_raises_store_error_on_every_query(self, base):
+        """A failed lazy shard open must not poison the pinned handle:
+        every retry reports the real StoreCorruptError (HTTP 503), never
+        ValueError on a closed file (HTTP 500)."""
+        from repro.errors import StoreCorruptError
+
+        victim = next(base.glob("shard-*.store"))
+        blob = bytearray(victim.read_bytes())
+        blob[-10] ^= 0xFF
+        victim.write_bytes(blob)
+        with open_store(base) as store:
+            for _ in range(3):
+                with pytest.raises(StoreCorruptError):
+                    store.search("*")
+
+    def test_daemon_loop_survives_unexpected_exception(
+        self, base, tmp_path, monkeypatch
+    ):
+        service = QueryService(open_store(base))
+        spool = tmp_path / "spool"
+        daemon = CompactionDaemon(service, base, spool, interval=0.02)
+        calls = {"n": 0}
+
+        def explode(self):
+            calls["n"] += 1
+            raise TypeError("unexpected")
+
+        monkeypatch.setattr(CompactionDaemon, "poll_once", explode)
+        daemon.start()
+        try:
+            for _ in range(100):
+                if calls["n"] >= 2:
+                    break
+                threading.Event().wait(0.05)
+            # the thread took (at least) two laps through the failure
+            assert calls["n"] >= 2
+            assert daemon._thread.is_alive()
+            assert "TypeError" in service.stats()["compaction"]["last_error"]
+        finally:
+            daemon.stop()
+            service.backend.close()
+
+    def test_sweep_reclaims_orphaned_generations(self, base, delta):
+        """Shard files stranded by a crash between a manifest swap and
+        its unlink loop are reclaimed by the next compaction's sweep."""
+        orphan = base / shard_filename(0, 9, generation=7)
+        orphan.write_bytes(b"stale generation leftovers")
+        crashed_tmp = base / (shard_filename(1, 9, generation=7) + ".tmp")
+        crashed_tmp.write_bytes(b"half-written shard")
+        StoreCompactor(base).compact([delta])
+        assert not orphan.exists()
+        assert not crashed_tmp.exists()
+        with open_store(base) as store:
+            assert len(store) > 0
+
+    def test_stop_closes_backends_still_in_grace(self, base, delta, tmp_path):
+        service = QueryService(open_store(base))
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        delta.rename(spool / "delta.store")
+        daemon = CompactionDaemon(service, base, spool, interval=3600)
+        old_backend = service.backend
+        daemon.poll_once()
+        assert daemon._retired and daemon._retired[0][1] is old_backend
+        daemon.stop()
+        assert daemon._retired == []
+        with pytest.raises(ValueError):
+            old_backend._shard(0)._pattern_at(0)
+        service.backend.close()
+
+
+class TestThirdReviewRegressions:
+    def test_refold_of_already_folded_delta_is_a_noop(self, base, delta):
+        """compact() consults the folded log under its own lock, so a
+        racing caller handing it an already-folded delta cannot double
+        the delta's frequencies."""
+        StoreCompactor(base).compact([delta])
+        with open_store(base) as store:
+            frequencies = {m.pattern: m.frequency for m in store}
+        stats = StoreCompactor(base).compact([delta])
+        assert stats["noop"] is True
+        assert stats["skipped_deltas"] == ["delta.store"]
+        assert read_manifest(base)["generation"] == 1
+        with open_store(base) as store:
+            assert {m.pattern: m.frequency for m in store} == frequencies
+
+    def test_refold_skipped_even_during_rebalance(self, base, delta):
+        StoreCompactor(base).compact([delta])
+        with open_store(base) as store:
+            frequencies = {m.pattern: m.frequency for m in store}
+        stats = StoreCompactor(base).compact([delta], shards=5)
+        assert stats["skipped_deltas"] == ["delta.store"]
+        assert stats["deltas"] == 0
+        with open_store(base) as store:
+            assert store.num_shards == 5
+            assert {m.pattern: m.frequency for m in store} == frequencies
+
+    def test_one_bad_delta_does_not_wedge_the_spool(
+        self, base, delta, tmp_path
+    ):
+        """A garbage file in the spool is quarantined; the healthy
+        deltas around it keep folding."""
+        service = QueryService(open_store(base))
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        (spool / "bad.store").write_bytes(b"this is not a pattern store")
+        delta.rename(spool / "good.store")
+        daemon = CompactionDaemon(service, base, spool, interval=3600)
+        try:
+            assert daemon.poll_once() is True
+            assert service.backend.generation == 1
+            assert (spool / "applied" / "good.store").exists()
+            # the bad delta stays pending (an operator can inspect it),
+            # is reported, and does not fail later scans
+            assert [d.name for d in daemon.pending_deltas()] == ["bad.store"]
+            assert "bad.store" in service.stats()["compaction"]["rejected"]
+            assert daemon.poll_once() is False
+        finally:
+            daemon.stop()
+            service.backend.close()

@@ -412,3 +412,67 @@ class TestConcurrency:
         status, stats = _get(server, "/stats")
         assert stats["queries"] >= 80
         assert stats["errors"] == 0
+
+
+class TestLatencyHistogramExposition:
+    def test_metrics_histogram_per_endpoint(self, server):
+        """Every tracked endpoint grows a labeled latency histogram
+        (bucket/sum/count triplet with cumulative le buckets)."""
+        _get(server, "/query?q=a+%3F")
+        _get(server, "/count?q=a+%3F")
+        status, _ = _get(server, "/stats")
+        assert status == 200
+        url = f"http://127.0.0.1:{server.server_port}/metrics"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            text = response.read().decode("utf-8")
+        lines = text.splitlines()
+        assert "# TYPE lash_request_latency_seconds histogram" in lines
+        samples = {}
+        for line in lines:
+            if line.startswith("lash_request_latency_seconds"):
+                name, value = line.rsplit(" ", 1)
+                samples[name] = float(value)
+        for endpoint in ("query", "count", "stats"):
+            label = f'endpoint="{endpoint}"'
+            inf = samples[
+                f'lash_request_latency_seconds_bucket{{{label},le="+Inf"}}'
+            ]
+            count = samples[f"lash_request_latency_seconds_count{{{label}}}"]
+            assert inf == count >= 1
+            assert samples[
+                f"lash_request_latency_seconds_sum{{{label}}}"
+            ] >= 0.0
+        # buckets are cumulative in increasing le order
+        prefix = 'lash_request_latency_seconds_bucket{endpoint="query",le="'
+        by_bound = {}
+        for name, value in samples.items():
+            if name.startswith(prefix):
+                bound = name[len(prefix):].rstrip('"}')
+                by_bound[
+                    float("inf") if bound == "+Inf" else float(bound)
+                ] = value
+        ordered = [by_bound[bound] for bound in sorted(by_bound)]
+        assert ordered == sorted(ordered)
+
+    def test_errors_are_observed_too(self, server):
+        with pytest.raises(urllib.error.HTTPError):
+            _get(server, "/query?q=%28broken")
+        status, stats = _get(server, "/stats")
+        assert status == 200
+        assert stats["request_latency"]["query"]["count"] >= 1
+
+    def test_unknown_paths_not_labeled(self, server):
+        with pytest.raises(urllib.error.HTTPError):
+            _get(server, "/nope")
+        _, stats = _get(server, "/stats")
+        assert "nope" not in stats.get("request_latency", {})
+
+    def test_generation_gauge_for_sharded_store(self, server):
+        url = f"http://127.0.0.1:{server.server_port}/metrics"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            text = response.read().decode("utf-8")
+        lines = text.splitlines()
+        if any(line.startswith("lash_store_shards") for line in lines):
+            assert any(
+                line.startswith("lash_store_generation ") for line in lines
+            )

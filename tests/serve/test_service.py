@@ -253,3 +253,68 @@ class TestStats:
         latency = service.stats()["total_latency_ms"]
         service.query("a ?")  # cache hit: no extra search latency
         assert service.stats()["total_latency_ms"] == latency
+
+
+class TestQueryCanonicalization:
+    def test_floor_zero_variants_share_one_cache_entry(self, backend):
+        """`a@0 *` normalizes to `a *` (ROADMAP query follow-up), so the
+        second spelling is a cache hit, not a second search."""
+        service = QueryService(backend)
+        first = service.query("a *")
+        second = service.query("a@0 *")
+        assert second["matches"] == first["matches"]
+        assert second["count"] == first["count"]
+        stats = service.stats()
+        assert stats["queries"] == 2
+        assert stats["cache_hits"] == 1
+        assert stats["cache_entries"] == 1
+
+
+class TestLatencyHistograms:
+    def test_observe_and_snapshot(self, backend):
+        from repro.serve.service import LATENCY_BUCKETS
+
+        service = QueryService(backend)
+        service.observe_latency("query", 0.0001)
+        service.observe_latency("query", 0.03)
+        service.observe_latency("query", 99.0)  # beyond the last bucket
+        service.observe_latency("count", 0.002)
+        stats = service.stats()
+        hists = stats["request_latency"]
+        assert set(hists) == {"query", "count"}
+        query_hist = hists["query"]
+        assert query_hist["count"] == 3
+        assert query_hist["sum_seconds"] == pytest.approx(99.0301, abs=1e-3)
+        bounds = [bound for bound, _ in query_hist["buckets"]]
+        assert bounds == list(LATENCY_BUCKETS)
+        # cumulative: the sub-ms observation is in every bucket, the
+        # 30ms one from 0.05 up, the 99s one only in +Inf (= count)
+        by_bound = dict(
+            (bound, cum) for bound, cum in query_hist["buckets"]
+        )
+        assert by_bound[0.001] == 1
+        assert by_bound[0.025] == 1
+        assert by_bound[0.05] == 2
+        assert by_bound[2.5] == 2
+
+    def test_no_histograms_before_first_observation(self, backend):
+        assert "request_latency" not in QueryService(backend).stats()
+
+
+class TestBackendSwap:
+    def test_swap_clears_cache_and_returns_old(self, backend):
+        service = QueryService(backend)
+        service.query("a ?")
+        assert service.stats()["cache_entries"] == 1
+        old = service.swap_backend(backend)
+        assert old is backend
+        assert service.stats()["cache_entries"] == 0
+
+    def test_note_compaction_lands_in_stats(self, backend):
+        service = QueryService(backend)
+        assert "compaction" not in service.stats()
+        service.note_compaction({"compactions": 2, "generation": 2})
+        assert service.stats()["compaction"] == {
+            "compactions": 2,
+            "generation": 2,
+        }

@@ -488,3 +488,137 @@ class TestIndex:
         assert rc == 0
         with PatternStore.open(store_path) as store:
             assert store.describe()["checksums"] is False
+
+
+class TestIndexCompact:
+    @pytest.fixture
+    def mined_patterns(self, example_files, tmp_path, capsys):
+        db, hierarchy = example_files
+        patterns = tmp_path / "patterns.tsv"
+        main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--out", str(patterns),
+        ])
+        capsys.readouterr()
+        return str(patterns), hierarchy
+
+    def test_compact_folds_delta(self, mined_patterns, tmp_path, capsys):
+        from repro.serve import open_store
+        from repro.serve.format import read_manifest
+
+        patterns, hierarchy = mined_patterns
+        base = tmp_path / "base.shards"
+        delta = tmp_path / "delta.store"
+        main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(base), "--shards", "2",
+        ])
+        main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(delta),
+        ])
+        capsys.readouterr()
+        rc = main([
+            "index", "compact", "--store", str(base), str(delta),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compacted 1 deltas" in out
+        assert "generation 1" in out
+        assert read_manifest(base)["generation"] == 1
+        with open_store(base) as store:
+            # same corpus twice: frequencies doubled
+            for match in store:
+                assert store.frequency(*match.pattern) == match.frequency
+
+    def test_compact_rebalances_shard_count(
+        self, mined_patterns, tmp_path, capsys
+    ):
+        from repro.serve import open_store
+
+        patterns, hierarchy = mined_patterns
+        base = tmp_path / "base.shards"
+        main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(base), "--shards", "2",
+        ])
+        capsys.readouterr()
+        with open_store(base) as store:
+            expected = list(store)
+        rc = main([
+            "index", "compact", "--store", str(base), "--shards", "5",
+        ])
+        assert rc == 0
+        assert "across 5 shards" in capsys.readouterr().out
+        with open_store(base) as store:
+            assert store.num_shards == 5
+            assert list(store) == expected
+
+    def test_compact_rejects_single_file_store(
+        self, mined_patterns, tmp_path, capsys
+    ):
+        from repro.errors import EncodingError
+
+        patterns, hierarchy = mined_patterns
+        store = tmp_path / "single.store"
+        main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(store),
+        ])
+        capsys.readouterr()
+        with pytest.raises(EncodingError, match="not a sharded store"):
+            main(["index", "compact", "--store", str(store)])
+
+    def test_serve_compact_spool_requires_sharded_store(
+        self, mined_patterns, tmp_path, capsys
+    ):
+        patterns, hierarchy = mined_patterns
+        store = tmp_path / "single.store"
+        main([
+            "index", "build", "--patterns", patterns,
+            "--hierarchy", hierarchy, "--out", str(store),
+        ])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="sharded store"):
+            main([
+                "serve", "--store", str(store),
+                "--compact-spool", str(tmp_path / "spool"),
+            ])
+
+
+class TestIndexInfoHeaderOnly:
+    def test_info_survives_body_corruption(
+        self, example_files, tmp_path, capsys
+    ):
+        """`lash index info` reads headers/manifest only: flipping a bit
+        deep in a shard body fails a verifying open but not `info`."""
+        from repro.errors import StoreCorruptError
+        from repro.serve import open_store
+
+        db, hierarchy = example_files
+        patterns = tmp_path / "patterns.tsv"
+        main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--out", str(patterns),
+        ])
+        shards = tmp_path / "info.shards"
+        main([
+            "index", "build", "--patterns", str(patterns),
+            "--hierarchy", hierarchy, "--out", str(shards), "--shards", "2",
+        ])
+        capsys.readouterr()
+        victim = next(shards.glob("shard-*.store"))
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF  # inside the postings/checksum tail, not the header
+        victim.write_bytes(blob)
+
+        with pytest.raises(StoreCorruptError):
+            with open_store(shards) as store:
+                store.describe()
+
+        rc = main(["index", "info", "--store", str(shards)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shard 0" in out and "shard 1" in out
