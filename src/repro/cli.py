@@ -29,6 +29,9 @@ Mine once, then serve queries over HTTP from a persistent binary store::
     curl 'http://127.0.0.1:8080/query?q=the+%5EADJ+%3F'
     lash query --patterns patterns.tsv --hierarchy h.txt \
          '(big|small|^ADJ)@50 ?'      # disjunction + frequency floor
+    lash query --patterns patterns.tsv --hierarchy h.txt \
+         --min-freq 20 'the !^ADJ *{0,2} house'   # negation, bounded gap,
+                                                  # per-query σ override
 
 Shard large stores across files, and fold new mining runs into an
 existing index without re-mining::
@@ -258,7 +261,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     status = 0
     for query in args.queries:
         # one unlimited search yields the shown prefix, count and mass
-        matches = index.search(query)
+        matches = index.search(query, min_freq=args.min_freq)
         mass = sum(match.frequency for match in matches)
         print(f"query: {query!r}  ({len(matches)} patterns, mass {mass})")
         if not matches:
@@ -541,9 +544,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--top", type=int, default=10)
     query.add_argument(
+        "--min-freq", type=int, default=None,
+        help="per-query sigma override: only report patterns with mined "
+        "frequency >= N",
+    )
+    query.add_argument(
         "queries", nargs="+",
-        help="queries: 'name', '^name', '?', '+', '*', '(a|b|^C)' "
-        "disjunction and 'token@N' frequency-floor tokens",
+        help="queries: 'name', '^name', '?', '+', '*', '*{m,n}' bounded "
+        "gap, '!token' negation, '(a|b|^C)' disjunction and 'token@N' "
+        "frequency-floor tokens",
     )
     query.set_defaults(func=cmd_query)
 

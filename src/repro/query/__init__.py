@@ -15,13 +15,16 @@ are aware of the item hierarchy.
 from repro.query.tokens import (
     AnyToken,
     FloorToken,
+    GapToken,
     ItemToken,
+    NotToken,
     OneOfToken,
     PlusToken,
     Q,
     QueryToken,
     SpanToken,
     UnderToken,
+    is_negation_only,
     normalize_query,
     parse_query,
 )
@@ -40,13 +43,16 @@ __all__ = [
     "merge_vocabularies",
     "AnyToken",
     "FloorToken",
+    "GapToken",
     "ItemToken",
+    "NotToken",
     "OneOfToken",
     "PlusToken",
     "Q",
     "QueryToken",
     "SpanToken",
     "UnderToken",
+    "is_negation_only",
     "normalize_query",
     "parse_query",
     "PatternIndex",

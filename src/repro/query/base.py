@@ -50,7 +50,9 @@ from repro.hierarchy.vocabulary import Vocabulary
 from repro.query.tokens import (
     AnyToken,
     FloorToken,
+    GapToken,
     ItemToken,
+    NotToken,
     OneOfToken,
     PlusToken,
     QueryToken,
@@ -63,9 +65,12 @@ Pattern = tuple[int, ...]
 
 #: one compiled query token: ``(kind, payload)``.  ``kind`` is one of
 #: ``item``/``under`` (payload: item id), ``any``/``plus``/``span``
-#: (payload: -1), or ``oneof`` (payload: frozenset of admissible item
-#: ids — disjunctions and frequency floors both lower to this form).
-CompiledToken = tuple[str, "int | frozenset[int]"]
+#: (payload: -1), ``oneof`` (payload: frozenset of admissible item
+#: ids — disjunctions and frequency floors both lower to this form),
+#: ``notin`` (payload: frozenset of *excluded* item ids — negations
+#: lower to this complement test), or ``gap`` (payload: ``(m, n)``
+#: consumption bounds, ``n=None`` unbounded).
+CompiledToken = tuple[str, "int | frozenset[int] | tuple"]
 
 
 def rank_key(record: tuple[Pattern, int]) -> tuple[int, Pattern]:
@@ -196,17 +201,35 @@ class PatternSearchBase:
         self,
         query: str | QueryToken | tuple | list,
         limit: int | None = None,
+        min_freq: int | None = None,
     ) -> list[QueryMatch]:
         """All indexed patterns matching the query, most frequent first.
 
         ``query`` is a string in the wildcard syntax or a sequence of
         :class:`~repro.query.tokens.QueryToken`.  Unknown item names raise
         :class:`~repro.errors.UnknownItemError`.
+
+        ``min_freq`` is the per-query σ override: only patterns whose
+        *mined frequency* clears it are returned.  It is orthogonal to
+        ``token@N`` floors (those bound an item's corpus frequency) and
+        composes with them.  Because results stream in frequency-
+        descending rank order, the filter is a prefix cut — iteration
+        stops at the first pattern below the floor.
         """
+        if min_freq is not None and (
+            not isinstance(min_freq, int)
+            or isinstance(min_freq, bool)
+            or min_freq < 0
+        ):
+            raise InvalidParameterError(
+                f"min_freq must be an integer >= 0 or None, got {min_freq!r}"
+            )
         compiled = self._compile(normalize_query(query))
         vocabulary = self.vocabulary
         matches: list[QueryMatch] = []
         for pattern, frequency in self._iter_search(compiled):
+            if min_freq is not None and frequency < min_freq:
+                break  # rank order: everything after is below σ too
             matches.append(
                 QueryMatch(vocabulary.decode_sequence(pattern), frequency)
             )
@@ -214,13 +237,15 @@ class PatternSearchBase:
                 break
         return matches
 
-    def count(self, query) -> int:
+    def count(self, query, min_freq: int | None = None) -> int:
         """Number of indexed patterns matching the query."""
-        return len(self.search(query))
+        return len(self.search(query, min_freq=min_freq))
 
-    def total_frequency(self, query) -> int:
+    def total_frequency(self, query, min_freq: int | None = None) -> int:
         """Sum of frequencies over all matches (n-gram-viewer style mass)."""
-        return sum(match.frequency for match in self.search(query))
+        return sum(
+            match.frequency for match in self.search(query, min_freq=min_freq)
+        )
 
     def slot_fillers(
         self, query, slot: int
@@ -233,9 +258,12 @@ class PatternSearchBase:
         "NOUN lives in"?* → ``slot_fillers("NOUN lives in ?", 3)``.
         """
         tokens = normalize_query(query)
-        if any(isinstance(t, (SpanToken, PlusToken)) for t in tokens):
+        if any(
+            isinstance(t, (SpanToken, PlusToken, GapToken)) for t in tokens
+        ):
             raise InvalidParameterError(
-                "slot_fillers requires a fixed-length query (no '*'/'+')"
+                "slot_fillers requires a fixed-length query "
+                "(no '*'/'+'/'*{m,n}')"
             )
         if not 0 <= slot < len(tokens):
             raise InvalidParameterError(
@@ -360,13 +388,30 @@ class PatternSearchBase:
         (``^name`` choices pull in the whole subtree) and frequency
         floors intersect the inner token's id set with the items whose
         corpus frequency clears the floor — so by the time matching
-        runs, both new token kinds are plain ``oneof`` id-set tests and
-        the matcher/candidate machinery needs no per-backend logic.  The
-        id sets derive only from the vocabulary, so the compiled query
-        stays portable across shards sharing that vocabulary.
+        runs, both token kinds are plain ``oneof`` id-set tests.
+        Negations expand the *same* id set but compile to ``notin``
+        (the complement test), keeping the excluded set small instead
+        of materializing near-the-whole-vocabulary admissible sets.
+        The id sets derive only from the vocabulary, so the compiled
+        query stays portable across shards sharing that vocabulary.
         """
         vocabulary = self.vocabulary
         return [self._compile_token(token, vocabulary) for token in tokens]
+
+    def _admissible_ids(
+        self, token: QueryToken, vocabulary: Vocabulary
+    ) -> frozenset[int]:
+        """Id set an item/``^name``/disjunction token admits."""
+        if isinstance(token, UnderToken):
+            return frozenset(
+                self._descendants_or_self(vocabulary.id(token.name))
+            )
+        if isinstance(token, ItemToken):
+            return frozenset((vocabulary.id(token.name),))
+        ids: set[int] = set()
+        for choice in token.choices:
+            ids.update(self._admissible_ids(choice, vocabulary))
+        return frozenset(ids)
 
     def _compile_token(
         self, token: QueryToken, vocabulary: Vocabulary
@@ -381,16 +426,12 @@ class PatternSearchBase:
             return ("plus", -1)
         if isinstance(token, SpanToken):
             return ("span", -1)
+        if isinstance(token, GapToken):
+            return ("gap", (token.min_items, token.max_items))
+        if isinstance(token, NotToken):
+            return ("notin", self._admissible_ids(token.inner, vocabulary))
         if isinstance(token, OneOfToken):
-            ids: set[int] = set()
-            for choice in token.choices:
-                if isinstance(choice, UnderToken):
-                    ids.update(
-                        self._descendants_or_self(vocabulary.id(choice.name))
-                    )
-                else:
-                    ids.add(vocabulary.id(choice.name))
-            return ("oneof", frozenset(ids))
+            return ("oneof", self._admissible_ids(token, vocabulary))
         if isinstance(token, FloorToken):
             kind, payload = self._compile_token(token.inner, vocabulary)
             if kind == "item":
@@ -419,16 +460,28 @@ class PatternSearchBase:
 
     def _candidates(self, compiled: list[CompiledToken]) -> list[int]:
         """Candidate pattern indexes, ascending (= frequency-descending),
-        from the most selective concrete token's postings.  ``oneof``
-        tokens consume exactly one item from their id set, so the union
-        of those ids' postings is a complete candidate set — an empty
-        id set (an unsatisfiable floor) yields no candidates at all.
+        from the most selective *positive* concrete token's postings.
+        ``oneof`` tokens consume exactly one item from their id set, so
+        the union of those ids' postings is a complete candidate set —
+        an empty id set (an unsatisfiable floor) yields no candidates
+        at all.  ``notin`` tokens contribute **no** postings: their
+        complement is nearly the whole vocabulary, so unioning it would
+        degrade selection to a full scan while adding nothing — the
+        negation is enforced by the matcher, like gaps.
 
         Single-item and subtree postings are sized up first; ``oneof``
         unions (potentially the whole vocabulary, e.g. ``?@N``) run
         last and abort as soon as they outgrow the best set so far —
         the chosen candidate set is identical either way, only the
         wasted union work goes.
+
+        A query with no positive concrete token (wildcard-only, or
+        all-negative like ``!a !^B``) falls back to scanning every
+        length group whose length the query can consume — negations
+        and ``?`` take exactly one item, ``*{m,n}`` between ``m`` and
+        ``n``.  The serving tier refuses all-negative queries for this
+        reason (:func:`~repro.query.tokens.is_negation_only`); embedded
+        callers accept the scan.
         """
         best: Sequence[int] | None = None
         oneofs: list[frozenset[int]] = []
@@ -461,12 +514,29 @@ class PatternSearchBase:
                 best = sorted(merged)
         if best is not None:
             return list(best)
-        # wildcard-only query: filter by achievable lengths
-        fixed = sum(1 for kind, _ in compiled if kind != "span")
-        elastic = any(kind in ("span", "plus") for kind, _ in compiled)
+        # no positive concrete token: filter by achievable lengths
+        min_len = 0
+        max_len: int | None = 0
+        for kind, payload in compiled:
+            if kind == "span":
+                max_len = None
+            elif kind == "plus":
+                min_len += 1
+                max_len = None
+            elif kind == "gap":
+                lower, upper = payload
+                min_len += lower
+                if upper is None:
+                    max_len = None
+                elif max_len is not None:
+                    max_len += upper
+            else:  # any / notin consume exactly one item
+                min_len += 1
+                if max_len is not None:
+                    max_len += 1
         indexes: list[int] = []
         for length, idxs in self._length_groups().items():
-            if length == fixed or (elastic and length >= fixed):
+            if length >= min_len and (max_len is None or length <= max_len):
                 indexes.extend(idxs)
         return sorted(indexes)
 
@@ -491,6 +561,12 @@ class PatternSearchBase:
                 for j in range(1, n_items + 1):
                     running = running or reachable[j - 1]
                     nxt[j] = running
+            elif kind == "gap":
+                # nxt[j] iff some reachable[j - d] with m <= d <= n
+                lower, upper = target
+                for j in range(lower, n_items + 1):
+                    first = 0 if upper is None else max(0, j - upper)
+                    nxt[j] = any(reachable[first : j - lower + 1])
             else:
                 for j in range(n_items):
                     if not reachable[j]:
@@ -503,6 +579,9 @@ class PatternSearchBase:
                             nxt[j + 1] = True
                     elif kind == "oneof":
                         if item in target:
+                            nxt[j + 1] = True
+                    elif kind == "notin":
+                        if item not in target:
                             nxt[j + 1] = True
                     else:  # under
                         if vocabulary.generalizes_to(item, target):

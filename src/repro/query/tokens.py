@@ -10,8 +10,12 @@ syntax        meaning
 ``?``         exactly one item, any item
 ``+``         one or more items
 ``*``         zero or more items
+``*{m,n}``    between ``m`` and ``n`` arbitrary items (``*{m,}``:
+              at least ``m``, unbounded above)
 ``(a|b|^C)``  one item drawn from any listed alternative: an exact
               item (``a``, ``b``) or a hierarchy subtree (``^C``)
+``!token``    exactly one item that does *not* match ``token``
+              (``token``: ``name``, ``^name`` or a disjunction)
 ``token@N``   the single item bound by ``token`` must have corpus
               frequency ≥ N (``token``: ``name``, ``^name``, ``?``
               or a disjunction)
@@ -22,8 +26,14 @@ hierarchy dimension that plain n-gram indexes lack.  ``(a|b)`` is a
 single region, not a span: exactly one item is consumed, so floors
 compose — ``(a|^B)@10`` matches one item that is ``a`` or under ``B``
 *and* occurs at least 10 times in the corpus.  ``*@N``/``+@N`` are
-rejected: a gap binds no single item to bound.  Items whose *name* is
-literally ``?``, ``*``, ``+``, starts with ``^`` or ``(``, or ends with
+rejected: a gap binds no single item to bound, and for the same reason
+negation applies only to item-binding tokens — ``!?`` (matches
+nothing), ``!*`` and ``!!a`` are rejected, as is a floor on a negation
+(``!a@3``): a floor bounds the frequency of the item a token *admits*,
+and a negation admits everything else.  Negation consumes exactly one
+item: ``a !b c`` requires some item between ``a`` and ``c``, it does
+not merely forbid ``b`` there.  Items whose *name* is literally ``?``,
+``*``, ``+``, starts with ``^``, ``(``, ``!`` or ``*{``, or ends with
 ``@digits`` cannot be written in the string syntax — build those
 queries from :class:`Q` constructors instead.
 
@@ -35,17 +45,25 @@ queries from :class:`Q` constructors instead.
 (FloorToken(OneOfToken(ItemToken('a'), UnderToken('B')), 3), AnyToken())
 >>> (Q.floor(Q.oneof("a", Q.under("B")), 3), Q.any())
 (FloorToken(OneOfToken(ItemToken('a'), UnderToken('B')), 3), AnyToken())
+>>> parse_query("!^B *{1,3} a")
+(NotToken(UnderToken('B')), GapToken(1, 3), ItemToken('a'))
+>>> (Q.not_(Q.under("B")), Q.gap(1, 3), Q.item("a"))
+(NotToken(UnderToken('B')), GapToken(1, 3), ItemToken('a'))
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 from repro.errors import InvalidParameterError
 
+#: the ``*{m,n}`` / ``*{m,}`` bounded-gap spelling
+_GAP_SYNTAX = re.compile(r"\*\{(\d+),(\d*)\}\Z")
+
 
 class QueryToken:
-    """Base class for the seven token kinds."""
+    """Base class for the nine token kinds."""
 
     __slots__ = ()
 
@@ -92,6 +110,74 @@ class SpanToken(QueryToken):
 
     def __repr__(self) -> str:
         return "SpanToken()"
+
+
+@dataclass(frozen=True)
+class GapToken(QueryToken):
+    """Matches between ``min_items`` and ``max_items`` arbitrary items
+    (``*{m,n}``); ``max_items=None`` means unbounded (``*{m,}``).
+
+    Generalizes the classic gaps: ``*`` is ``{0,}``, ``+`` is ``{1,}``
+    and ``?`` is ``{1,1}`` — :func:`normalize_query` rewrites those
+    three spellings to the classic tokens, so a :class:`GapToken`
+    surviving normalization always carries a bound the short forms
+    cannot express.
+    """
+
+    min_items: int
+    max_items: int | None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.min_items, int) or isinstance(
+            self.min_items, bool
+        ):
+            raise InvalidParameterError(
+                f"gap lower bound must be an integer, got {self.min_items!r}"
+            )
+        if self.max_items is not None and (
+            not isinstance(self.max_items, int)
+            or isinstance(self.max_items, bool)
+        ):
+            raise InvalidParameterError(
+                f"gap upper bound must be an integer or None, "
+                f"got {self.max_items!r}"
+            )
+        if self.min_items < 0:
+            raise InvalidParameterError(
+                f"gap lower bound must be >= 0, got {self.min_items}"
+            )
+        if self.max_items is not None and self.max_items < self.min_items:
+            raise InvalidParameterError(
+                f"gap upper bound {self.max_items} below lower bound "
+                f"{self.min_items}"
+            )
+
+    def __repr__(self) -> str:
+        return f"GapToken({self.min_items}, {self.max_items})"
+
+
+@dataclass(frozen=True)
+class NotToken(QueryToken):
+    """Matches exactly one item that does *not* match ``inner``
+    (``!name``, ``!^Cat``, ``!(a|b|^C)``).
+
+    ``inner`` must be an item-binding token other than ``?`` —
+    :class:`ItemToken`, :class:`UnderToken` or :class:`OneOfToken`.
+    Gaps bind no item to negate, ``!?`` matches nothing, and nested
+    negations / floors are rejected rather than silently simplified.
+    """
+
+    inner: QueryToken
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.inner, (ItemToken, UnderToken, OneOfToken)):
+            raise InvalidParameterError(
+                f"negation requires an item, '^name' or disjunction "
+                f"token, got {self.inner!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"NotToken({self.inner!r})"
 
 
 @dataclass(frozen=True)
@@ -185,6 +271,19 @@ class Q:
         return SpanToken()
 
     @staticmethod
+    def gap(min_items: int, max_items: int | None = None) -> GapToken:
+        """Bounded gap: ``Q.gap(1, 3)`` is ``*{1,3}``; ``Q.gap(2)`` is
+        ``*{2,}`` (no upper bound)."""
+        return GapToken(min_items, max_items)
+
+    @staticmethod
+    def not_(inner: str | QueryToken) -> NotToken:
+        """Negation over an item name (exact) or an item-binding token."""
+        if isinstance(inner, str):
+            inner = ItemToken(inner)
+        return NotToken(inner)
+
+    @staticmethod
     def oneof(*choices: str | QueryToken) -> OneOfToken:
         """Disjunction over item names (strings match exactly) and/or
         :class:`ItemToken`/:class:`UnderToken` instances."""
@@ -212,6 +311,11 @@ def _parse_choice(raw: str, text: str) -> QueryToken:
         raise InvalidParameterError(
             f"disjunction alternative {raw!r} in query {text!r} must be "
             "'name' or '^name'"
+        )
+    if raw.startswith("!"):
+        raise InvalidParameterError(
+            f"negation is not allowed inside a disjunction in query "
+            f"{text!r}: negate the whole disjunction instead (!(a|b))"
         )
     if raw.startswith("^"):
         name = raw[1:]
@@ -242,6 +346,22 @@ def _parse_token(raw: str, text: str) -> QueryToken:
         return SpanToken()
     if raw == "+":
         return PlusToken()
+    if raw.startswith("*{"):
+        bounds = _GAP_SYNTAX.match(raw)
+        if bounds is None:
+            raise InvalidParameterError(
+                f"malformed gap {raw!r} in query {text!r}: "
+                "expected '*{m,n}' or '*{m,}'"
+            )
+        lower, upper = bounds.groups()
+        return GapToken(int(lower), int(upper) if upper else None)
+    if raw.startswith("!"):
+        inner = raw[1:]
+        if not inner:
+            raise InvalidParameterError(
+                f"bare '!' in query {text!r}: expected '!token'"
+            )
+        return NotToken(_parse_token(inner, text))
     if raw.startswith("("):
         if not raw.endswith(")") or len(raw) < 2:
             raise InvalidParameterError(
@@ -279,13 +399,115 @@ def parse_query(text: str) -> tuple[QueryToken, ...]:
 def _canonical_token(token: QueryToken) -> QueryToken:
     """Drop no-op decorations so syntactic variants normalize equal.
 
-    A ``@0`` frequency floor admits every item (corpus frequencies are
-    ≥ 0), so ``a@0`` *is* ``a`` — rewriting it away here means ``a@0 *``
-    and ``a *`` compile identically and share one result-cache entry.
+    * A ``@0`` frequency floor admits every item (corpus frequencies
+      are ≥ 0), so ``a@0`` *is* ``a``.
+    * A disjunction choice ``x`` is implied by a ``^x`` choice in the
+      same token (a subtree contains its root), so ``(a|^a|b)`` is
+      ``(^a|b)``.  Only the name-level implication is decidable here:
+      normalization is hierarchy-free by design, because the service
+      keys its result cache on the normalized tuple *before* any
+      vocabulary is in sight.
+    * A single-choice disjunction is its choice: ``(a)`` is ``a``.
+    * A gap expressible in the classic spellings becomes one:
+      ``*{0,}`` is ``*``, ``*{1,}`` is ``+``, ``*{1,1}`` is ``?``.
+
+    Rewrites recurse through ``!…`` and ``…@N`` wrappers, so e.g.
+    ``!(a|^a)`` normalizes to ``!^a``.
     """
-    if isinstance(token, FloorToken) and token.floor == 0:
-        return token.inner
+    if isinstance(token, FloorToken):
+        inner = _canonical_token(token.inner)
+        if token.floor == 0:
+            return inner
+        return FloorToken(inner, token.floor) if inner != token.inner else token
+    if isinstance(token, NotToken):
+        inner = _canonical_token(token.inner)
+        return NotToken(inner) if inner != token.inner else token
+    if isinstance(token, OneOfToken):
+        subtrees = {
+            c.name for c in token.choices if isinstance(c, UnderToken)
+        }
+        choices = tuple(
+            c
+            for c in token.choices
+            if not (isinstance(c, ItemToken) and c.name in subtrees)
+        )
+        if len(choices) == 1:
+            return choices[0]
+        return OneOfToken(choices) if choices != token.choices else token
+    if isinstance(token, GapToken):
+        bounds = (token.min_items, token.max_items)
+        if bounds == (0, None):
+            return SpanToken()
+        if bounds == (1, None):
+            return PlusToken()
+        if bounds == (1, 1):
+            return AnyToken()
+        return token
     return token
+
+
+#: gap-family bounds: how many arbitrary items each token kind consumes.
+#: ``AnyToken`` is in the family (it consumes one arbitrary item) but a
+#: run of *only* anys is left alone — ``a ? ?`` keeps its per-slot
+#: alignment for :meth:`~repro.query.base.PatternSearchBase.slot_fillers`.
+def _gap_bounds(token: QueryToken) -> tuple[int, int | None] | None:
+    if isinstance(token, SpanToken):
+        return (0, None)
+    if isinstance(token, PlusToken):
+        return (1, None)
+    if isinstance(token, GapToken):
+        return (token.min_items, token.max_items)
+    if isinstance(token, AnyToken):
+        return (1, 1)
+    return None
+
+
+def _collapse_gap_runs(
+    tokens: tuple[QueryToken, ...],
+) -> tuple[QueryToken, ...]:
+    """Collapse adjacent gap-family tokens into one equivalent gap.
+
+    A maximal run of ``*``/``+``/``*{m,n}``/``?`` tokens matches any
+    ``Σmin … Σmax`` arbitrary items, so it *is* the single gap with the
+    summed bounds: ``* *`` is ``*``, ``+ *`` is ``+``, ``? *`` is ``+``
+    and ``*{0,2} *{1,3}`` is ``*{1,5}``.  Runs consisting solely of
+    ``?`` tokens are kept verbatim (they carry per-slot alignment); a
+    run collapses only when it contains a true gap token.
+    """
+    out: list[QueryToken] = []
+    run: list[tuple[int, int | None]] = []
+    run_has_gap = False
+    run_start: list[QueryToken] = []
+
+    def flush() -> None:
+        nonlocal run_has_gap
+        if not run:
+            return
+        if run_has_gap and len(run) > 1:
+            lower = sum(bounds[0] for bounds in run)
+            upper = (
+                None
+                if any(bounds[1] is None for bounds in run)
+                else sum(bounds[1] for bounds in run)  # type: ignore[misc]
+            )
+            out.append(_canonical_token(GapToken(lower, upper)))
+        else:
+            out.extend(run_start)
+        run.clear()
+        run_start.clear()
+        run_has_gap = False
+
+    for token in tokens:
+        bounds = _gap_bounds(token)
+        if bounds is None:
+            flush()
+            out.append(token)
+        else:
+            run.append(bounds)
+            run_start.append(token)
+            run_has_gap = run_has_gap or not isinstance(token, AnyToken)
+    flush()
+    return tuple(out)
 
 
 def normalize_query(
@@ -294,9 +516,12 @@ def normalize_query(
     """Accept a query string, a single token, or a token sequence.
 
     The returned tuple is *canonical*: beyond parsing, semantic no-ops
-    (currently ``@0`` floors) are rewritten away, so every equivalent
-    spelling yields the same token tuple — the tuple the service keys
-    its result cache on.
+    are rewritten away — ``@0`` floors dropped, single-choice and
+    subtree-implied disjunction choices unwrapped, gaps folded into the
+    shortest spelling and adjacent gap runs collapsed (see
+    :func:`_canonical_token` and :func:`_collapse_gap_runs`) — so every
+    equivalent spelling yields the same token tuple, the tuple the
+    service keys its result cache on.
 
     Raises :class:`~repro.errors.InvalidParameterError` for an empty or
     whitespace-only string, an empty sequence, or sequence elements that
@@ -318,7 +543,26 @@ def normalize_query(
                 raise InvalidParameterError(
                     f"query element {token!r} is not a QueryToken"
                 )
-    return tuple(_canonical_token(token) for token in tokens)
+    return _collapse_gap_runs(
+        tuple(_canonical_token(token) for token in tokens)
+    )
+
+
+def is_negation_only(tokens: tuple[QueryToken, ...]) -> bool:
+    """True when the query negates but never *selects*: it contains a
+    ``!token`` and no positive item-binding token (item, ``^name``,
+    disjunction or floor).
+
+    Such a query offers the candidate pruner no postings at all — every
+    backend answers it through the length-group fallback, a scan over
+    most of the store.  The serving tier rejects these (one request
+    must not trigger an unbounded scan); local callers (the CLI, the
+    Python API) run them fine.
+    """
+    return any(isinstance(t, NotToken) for t in tokens) and not any(
+        isinstance(t, (ItemToken, UnderToken, OneOfToken, FloorToken))
+        for t in tokens
+    )
 
 
 __all__ = [
@@ -328,9 +572,12 @@ __all__ = [
     "AnyToken",
     "PlusToken",
     "SpanToken",
+    "GapToken",
+    "NotToken",
     "OneOfToken",
     "FloorToken",
     "Q",
     "parse_query",
     "normalize_query",
+    "is_negation_only",
 ]

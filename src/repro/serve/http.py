@@ -9,14 +9,21 @@ thread per request against the thread-safe service.  Endpoints::
     GET  /query?q=a+%3F&limit=10  ranked matches for a wildcard query
     GET  /count?q=a+%3F           match count + frequency mass only
     GET  /topk?n=10               globally most frequent patterns
-    POST /batch                   {"queries": [...], "limit": 10}
+    POST /batch                   {"queries": [...], "limit": 10,
+                                   "min_freq": 5}
 
 Queries use the language of :mod:`repro.query.tokens` (``?``, ``+``,
-``*``, ``^name``, ``(a|b|^C)`` disjunctions, ``token@N`` frequency
-floors), URL-encoded.  Malformed queries and unknown items answer 400
-with ``{"error": ...}`` instead of tearing down the connection; a
-store that fails integrity validation mid-request answers 503 so load
-balancers retry a healthy replica instead of blaming the client.
+``*``, ``*{m,n}`` bounded gaps, ``^name``, ``!token`` negations,
+``(a|b|^C)`` disjunctions, ``token@N`` frequency floors), URL-encoded.
+``/query`` and ``/count`` accept ``min_freq=N`` — the per-query σ
+override: only patterns with mined frequency ≥ N are answered
+(``/batch`` takes it as a body field covering the whole batch).
+Malformed queries, unknown items and all-negative queries (a negation
+with no positive token — rejected server-side, they cannot be pruned)
+answer 400 with ``{"error": ...}`` instead of tearing down the
+connection; a store that fails integrity validation mid-request
+answers 503 so load balancers retry a healthy replica instead of
+blaming the client.
 
 >>> server = create_server(service, port=0)     # ephemeral port
 >>> threading.Thread(target=server.serve_forever, daemon=True).start()
@@ -237,10 +244,16 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
         elif url.path == "/query":
             query = self._require_query(params)
             limit = self._int_param(params, "limit", DEFAULT_LIMIT)
-            self._respond(200, self.server.service.query(query, limit))
+            min_freq = self._int_param(params, "min_freq", None)
+            self._respond(
+                200, self.server.service.query(query, limit, min_freq)
+            )
         elif url.path == "/count":
             query = self._require_query(params)
-            self._respond(200, self.server.service.count(query))
+            min_freq = self._int_param(params, "min_freq", None)
+            self._respond(
+                200, self.server.service.count(query, min_freq)
+            )
         elif url.path == "/topk":
             n = self._int_param(params, "n", DEFAULT_LIMIT)
             self._respond(200, self.server.service.topk(n))
@@ -269,7 +282,14 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
             raise _BadRequest("'limit' must be an integer or null")
         if limit is not None and limit < 1:
             raise _BadRequest("'limit' must be >= 1 or null")
-        results = self.server.service.batch(queries, limit)
+        min_freq = payload.get("min_freq")
+        if min_freq is not None and (
+            isinstance(min_freq, bool) or not isinstance(min_freq, int)
+        ):
+            raise _BadRequest("'min_freq' must be an integer or null")
+        if min_freq is not None and min_freq < 0:
+            raise _BadRequest("'min_freq' must be >= 0 or null")
+        results = self.server.service.batch(queries, limit, min_freq)
         self._respond(200, {"results": results})
 
     # ------------------------------------------------------------------
@@ -291,8 +311,11 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
         return values[0]
 
     def _int_param(
-        self, params: dict[str, list[str]], name: str, default: int
-    ) -> int:
+        self,
+        params: dict[str, list[str]],
+        name: str,
+        default: int | None,
+    ) -> int | None:
         values = params.get(name)
         if not values:
             return default

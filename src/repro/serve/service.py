@@ -29,7 +29,7 @@ from repro.errors import (
     StoreCorruptError,
 )
 from repro.query.base import PatternSearchBase, QueryMatch
-from repro.query.tokens import normalize_query
+from repro.query.tokens import is_negation_only, normalize_query
 
 DEFAULT_CACHE_SIZE = 1024
 DEFAULT_LIMIT = 10
@@ -180,16 +180,26 @@ class QueryService:
     # query API — every method returns a JSON-serializable dict
     # ------------------------------------------------------------------
 
-    def query(self, query: str, limit: int | None = DEFAULT_LIMIT) -> dict:
+    def query(
+        self,
+        query: str,
+        limit: int | None = DEFAULT_LIMIT,
+        min_freq: int | None = None,
+    ) -> dict:
         """Ranked matches plus match count and total frequency mass.
 
         ``limit=None`` returns every match; otherwise ``limit >= 1``
         (``search`` treats ``limit <= 0`` as 1, which would surprise an
-        HTTP caller asking for 0 results).
+        HTTP caller asking for 0 results).  ``min_freq`` is the
+        per-query σ override: only patterns with mined frequency ≥ it
+        are matched, counted and massed (the filter runs server-side,
+        before ``limit``).
         """
         if limit is not None and limit < 1:
             self._reject(f"limit must be >= 1 or null, got {limit}")
-        (rendered, count, total), hit, matches, tokens = self._search(query)
+        (rendered, count, total), hit, matches, tokens, min_freq = (
+            self._search(query, min_freq)
+        )
         wanted = count if limit is None else min(limit, count)
         if wanted <= len(rendered):
             shown = rendered[:wanted]
@@ -201,26 +211,36 @@ class QueryService:
             # hit on a capped entry that can't cover the request: one
             # full re-search, latency-accounted and not a cache hit
             start = time.perf_counter()
-            shown = _render(self._backend.search(tokens, limit=limit))
+            shown = _render(
+                self._backend.search(tokens, limit=limit, min_freq=min_freq)
+            )
             with self._lock:
                 self._latency_s += time.perf_counter() - start
                 self._cache_hits -= 1
-        return {
+        result = {
             "query": query,
             "matches": shown,
             "count": count,
             "total_frequency": total,
             "truncated": count > len(shown),
         }
+        if min_freq is not None:
+            result["min_freq"] = min_freq
+        return result
 
-    def count(self, query: str) -> dict:
+    def count(self, query: str, min_freq: int | None = None) -> dict:
         """Match count and frequency mass only (no result list)."""
-        (_, count, total), _hit, _matches, _tokens = self._search(query)
-        return {
+        (_, count, total), _hit, _matches, _tokens, min_freq = self._search(
+            query, min_freq
+        )
+        result = {
             "query": query,
             "count": count,
             "total_frequency": total,
         }
+        if min_freq is not None:
+            result["min_freq"] = min_freq
+        return result
 
     def topk(self, n: int = DEFAULT_LIMIT) -> dict:
         """The ``n`` globally most frequent patterns (``n >= 1``).
@@ -238,19 +258,36 @@ class QueryService:
         )
         return value
 
-    def _search(self, query: str):
+    def _search(self, query: str, min_freq: int | None = None):
         """``((rendered, count, total), was_hit, raw_matches_or_None,
-        tokens)`` for the full (limit-independent) result set.  The
-        query is parsed here and the cache keyed on the *normalized
-        token tuple*, so syntactic variants — extra whitespace,
-        reordered disjunction alternatives like ``(a|b)``/``(b|a)`` —
-        share one entry.  One entry per normalized query serves every
-        limit and both ``/query`` and ``/count``, with aggregates
-        precomputed so cache hits cost O(limit), not O(matches).  Only
-        the first ``max_cached_matches`` rendered matches are retained
-        (bounding memory on broad queries); on a miss the raw match
-        list is handed back so the caller can serve beyond the prefix
-        without re-searching."""
+        tokens, min_freq)`` for the full (limit-independent) result
+        set.  The query is parsed here and the cache keyed on the
+        *normalized token tuple* plus the canonical σ override, so
+        syntactic variants — extra whitespace, reordered disjunction
+        alternatives like ``(a|b)``/``(b|a)``, collapsed gap runs, a
+        no-op ``min_freq=0`` — share one entry.  One entry per
+        (normalized query, σ) pair serves every limit and both
+        ``/query`` and ``/count``, with aggregates precomputed so cache
+        hits cost O(limit), not O(matches).  Only the first
+        ``max_cached_matches`` rendered matches are retained (bounding
+        memory on broad queries); on a miss the raw match list is
+        handed back so the caller can serve beyond the prefix without
+        re-searching.
+
+        All-negative queries (``!a ?`` — a negation with no positive
+        token) are rejected here: with no postings to prune on they
+        would scan most of the store per request.
+        """
+        if min_freq is not None and (
+            not isinstance(min_freq, int)
+            or isinstance(min_freq, bool)
+            or min_freq < 0
+        ):
+            self._reject(
+                f"min_freq must be an integer >= 0 or null, got {min_freq!r}"
+            )
+        if min_freq == 0:
+            min_freq = None  # frequencies are >= 0: σ=0 admits everything
         try:
             tokens = normalize_query(query)
         except ReproError:
@@ -260,10 +297,16 @@ class QueryService:
                 self._queries += 1
                 self._errors += 1
             raise
+        if is_negation_only(tokens):
+            self._reject(
+                "all-negative queries are not served (no positive token "
+                "to select candidates by); add at least one item, "
+                "'^name', disjunction or floored token"
+            )
         spill: dict = {}
 
         def compute(key: tuple) -> tuple[list[dict], int, int]:
-            matches = self._backend.search(tokens)
+            matches = self._backend.search(tokens, min_freq=min_freq)
             spill["matches"] = matches
             return (
                 _render(matches[: self._max_cached_matches]),
@@ -271,15 +314,19 @@ class QueryService:
                 sum(m.frequency for m in matches),
             )
 
-        value, hit = self._cached(("search", tokens, None), compute)
-        return value, hit, spill.get("matches"), tokens
+        value, hit = self._cached(("search", tokens, min_freq), compute)
+        return value, hit, spill.get("matches"), tokens, min_freq
 
     def batch(
-        self, queries: Sequence[str], limit: int | None = DEFAULT_LIMIT
+        self,
+        queries: Sequence[str],
+        limit: int | None = DEFAULT_LIMIT,
+        min_freq: int | None = None,
     ) -> list[dict]:
         """Answer many queries in one call (shares the cache per query).
 
-        One bad query does not poison the batch: its entry carries an
+        ``min_freq`` applies to every query of the batch.  One bad
+        query does not poison the batch: its entry carries an
         ``error`` field while the other answers come back intact.  A
         corrupt store is not a per-query problem, though — that one
         propagates so the HTTP layer can answer 503 for the whole batch.
@@ -287,7 +334,7 @@ class QueryService:
         results: list[dict] = []
         for query in queries:
             try:
-                results.append(self.query(query, limit))
+                results.append(self.query(query, limit, min_freq=min_freq))
             except StoreCorruptError:
                 raise
             except ReproError as exc:

@@ -1,10 +1,12 @@
 """Differential fuzzing of the query language across all backends.
 
 The evaluate-everywhere-and-compare discipline: random hierarchies,
-databases and queries (drawn from all seven token kinds — item,
-``^name``, ``?``, ``+``, ``*``, ``(a|b|^C)`` disjunction, ``token@N``
-frequency floor) are answered by four implementations that must agree
-byte for byte on the ranked ``(pattern, frequency)`` list:
+databases and queries (drawn from all ten token kinds — item, ``^name``,
+``?``, ``+``, ``*``, ``*{m,n}`` bounded gap, ``(a|b|^C)`` disjunction,
+``!name`` / ``!^Cat`` negation (counted as two kinds: exact and
+subtree), ``token@N`` frequency floor — plus per-query σ overrides) are
+answered by four implementations that must agree byte for byte on the
+ranked ``(pattern, frequency)`` list:
 
 * a naive oracle — backtracking matcher over the raw pattern mapping,
   no compiled form, no postings, no candidate pruning;
@@ -16,13 +18,19 @@ byte for byte on the ranked ``(pattern, frequency)`` list:
 ``LASH_DIFF_SEED`` reseeds the generator (CI runs the fixed default
 plus one randomized seed per build); ``LASH_DIFF_INSTANCES`` scales the
 number of mined instances.  Every failure message carries the seed,
-instance and query needed to replay it.
+instance and query needed to replay it, and when
+``LASH_DIFF_ARTIFACT_DIR`` is set a failing run additionally writes a
+replay bundle there — the generated corpus and hierarchy as loadable
+files plus a ``replay.txt`` with the one command that reproduces the
+crash locally (CI uploads the directory as a build artifact).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import random
+from pathlib import Path
 
 import pytest
 
@@ -32,20 +40,40 @@ from repro.query import PatternIndex, parse_query
 from repro.query.tokens import (
     AnyToken,
     FloorToken,
+    GapToken,
     ItemToken,
+    NotToken,
     OneOfToken,
     PlusToken,
     QueryToken,
     SpanToken,
     UnderToken,
+    is_negation_only,
+    normalize_query,
 )
-from repro.serve import open_store
+from repro.serve import QueryService, open_store
 
 SEED = int(os.environ.get("LASH_DIFF_SEED", "20260729"))
 N_INSTANCES = int(os.environ.get("LASH_DIFF_INSTANCES", "24"))
-QUERIES_PER_INSTANCE = 10
+QUERIES_PER_INSTANCE = 14
+ARTIFACT_DIR = os.environ.get("LASH_DIFF_ARTIFACT_DIR")
 
-KINDS = ("item", "under", "any", "plus", "span", "oneof", "floor")
+#: the ten generated kinds: one per token kind, negation split into its
+#: exact and subtree forms (their candidate-selection behavior differs —
+#: ``!^C`` excludes a whole subtree), and cycling the required kind over
+#: the full tuple guarantees coverage even on unlucky seeds
+KINDS = (
+    "item",
+    "under",
+    "any",
+    "plus",
+    "span",
+    "gap",
+    "oneof",
+    "not",
+    "notunder",
+    "floor",
+)
 
 
 # ----------------------------------------------------------------------
@@ -70,6 +98,8 @@ def _oracle_token_matches(token: QueryToken, item: int, vocab) -> bool:
             _oracle_token_matches(choice, item, vocab)
             for choice in token.choices
         )
+    if isinstance(token, NotToken):
+        return not _oracle_token_matches(token.inner, item, vocab)
     if isinstance(token, FloorToken):
         return vocab.frequency(item) >= token.floor and _oracle_token_matches(
             token.inner, item, vocab
@@ -89,6 +119,15 @@ def _oracle_match(tokens, pattern, vocab) -> bool:
             return any(rec(i + 1, k) for k in range(j, len(pattern) + 1))
         if isinstance(token, PlusToken):
             return any(rec(i + 1, k) for k in range(j + 1, len(pattern) + 1))
+        if isinstance(token, GapToken):
+            stop = (
+                len(pattern)
+                if token.max_items is None
+                else min(len(pattern), j + token.max_items)
+            )
+            return any(
+                rec(i + 1, k) for k in range(j + token.min_items, stop + 1)
+            )
         return (
             j < len(pattern)
             and _oracle_token_matches(token, pattern[j], vocab)
@@ -98,14 +137,16 @@ def _oracle_match(tokens, pattern, vocab) -> bool:
     return rec(0, 0)
 
 
-def _oracle_search(patterns, vocab, tokens):
+def _oracle_search(patterns, vocab, tokens, min_freq=None):
     """Ranked (decoded pattern, frequency) hits, most frequent first,
     ties by coded pattern ascending — the shared index order, re-stated
-    here independently."""
+    here independently.  ``min_freq`` is the per-query σ override: a
+    plain filter here, a rank-prefix cut in the backends."""
     hits = [
         (coded, freq)
         for coded, freq in patterns.items()
-        if _oracle_match(tokens, coded, vocab)
+        if (min_freq is None or freq >= min_freq)
+        and _oracle_match(tokens, coded, vocab)
     ]
     hits.sort(key=lambda record: (-record[1], record[0]))
     return [(vocab.decode_sequence(coded), freq) for coded, freq in hits]
@@ -163,6 +204,15 @@ def _random_single_token(rng: random.Random, vocab, kind: str) -> QueryToken:
                 for _ in range(rng.randint(1, 3))
             )
         )
+    if kind == "not":
+        # exact-item negation, occasionally over a whole disjunction
+        return NotToken(
+            _random_single_token(
+                rng, vocab, "oneof" if rng.random() < 0.3 else "item"
+            )
+        )
+    if kind == "notunder":
+        return NotToken(UnderToken(_random_name(rng, vocab)))
     assert kind == "floor"
     inner = _random_single_token(
         rng, vocab, rng.choice(("item", "under", "any", "oneof"))
@@ -172,24 +222,42 @@ def _random_single_token(rng: random.Random, vocab, kind: str) -> QueryToken:
     return FloorToken(inner, max(0, anchor + rng.randint(-1, 2)))
 
 
+def _random_gap(rng: random.Random) -> GapToken:
+    lower = rng.randint(0, 2)
+    upper = None if rng.random() < 0.3 else lower + rng.randint(0, 2)
+    return GapToken(lower, upper)
+
+
 def _random_query(
     rng: random.Random, vocab, required_kind: str
 ) -> tuple[QueryToken, ...]:
     """1–4 tokens, at least one of ``required_kind`` (cycling the
-    requirement over all seven kinds guarantees full coverage even on
-    unlucky seeds)."""
+    requirement over all ten kinds guarantees full coverage even on
+    unlucky seeds).  The required token's position is biased toward the
+    string boundaries so gaps regularly anchor the first and last
+    region — the places where off-by-ones in the matcher DP live."""
     length = rng.randint(1, 4)
     kinds = [rng.choice(KINDS) for _ in range(length)]
-    kinds[rng.randrange(length)] = required_kind
+    position = rng.choice((0, length - 1, rng.randrange(length)))
+    kinds[position] = required_kind
     tokens = []
     for kind in kinds:
         if kind == "plus":
             tokens.append(PlusToken())
         elif kind == "span":
             tokens.append(SpanToken())
+        elif kind == "gap":
+            tokens.append(_random_gap(rng))
         else:
             tokens.append(_random_single_token(rng, vocab, kind))
     return tuple(tokens)
+
+
+def _random_min_freq(rng: random.Random, patterns) -> int:
+    """A σ override anchored on real pattern frequencies, so some
+    queries are cut mid-ranking, some not at all, some entirely."""
+    anchor = rng.choice(sorted(patterns.values())) if patterns else 1
+    return max(0, anchor + rng.randint(-1, 2))
 
 
 def _render_token(token: QueryToken) -> str:
@@ -205,10 +273,19 @@ def _render_token(token: QueryToken) -> str:
         return "+"
     if isinstance(token, SpanToken):
         return "*"
+    if isinstance(token, GapToken):
+        upper = "" if token.max_items is None else token.max_items
+        return f"*{{{token.min_items},{upper}}}"
+    if isinstance(token, NotToken):
+        return f"!{_render_token(token.inner)}"
     if isinstance(token, OneOfToken):
         return "(" + "|".join(_render_token(c) for c in token.choices) + ")"
     assert isinstance(token, FloorToken)
     return f"{_render_token(token.inner)}@{token.floor}"
+
+
+def _render_query(tokens) -> str:
+    return " ".join(_render_token(t) for t in tokens)
 
 
 def _token_kinds(tokens) -> set[str]:
@@ -224,11 +301,57 @@ def _token_kinds(tokens) -> set[str]:
             kinds.add("plus")
         elif isinstance(token, SpanToken):
             kinds.add("span")
+        elif isinstance(token, GapToken):
+            kinds.add("gap")
+        elif isinstance(token, NotToken):
+            kinds.add(
+                "notunder" if isinstance(token.inner, UnderToken) else "not"
+            )
         elif isinstance(token, OneOfToken):
             kinds.add("oneof")
         elif isinstance(token, FloorToken):
             kinds.add("floor")
     return kinds
+
+
+# ----------------------------------------------------------------------
+# replay bundles
+# ----------------------------------------------------------------------
+
+
+def _dump_replay_bundle(database, hierarchy, params, context: str) -> str:
+    """Write the failing instance where CI can pick it up as an artifact.
+
+    The bundle holds the generated corpus/hierarchy as loadable files
+    (``lash mine --db corpus.txt --hierarchy hierarchy.txt`` works on
+    them directly), the mining parameters and failure context as JSON,
+    and the one command that replays the whole failing run.
+    """
+    if not ARTIFACT_DIR:
+        return ""
+    bundle = Path(ARTIFACT_DIR) / f"diff-seed-{SEED}"
+    bundle.mkdir(parents=True, exist_ok=True)
+    database.to_file(bundle / "corpus.txt")
+    hierarchy.to_file(bundle / "hierarchy.txt")
+    (bundle / "failure.json").write_text(
+        json.dumps(
+            {
+                "seed": SEED,
+                "instances": N_INSTANCES,
+                "sigma": params.sigma,
+                "gamma": params.gamma,
+                "lam": params.lam,
+                "context": context,
+            },
+            indent=2,
+        )
+    )
+    (bundle / "replay.txt").write_text(
+        f"LASH_DIFF_SEED={SEED} LASH_DIFF_INSTANCES={N_INSTANCES} "
+        "PYTHONPATH=src python -m pytest -q "
+        "tests/property/test_query_differential.py\n"
+    )
+    return f" [replay bundle: {bundle}]"
 
 
 # ----------------------------------------------------------------------
@@ -239,6 +362,7 @@ def _token_kinds(tokens) -> set[str]:
 def test_differential_oracle_vs_all_backends(tmp_path):
     rng = random.Random(SEED)
     cases = 0
+    sigma_cases = 0
     kinds_covered: set[str] = set()
     for instance in range(N_INSTANCES):
         hierarchy = _random_hierarchy(rng)
@@ -257,47 +381,149 @@ def test_differential_oracle_vs_all_backends(tmp_path):
         sharded_path = tmp_path / f"i{instance}.shards"
         result.to_store(sharded_path, shards=rng.randint(2, 4))
 
+        try:
+            with open_store(single_path) as single, open_store(
+                sharded_path
+            ) as sharded:
+                backends = [index, single, sharded]
+                for q in range(QUERIES_PER_INSTANCE):
+                    tokens = _random_query(rng, vocab, KINDS[q % len(KINDS)])
+                    kinds_covered |= _token_kinds(tokens)
+                    rendered = _render_query(tokens)
+                    context = (
+                        f"seed={SEED} instance={instance} query={rendered!r}"
+                    )
+
+                    # the string syntax round-trips to the generated tokens
+                    assert parse_query(rendered) == tokens, context
+
+                    expected = _oracle_search(patterns, vocab, tokens)
+                    for backend in backends:
+                        got = [
+                            (m.pattern, m.frequency)
+                            for m in backend.search(tokens)
+                        ]
+                        assert got == expected, (
+                            f"{context} backend={type(backend).__name__}: "
+                            f"{got!r} != oracle {expected!r}"
+                        )
+
+                    # per-query σ override: a rank-prefix cut on every
+                    # backend must equal the oracle's plain filter
+                    if rng.random() < 0.5:
+                        min_freq = _random_min_freq(rng, patterns)
+                        floored = _oracle_search(
+                            patterns, vocab, tokens, min_freq=min_freq
+                        )
+                        for backend in backends:
+                            got = [
+                                (m.pattern, m.frequency)
+                                for m in backend.search(
+                                    tokens, min_freq=min_freq
+                                )
+                            ]
+                            assert got == floored, (
+                                f"{context} min_freq={min_freq} "
+                                f"backend={type(backend).__name__}: "
+                                f"{got!r} != oracle {floored!r}"
+                            )
+                        sigma_cases += 1
+
+                    # limit must be a plain prefix of the full ranking
+                    if expected:
+                        cut = rng.randint(1, len(expected))
+                        for backend in backends:
+                            prefix = [
+                                (m.pattern, m.frequency)
+                                for m in backend.search(tokens, limit=cut)
+                            ]
+                            assert prefix == expected[:cut], context
+                    cases += 1
+        except AssertionError as exc:
+            raise AssertionError(
+                str(exc)
+                + _dump_replay_bundle(
+                    database, hierarchy, params, str(exc)
+                )
+            ) from exc
+    assert cases >= 300, f"only {cases} differential cases executed"
+    assert sigma_cases >= 50, f"only {sigma_cases} σ-override cases executed"
+    assert kinds_covered == set(KINDS), (
+        f"token kinds never generated: {set(KINDS) - kinds_covered}"
+    )
+
+
+def test_canonicalization_differential(tmp_path):
+    """``normalize_query(q)`` is semantics-preserving and cache-unifying.
+
+    For random queries: the raw token tuple and its normalized form
+    return identical ranked answers from all three backends, and the
+    two string spellings share a single :class:`QueryService` cache
+    entry (the second lookup is a cache *hit* — checked through the
+    hits counter, so a key regression cannot slip through as a silent
+    recompute).
+    """
+    rng = random.Random(SEED + 2)
+    checked = 0
+    rewritten = 0
+    cache_checked = 0
+    for instance in range(4):
+        hierarchy = _random_hierarchy(rng)
+        database = _random_database(rng, list(hierarchy.items))
+        result = Lash(
+            MiningParams(sigma=1, gamma=rng.choice([1, None]), lam=3)
+        ).mine(database, hierarchy)
+        index = PatternIndex(result.patterns, result.vocabulary)
+        single_path = tmp_path / f"c{instance}.store"
+        result.to_store(single_path)
+        sharded_path = tmp_path / f"c{instance}.shards"
+        result.to_store(sharded_path, shards=2)
+        service = QueryService(index)
         with open_store(single_path) as single, open_store(
             sharded_path
         ) as sharded:
-            backends = [index, single, sharded]
-            for q in range(QUERIES_PER_INSTANCE):
-                tokens = _random_query(rng, vocab, KINDS[q % len(KINDS)])
-                kinds_covered |= _token_kinds(tokens)
-                context = (
-                    f"seed={SEED} instance={instance} "
-                    f"query={' '.join(_render_token(t) for t in tokens)!r}"
+            for q in range(30):
+                tokens = _random_query(
+                    rng, result.vocabulary, KINDS[q % len(KINDS)]
                 )
-
-                # the string syntax round-trips to the generated tokens
-                assert parse_query(
-                    " ".join(_render_token(t) for t in tokens)
-                ) == tokens, context
-
-                expected = _oracle_search(patterns, vocab, tokens)
-                for backend in backends:
-                    got = [
+                normalized = normalize_query(tokens)
+                rewritten += normalized != tokens
+                context = (
+                    f"seed={SEED + 2} instance={instance} "
+                    f"query={_render_query(tokens)!r} "
+                    f"normalized={_render_query(normalized)!r}"
+                )
+                for backend in (index, single, sharded):
+                    raw = [
                         (m.pattern, m.frequency)
                         for m in backend.search(tokens)
                     ]
-                    assert got == expected, (
+                    canon = [
+                        (m.pattern, m.frequency)
+                        for m in backend.search(normalized)
+                    ]
+                    assert raw == canon, (
                         f"{context} backend={type(backend).__name__}: "
-                        f"{got!r} != oracle {expected!r}"
+                        f"{raw!r} != {canon!r}"
                     )
-
-                # limit must be a plain prefix of the full ranking
-                if expected:
-                    cut = rng.randint(1, len(expected))
-                    for backend in backends:
-                        prefix = [
-                            (m.pattern, m.frequency)
-                            for m in backend.search(tokens, limit=cut)
-                        ]
-                        assert prefix == expected[:cut], context
-                cases += 1
-    assert cases >= 200, f"only {cases} differential cases executed"
-    assert kinds_covered == set(KINDS), (
-        f"token kinds never generated: {set(KINDS) - kinds_covered}"
+                checked += 1
+                if is_negation_only(normalized):
+                    continue  # the service refuses these by design
+                service.query(_render_query(tokens))
+                hits_before = service.stats()["cache_hits"]
+                service.query(_render_query(normalized))
+                assert service.stats()["cache_hits"] == hits_before + 1, (
+                    f"{context}: normalized spelling missed the cache "
+                    "entry of the raw spelling"
+                )
+                cache_checked += 1
+    assert checked >= 80, f"only {checked} canonicalization cases executed"
+    assert rewritten >= 10, (
+        f"only {rewritten} queries were actually rewritten — generator "
+        "too tame to exercise the canonicalizer"
+    )
+    assert cache_checked >= 50, (
+        f"only {cache_checked} cache-unification cases executed"
     )
 
 
@@ -323,6 +549,8 @@ def test_differential_error_equivalence(tmp_path):
             "no-such-item ?",
             "(i0|no-such-item)",
             "^no-such-item@2",
+            "!no-such-item i0",
+            "!^no-such-item i0",
         ]:
             for backend in (index, single, sharded):
                 with pytest.raises(UnknownItemError):

@@ -205,6 +205,7 @@ def _reference_match(tokens, pattern, vocabulary):
     """Obviously-correct recursive matcher used to validate the DP."""
     from repro.query.tokens import (
         AnyToken,
+        GapToken,
         ItemToken,
         PlusToken,
         SpanToken,
@@ -223,6 +224,18 @@ def _reference_match(tokens, pattern, vocabulary):
         return any(
             _reference_match(rest, pattern[k:], vocabulary)
             for k in range(1, len(pattern) + 1)
+        )
+    if isinstance(head, GapToken):
+        # normalization collapses e.g. '? +' into *{2,} — the reference
+        # matcher consumes the bounded run directly
+        upper = (
+            len(pattern)
+            if head.max_items is None
+            else min(len(pattern), head.max_items)
+        )
+        return any(
+            _reference_match(rest, pattern[k:], vocabulary)
+            for k in range(head.min_items, upper + 1)
         )
     if not pattern:
         return False

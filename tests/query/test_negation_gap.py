@@ -1,0 +1,180 @@
+"""Negation, bounded-gap and per-query σ semantics on a hand-checked
+index (mirror of ``test_oneof_floor.py`` for the phase-2 tokens)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hierarchy
+from repro.errors import InvalidParameterError, UnknownItemError
+from repro.query import PatternIndex, Q, code_patterns
+from repro.serve import open_store
+
+
+@pytest.fixture(scope="module")
+def small_index() -> PatternIndex:
+    """Five patterns over {a, c, B > {b1, b2}} (see test_oneof_floor)."""
+    hierarchy = Hierarchy()
+    for root in ("a", "B", "c"):
+        hierarchy.add_item(root)
+    for child in ("b1", "b2"):
+        hierarchy.add_edge(child, "B")
+    patterns = {
+        ("a", "b1"): 5,
+        ("a", "b2"): 3,
+        ("a", "c"): 2,
+        ("B",): 7,
+        ("b1",): 4,
+    }
+    return PatternIndex(*code_patterns(patterns, hierarchy))
+
+
+def _answers(index, query, **kwargs):
+    return [(m.render(), m.frequency) for m in index.search(query, **kwargs)]
+
+
+class TestNegationSemantics:
+    def test_exact_item_negation(self, small_index):
+        assert _answers(small_index, "a !c") == [("a b1", 5), ("a b2", 3)]
+
+    def test_subtree_negation_excludes_descendants(self, small_index):
+        # !^B forbids B, b1 and b2 — only 'a c' survives
+        assert _answers(small_index, "a !^B") == [("a c", 2)]
+
+    def test_negated_disjunction(self, small_index):
+        assert _answers(small_index, "a !(c|b2)") == [("a b1", 5)]
+
+    def test_negation_consumes_exactly_one_item(self, small_index):
+        # one-item patterns cannot satisfy 'token + negation'
+        assert _answers(small_index, "!a") == [("B", 7), ("b1", 4)]
+        assert ("B", 7) not in small_index.search("a !c")
+
+    def test_string_and_q_paths_agree(self, small_index):
+        assert small_index.search("a !^B") == small_index.search(
+            (Q.item("a"), Q.not_(Q.under("B")))
+        )
+
+    def test_unknown_inner_item_raises(self, small_index):
+        with pytest.raises(UnknownItemError):
+            small_index.search("a !zzz")
+        with pytest.raises(UnknownItemError):
+            small_index.search("a !^zzz")
+
+    def test_all_negative_query_uses_length_fallback(self, small_index):
+        # backends answer all-negative queries via the length groups
+        assert _answers(small_index, "!c !^B") == [("a c", 2)]
+        # every stored two-item pattern starts with 'a': negating it
+        # at the first slot leaves nothing of achievable length
+        assert _answers(small_index, "!a ? *") == []
+        assert _answers(small_index, "!^B ? *") == [
+            ("a b1", 5),
+            ("a b2", 3),
+            ("a c", 2),
+        ]
+
+    def test_slot_fillers_accepts_negation(self, small_index):
+        assert small_index.slot_fillers("a !c", 1) == [("b1", 5), ("b2", 3)]
+
+
+class TestGapSemantics:
+    def test_bounded_gap_between_items(self, small_index):
+        assert _answers(small_index, "a *{0,1}") == [
+            ("a b1", 5),
+            ("a b2", 3),
+            ("a c", 2),
+        ]
+        # m >= 1 forbids the bare two-item alignment with nothing after
+        assert _answers(small_index, "a *{2,3}") == []
+
+    def test_gap_at_string_boundaries(self, small_index):
+        assert _answers(small_index, "*{0,1} b1") == [
+            ("a b1", 5),
+            ("b1", 4),
+        ]
+        assert _answers(small_index, "*{1,1} b1") == [("a b1", 5)]
+
+    def test_gap_only_query_filters_by_length(self, small_index):
+        assert _answers(small_index, "*{1,1}") == [("B", 7), ("b1", 4)]
+        assert _answers(small_index, "*{2,}") == [
+            ("a b1", 5),
+            ("a b2", 3),
+            ("a c", 2),
+        ]
+        assert _answers(small_index, "*{3,}") == []
+
+    def test_slot_fillers_rejects_gaps(self, small_index):
+        with pytest.raises(InvalidParameterError):
+            small_index.slot_fillers("a *{1,2}", 0)
+
+    def test_slot_fillers_accepts_normalized_fixed_gap(self, small_index):
+        # *{1,1} normalizes to '?', which is a bound slot
+        assert small_index.slot_fillers("a *{1,1}", 1) == [
+            ("b1", 5),
+            ("b2", 3),
+            ("c", 2),
+        ]
+
+
+class TestPerQuerySigma:
+    def test_min_freq_cuts_the_ranking(self, small_index):
+        assert _answers(small_index, "a ?", min_freq=3) == [
+            ("a b1", 5),
+            ("a b2", 3),
+        ]
+        assert _answers(small_index, "a ?", min_freq=6) == []
+
+    def test_min_freq_zero_and_none_are_no_ops(self, small_index):
+        full = _answers(small_index, "a ?")
+        assert _answers(small_index, "a ?", min_freq=0) == full
+        assert _answers(small_index, "a ?", min_freq=None) == full
+
+    def test_min_freq_composes_with_limit(self, small_index):
+        assert _answers(small_index, "?", min_freq=4, limit=2) == [
+            ("B", 7),
+            ("b1", 4),
+        ]
+
+    def test_min_freq_bounds_pattern_not_item_frequency(self, small_index):
+        # b1's corpus frequency is 2 but its mined pattern frequency 4:
+        # σ=3 keeps it, while a token floor b1@3 would not
+        assert ("b1", 4) in _answers(small_index, "?", min_freq=3)
+        assert _answers(small_index, "b1@3") == []
+
+    def test_count_and_mass_respect_min_freq(self, small_index):
+        assert small_index.count("a ?", min_freq=3) == 2
+        assert small_index.total_frequency("a ?", min_freq=3) == 8
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, "3"])
+    def test_invalid_min_freq_rejected(self, small_index, bad):
+        with pytest.raises(InvalidParameterError):
+            small_index.search("a ?", min_freq=bad)
+
+
+def test_new_tokens_round_trip_through_stores(small_index, tmp_path):
+    """Single-file and sharded stores answer the phase-2 constructs
+    exactly like the in-memory index."""
+    from repro.serve import write_sharded_store, write_store
+
+    single = tmp_path / "neg.store"
+    sharded = tmp_path / "neg.shards"
+    patterns = {
+        small_index.vocabulary.encode_sequence(m.pattern): m.frequency
+        for m in small_index
+    }
+    write_store(single, patterns, small_index.vocabulary)
+    write_sharded_store(sharded, patterns, small_index.vocabulary, 2)
+    queries = [
+        ("a !c", {}),
+        ("a !^B", {}),
+        ("!(a|c) ?", {}),
+        ("*{0,1} b1", {}),
+        ("a *{1,2}", {}),
+        ("?", {"min_freq": 4}),
+        ("a ?", {"min_freq": 3}),
+        ("!c !^B", {}),
+    ]
+    with open_store(single) as s1, open_store(sharded) as s2:
+        for query, kwargs in queries:
+            expected = _answers(small_index, query, **kwargs)
+            assert _answers(s1, query, **kwargs) == expected, query
+            assert _answers(s2, query, **kwargs) == expected, query

@@ -8,7 +8,9 @@ from repro.errors import InvalidParameterError
 from repro.query import (
     AnyToken,
     FloorToken,
+    GapToken,
     ItemToken,
+    NotToken,
     OneOfToken,
     PlusToken,
     Q,
@@ -16,7 +18,7 @@ from repro.query import (
     UnderToken,
     parse_query,
 )
-from repro.query.tokens import normalize_query
+from repro.query.tokens import is_negation_only, normalize_query
 
 
 def test_parse_plain_items():
@@ -175,6 +177,99 @@ class TestFloor:
             FloorToken(FloorToken(ItemToken("a"), 1), 2)
 
 
+class TestGapParsing:
+    def test_bounded_forms(self):
+        assert parse_query("*{0,3} *{2,2} *{1,}") == (
+            GapToken(0, 3),
+            GapToken(2, 2),
+            GapToken(1, None),
+        )
+
+    def test_q_constructor(self):
+        assert Q.gap(1, 3) == GapToken(1, 3)
+        assert Q.gap(2) == GapToken(2, None)
+
+    @pytest.mark.parametrize(
+        "bad", ["*{", "*{}", "*{1}", "*{,2}", "*{1,2", "*{a,b}", "*{1,2}x"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            parse_query(bad)
+
+    def test_inverted_or_negative_bounds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_query("*{3,1}")
+        with pytest.raises(InvalidParameterError):
+            GapToken(-1, 2)
+        with pytest.raises(InvalidParameterError):
+            GapToken(True, 2)
+
+    def test_non_integer_bounds_rejected(self):
+        # only the upper bound may be None (unbounded)
+        with pytest.raises(InvalidParameterError):
+            GapToken(None, 2)
+        with pytest.raises(InvalidParameterError):
+            Q.gap("1", 2)
+        with pytest.raises(InvalidParameterError):
+            GapToken(1, "2")
+
+    def test_floor_on_gap_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_query("*{1,2}@3")
+
+    def test_repr(self):
+        assert repr(Q.gap(1, 3)) == "GapToken(1, 3)"
+        assert repr(Q.gap(2)) == "GapToken(2, None)"
+
+
+class TestNegationParsing:
+    def test_forms(self):
+        assert parse_query("!a !^B !(a|^B)") == (
+            NotToken(ItemToken("a")),
+            NotToken(UnderToken("B")),
+            NotToken(OneOfToken((ItemToken("a"), UnderToken("B")))),
+        )
+
+    def test_q_constructor(self):
+        assert Q.not_("a") == NotToken(ItemToken("a"))
+        assert Q.not_(Q.under("B")) == NotToken(UnderToken("B"))
+
+    @pytest.mark.parametrize("bad", ["!", "!?", "!*", "!+", "!!a", "!*{1,2}"])
+    def test_non_item_binding_inner_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            parse_query(bad)
+
+    def test_floor_on_negation_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_query("!a@3")
+        with pytest.raises(InvalidParameterError):
+            FloorToken(NotToken(ItemToken("a")), 3)
+
+    def test_negation_inside_disjunction_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_query("(a|!b)")
+
+    def test_repr(self):
+        assert repr(Q.not_("a")) == "NotToken(ItemToken('a'))"
+
+
+class TestNegationOnlyDetection:
+    def test_all_negative_is_flagged(self):
+        assert is_negation_only(parse_query("!a"))
+        assert is_negation_only(parse_query("!a ? *"))
+        assert is_negation_only(parse_query("!a *{1,2} !^B"))
+
+    def test_positive_token_clears_the_flag(self):
+        assert not is_negation_only(parse_query("!a b"))
+        assert not is_negation_only(parse_query("!a ^B"))
+        assert not is_negation_only(parse_query("!a (x|y)"))
+        assert not is_negation_only(parse_query("!a x@2"))
+
+    def test_no_negation_is_not_flagged(self):
+        assert not is_negation_only(parse_query("? *"))
+        assert not is_negation_only(parse_query("a b"))
+
+
 def test_normalize_rejects_empty_and_blank_strings():
     for empty in ["", "   ", "\t\n"]:
         with pytest.raises(InvalidParameterError):
@@ -212,3 +307,81 @@ class TestCanonicalization:
         """The rewrite is normalize-time policy; the parser stays a
         faithful reading of the string."""
         assert parse_query("a@0") == (FloorToken(ItemToken("a"), 0),)
+
+    # -- gap spellings fold into the shortest form -------------------
+
+    def test_gap_singletons_rewrite_to_classic_tokens(self):
+        assert normalize_query("*{0,}") == (SpanToken(),)
+        assert normalize_query("*{1,}") == (PlusToken(),)
+        assert normalize_query("a *{1,1}") == (ItemToken("a"), AnyToken())
+        # bounds the short forms cannot express stay gaps
+        assert normalize_query("*{0,3}") == (GapToken(0, 3),)
+        assert normalize_query("*{2,}") == (GapToken(2, None),)
+
+    def test_adjacent_gap_runs_collapse(self):
+        assert normalize_query("* *") == (SpanToken(),)
+        assert normalize_query("a * * b") == (
+            ItemToken("a"),
+            SpanToken(),
+            ItemToken("b"),
+        )
+        assert normalize_query("* +") == (PlusToken(),)
+        assert normalize_query("+ +") == (GapToken(2, None),)
+        assert normalize_query("*{0,2} *{1,3}") == (GapToken(1, 5),)
+        assert normalize_query("* *{1,2}") == (PlusToken(),)
+
+    def test_any_folds_into_gap_runs_only(self):
+        # '?' next to a real gap joins the collapse...
+        assert normalize_query("? *") == (PlusToken(),)
+        assert normalize_query("? + ?") == (GapToken(3, None),)
+        assert normalize_query("*{0,1} ?") == (GapToken(1, 2),)
+        # ...but pure-'?' runs keep their per-slot alignment
+        assert normalize_query("? ?") == (AnyToken(), AnyToken())
+        assert normalize_query("a ? ? b") == (
+            ItemToken("a"),
+            AnyToken(),
+            AnyToken(),
+            ItemToken("b"),
+        )
+
+    def test_collapse_is_idempotent(self):
+        for text in ["* * + ?", "a *{1,2} * b", "? * ? a ? ?"]:
+            once = normalize_query(text)
+            assert normalize_query(once) == once, text
+
+    def test_floored_any_does_not_fold(self):
+        """``?@N`` binds an item (the floor constrains it) — it is not
+        an arbitrary-gap token and must survive next to ``*``."""
+        assert normalize_query("?@2 *") == (
+            FloorToken(AnyToken(), 2),
+            SpanToken(),
+        )
+
+    # -- disjunction choices implied by a ^ subtree ------------------
+
+    def test_choice_implied_by_subtree_dropped(self):
+        assert normalize_query("(a|^a)") == (UnderToken("a"),)
+        assert normalize_query("(a|^a|b)") == (
+            OneOfToken((ItemToken("b"), UnderToken("a"))),
+        )
+
+    def test_single_choice_disjunction_unwrapped(self):
+        assert normalize_query("(a)") == (ItemToken("a"),)
+        assert normalize_query("(^B)") == (UnderToken("B"),)
+
+    def test_rewrites_recurse_through_wrappers(self):
+        assert normalize_query("!(a|^a)") == (NotToken(UnderToken("a")),)
+        assert normalize_query("(a|^a)@2") == (
+            FloorToken(UnderToken("a"), 2),
+        )
+        assert normalize_query("!(a|^a|b)") == (
+            NotToken(OneOfToken((ItemToken("b"), UnderToken("a")))),
+        )
+
+    def test_distinct_names_are_not_assumed_related(self):
+        """Normalization is hierarchy-free: ``(b1|^B)`` keeps both
+        choices even if some hierarchy happens to put b1 under B —
+        only the name-level implication ``(x|^x)`` is decidable here."""
+        assert normalize_query("(b1|^B)") == (
+            OneOfToken((ItemToken("b1"), UnderToken("B"))),
+        )

@@ -308,7 +308,7 @@ class TestReviewRegressions:
             def __init__(self, inner):
                 self._inner = inner
 
-            def search(self, query, limit=None):
+            def search(self, query, limit=None, min_freq=None):
                 matches = self._inner.search(query, limit=limit)
                 service.swap_backend(self._inner)
                 return matches

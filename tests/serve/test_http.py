@@ -315,7 +315,7 @@ class _CorruptBackend:
     def __len__(self):
         return 0
 
-    def search(self, query, limit=None):
+    def search(self, query, limit=None, min_freq=None):
         from repro.errors import StoreCorruptError
         from repro.query.tokens import normalize_query
 
@@ -476,3 +476,79 @@ class TestLatencyHistogramExposition:
             assert any(
                 line.startswith("lash_store_generation ") for line in lines
             )
+
+
+@pytest.mark.parametrize("server", ["single", "sharded"], indirect=True)
+class TestMinFreqAndNegationOverHTTP:
+    """Phase-2 query-language features at the HTTP surface: the σ
+    override as a request parameter, negation served when positive
+    tokens anchor it and refused when the query is all-negative."""
+
+    def test_min_freq_filters_server_side(self, server):
+        _, full = _get(server, "/query?q=%2B&limit=100")
+        frequencies = sorted(
+            (m["frequency"] for m in full["matches"]), reverse=True
+        )
+        threshold = frequencies[len(frequencies) // 2]
+        _, floored = _get(
+            server, f"/query?q=%2B&limit=100&min_freq={threshold}"
+        )
+        assert floored["matches"] == [
+            m for m in full["matches"] if m["frequency"] >= threshold
+        ]
+        assert floored["count"] == len(floored["matches"])
+        assert floored["min_freq"] == threshold
+
+    def test_count_accepts_min_freq(self, server):
+        _, full = _get(server, "/count?q=%2B")
+        _, floored = _get(server, "/count?q=%2B&min_freq=1000000")
+        assert floored["count"] == 0 < full["count"]
+        assert floored["min_freq"] == 1000000
+
+    def test_batch_body_min_freq(self, server):
+        _, body = _post(
+            server,
+            "/batch",
+            {"queries": ["+", "a *"], "limit": 100, "min_freq": 2},
+        )
+        for result in body["results"]:
+            assert result["min_freq"] == 2
+            assert all(m["frequency"] >= 2 for m in result["matches"])
+
+    def test_negation_and_gap_queries_answer(self, server):
+        query = urllib.parse.quote("a !c *{0,1}")
+        status, body = _get(server, f"/query?q={query}")
+        assert status == 200
+        assert all("c" not in m["pattern"].split()[1:2] for m in body["matches"])
+
+    def _expect_400(self, server, path):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, path)
+        assert err.value.code == 400
+        return json.loads(err.value.read())
+
+    def test_all_negative_query_is_400(self, server):
+        body = self._expect_400(
+            server, "/query?q=" + urllib.parse.quote("!a ?")
+        )
+        assert "all-negative" in body["error"]
+
+    def test_bad_min_freq_is_400(self, server):
+        body = self._expect_400(server, "/query?q=a&min_freq=-1")
+        assert "min_freq" in body["error"]
+        body = self._expect_400(server, "/query?q=a&min_freq=many")
+        assert "min_freq" in body["error"]
+
+    def test_batch_bad_min_freq_is_400(self, server):
+        for bad in (-1, "3", True):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(server, "/batch", {"queries": ["a"], "min_freq": bad})
+            assert err.value.code == 400
+
+    def test_batch_isolates_all_negative_query(self, server):
+        _, body = _post(
+            server, "/batch", {"queries": ["a *", "!a"]}
+        )
+        results = body["results"]
+        assert "error" not in results[0]
+        assert "all-negative" in results[1]["error"]

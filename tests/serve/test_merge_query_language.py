@@ -2,10 +2,11 @@
 rebuild.
 
 PR 2 proved ``merge_stores`` byte-equal to a full rebuild for σ=1 runs;
-these tests pin the *query-level* consequence for the two token kinds
-added after that proof — disjunctions and frequency floors — whose
-answers additionally depend on the merged vocabulary's summed item
-frequencies, not just the pattern records."""
+these tests pin the *query-level* consequence for the token kinds added
+after that proof — disjunctions and frequency floors (whose answers
+additionally depend on the merged vocabulary's summed item
+frequencies), negations and bounded gaps, and the per-query σ override
+(which cuts the merged store's summed pattern frequencies)."""
 
 from __future__ import annotations
 
@@ -29,7 +30,18 @@ QUERIES = [
     "a (c|^B)@1",
     "(a|e|f) +",
     "?@3 ?@1",
+    "a !c",
+    "!^B ?",
+    "a !(c|^D) *",
+    "a *{0,2}",
+    "*{1,2} c",
+    "^B *{0,1} !a",
+    "!c !^B",
 ]
+
+#: (query, σ override) pairs: the override must cut the merged ranking
+#: exactly where it cuts the rebuilt one (frequencies are sums there)
+SIGMA_QUERIES = [("+", 2), ("a *", 3), ("(a|^B) ?", 2), ("a !c *", 2)]
 
 
 def _mine(sequences, hierarchy):
@@ -51,9 +63,12 @@ CORPUS_B = [
 ]
 
 
-def _answers(path, query):
+def _answers(path, query, min_freq=None):
     with open_store(path) as store:
-        return [(m.pattern, m.frequency) for m in store.search(query)]
+        return [
+            (m.pattern, m.frequency)
+            for m in store.search(query, min_freq=min_freq)
+        ]
 
 
 @pytest.mark.parametrize("shards", [None, 3])
@@ -70,6 +85,28 @@ def test_merged_equals_rebuilt_on_new_token_kinds(tmp_path, shards):
     )
     for query in QUERIES:
         assert _answers(merged, query) == _answers(rebuilt, query), query
+    for query, min_freq in SIGMA_QUERIES:
+        assert _answers(merged, query, min_freq) == _answers(
+            rebuilt, query, min_freq
+        ), (query, min_freq)
+
+
+def test_merged_sigma_override_sees_summed_pattern_frequencies(tmp_path):
+    """A σ override that neither part clears on its own must clear on
+    the merged store: pattern frequencies sum across sources."""
+    hierarchy = paper_hierarchy()
+    part = [["e", "a"], ["e", "c"]]
+    a_path, b_path = tmp_path / "sa.store", tmp_path / "sb.store"
+    _mine(part, hierarchy).to_store(a_path)
+    _mine(part, hierarchy).to_store(b_path)
+    part_freq = dict(_answers(a_path, "e +"))[("e", "a")]
+    floor = part_freq + 1
+    assert _answers(a_path, "e +", min_freq=floor) == []
+    merged = tmp_path / "smerged.store"
+    merge_stores([a_path, b_path], merged)
+    assert (("e", "a"), 2 * part_freq) in _answers(
+        merged, "e +", min_freq=floor
+    )
 
 
 def test_merged_floor_sees_summed_item_frequencies(tmp_path):

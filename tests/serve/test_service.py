@@ -158,7 +158,7 @@ class TestLruCache:
         calls = []
         original = backend.search
 
-        def counting_search(query, limit=None):
+        def counting_search(query, limit=None, min_freq=None):
             calls.append(query)
             return original(query, limit=limit)
 
@@ -318,3 +318,95 @@ class TestBackendSwap:
             "compactions": 2,
             "generation": 2,
         }
+
+
+class TestPerQuerySigma:
+    """The per-query σ override: server-side frequency-floor filtering,
+    keyed into the result cache."""
+
+    def test_min_freq_filters_and_is_echoed(self, backend):
+        service = QueryService(backend)
+        result = service.query("a ?", min_freq=6)
+        assert result["matches"] == [{"pattern": "a B", "frequency": 9}]
+        assert result["count"] == 1
+        assert result["total_frequency"] == 9
+        assert result["min_freq"] == 6
+
+    def test_min_freq_absent_from_unfloored_responses(self, backend):
+        service = QueryService(backend)
+        assert "min_freq" not in service.query("a ?")
+        assert "min_freq" not in service.query("a ?", min_freq=0)
+
+    def test_count_respects_min_freq(self, backend):
+        service = QueryService(backend)
+        assert service.count("a ?", min_freq=6)["count"] == 1
+        assert service.count("a ?")["count"] == 2
+
+    def test_distinct_min_freqs_do_not_collide(self, backend):
+        service = QueryService(backend)
+        assert service.query("a ?", min_freq=6)["count"] == 1
+        assert service.query("a ?", min_freq=1)["count"] == 2
+        assert service.stats()["cache_hits"] == 0
+        assert service.stats()["cache_entries"] == 2
+
+    def test_min_freq_zero_shares_the_unfloored_entry(self, backend):
+        service = QueryService(backend)
+        service.query("a ?")
+        assert service.query("a ?", min_freq=0)["count"] == 2
+        assert service.stats()["cache_hits"] == 1
+        assert service.stats()["cache_entries"] == 1
+
+    def test_batch_applies_min_freq_to_every_query(self, backend):
+        service = QueryService(backend)
+        results = service.batch(["a ?", "?"], min_freq=6)
+        assert all(
+            m["frequency"] >= 6 for r in results for m in r["matches"]
+        )
+        assert all(r["min_freq"] == 6 for r in results)
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, "3"])
+    def test_invalid_min_freq_rejected_and_counted(self, backend, bad):
+        service = QueryService(backend)
+        with pytest.raises(InvalidParameterError):
+            service.query("a ?", min_freq=bad)
+        assert service.stats()["errors"] == 1
+
+    def test_min_freq_beyond_cached_prefix_recomputes_with_floor(
+        self, backend
+    ):
+        """The capped-entry re-search path must carry the σ override."""
+        service = QueryService(backend, max_cached_matches=1)
+        assert service.query("a ?", limit=1, min_freq=1)["count"] == 2
+        overflow = service.query("a ?", limit=5, min_freq=1)
+        assert [m["frequency"] for m in overflow["matches"]] == [9, 5]
+
+
+class TestNegationOnlyRejection:
+    """All-negative queries would scan the store unpruned — the serving
+    tier refuses them, like any other invalid request."""
+
+    @pytest.mark.parametrize("query", ["!a", "!a ?", "!a * !^B"])
+    def test_rejected_with_clear_error(self, backend, query):
+        service = QueryService(backend)
+        with pytest.raises(InvalidParameterError, match="all-negative"):
+            service.query(query)
+        assert service.stats()["errors"] == 1
+
+    def test_negation_with_positive_token_is_served(self, backend):
+        service = QueryService(backend)
+        result = service.query("a !c")
+        assert result["count"] == 2  # a B, a b1
+
+    def test_batch_isolates_all_negative_queries(self, backend):
+        service = QueryService(backend)
+        results = service.batch(["a !c", "!a"])
+        assert results[0]["count"] == 2
+        assert "all-negative" in results[1]["error"]
+
+    def test_rejection_happens_before_caching(self, backend):
+        service = QueryService(backend)
+        for _ in range(2):
+            with pytest.raises(InvalidParameterError):
+                service.query("!a")
+        assert service.stats()["cache_entries"] == 0
+        assert service.stats()["errors"] == 2

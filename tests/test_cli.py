@@ -337,6 +337,32 @@ class TestQuery:
         out = capsys.readouterr().out
         assert out.count("query:") == 2
 
+    def test_negation_and_gap_query(self, mined_patterns, capsys):
+        patterns, hierarchy = mined_patterns
+        rc = main([
+            "query", "--patterns", patterns, "--hierarchy", hierarchy,
+            "a !^B *{0,1}",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "a c" in out
+        assert "a B" not in out
+
+    def test_min_freq_override(self, mined_patterns, capsys):
+        patterns, hierarchy = mined_patterns
+        # an unsatisfiable per-query σ matches nothing → exit status 1
+        rc = main([
+            "query", "--patterns", patterns, "--hierarchy", hierarchy,
+            "--min-freq", "100000", "a ?",
+        ])
+        assert rc == 1
+        assert "(0 patterns" in capsys.readouterr().out
+        rc = main([
+            "query", "--patterns", patterns, "--hierarchy", hierarchy,
+            "--min-freq", "1", "a ?",
+        ])
+        assert rc == 0
+
 
 class TestIndex:
     @pytest.fixture
