@@ -1,0 +1,194 @@
+"""Extension — distributed serving: router fan-out latency.
+
+The distributed tier answers queries by fanning out to shard servers
+over sockets and k-way merging their rank-ordered partials.  This
+bench measures what that buys and costs against the same manifest
+served in-process:
+
+* **fan-out latency** — p50/p95/p99 per query class through a
+  2-server cluster on localhost (socket hop + per-server partial
+  search + merge), vs the in-process ``ShardedPatternStore``;
+* **failover overhead** — the same battery with one server down and a
+  full replica absorbing its shards (every request to the dead half
+  rides the retry wave).
+
+Byte-identity between router and mono answers is asserted on every
+measured request, so the numbers can't come from serving different
+answers.  Results persist to ``BENCH_router.json`` (override with
+``LASH_BENCH_ROUTER_OUT``) for the perf trajectory: per-class and
+overall percentiles in milliseconds.
+"""
+
+import json
+import os
+import statistics
+import sys
+import time
+
+if __name__ == "__main__" and "--quick" in sys.argv:
+    # CI smoke entry point: shrink the corpus before conftest reads it
+    os.environ.setdefault("REPRO_BENCH_SCALE", "0.1")
+
+from repro import Lash, MiningParams
+from repro.serve import open_store
+from repro.serve.distributed import ShardServer
+from repro.serve.router import ClusterMap, RouterBackend, ServerSpec
+from conftest import NYT_SIGMA_LOW
+from reporting import BenchReport
+
+NUM_SHARDS = 4
+ROUNDS = max(5, int(30 * float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))))
+OUT_PATH = os.environ.get("LASH_BENCH_ROUTER_OUT", "BENCH_router.json")
+
+QUERIES = {
+    "wildcard pair": "? ?",
+    "anchored item": "the ^ADJ ?",
+    "subtree walk": "^PRON ^VERB",
+    "gap + floor": "^DET *{0,2} ?@5",
+    "negated slot": "!the ^NOUN",
+}
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+
+    def pct(p):
+        index = min(len(ordered) - 1, int(round(p * (len(ordered) - 1))))
+        return round(ordered[index] * 1000, 3)
+
+    return {"p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99)}
+
+
+def _measure(backend, reference, tokens_by_label, rounds):
+    """Latency samples per query class; every answer checked against
+    the in-process reference so the timings describe identical work."""
+    samples = {label: [] for label in tokens_by_label}
+    expected = {
+        label: [
+            (m.pattern, m.frequency) for m in reference.search(query)
+        ]
+        for label, query in tokens_by_label.items()
+    }
+    for _ in range(rounds):
+        for label, query in tokens_by_label.items():
+            start = time.perf_counter()
+            got = [
+                (m.pattern, m.frequency) for m in backend.search(query)
+            ]
+            samples[label].append(time.perf_counter() - start)
+            assert got == expected[label], label
+    return samples
+
+
+def test_router_fanout_latency(nyt, tmp_path):
+    report = BenchReport(
+        "Ext. distributed serving",
+        "router fan-out vs in-process sharded store (ms per query)",
+    )
+    hierarchy = nyt.hierarchy("CLP")
+    result = Lash(MiningParams(NYT_SIGMA_LOW, 0, 4)).mine(
+        nyt.database, hierarchy
+    )
+    store_path = tmp_path / "patterns.shards"
+    result.to_store(store_path, shards=NUM_SHARDS)
+
+    half = NUM_SHARDS // 2
+    lower, upper = list(range(half)), list(range(half, NUM_SHARDS))
+    s1 = ShardServer(store_path, shard_subset=lower, http_port=None)
+    s2 = ShardServer(store_path, shard_subset=upper, http_port=None)
+    replica = ShardServer(store_path, http_port=None)
+    router = None
+    results: dict = {}
+    try:
+        for server in (s1, s2, replica):
+            server.start()
+        placement = {}
+        specs = []
+        for server, shards in (
+            (s1, lower),
+            (s2, upper),
+            (replica, range(NUM_SHARDS)),
+        ):
+            spec = ServerSpec(*server.address)
+            specs.append(spec)
+            for shard in shards:
+                placement.setdefault(shard, []).append(spec.key)
+        cluster = ClusterMap(
+            specs, num_shards=NUM_SHARDS, placement=placement
+        )
+        router = RouterBackend(cluster)
+
+        with open_store(store_path) as mono:
+            mono_samples = _measure(mono, mono, QUERIES, ROUNDS)
+            router_samples = _measure(router, mono, QUERIES, ROUNDS)
+            s1.stop()  # half the shards now only live on the replica
+            failover_samples = _measure(router, mono, QUERIES, ROUNDS)
+            assert router.take_partial() is None
+
+        for label in QUERIES:
+            mono_pct = _percentiles(mono_samples[label])
+            routed_pct = _percentiles(router_samples[label])
+            failed_pct = _percentiles(failover_samples[label])
+            results[label] = {
+                "mono": mono_pct,
+                "router": routed_pct,
+                "failover": failed_pct,
+            }
+            report.add(
+                label,
+                {
+                    "mono_p50_ms": mono_pct["p50"],
+                    "router_p50_ms": routed_pct["p50"],
+                    "router_p95_ms": routed_pct["p95"],
+                    "router_p99_ms": routed_pct["p99"],
+                    "failover_p50_ms": failed_pct["p50"],
+                },
+            )
+
+        flat = [s for label in QUERIES for s in router_samples[label]]
+        overall = _percentiles(flat)
+        results["_overall"] = {"router": overall}
+        report.add(
+            "overall",
+            {
+                "mono_p50_ms": _percentiles(
+                    [s for v in mono_samples.values() for s in v]
+                )["p50"],
+                "router_p50_ms": overall["p50"],
+                "router_p95_ms": overall["p95"],
+                "router_p99_ms": overall["p99"],
+                "failover_p50_ms": _percentiles(
+                    [s for v in failover_samples.values() for s in v]
+                )["p50"],
+            },
+        )
+    finally:
+        if router is not None:
+            router.close()
+        for server in (s1, s2, replica):
+            server.stop()
+
+    payload = {
+        "bench": "router_fanout",
+        "patterns": len(result),
+        "num_shards": NUM_SHARDS,
+        "servers": 2,
+        "replication": "full replica",
+        "rounds": ROUNDS,
+        "unit": "ms",
+        "queries": results,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {OUT_PATH}", file=sys.__stdout__)
+    report.emit()
+
+
+if __name__ == "__main__":
+    # `python benchmarks/bench_router_fanout.py [--quick]` runs this
+    # file through pytest — `--quick` is the CI distributed smoke mode
+    import pytest
+
+    argv = [arg for arg in sys.argv[1:] if arg != "--quick"]
+    sys.exit(pytest.main([__file__, "-q", *argv]))

@@ -49,6 +49,16 @@ from a background thread)::
     lash index compact --store merged.shards new-run.store
     lash index compact --store merged.shards --shards 16   # rebalance
 
+Serve one shard set from many processes — shard servers own slices,
+the router fans out and merges (answers byte-identical to ``serve``)::
+
+    lash shard-serve --store merged.shards --shards 0,1 --port 7601 \
+         --http-port 7611
+    lash shard-serve --store merged.shards --shards 2,3 --port 7602 \
+         --http-port 7612
+    lash route --cluster cluster.json --port 8080
+    lash index info --store merged.shards --advise   # pick a shard count
+
 All ``--db`` / ``--hierarchy`` / ``--out`` paths accept ``.gz``.
 """
 
@@ -337,6 +347,96 @@ def cmd_index_info(args: argparse.Namespace) -> int:
         _print_row("store", info)
         for i, shard in enumerate(shard_stats or ()):
             _print_row(f"shard {i}", shard)
+        if args.advise:
+            from repro.serve.advisor import advise_shards
+
+            report = advise_shards(
+                store, target_bytes=args.target_bytes
+            )
+            print()
+            print(
+                f"routing groups: {report['groups']}  "
+                f"(heaviest {report['heaviest_group_bytes']} bytes, "
+                f"skew {report['skew']})"
+            )
+            for group in report["top_groups"]:
+                print(f"  {group['bytes']:>10}  {group['item']}")
+            for score in report["candidates"]:
+                _print_row(f"n={score['shards']}", score)
+            print(
+                f"recommendation: --shards "
+                f"{report['recommended_shards']} ({report['reason']})"
+            )
+    return 0
+
+
+def cmd_shard_serve(args: argparse.Namespace) -> int:
+    """Serve a shard slice of a sharded store over the socket protocol
+    (plus the HTTP endpoints for health checks and metrics)."""
+    from repro.serve.distributed import ShardServer, parse_shard_list
+
+    shards = (
+        parse_shard_list(args.shards) if args.shards is not None else None
+    )
+    server = ShardServer(
+        args.store,
+        shard_subset=shards,
+        host=args.host,
+        port=args.port,
+        http_port=None if args.no_http else args.http_port,
+        verify_checksums=not args.no_verify,
+        quiet=not args.verbose,
+    )
+    server.start()
+    host, port = server.address
+    owned = server.store.owned_shards
+    print(
+        f"shard server: {len(server.store)} patterns, shards "
+        f"{list(owned)} of {server.store.num_shards} on {host}:{port}"
+    )
+    if server.http_address is not None:
+        http_host, http_port = server.http_address
+        print(f"health/metrics on http://{http_host}:{http_port}/healthz")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    """Run the query router over a cluster of shard servers."""
+    from repro.serve import QueryService, create_server
+    from repro.serve.http import run_server
+    from repro.serve.router import ClusterMap, RouterBackend
+
+    cluster = ClusterMap.load(args.cluster)
+    backend = RouterBackend(
+        cluster,
+        deadline=args.deadline,
+        health_timeout=args.health_timeout,
+    )
+    health = backend.check_health()
+    backend.start_health_loop(args.health_interval)
+    service = QueryService(backend, cache_size=args.cache_size)
+    server = create_server(
+        service, args.host, args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    up = sum(1 for ok in health.values() if ok)
+    print(
+        f"routing {cluster.num_shards} shards over {len(cluster.servers)} "
+        f"servers ({up} healthy) on http://{host}:{port}"
+    )
+    for shard, replicas in sorted(cluster.placement.items()):
+        print(f"  shard {shard}: {', '.join(replicas)}")
+    try:
+        run_server(server)
+    finally:
+        backend.close()
     return 0
 
 
@@ -626,6 +726,15 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument(
         "--store", required=True, help="store file or shard directory"
     )
+    info.add_argument(
+        "--advise", action="store_true",
+        help="measure first-item routing-group skew and recommend a "
+        "shard count (reads every pattern record)",
+    )
+    info.add_argument(
+        "--target-bytes", type=int, default=64 << 20,
+        help="with --advise: target size of the largest shard",
+    )
     info.set_defaults(func=cmd_index_info)
 
     serve = sub.add_parser(
@@ -658,6 +767,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="log every request to stderr",
     )
     serve.set_defaults(func=cmd_serve)
+
+    shard_serve = sub.add_parser(
+        "shard-serve",
+        help="serve a shard slice of a sharded store over the socket "
+        "protocol (distributed tier)",
+    )
+    shard_serve.add_argument(
+        "--store", required=True, help="sharded store directory"
+    )
+    shard_serve.add_argument(
+        "--shards",
+        help="comma-separated shard indexes to mount (default: all — a "
+        "fully replicated server)",
+    )
+    shard_serve.add_argument("--host", default="127.0.0.1")
+    shard_serve.add_argument(
+        "--port", type=int, default=0,
+        help="socket port (0 picks an ephemeral port)",
+    )
+    shard_serve.add_argument(
+        "--http-port", type=int, default=0,
+        help="HTTP sidecar port for /healthz and /metrics (0 = ephemeral)",
+    )
+    shard_serve.add_argument(
+        "--no-http", action="store_true",
+        help="disable the HTTP sidecar (health checks fall back to "
+        "socket pings)",
+    )
+    shard_serve.add_argument(
+        "--no-verify", action="store_true",
+        help="skip checksum verification on open",
+    )
+    shard_serve.add_argument(
+        "--verbose", action="store_true",
+        help="log sidecar HTTP requests to stderr",
+    )
+    shard_serve.set_defaults(func=cmd_shard_serve)
+
+    route = sub.add_parser(
+        "route",
+        help="route queries across shard servers (fan-out + merge, "
+        "same HTTP endpoints as `lash serve`)",
+    )
+    route.add_argument(
+        "--cluster", required=True,
+        help="cluster map JSON: {num_shards, replication, servers: "
+        "[{host, port, http_port, shards?}]}",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=8080)
+    route.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU result-cache entries (0 disables caching; partial "
+        "answers are never cached)",
+    )
+    route.add_argument(
+        "--deadline", type=float, default=5.0,
+        help="seconds budgeted per fan-out, retries included",
+    )
+    route.add_argument(
+        "--health-interval", type=float, default=2.0,
+        help="seconds between /healthz probes of the shard servers",
+    )
+    route.add_argument(
+        "--health-timeout", type=float, default=1.0,
+        help="per-probe timeout in seconds",
+    )
+    route.add_argument(
+        "--verbose", action="store_true",
+        help="log every request to stderr",
+    )
+    route.set_defaults(func=cmd_route)
 
     cmp_ = sub.add_parser("compare", help="compare two pattern TSV files")
     cmp_.add_argument("left")

@@ -444,6 +444,18 @@ class PatternSearchBase:
                 if token.floor == 0:
                     return ("any", -1)
                 candidates = range(len(vocabulary))
+            elif kind == "notin":
+                # floor over a negation (!a@N): the floor turns the
+                # near-whole-vocabulary complement into a concrete
+                # id set, which also gives `_candidates` postings to
+                # prune on — unlike a bare negation
+                if token.floor == 0:
+                    return ("notin", payload)
+                candidates = [
+                    item
+                    for item in range(len(vocabulary))
+                    if item not in payload
+                ]
             else:  # oneof
                 candidates = payload
             return (

@@ -17,8 +17,8 @@ syntax        meaning
 ``!token``    exactly one item that does *not* match ``token``
               (``token``: ``name``, ``^name`` or a disjunction)
 ``token@N``   the single item bound by ``token`` must have corpus
-              frequency ≥ N (``token``: ``name``, ``^name``, ``?``
-              or a disjunction)
+              frequency ≥ N (``token``: ``name``, ``^name``, ``?``,
+              a disjunction or a negation)
 ============  =====================================================
 
 ``?``/``*``/``+`` follow Netspeak's conventions [2]; ``^`` adds the
@@ -28,9 +28,10 @@ compose — ``(a|^B)@10`` matches one item that is ``a`` or under ``B``
 *and* occurs at least 10 times in the corpus.  ``*@N``/``+@N`` are
 rejected: a gap binds no single item to bound, and for the same reason
 negation applies only to item-binding tokens — ``!?`` (matches
-nothing), ``!*`` and ``!!a`` are rejected, as is a floor on a negation
-(``!a@3``): a floor bounds the frequency of the item a token *admits*,
-and a negation admits everything else.  Negation consumes exactly one
+nothing), ``!*`` and ``!!a`` are rejected.  A floor *over* a negation
+is allowed: ``!a@3`` matches one item that is not ``a`` and occurs at
+least 3 times, which also makes the complement finite enough to prune
+on (the floor selects the candidate set).  Negation consumes exactly one
 item: ``a !b c`` requires some item between ``a`` and ``c``, it does
 not merely forbid ``b`` there.  Items whose *name* is literally ``?``,
 ``*``, ``+``, starts with ``^``, ``(``, ``!`` or ``*{``, or ends with
@@ -219,8 +220,10 @@ class FloorToken(QueryToken):
     """Matches what ``inner`` matches, with the bound item's corpus
     frequency required to be ≥ ``floor`` (``token@N``).
 
-    ``inner`` must bind exactly one item — ``name``, ``^name``, ``?`` or
-    a disjunction; gaps (``*``/``+``) and nested floors are rejected.
+    ``inner`` must bind exactly one item — ``name``, ``^name``, ``?``,
+    a disjunction or a negation (``!a@3``: one item that is not ``a``
+    and occurs ≥ 3 times); gaps (``*``/``+``) and nested floors are
+    rejected.
     """
 
     inner: QueryToken
@@ -228,7 +231,8 @@ class FloorToken(QueryToken):
 
     def __post_init__(self) -> None:
         if not isinstance(
-            self.inner, (ItemToken, UnderToken, AnyToken, OneOfToken)
+            self.inner,
+            (ItemToken, UnderToken, AnyToken, OneOfToken, NotToken),
         ):
             raise InvalidParameterError(
                 f"frequency floor requires a single-item token, "

@@ -23,7 +23,17 @@ turns it into a long-lived query-serving system:
   with an LRU result cache, batch API and serving stats;
 * :mod:`~repro.serve.http` — a dependency-free ``ThreadingHTTPServer``
   exposing ``/query``, ``/count``, ``/topk``, ``/batch``, ``/stats``,
-  ``/metrics`` (Prometheus text) and ``/healthz``.
+  ``/metrics`` (Prometheus text) and ``/healthz``;
+* the **distributed tier** — :class:`~repro.serve.distributed.ShardServer`
+  processes each serving a shard slice over a varint-framed socket
+  protocol (:mod:`~repro.serve.protocol`), and a
+  :class:`~repro.serve.router.RouterBackend` that owns the cluster map,
+  fans queries out, k-way merges the rank-ordered partials
+  (byte-identical to a single process) and fails over across replicas
+  (``lash shard-serve`` / ``lash route``);
+* :func:`~repro.serve.advisor.advise_shards` — stats-driven shard-count
+  advice from measured routing-group skew (``lash index info
+  --advise``).
 
 Build a store from a mining result and serve it::
 
@@ -49,6 +59,16 @@ from repro.serve.service import QueryService
 
 _HTTP_EXPORTS = ("PatternHTTPServer", "create_server", "run_server", "serve")
 
+#: distributed-tier exports, resolved lazily like the HTTP ones so the
+#: store-only import path stays socket-free
+_DISTRIBUTED_EXPORTS = {
+    "ShardServer": "repro.serve.distributed",
+    "ClusterMap": "repro.serve.router",
+    "RouterBackend": "repro.serve.router",
+    "plan_placement": "repro.serve.router",
+    "advise_shards": "repro.serve.advisor",
+}
+
 
 def __getattr__(name):
     # store-only paths (MiningResult.to_store, `lash index build`) never
@@ -57,6 +77,12 @@ def __getattr__(name):
         from repro.serve import http
 
         return getattr(http, name)
+    if name in _DISTRIBUTED_EXPORTS:
+        import importlib
+
+        return getattr(
+            importlib.import_module(_DISTRIBUTED_EXPORTS[name]), name
+        )
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -73,4 +99,5 @@ __all__ = [
     "CompactionDaemon",
     "QueryService",
     *_HTTP_EXPORTS,
+    *_DISTRIBUTED_EXPORTS,
 ]

@@ -1,0 +1,440 @@
+"""Shard servers: one process serving a slice of a sharded store.
+
+One :class:`ShardServer` mounts a subset of the shards named by a
+:class:`~repro.serve.sharded.ShardedPatternStore` manifest and answers
+**rank-ordered partial results** over the socket protocol of
+:mod:`repro.serve.protocol`.  The records it returns carry the *coded*
+pattern alongside the decoded names, so the router can k-way merge
+partial streams from many servers with the exact
+:func:`~repro.query.base.rank_key` order a single-process store uses —
+the distributed answer is byte-identical to the in-process one.
+
+Each server optionally runs the existing HTTP layer
+(:mod:`repro.serve.http`) on a second port, scoped to its shard slice:
+that is where the router's health checks (``/healthz``) and per-server
+``/metrics`` live, unchanged from single-process serving.
+
+The socket protocol is request/response over a persistent connection:
+
+====================  ==================================================
+op                    answer
+====================  ==================================================
+``ping``              ``{"ok": True, "patterns": N}`` — liveness
+``status``            generation + per-shard pattern counts
+``describe``          the subset store's :meth:`describe` dict
+``search``            rank-ordered records for ``tokens`` over the
+                      requested ``shards`` (default: all mounted),
+                      honoring ``min_freq`` (σ prefix cut) and ``limit``
+``top``               rank-ordered top-``n`` records
+====================  ==================================================
+
+Every record is ``[coded_ids, frequency, names]``; errors come back as
+``{"error": {"type", "message"}}`` and re-raise client-side with their
+original :mod:`repro.errors` type.
+"""
+
+from __future__ import annotations
+
+import heapq
+import socketserver
+import threading
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import InvalidParameterError, ReproError
+from repro.query.base import rank_key
+from repro.query.tokens import is_negation_only, normalize_query
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    decode_tokens,
+    encode_error,
+    recv_message,
+    send_message,
+)
+from repro.serve.sharded import ShardedPatternStore
+
+
+def parse_shard_list(raw: str) -> tuple[int, ...]:
+    """``"0,2,5"`` → ``(0, 2, 5)`` (the CLI's ``--shards`` argument)."""
+    try:
+        shards = tuple(int(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise InvalidParameterError(
+            f"shard list {raw!r} must be comma-separated integers"
+        ) from None
+    if not shards:
+        raise InvalidParameterError(f"shard list {raw!r} names no shards")
+    return shards
+
+
+# ----------------------------------------------------------------------
+# partial (per-shard-slice) reads — the same machinery ShardedPatternStore
+# uses in-process, restricted to an explicit shard set
+# ----------------------------------------------------------------------
+
+
+def partial_search(
+    store: ShardedPatternStore,
+    tokens,
+    shard_ids: Sequence[int] | None = None,
+    limit: int | None = None,
+    min_freq: int | None = None,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Rank-ordered ``(coded, frequency)`` matches over a shard slice.
+
+    Compiles once, k-way merges the selected shards' rank-ordered
+    streams with the shared :func:`rank_key`, and applies the σ prefix
+    cut and limit exactly as :meth:`PatternSearchBase.search` does —
+    so concatenating/merging slices reproduces the whole store's
+    answer byte for byte.
+    """
+    tokens = normalize_query(tokens)
+    compiled = store._compile(tokens)
+    shards = [
+        store._shard(i)
+        for i in (store.owned_shards if shard_ids is None else shard_ids)
+    ]
+    stream = heapq.merge(
+        *(shard._iter_search(compiled) for shard in shards), key=rank_key
+    )
+    records: list[tuple[tuple[int, ...], int]] = []
+    for pattern, frequency in stream:
+        if min_freq is not None and frequency < min_freq:
+            break  # rank order: everything after is below σ too
+        records.append((pattern, frequency))
+        if limit is not None and len(records) >= limit:
+            break
+    return records
+
+
+def partial_top(
+    store: ShardedPatternStore,
+    n: int,
+    shard_ids: Sequence[int] | None = None,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Rank-ordered top-``n`` ``(coded, frequency)`` over a shard slice."""
+    shards = [
+        store._shard(i)
+        for i in (store.owned_shards if shard_ids is None else shard_ids)
+    ]
+    stream = heapq.merge(
+        *(shard._iter_ranked() for shard in shards), key=rank_key
+    )
+    records: list[tuple[tuple[int, ...], int]] = []
+    for record in stream:
+        if len(records) >= n:
+            break
+        records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# the server
+# ----------------------------------------------------------------------
+
+
+class _ShardTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, owner: "ShardServer") -> None:
+        super().__init__(address, _ShardRequestHandler)
+        self.owner = owner
+        # open connections, tracked so stop() can break their blocked
+        # recv()s: clients must see a *transport* failure from a killed
+        # server (and fail over), never a served error response
+        self.connections: set = set()
+        self.connections_lock = threading.Lock()
+
+    def abort_connections(self) -> None:
+        with self.connections_lock:
+            conns = list(self.connections)
+        for conn in conns:
+            try:
+                conn.shutdown(2)  # SHUT_RDWR
+            except OSError:
+                pass
+
+
+class _ShardRequestHandler(socketserver.BaseRequestHandler):
+    """One connection: a loop of frames until the client hangs up."""
+
+    def setup(self) -> None:
+        with self.server.connections_lock:
+            self.server.connections.add(self.request)
+
+    def finish(self) -> None:
+        with self.server.connections_lock:
+            self.server.connections.discard(self.request)
+
+    def handle(self) -> None:
+        while True:
+            try:
+                request = recv_message(self.request)
+            except EOFError:
+                return  # orderly close between frames
+            except (ConnectionError, OSError, ReproError):
+                return  # client died or sent garbage; drop the link
+            response = self.server.owner.dispatch(request)
+            if response is None:
+                return  # server stopping: hang up, don't answer
+            try:
+                send_message(self.request, response)
+            except OSError:
+                return
+
+
+class ShardServer:
+    """Serve a shard slice of one manifest over sockets (plus HTTP).
+
+    Parameters
+    ----------
+    store_path:
+        Sharded-store directory (the manifest names the shard files).
+    shard_subset:
+        Shard indexes to mount; ``None`` mounts all of them (a fully
+        replicated server).
+    port / http_port:
+        ``0`` binds an ephemeral port; ``http_port=None`` disables the
+        HTTP sidecar (health checks then fall back to socket pings).
+    """
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        shard_subset: Sequence[int] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http_port: int | None = 0,
+        verify_checksums: bool = True,
+        quiet: bool = True,
+    ) -> None:
+        self._store_path = Path(store_path)
+        self._subset = (
+            None if shard_subset is None else tuple(sorted(set(shard_subset)))
+        )
+        self._host = host
+        self._port = port
+        self._http_port = http_port
+        self._verify_checksums = verify_checksums
+        self._quiet = quiet
+        self._store: ShardedPatternStore | None = None
+        self._tcp: _ShardTCPServer | None = None
+        self._http = None
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> ShardedPatternStore:
+        if self._store is None:
+            raise RuntimeError("shard server is not started")
+        return self._store
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` of the socket endpoint (after :meth:`start`)."""
+        assert self._tcp is not None, "shard server is not started"
+        return self._tcp.server_address[:2]
+
+    @property
+    def http_address(self) -> tuple[str, int] | None:
+        if self._http is None:
+            return None
+        return self._http.server_address[:2]
+
+    def start(self) -> "ShardServer":
+        """Mount the shard slice and serve both endpoints from
+        background threads; returns self for chaining."""
+        self._stopping = False
+        self._store = ShardedPatternStore(
+            self._store_path,
+            verify_checksums=self._verify_checksums,
+            shard_subset=self._subset,
+        )
+        self._tcp = _ShardTCPServer((self._host, self._port), self)
+        thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            name="shard-serve-tcp",
+            daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
+        if self._http_port is not None:
+            from repro.serve.http import create_server
+            from repro.serve.service import QueryService
+
+            self._service = QueryService(self._store)
+            self._http = create_server(
+                self._service, self._host, self._http_port, quiet=self._quiet
+            )
+            thread = threading.Thread(
+                target=self._http.serve_forever,
+                name="shard-serve-http",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the store (idempotent).
+
+        Open connections are aborted, not drained: a client mid-query
+        sees the connection die (and fails over to a replica), which is
+        exactly what a crashed server would look like."""
+        self._stopping = True
+        if self._tcp is not None:
+            self._tcp.abort_connections()
+            self._tcp.shutdown()
+            self._tcp.server_close()
+            self._tcp = None
+        if self._http is not None:
+            self._http.shutdown()
+            self._http.server_close()
+            self._http = None
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "ShardServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, request) -> dict | None:
+        """Answer one decoded request frame (never raises: errors become
+        ``{"error": ...}`` responses so the connection survives a bad
+        query).  Returns ``None`` while stopping — the handler then
+        hangs up so the client fails over instead of reading an
+        in-teardown error."""
+        if self._stopping or self._store is None:
+            return None
+        with self._lock:
+            self._requests += 1
+        try:
+            if not isinstance(request, dict):
+                raise InvalidParameterError(
+                    f"request must be a dict, got {type(request).__name__}"
+                )
+            version = request.get("v", PROTOCOL_VERSION)
+            if version != PROTOCOL_VERSION:
+                raise InvalidParameterError(
+                    f"unsupported protocol version {version!r} "
+                    f"(expected {PROTOCOL_VERSION})"
+                )
+            op = request.get("op")
+            if op == "ping":
+                return {"ok": True, "patterns": len(self.store)}
+            if op == "status":
+                return self._status()
+            if op == "describe":
+                return {"describe": self.store.describe()}
+            if op == "search":
+                return {"records": self._search(request)}
+            if op == "top":
+                return {"records": self._top(request)}
+            raise InvalidParameterError(f"unknown op {op!r}")
+        except ReproError as exc:
+            if self._stopping:
+                return None  # failure caused by teardown, not the query
+            with self._lock:
+                self._errors += 1
+            return {"error": encode_error(exc)}
+        except Exception as exc:  # noqa: BLE001 - keep the link alive
+            if self._stopping:
+                return None  # failure caused by teardown, not the query
+            with self._lock:
+                self._errors += 1
+            return {
+                "error": {
+                    "type": "ReproError",
+                    "message": f"internal error: {type(exc).__name__}",
+                }
+            }
+
+    def _status(self) -> dict:
+        store = self.store
+        counts = {}
+        for index in store.owned_shards:
+            counts[str(index)] = store._shard(index)._num_patterns()
+        with self._lock:
+            requests, errors = self._requests, self._errors
+        return {
+            "generation": store.generation,
+            "num_shards": store.num_shards,
+            "owned": list(store.owned_shards),
+            "patterns_by_shard": counts,
+            "requests": requests,
+            "errors": errors,
+        }
+
+    def _shard_ids(self, request) -> list[int] | None:
+        shards = request.get("shards")
+        if shards is None:
+            return None
+        if not isinstance(shards, list) or not all(
+            isinstance(s, int) for s in shards
+        ):
+            raise InvalidParameterError(
+                f"'shards' must be a list of shard indexes, got {shards!r}"
+            )
+        return shards
+
+    def _search(self, request) -> list:
+        tokens = decode_tokens(request.get("tokens"))
+        if is_negation_only(tokens):
+            # the router's service layer rejects these before fan-out;
+            # repeat the guard so a raw client cannot trigger the
+            # unbounded length-group scan either
+            raise InvalidParameterError(
+                "all-negative queries are not served"
+            )
+        limit = request.get("limit")
+        min_freq = request.get("min_freq")
+        records = partial_search(
+            self.store,
+            tokens,
+            shard_ids=self._shard_ids(request),
+            limit=limit,
+            min_freq=min_freq,
+        )
+        return self._render(records)
+
+    def _top(self, request) -> list:
+        n = request.get("n")
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise InvalidParameterError(f"'n' must be an integer >= 1, got {n!r}")
+        records = partial_top(
+            self.store, n, shard_ids=self._shard_ids(request)
+        )
+        return self._render(records)
+
+    def _render(self, records) -> list:
+        vocabulary = self.store.vocabulary
+        return [
+            [list(coded), frequency, list(vocabulary.decode_sequence(coded))]
+            for coded, frequency in records
+        ]
+
+
+__all__ = [
+    "ShardServer",
+    "partial_search",
+    "partial_top",
+    "parse_shard_list",
+]

@@ -102,10 +102,12 @@ def render_metrics(stats: dict) -> str:
     )
     store = stats.get("store")
     if store:
-        emit(
-            "lash_store_file_bytes", "gauge",
-            "Total bytes of the store file(s).", store["file_bytes"],
-        )
+        # the router backend describes a cluster, not a local file set
+        if "file_bytes" in store:
+            emit(
+                "lash_store_file_bytes", "gauge",
+                "Total bytes of the store file(s).", store["file_bytes"],
+            )
         if "generation" in store:
             emit(
                 "lash_store_generation", "gauge",
@@ -128,6 +130,65 @@ def render_metrics(stats: dict) -> str:
                     f'lash_shard_patterns{{shard="{i}"}} '
                     f'{shard["patterns"]}'
                 )
+        if store.get("router"):
+            emit(
+                "lash_router_fanouts_total", "counter",
+                "Queries fanned out across the cluster.",
+                store["fanouts"],
+            )
+            emit(
+                "lash_router_retries_total", "counter",
+                "Failover retries issued to replica servers.",
+                store["fanout_retries"],
+            )
+            emit(
+                "lash_router_server_failures_total", "counter",
+                "Shard-server requests that failed at transport level.",
+                store["server_failures"],
+            )
+            emit(
+                "lash_router_partial_results_total", "counter",
+                "Queries answered without a fully-down shard set.",
+                store["partial_results"],
+            )
+            servers = store.get("servers", {})
+            if servers:
+                lines.append(
+                    "# HELP lash_router_server_healthy Last known health "
+                    "per shard server (1 healthy, 0 down)."
+                )
+                lines.append("# TYPE lash_router_server_healthy gauge")
+                for key, info in servers.items():
+                    lines.append(
+                        f'lash_router_server_healthy{{server="{key}"}} '
+                        f'{1 if info.get("healthy") else 0}'
+                    )
+            fanout = store.get("fanout_latency")
+            if fanout:
+                name = "lash_router_fanout_latency_seconds"
+                lines.append(
+                    f"# HELP {name} Shard-server round-trip time per "
+                    "shard (each fan-out request observed for every "
+                    "shard it covered)."
+                )
+                lines.append(f"# TYPE {name} histogram")
+                for shard, hist in fanout.items():
+                    label = f'shard="{shard}"'
+                    for bound, cumulative in hist["buckets"]:
+                        lines.append(
+                            f'{name}_bucket{{{label},'
+                            f'le="{format(bound, "g")}"}} {cumulative}'
+                        )
+                    lines.append(
+                        f'{name}_bucket{{{label},le="+Inf"}} '
+                        f'{hist["count"]}'
+                    )
+                    lines.append(
+                        f'{name}_sum{{{label}}} {hist["sum_seconds"]}'
+                    )
+                    lines.append(
+                        f'{name}_count{{{label}}} {hist["count"]}'
+                    )
     compaction = stats.get("compaction")
     if compaction:
         emit(

@@ -1,0 +1,355 @@
+"""Wire protocol of the distributed serving tier.
+
+The router and the shard servers speak a length-prefixed binary
+protocol over plain TCP sockets — no serialization dependency, just the
+store's own varint codec (:mod:`repro.io.codec`) applied to a small
+self-describing value encoding:
+
+* a **frame** is ``uvarint(len(body)) + body``, so a reader never
+  guesses message boundaries and a single allocation holds the body;
+* a **body** is one :func:`encode_value` value — ``None``, bools,
+  ints (zigzag varints), strings, bytes, lists and string-keyed dicts,
+  nested arbitrarily.  Requests and responses are plain dicts.
+
+Query tokens cross the wire *structurally* (:func:`encode_tokens` /
+:func:`decode_tokens`), not as query strings: the string syntax cannot
+spell every item name (that is why :class:`~repro.query.tokens.Q`
+exists), and re-parsing on the server would re-do work the router's
+service layer already did.
+
+Remote errors carry their exception type name so the router re-raises
+the *same* :mod:`repro.errors` class the backend would have raised
+locally — the HTTP layer's 400-vs-503 mapping keeps working unchanged
+across the network hop (:func:`encode_error` / :func:`decode_error`).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import (
+    EncodingError,
+    HierarchyError,
+    InvalidParameterError,
+    ReproError,
+    StoreCorruptError,
+    UnknownItemError,
+)
+from repro.io.codec import (
+    read_uvarint,
+    write_uvarint,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.query.tokens import (
+    AnyToken,
+    FloorToken,
+    GapToken,
+    ItemToken,
+    NotToken,
+    OneOfToken,
+    PlusToken,
+    QueryToken,
+    SpanToken,
+    UnderToken,
+)
+
+#: protocol revision; servers reject requests tagged with another one
+#: instead of misreading them
+PROTOCOL_VERSION = 1
+
+#: a frame larger than this is a corrupt length prefix, not a result
+#: set — reject before allocating the claimed size
+MAX_FRAME_BYTES = 1 << 26  # 64 MiB
+
+# value-encoding type tags
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_STR = 4
+_T_BYTES = 5
+_T_LIST = 6
+_T_DICT = 7
+
+
+# ----------------------------------------------------------------------
+# value encoding
+# ----------------------------------------------------------------------
+
+
+def encode_value(value, buf: bytearray | None = None) -> bytearray:
+    """Append one value to ``buf`` (tuples encode as lists)."""
+    if buf is None:
+        buf = bytearray()
+    if value is None:
+        buf.append(_T_NONE)
+    elif value is True:
+        buf.append(_T_TRUE)
+    elif value is False:
+        buf.append(_T_FALSE)
+    elif isinstance(value, int):
+        buf.append(_T_INT)
+        write_uvarint(buf, zigzag_encode(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        buf.append(_T_STR)
+        write_uvarint(buf, len(raw))
+        buf += raw
+    elif isinstance(value, (bytes, bytearray)):
+        buf.append(_T_BYTES)
+        write_uvarint(buf, len(value))
+        buf += value
+    elif isinstance(value, (list, tuple)):
+        buf.append(_T_LIST)
+        write_uvarint(buf, len(value))
+        for item in value:
+            encode_value(item, buf)
+    elif isinstance(value, dict):
+        buf.append(_T_DICT)
+        write_uvarint(buf, len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise EncodingError(
+                    f"protocol dict keys must be strings, got {key!r}"
+                )
+            raw = key.encode("utf-8")
+            write_uvarint(buf, len(raw))
+            buf += raw
+            encode_value(item, buf)
+    else:
+        raise EncodingError(
+            f"protocol cannot encode {type(value).__name__}: {value!r}"
+        )
+    return buf
+
+
+def decode_value(data, offset: int = 0):
+    """Decode one value; returns ``(value, end_offset)``."""
+    try:
+        tag = data[offset]
+    except IndexError:
+        raise EncodingError("truncated protocol value") from None
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        raw, offset = read_uvarint(data, offset)
+        return zigzag_decode(raw), offset
+    if tag == _T_STR:
+        n, offset = read_uvarint(data, offset)
+        return bytes(data[offset:offset + n]).decode("utf-8"), offset + n
+    if tag == _T_BYTES:
+        n, offset = read_uvarint(data, offset)
+        return bytes(data[offset:offset + n]), offset + n
+    if tag == _T_LIST:
+        n, offset = read_uvarint(data, offset)
+        items = []
+        for _ in range(n):
+            item, offset = decode_value(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _T_DICT:
+        n, offset = read_uvarint(data, offset)
+        out = {}
+        for _ in range(n):
+            k, offset = read_uvarint(data, offset)
+            key = bytes(data[offset:offset + k]).decode("utf-8")
+            offset += k
+            out[key], offset = decode_value(data, offset)
+        return out, offset
+    raise EncodingError(f"unknown protocol type tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# framing over sockets
+# ----------------------------------------------------------------------
+
+
+def send_message(sock: socket.socket, value) -> None:
+    """Encode ``value`` and write it as one length-prefixed frame."""
+    body = encode_value(value)
+    frame = bytearray()
+    write_uvarint(frame, len(body))
+    frame += body
+    sock.sendall(frame)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < n:
+        chunk = sock.recv(n - len(chunks))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks += chunk
+    return bytes(chunks)
+
+
+def recv_message(sock: socket.socket):
+    """Read one frame and decode its value.
+
+    Returns ``None``-sentinel-free: an orderly EOF *before any byte of
+    a frame* raises :class:`EOFError` (the connection is simply done);
+    EOF mid-frame raises :class:`ConnectionError` (the peer died).
+    """
+    # the length prefix arrives byte by byte (varints have no fixed
+    # width); the first byte distinguishes EOF-between-frames from
+    # EOF-mid-frame
+    length = 0
+    shift = 0
+    first = True
+    while True:
+        byte = sock.recv(1)
+        if not byte:
+            if first:
+                raise EOFError("connection closed")
+            raise ConnectionError("peer closed mid-frame")
+        first = False
+        length |= (byte[0] & 0x7F) << shift
+        if not byte[0] & 0x80:
+            break
+        shift += 7
+        if shift > 63:
+            raise EncodingError("oversized frame length prefix")
+    if length > MAX_FRAME_BYTES:
+        raise EncodingError(
+            f"frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    body = _recv_exact(sock, length)
+    value, end = decode_value(body, 0)
+    if end != length:
+        raise EncodingError(
+            f"frame carries {length - end} trailing bytes after its value"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# query tokens on the wire
+# ----------------------------------------------------------------------
+
+
+def encode_token(token: QueryToken) -> list:
+    """One token as a nested-list structure the value codec can carry."""
+    if isinstance(token, ItemToken):
+        return ["item", token.name]
+    if isinstance(token, UnderToken):
+        return ["under", token.name]
+    if isinstance(token, AnyToken):
+        return ["any"]
+    if isinstance(token, PlusToken):
+        return ["plus"]
+    if isinstance(token, SpanToken):
+        return ["span"]
+    if isinstance(token, GapToken):
+        return ["gap", token.min_items, token.max_items]
+    if isinstance(token, NotToken):
+        return ["not", encode_token(token.inner)]
+    if isinstance(token, OneOfToken):
+        return ["oneof", [encode_token(c) for c in token.choices]]
+    if isinstance(token, FloorToken):
+        return ["floor", encode_token(token.inner), token.floor]
+    raise EncodingError(f"cannot encode query token {token!r}")
+
+
+def decode_token(obj) -> QueryToken:
+    if not isinstance(obj, list) or not obj:
+        raise EncodingError(f"malformed wire token {obj!r}")
+    kind = obj[0]
+    try:
+        if kind == "item":
+            return ItemToken(obj[1])
+        if kind == "under":
+            return UnderToken(obj[1])
+        if kind == "any":
+            return AnyToken()
+        if kind == "plus":
+            return PlusToken()
+        if kind == "span":
+            return SpanToken()
+        if kind == "gap":
+            return GapToken(obj[1], obj[2])
+        if kind == "not":
+            return NotToken(decode_token(obj[1]))
+        if kind == "oneof":
+            return OneOfToken(tuple(decode_token(c) for c in obj[1]))
+        if kind == "floor":
+            return FloorToken(decode_token(obj[1]), obj[2])
+    except (IndexError, TypeError) as exc:
+        raise EncodingError(f"malformed wire token {obj!r}: {exc}") from None
+    raise EncodingError(f"unknown wire token kind {kind!r}")
+
+
+def encode_tokens(tokens) -> list:
+    return [encode_token(token) for token in tokens]
+
+
+def decode_tokens(obj) -> tuple[QueryToken, ...]:
+    if not isinstance(obj, list):
+        raise EncodingError(f"malformed wire token list {obj!r}")
+    return tuple(decode_token(item) for item in obj)
+
+
+# ----------------------------------------------------------------------
+# remote errors
+# ----------------------------------------------------------------------
+
+#: exception classes allowed to cross the wire by name; anything else
+#: degrades to the base class (clients treat it as a server-side error)
+_ERROR_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        ReproError,
+        HierarchyError,
+        UnknownItemError,
+        InvalidParameterError,
+        EncodingError,
+        StoreCorruptError,
+    )
+}
+
+
+def encode_error(exc: ReproError) -> dict:
+    """``{"type", "message"[, "item"]}`` for a response's error field."""
+    message = (
+        exc.args[0]
+        if exc.args and isinstance(exc.args[0], str)
+        else str(exc)
+    )
+    out = {"type": type(exc).__name__, "message": message}
+    item = getattr(exc, "item", None)
+    if isinstance(item, str):
+        out["item"] = item
+    return out
+
+
+def decode_error(obj: dict) -> ReproError:
+    """Rebuild the remote exception with its original type and message,
+    so ``except UnknownItemError`` (and the HTTP status mapping) behave
+    identically for local and remote backends."""
+    cls = _ERROR_TYPES.get(obj.get("type"), ReproError)
+    if cls is UnknownItemError and "item" in obj:
+        return UnknownItemError(obj["item"])
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, obj.get("message", "remote error"))
+    return exc
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "encode_value",
+    "decode_value",
+    "send_message",
+    "recv_message",
+    "encode_token",
+    "decode_token",
+    "encode_tokens",
+    "decode_tokens",
+    "encode_error",
+    "decode_error",
+]

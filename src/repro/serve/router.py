@@ -1,0 +1,747 @@
+"""Query router: fan-out over shard servers, merge, failover.
+
+The router is the distributed tier's front end.  It owns the **cluster
+map** — which shard lives on which servers — fans each query out to one
+server per shard group, and k-way heap-merges the rank-ordered partial
+answers with the same ``(-frequency, coded_pattern)`` key every backend
+uses, so the merged answer is byte-identical to a single-process
+:class:`~repro.serve.sharded.ShardedPatternStore` over the same
+manifest.
+
+:class:`RouterBackend` implements the backend surface
+:class:`~repro.serve.service.QueryService` consumes (``search``,
+``top``, ``__len__``, ``describe``, ``close``), which means the whole
+existing HTTP layer — endpoints, error mapping, metrics — serves a
+cluster unchanged.
+
+Placement and failover:
+
+* :func:`plan_placement` assigns each shard ``replication`` servers via
+  a consistent-hash ring (virtual nodes over the repo's FNV
+  :func:`~repro.mapreduce.engine.stable_hash`), so adding a server
+  moves few shards; explicit per-server shard lists in the cluster
+  config override it.
+* Each fan-out has one **deadline budget**: every socket operation gets
+  the time remaining, not a fresh timeout, so retries cannot stretch a
+  request beyond the budget.
+* A shard whose chosen server fails is retried **once** on its next
+  untried replica; servers that fail are marked unhealthy and excluded
+  from later plans until a health check (``/healthz`` of the shard
+  server's HTTP sidecar, or a socket ping) revives them.
+* If a shard's replica set is exhausted the query **degrades**: the
+  answer covers the reachable shards and the response is flagged
+  partial (:meth:`RouterBackend.take_partial`) instead of failing —
+  and partial answers are never cached upstream.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import itertools
+import json
+import socket
+import threading
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import (
+    InvalidParameterError,
+    ReproError,
+    StoreCorruptError,
+)
+from repro.mapreduce.engine import stable_hash
+from repro.query.base import QueryMatch
+from repro.query.tokens import normalize_query
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    decode_error,
+    encode_tokens,
+    recv_message,
+    send_message,
+)
+from repro.serve.service import LatencyHistogram
+
+#: virtual nodes per server on the placement ring — enough to spread
+#: shards evenly across a handful of servers
+_VNODES = 64
+
+#: floor for any single socket operation's timeout: once the deadline
+#: budget is nearly spent, fail fast instead of waiting 0 seconds
+_MIN_TIMEOUT = 0.05
+
+
+# ----------------------------------------------------------------------
+# cluster map
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One shard server endpoint (socket port + optional HTTP sidecar)."""
+
+    host: str
+    port: int
+    http_port: int | None = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+def plan_placement(
+    server_keys: Sequence[str], num_shards: int, replication: int = 1
+) -> dict[int, list[str]]:
+    """Consistent-hash shard→replica placement.
+
+    Each server contributes ``_VNODES`` ring points; shard ``i`` hashes
+    onto the ring and takes the next ``replication`` *distinct* servers
+    clockwise.  Deterministic for a given server set, and adding or
+    removing one server relocates only the shards whose arcs it
+    touches.
+    """
+    if not server_keys:
+        raise InvalidParameterError("placement needs at least one server")
+    replication = max(1, min(replication, len(set(server_keys))))
+    ring = sorted(
+        (stable_hash(f"{key}#{vnode}"), key)
+        for key in set(server_keys)
+        for vnode in range(_VNODES)
+    )
+    placement: dict[int, list[str]] = {}
+    for shard in range(num_shards):
+        point = stable_hash(f"shard:{shard}")
+        start = bisect.bisect_right(ring, (point, "￿"))
+        replicas: list[str] = []
+        for index in range(start, start + len(ring)):
+            key = ring[index % len(ring)][1]
+            if key not in replicas:
+                replicas.append(key)
+                if len(replicas) == replication:
+                    break
+        placement[shard] = replicas
+    return placement
+
+
+class ClusterMap:
+    """Shard→replica placement over a set of :class:`ServerSpec`.
+
+    Built from a config dict (usually a JSON file)::
+
+        {
+          "num_shards": 4,
+          "replication": 2,
+          "servers": [
+            {"host": "127.0.0.1", "port": 7601, "http_port": 7611},
+            {"host": "127.0.0.1", "port": 7602, "http_port": 7612}
+          ]
+        }
+
+    Placement is consistent-hash by default; a server may instead pin
+    its shards explicitly with ``"shards": [0, 2]`` (then every server
+    must pin, and each shard needs at least one owner).  Every server
+    is expected to mount at least the shards placed on it.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[ServerSpec],
+        num_shards: int,
+        replication: int = 1,
+        placement: dict[int, list[str]] | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise InvalidParameterError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if not servers:
+            raise InvalidParameterError("cluster has no servers")
+        self.servers: dict[str, ServerSpec] = {}
+        for spec in servers:
+            if spec.key in self.servers:
+                raise InvalidParameterError(
+                    f"duplicate server {spec.key} in cluster map"
+                )
+            self.servers[spec.key] = spec
+        self.num_shards = num_shards
+        self.replication = replication
+        if placement is None:
+            placement = plan_placement(
+                list(self.servers), num_shards, replication
+            )
+        self.placement: dict[int, tuple[str, ...]] = {}
+        for shard in range(num_shards):
+            replicas = tuple(placement.get(shard, ()))
+            if not replicas:
+                raise InvalidParameterError(
+                    f"shard {shard} has no replicas in the cluster map"
+                )
+            unknown = [key for key in replicas if key not in self.servers]
+            if unknown:
+                raise InvalidParameterError(
+                    f"shard {shard} placed on unknown servers {unknown}"
+                )
+            self.placement[shard] = replicas
+
+    @classmethod
+    def from_config(cls, config: dict) -> "ClusterMap":
+        try:
+            num_shards = config["num_shards"]
+            raw_servers = config["servers"]
+        except (TypeError, KeyError) as exc:
+            raise InvalidParameterError(
+                f"cluster config must define {exc} "
+                "(required: num_shards, servers)"
+            ) from None
+        specs: list[ServerSpec] = []
+        pinned: dict[int, list[str]] = {}
+        explicit = 0
+        for entry in raw_servers:
+            try:
+                spec = ServerSpec(
+                    host=entry["host"],
+                    port=entry["port"],
+                    http_port=entry.get("http_port"),
+                )
+            except (TypeError, KeyError) as exc:
+                raise InvalidParameterError(
+                    f"server entry {entry!r} must define {exc}"
+                ) from None
+            specs.append(spec)
+            shards = entry.get("shards")
+            if shards is not None:
+                explicit += 1
+                for shard in shards:
+                    pinned.setdefault(shard, []).append(spec.key)
+        if explicit and explicit != len(specs):
+            raise InvalidParameterError(
+                "either every server pins its shards or none does"
+            )
+        return cls(
+            specs,
+            num_shards=num_shards,
+            replication=config.get("replication", 1),
+            placement=pinned if explicit else None,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ClusterMap":
+        try:
+            config = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise InvalidParameterError(
+                f"cannot read cluster map {path}: {exc}"
+            ) from None
+        return cls.from_config(config)
+
+    def replicas(self, shard: int) -> tuple[str, ...]:
+        try:
+            return self.placement[shard]
+        except KeyError:
+            raise InvalidParameterError(
+                f"shard {shard} is outside the cluster map "
+                f"(num_shards={self.num_shards})"
+            ) from None
+
+    def describe(self) -> dict:
+        return {
+            "num_shards": self.num_shards,
+            "replication": self.replication,
+            "servers": sorted(self.servers),
+            "placement": {
+                str(shard): list(replicas)
+                for shard, replicas in sorted(self.placement.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# shard client (pooled persistent connections)
+# ----------------------------------------------------------------------
+
+
+class ShardClient:
+    """Framed request/response to one shard server, with a small pool
+    of persistent connections.
+
+    A pooled connection that fails before yielding a response byte may
+    simply have been idle past the server's patience — the request is
+    retried once on a fresh connection.  A *fresh* connection failing
+    is the server being down and propagates.
+    """
+
+    def __init__(self, host: str, port: int, pool_size: int = 2) -> None:
+        self._host = host
+        self._port = port
+        self._pool_size = pool_size
+        self._pool: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _connect(self, timeout: float) -> socket.socket:
+        return socket.create_connection(
+            (self._host, self._port), timeout=timeout
+        )
+
+    def _checkout(self) -> socket.socket | None:
+        with self._lock:
+            if self._pool:
+                return self._pool.pop()
+        return None
+
+    def _checkin(self, conn: socket.socket) -> None:
+        with self._lock:
+            if not self._closed and len(self._pool) < self._pool_size:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def request(self, payload: dict, timeout: float):
+        """One round trip; raises the remote :mod:`repro.errors` type on
+        an error response, ``OSError``/``ConnectionError`` on transport
+        failure."""
+        conn = self._checkout()
+        fresh = conn is None
+        if conn is None:
+            conn = self._connect(timeout)
+        try:
+            conn.settimeout(timeout)
+            send_message(conn, payload)
+            response = recv_message(conn)
+        except (OSError, EOFError, ConnectionError):
+            conn.close()
+            if fresh:
+                raise
+            # stale pooled socket — one retry on a new connection
+            conn = self._connect(timeout)
+            try:
+                conn.settimeout(timeout)
+                send_message(conn, payload)
+                response = recv_message(conn)
+            except (OSError, EOFError, ConnectionError):
+                conn.close()
+                raise
+        self._checkin(conn)
+        if isinstance(response, dict) and "error" in response:
+            raise decode_error(response["error"])
+        return response
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# the fan-out backend
+# ----------------------------------------------------------------------
+
+
+def _record_key(record) -> tuple[int, tuple[int, ...]]:
+    # the wire record is (coded, frequency, names); rank order is the
+    # shared (-frequency, coded) so merged streams interleave exactly
+    # like ShardedPatternStore's in-process heap
+    return (-record[1], record[0])
+
+
+class RouterBackend:
+    """Fan-out search backend over a cluster of shard servers.
+
+    Duck-types the slice of the backend surface ``QueryService`` uses:
+    ``search``/``top`` (returning :class:`QueryMatch` lists in the
+    canonical rank order), ``__len__``, ``describe`` and ``close`` —
+    plus :meth:`take_partial`, which the service layer polls after each
+    backend call to learn whether the answer degraded.
+
+    Not a :class:`~repro.query.base.PatternSearchBase`: the router
+    holds no vocabulary and no postings, only sockets.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterMap,
+        deadline: float = 5.0,
+        pool_size: int = 2,
+        health_timeout: float = 1.0,
+    ) -> None:
+        if deadline <= 0:
+            raise InvalidParameterError(
+                f"deadline must be > 0 seconds, got {deadline}"
+            )
+        self._cluster = cluster
+        self._deadline = deadline
+        self._health_timeout = health_timeout
+        self._clients = {
+            key: ShardClient(spec.host, spec.port, pool_size=pool_size)
+            for key, spec in cluster.servers.items()
+        }
+        self._healthy = {key: True for key in cluster.servers}
+        self._lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(cluster.servers)),
+            thread_name_prefix="router-fanout",
+        )
+        self._shard_hists: dict[int, LatencyHistogram] = {
+            shard: LatencyHistogram() for shard in range(cluster.num_shards)
+        }
+        self._fanouts = 0
+        self._retries = 0
+        self._server_failures = 0
+        self._partials = 0
+        self._patterns_total: int | None = None
+        self._tls = threading.local()
+        self._health_stop: threading.Event | None = None
+        self._health_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def _probe(self, key: str) -> bool:
+        spec = self._cluster.servers[key]
+        if spec.http_port is not None:
+            url = f"http://{spec.host}:{spec.http_port}/healthz"
+            try:
+                with urllib.request.urlopen(
+                    url, timeout=self._health_timeout
+                ) as response:
+                    return response.status == 200
+            except OSError:
+                return False
+        try:
+            answer = self._clients[key].request(
+                {"v": PROTOCOL_VERSION, "op": "ping"}, self._health_timeout
+            )
+        except (OSError, EOFError, ConnectionError, ReproError):
+            return False
+        return bool(isinstance(answer, dict) and answer.get("ok"))
+
+    def check_health(self) -> dict[str, bool]:
+        """Probe every server once and update the health map.
+
+        Shard servers answer ``/healthz`` on their HTTP sidecar (or a
+        socket ping when they run without one).  A server marked down
+        is excluded from fan-out plans; a later probe revives it.
+        """
+        status = {key: self._probe(key) for key in self._cluster.servers}
+        with self._lock:
+            self._healthy.update(status)
+        return status
+
+    def start_health_loop(self, interval: float = 2.0) -> None:
+        """Re-probe every ``interval`` seconds from a daemon thread."""
+        if self._health_thread is not None:
+            return
+        self._health_stop = threading.Event()
+
+        def loop() -> None:
+            while not self._health_stop.wait(interval):
+                try:
+                    self.check_health()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+
+        self._health_thread = threading.Thread(
+            target=loop, name="router-health", daemon=True
+        )
+        self._health_thread.start()
+
+    def _mark_down(self, key: str) -> None:
+        with self._lock:
+            if self._healthy.get(key, True):
+                self._healthy[key] = False
+            self._server_failures += 1
+
+    def healthy_servers(self) -> dict[str, bool]:
+        with self._lock:
+            return dict(self._healthy)
+
+    # ------------------------------------------------------------------
+    # fan-out
+    # ------------------------------------------------------------------
+
+    def _pick(self, shard: int, tried: set[str]) -> str | None:
+        """Next replica to try for ``shard``: untried healthy ones in
+        placement order, then untried unhealthy ones (a shard whose
+        whole replica set is marked down is still *attempted* — health
+        data may be stale, and connection-refused fails in
+        microseconds)."""
+        replicas = self._cluster.replicas(shard)
+        with self._lock:
+            healthy = [
+                key
+                for key in replicas
+                if key not in tried and self._healthy.get(key, True)
+            ]
+            if healthy:
+                return healthy[0]
+        for key in replicas:
+            if key not in tried:
+                return key
+        return None
+
+    def _scatter(
+        self, make_payload: Callable[[list[int]], dict]
+    ) -> tuple[list[list], dict]:
+        """Fan one request out across the cluster.
+
+        Returns ``(group_records, partial_info)`` where each element of
+        ``group_records`` is one server's rank-ordered record list and
+        ``partial_info`` is ``{}`` when every shard answered, else
+        ``{"missing_shards": [...], "failed_servers": [...]}``.
+
+        Each shard gets at most two attempts (primary pick + one
+        failover replica), all under a single deadline budget.
+        """
+        deadline = time.monotonic() + self._deadline
+        with self._lock:
+            self._fanouts += 1
+        tried: dict[int, set[str]] = {
+            shard: set() for shard in range(self._cluster.num_shards)
+        }
+        pending = list(range(self._cluster.num_shards))
+        group_records: list[list] = []
+        failed_servers: set[str] = set()
+        retried: set[int] = set()
+        for attempt in (0, 1):
+            if not pending:
+                break
+            # group this wave's shards by their chosen server so one
+            # request per server covers all its shards
+            groups: dict[str, list[int]] = {}
+            unservable: list[int] = []
+            for shard in pending:
+                key = self._pick(shard, tried[shard])
+                if key is None:
+                    unservable.append(shard)
+                    continue
+                tried[shard].add(key)
+                groups.setdefault(key, []).append(shard)
+            if attempt:
+                retried.update(
+                    shard for shards in groups.values() for shard in shards
+                )
+                with self._lock:
+                    self._retries += len(groups)
+            futures = {
+                self._executor.submit(
+                    self._call_group, key, shards, make_payload, deadline
+                ): (key, shards)
+                for key, shards in groups.items()
+            }
+            pending = unservable
+            error: ReproError | None = None
+            for future, (key, shards) in futures.items():
+                records, failure = future.result()
+                if failure is None:
+                    group_records.append(records)
+                elif isinstance(failure, ReproError) and not isinstance(
+                    failure, StoreCorruptError
+                ):
+                    # a query error (unknown item, bad parameter…) is
+                    # the *answer*, not a server failure — remember it,
+                    # but keep draining futures first
+                    error = failure
+                else:
+                    failed_servers.add(key)
+                    self._mark_down(key)
+                    pending.extend(shards)
+            if error is not None:
+                raise error
+        partial: dict = {}
+        if pending:
+            with self._lock:
+                self._partials += 1
+            partial = {
+                "missing_shards": sorted(pending),
+                "failed_servers": sorted(failed_servers),
+            }
+            if retried:
+                partial["retried_shards"] = sorted(retried)
+        return group_records, partial
+
+    def _call_group(
+        self,
+        key: str,
+        shards: list[int],
+        make_payload: Callable[[list[int]], dict],
+        deadline: float,
+    ):
+        """One server request covering ``shards``; returns
+        ``(records, failure)`` with exactly one of the two set."""
+        timeout = max(_MIN_TIMEOUT, deadline - time.monotonic())
+        start = time.monotonic()
+        try:
+            response = self._clients[key].request(
+                make_payload(shards), timeout
+            )
+            raw = response.get("records") if isinstance(response, dict) else None
+            if raw is None:
+                raise StoreCorruptError(
+                    f"server {key} sent a malformed response"
+                )
+            records = [
+                (tuple(coded), frequency, tuple(names))
+                for coded, frequency, names in raw
+            ]
+        except Exception as exc:  # noqa: BLE001 - sorted by the caller
+            return None, exc
+        finally:
+            elapsed = time.monotonic() - start
+            with self._lock:
+                for shard in shards:
+                    self._shard_hists[shard].observe(elapsed)
+        return records, None
+
+    def _set_partial(self, partial: dict) -> None:
+        self._tls.partial = partial or None
+
+    def take_partial(self) -> dict | None:
+        """Degradation info for the *calling thread's* latest query
+        (``None`` when it covered every shard).  Reading clears it."""
+        partial = getattr(self._tls, "partial", None)
+        self._tls.partial = None
+        return partial
+
+    # ------------------------------------------------------------------
+    # backend surface
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query,
+        limit: int | None = None,
+        min_freq: int | None = None,
+    ) -> list[QueryMatch]:
+        """Fan the normalized query out and merge the partial answers.
+
+        Per-shard σ cuts compose (rank order makes ``min_freq`` a
+        stream prefix) and ``limit`` pushes down as a per-server upper
+        bound, re-applied globally after the merge.
+        """
+        tokens = encode_tokens(normalize_query(query))
+
+        def make_payload(shards: list[int]) -> dict:
+            return {
+                "v": PROTOCOL_VERSION,
+                "op": "search",
+                "tokens": tokens,
+                "shards": shards,
+                "limit": limit,
+                "min_freq": min_freq,
+            }
+
+        groups, partial = self._scatter(make_payload)
+        merged = heapq.merge(*groups, key=_record_key)
+        if limit is not None:
+            merged = itertools.islice(merged, limit)
+        self._set_partial(partial)
+        return [
+            QueryMatch(names, frequency) for _, frequency, names in merged
+        ]
+
+    def top(self, n: int) -> list[QueryMatch]:
+        """Global top-``n``: per-server top-``n`` streams merged, first
+        ``n`` kept."""
+
+        def make_payload(shards: list[int]) -> dict:
+            return {
+                "v": PROTOCOL_VERSION,
+                "op": "top",
+                "n": n,
+                "shards": shards,
+            }
+
+        groups, partial = self._scatter(make_payload)
+        merged = itertools.islice(heapq.merge(*groups, key=_record_key), n)
+        self._set_partial(partial)
+        return [
+            QueryMatch(names, frequency) for _, frequency, names in merged
+        ]
+
+    def __len__(self) -> int:
+        """Total patterns across the cluster's shards.
+
+        Scatters one ``status`` per server until every shard is
+        counted; the total is cached once complete (the distributed
+        tier serves one store generation).  With servers down this
+        returns the reachable shards' count, uncached.
+        """
+        with self._lock:
+            if self._patterns_total is not None:
+                return self._patterns_total
+        counts: dict[int, int] = {}
+        asked: set[str] = set()
+        for shard in range(self._cluster.num_shards):
+            if shard in counts:
+                continue
+            for key in self._cluster.replicas(shard):
+                if key in asked:
+                    continue
+                asked.add(key)
+                try:
+                    status = self._clients[key].request(
+                        {"v": PROTOCOL_VERSION, "op": "status"},
+                        self._health_timeout,
+                    )
+                except (OSError, EOFError, ConnectionError, ReproError):
+                    continue
+                for index, patterns in status["patterns_by_shard"].items():
+                    counts[int(index)] = patterns
+                if shard in counts:
+                    break
+        total = sum(counts.values())
+        if len(counts) == self._cluster.num_shards:
+            with self._lock:
+                self._patterns_total = total
+        return total
+
+    def describe(self) -> dict:
+        # cluster facts first: the per-server health map below must win
+        # over ClusterMap.describe()'s plain server list
+        info = self._cluster.describe()
+        with self._lock:
+            info.update({
+                "router": True,
+                "fanouts": self._fanouts,
+                "fanout_retries": self._retries,
+                "server_failures": self._server_failures,
+                "partial_results": self._partials,
+                "servers": {
+                    key: {
+                        "healthy": self._healthy[key],
+                        "http_port": self._cluster.servers[key].http_port,
+                    }
+                    for key in sorted(self._cluster.servers)
+                },
+                "fanout_latency": {
+                    str(shard): hist.snapshot()
+                    for shard, hist in sorted(self._shard_hists.items())
+                },
+            })
+        return info
+
+    def close(self) -> None:
+        if self._health_stop is not None:
+            self._health_stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=5)
+            self._health_thread = None
+        self._executor.shutdown(wait=False)
+        for client in self._clients.values():
+            client.close()
+
+
+__all__ = [
+    "ClusterMap",
+    "RouterBackend",
+    "ServerSpec",
+    "ShardClient",
+    "plan_placement",
+]

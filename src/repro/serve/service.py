@@ -197,7 +197,7 @@ class QueryService:
         """
         if limit is not None and limit < 1:
             self._reject(f"limit must be >= 1 or null, got {limit}")
-        (rendered, count, total), hit, matches, tokens, min_freq = (
+        (rendered, count, total), hit, matches, tokens, min_freq, partial = (
             self._search(query, min_freq)
         )
         wanted = count if limit is None else min(limit, count)
@@ -214,6 +214,7 @@ class QueryService:
             shown = _render(
                 self._backend.search(tokens, limit=limit, min_freq=min_freq)
             )
+            partial = self._take_partial() or partial
             with self._lock:
                 self._latency_s += time.perf_counter() - start
                 self._cache_hits -= 1
@@ -226,12 +227,14 @@ class QueryService:
         }
         if min_freq is not None:
             result["min_freq"] = min_freq
+        if partial is not None:
+            result["partial"] = partial
         return result
 
     def count(self, query: str, min_freq: int | None = None) -> dict:
         """Match count and frequency mass only (no result list)."""
-        (_, count, total), _hit, _matches, _tokens, min_freq = self._search(
-            query, min_freq
+        (_, count, total), _hit, _matches, _tokens, min_freq, partial = (
+            self._search(query, min_freq)
         )
         result = {
             "query": query,
@@ -240,6 +243,8 @@ class QueryService:
         }
         if min_freq is not None:
             result["min_freq"] = min_freq
+        if partial is not None:
+            result["partial"] = partial
         return result
 
     def topk(self, n: int = DEFAULT_LIMIT) -> dict:
@@ -252,10 +257,22 @@ class QueryService:
         if n < 1:
             self._reject(f"n must be >= 1, got {n}")
         n = min(n, self._max_cached_matches)
+        spill: dict = {}
+
+        def compute(key: tuple) -> dict:
+            matches = self._backend.top(key[2])
+            spill["partial"] = self._take_partial()
+            return {"k": key[2], "matches": _render(matches)}
+
         value, _hit = self._cached(
             ("topk", "", n),
-            lambda key: {"k": key[2], "matches": _render(self._backend.top(key[2]))},
+            compute,
+            should_cache=lambda _v: spill.get("partial") is None,
         )
+        partial = spill.get("partial")
+        if partial is not None:
+            # never mutate what may sit in the cache
+            value = {**value, "partial": partial}
         return value
 
     def _search(self, query: str, min_freq: int | None = None):
@@ -308,14 +325,28 @@ class QueryService:
         def compute(key: tuple) -> tuple[list[dict], int, int]:
             matches = self._backend.search(tokens, min_freq=min_freq)
             spill["matches"] = matches
+            spill["partial"] = self._take_partial()
             return (
                 _render(matches[: self._max_cached_matches]),
                 len(matches),
                 sum(m.frequency for m in matches),
             )
 
-        value, hit = self._cached(("search", tokens, min_freq), compute)
-        return value, hit, spill.get("matches"), tokens, min_freq
+        value, hit = self._cached(
+            ("search", tokens, min_freq),
+            compute,
+            # a degraded answer (shard set unreachable mid-query) must
+            # not be served from cache after the cluster heals
+            should_cache=lambda _v: spill.get("partial") is None,
+        )
+        return (
+            value,
+            hit,
+            spill.get("matches"),
+            tokens,
+            min_freq,
+            spill.get("partial"),
+        )
 
     def batch(
         self,
@@ -396,8 +427,20 @@ class QueryService:
             self._errors += 1
         raise InvalidParameterError(message)
 
-    def _cached(self, key: tuple, compute):
-        """``(value, was_cache_hit)`` with LRU bookkeeping."""
+    def _take_partial(self) -> dict | None:
+        """Degradation info from the last backend call, for backends
+        that can answer partially (the distributed router); ``None``
+        for complete answers and for local backends."""
+        take = getattr(self._backend, "take_partial", None)
+        return take() if take is not None else None
+
+    def _cached(self, key: tuple, compute, should_cache=None):
+        """``(value, was_cache_hit)`` with LRU bookkeeping.
+
+        ``should_cache(value)`` may veto insertion — used to keep
+        degraded (partial) answers out of the cache while still
+        serving them.
+        """
         with self._lock:
             self._queries += 1
             cached = self._cache.get(key)
@@ -420,7 +463,11 @@ class QueryService:
             # cache for a reason: this value answered for the retired
             # backend, so inserting it would undo the clear and serve
             # stale pre-compaction results indefinitely
-            if self._cache_size and epoch == self._epoch:
+            if (
+                self._cache_size
+                and epoch == self._epoch
+                and (should_cache is None or should_cache(value))
+            ):
                 self._cache[key] = value
                 self._cache.move_to_end(key)
                 while len(self._cache) > self._cache_size:

@@ -27,7 +27,7 @@ import threading
 from pathlib import Path
 from typing import Iterator, Sequence
 
-from repro.errors import StoreCorruptError
+from repro.errors import InvalidParameterError, StoreCorruptError
 from repro.hierarchy.vocabulary import Vocabulary
 from repro.query.base import (
     CompiledToken,
@@ -56,27 +56,51 @@ class ShardedPatternStore(PatternSearchBase):
         pattern_cache_size: int = 1 << 16,
         postings_cache_size: int = 1 << 12,
         verify_checksums: bool = True,
+        shard_subset: Sequence[int] | None = None,
     ) -> None:
+        """``shard_subset`` mounts only the named shard indexes — the
+        distributed tier's shard servers each own a slice of one
+        manifest.  Ranked reads cover exactly the owned shards; exact
+        lookups whose hash routes to an unmounted shard are refused
+        (the router, which knows the whole cluster, owns that routing).
+        """
         super().__init__()
         self._path = Path(path)
         self._manifest = read_manifest(self._path)
         self._files: list[str] = self._manifest["shard_files"]
+        if shard_subset is None:
+            self._owned: tuple[int, ...] = tuple(range(len(self._files)))
+        else:
+            owned = sorted(set(shard_subset))
+            if not owned:
+                raise InvalidParameterError("shard_subset must not be empty")
+            if owned[0] < 0 or owned[-1] >= len(self._files):
+                raise InvalidParameterError(
+                    f"shard_subset {owned} out of range for "
+                    f"{len(self._files)} shards"
+                )
+            self._owned = tuple(owned)
+        self._owned_set = frozenset(self._owned)
+        self._subset_counts: tuple[int, int] | None = None
         self._pattern_cache_size = pattern_cache_size
         self._postings_cache_size = postings_cache_size
         self._verify_checksums = verify_checksums
         self._open_lock = threading.Lock()
         self._stores: list[PatternStore | None] = [None] * len(self._files)
-        # pin every shard's inode now (no reads — decode stays lazy):
-        # online compaction may unlink this generation's files while
-        # this handle lives, and a shard first touched after that must
-        # still find its data
-        self._pins: list = []
+        # pin every owned shard's inode now (no reads — decode stays
+        # lazy): online compaction may unlink this generation's files
+        # while this handle lives, and a shard first touched after that
+        # must still find its data
+        self._pins: list = [None] * len(self._files)
         try:
-            for name in self._files:
-                self._pins.append(open(self._path / name, "rb"))
+            for index in self._owned:
+                self._pins[index] = open(
+                    self._path / self._files[index], "rb"
+                )
         except FileNotFoundError as exc:
             for pin in self._pins:
-                pin.close()
+                if pin is not None:
+                    pin.close()
             raise StoreCorruptError(
                 f"{self._path}: manifest references missing shard file "
                 f"({exc.filename})"
@@ -97,6 +121,12 @@ class ShardedPatternStore(PatternSearchBase):
         return len(self._files)
 
     @property
+    def owned_shards(self) -> tuple[int, ...]:
+        """Shard indexes this handle mounts (all of them unless opened
+        with ``shard_subset``)."""
+        return self._owned
+
+    @property
     def generation(self) -> int:
         """Manifest generation this handle serves.  Online compaction
         (:class:`~repro.serve.compact.StoreCompactor`) bumps it on every
@@ -105,6 +135,11 @@ class ShardedPatternStore(PatternSearchBase):
         return self._manifest.get("generation", 0)
 
     def _shard(self, index: int) -> PatternStore:
+        if index not in self._owned_set:
+            raise InvalidParameterError(
+                f"shard {index} is not mounted by this handle "
+                f"(owned: {list(self._owned)})"
+            )
         store = self._stores[index]
         if store is None:
             with self._open_lock:
@@ -139,7 +174,7 @@ class ShardedPatternStore(PatternSearchBase):
         return store
 
     def _shards(self) -> list[PatternStore]:
-        return [self._shard(i) for i in range(len(self._files))]
+        return [self._shard(i) for i in self._owned]
 
     @classmethod
     def open(
@@ -176,9 +211,9 @@ class ShardedPatternStore(PatternSearchBase):
         ``lash index info`` and the server's ``/healthz`` / ``/metrics``.
         """
         shards = [store.describe() for store in self._shards()]
-        return {
+        info = {
             "path": str(self._path),
-            "shards": len(shards),
+            "shards": len(self._files),
             "generation": self.generation,
             "items": self._manifest["items"],
             "patterns": self._manifest["patterns"],
@@ -187,6 +222,15 @@ class ShardedPatternStore(PatternSearchBase):
             "file_bytes": sum(s["file_bytes"] for s in shards),
             "shard_stats": shards,
         }
+        if len(self._owned) != len(self._files):
+            # a subset mount serves only its slice; report that slice's
+            # counts, not the whole manifest's
+            info["owned_shards"] = list(self._owned)
+            info["patterns"] = sum(s["patterns"] for s in shards)
+            info["total_frequency"] = sum(
+                s["total_frequency"] for s in shards
+            )
+        return info
 
     # ------------------------------------------------------------------
     # storage primitives / rank-ordered streams
@@ -197,7 +241,7 @@ class ShardedPatternStore(PatternSearchBase):
         # once (from whichever shard opens first) and hand the one copy
         # to shards opened later
         if self._shared_vocab is None:
-            vocabulary = self._shard(0).vocabulary
+            vocabulary = self._shard(self._owned[0]).vocabulary
             with self._open_lock:
                 if self._shared_vocab is None:
                     self._shared_vocab = vocabulary
@@ -209,7 +253,17 @@ class ShardedPatternStore(PatternSearchBase):
         return self._shared_vocab
 
     def _num_patterns(self) -> int:
-        return self._manifest["patterns"]
+        if len(self._owned) == len(self._files):
+            return self._manifest["patterns"]
+        if self._subset_counts is None:
+            # O(header) per owned shard, computed once: the manifest
+            # only knows the whole set's totals
+            shards = self._shards()
+            self._subset_counts = (
+                sum(s._num_patterns() for s in shards),
+                sum(s._total_frequency for s in shards),
+            )
+        return self._subset_counts[0]
 
     def _iter_ranked(self) -> Iterator[tuple[Pattern, int]]:
         return heapq.merge(

@@ -214,8 +214,10 @@ def _random_single_token(rng: random.Random, vocab, kind: str) -> QueryToken:
     if kind == "notunder":
         return NotToken(UnderToken(_random_name(rng, vocab)))
     assert kind == "floor"
+    # "not" among the inner kinds: `!a@N` is the floor-over-negation
+    # form, whose finite candidate set separates it from bare negation
     inner = _random_single_token(
-        rng, vocab, rng.choice(("item", "under", "any", "oneof"))
+        rng, vocab, rng.choice(("item", "under", "any", "oneof", "not"))
     )
     # floors drawn around real corpus frequencies so some pass, some cut
     anchor = vocab.frequency(rng.randrange(len(vocab)))
@@ -524,6 +526,134 @@ def test_canonicalization_differential(tmp_path):
     )
     assert cache_checked >= 50, (
         f"only {cache_checked} cache-unification cases executed"
+    )
+
+
+def test_differential_router_backend(tmp_path):
+    """The distributed tier joins the evaluate-everywhere discipline.
+
+    Random instances are served by a **router** fanning out over two
+    half-cluster shard servers plus one full replica (socket protocol,
+    k-way merge), and every random query must come back byte-identical
+    to the single-process :class:`ShardedPatternStore` over the same
+    manifest — then both half servers are killed, leaving each shard
+    exactly one live replica, and the same queries must *still* match
+    byte for byte with no partial-result flag: failover, not the
+    answer, absorbs the failure.
+    """
+    from repro.serve.distributed import ShardServer
+    from repro.serve.router import ClusterMap, RouterBackend, ServerSpec
+
+    rng = random.Random(SEED + 3)
+    compared = 0
+    failover_compared = 0
+    for instance in range(max(3, N_INSTANCES // 8)):
+        hierarchy = _random_hierarchy(rng)
+        database = _random_database(rng, list(hierarchy.items))
+        params = MiningParams(
+            sigma=rng.randint(1, 2),
+            gamma=rng.choice([1, None]),
+            lam=rng.randint(2, 4),
+        )
+        result = Lash(params).mine(database, hierarchy)
+        vocab = result.vocabulary
+        num_shards = rng.randint(2, 4)
+        sharded_path = tmp_path / f"r{instance}.shards"
+        result.to_store(sharded_path, shards=num_shards)
+        half = num_shards // 2 or 1
+        lower, upper = list(range(half)), list(range(half, num_shards))
+
+        servers = [
+            ShardServer(sharded_path, shard_subset=lower, http_port=None),
+            ShardServer(
+                sharded_path, shard_subset=upper or None, http_port=None
+            ),
+            ShardServer(sharded_path, http_port=None),  # full replica
+        ]
+        router = None
+        try:
+            for server in servers:
+                server.start()
+            placement = {}
+            specs = []
+            for server, shards in zip(
+                servers, (lower, upper or lower, range(num_shards))
+            ):
+                spec = ServerSpec(*server.address)
+                specs.append(spec)
+                for shard in shards:
+                    placement.setdefault(shard, []).append(spec.key)
+            router = RouterBackend(
+                ClusterMap(
+                    specs, num_shards=num_shards, placement=placement
+                )
+            )
+            with open_store(sharded_path) as mono:
+                queries = []
+                for q in range(QUERIES_PER_INSTANCE):
+                    tokens = _random_query(rng, vocab, KINDS[q % len(KINDS)])
+                    if is_negation_only(normalize_query(tokens)):
+                        continue  # the serving tier refuses these
+                    queries.append(tokens)
+
+                def compare(tokens, phase):
+                    context = (
+                        f"seed={SEED + 3} instance={instance} "
+                        f"phase={phase} query={_render_query(tokens)!r}"
+                    )
+                    expected = [
+                        (m.pattern, m.frequency)
+                        for m in mono.search(tokens)
+                    ]
+                    got = [
+                        (m.pattern, m.frequency)
+                        for m in router.search(tokens)
+                    ]
+                    assert got == expected, (
+                        f"{context}: {got!r} != mono {expected!r}"
+                    )
+                    assert router.take_partial() is None, context
+                    if expected:
+                        cut = rng.randint(1, len(expected))
+                        prefix = [
+                            (m.pattern, m.frequency)
+                            for m in router.search(tokens, limit=cut)
+                        ]
+                        assert prefix == expected[:cut], context
+                    min_freq = _random_min_freq(rng, result.patterns)
+                    floored = [
+                        (m.pattern, m.frequency)
+                        for m in mono.search(tokens, min_freq=min_freq)
+                    ]
+                    got_floored = [
+                        (m.pattern, m.frequency)
+                        for m in router.search(tokens, min_freq=min_freq)
+                    ]
+                    assert got_floored == floored, (
+                        f"{context} min_freq={min_freq}: "
+                        f"{got_floored!r} != mono {floored!r}"
+                    )
+
+                for tokens in queries:
+                    compare(tokens, "healthy")
+                    compared += 1
+                assert len(router) == len(mono)
+
+                # one replica down per shard: both half servers die,
+                # the full replica carries every shard
+                servers[0].stop()
+                servers[1].stop()
+                for tokens in queries:
+                    compare(tokens, "failover")
+                    failover_compared += 1
+        finally:
+            if router is not None:
+                router.close()
+            for server in servers:
+                server.stop()
+    assert compared >= 20, f"only {compared} router cases executed"
+    assert failover_compared >= 20, (
+        f"only {failover_compared} failover cases executed"
     )
 
 

@@ -239,11 +239,23 @@ class TestNegationParsing:
         with pytest.raises(InvalidParameterError):
             parse_query(bad)
 
-    def test_floor_on_negation_rejected(self):
-        with pytest.raises(InvalidParameterError):
-            parse_query("!a@3")
-        with pytest.raises(InvalidParameterError):
-            FloorToken(NotToken(ItemToken("a")), 3)
+    def test_floor_on_negation_parses(self):
+        # `!a@3`: the floor makes the complement a concrete candidate
+        # set, so — unlike a bare negation — it is a positive token
+        assert parse_query("!a@3") == (
+            FloorToken(NotToken(ItemToken("a")), 3),
+        )
+        assert parse_query("!^B@2") == (
+            FloorToken(NotToken(UnderToken("B")), 2),
+        )
+        assert not is_negation_only(parse_query("!a@3"))
+
+    def test_floor_zero_on_negation_is_plain_negation(self):
+        # @0 is a no-op, so the canonical form drops the floor — and a
+        # query that is then all-negative is rejected as usual
+        assert normalize_query(parse_query("!a@0 b")) == parse_query(
+            "!a b"
+        )
 
     def test_negation_inside_disjunction_rejected(self):
         with pytest.raises(InvalidParameterError):

@@ -648,3 +648,75 @@ class TestIndexInfoHeaderOnly:
         assert rc == 0
         out = capsys.readouterr().out
         assert "shard 0" in out and "shard 1" in out
+
+
+class TestDistributedCLI:
+    @pytest.fixture
+    def sharded_store(self, example_files, tmp_path, capsys):
+        db, hierarchy = example_files
+        patterns = tmp_path / "patterns.tsv"
+        main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--out", str(patterns),
+        ])
+        shards = tmp_path / "dist.shards"
+        main([
+            "index", "build", "--patterns", str(patterns),
+            "--hierarchy", hierarchy, "--out", str(shards), "--shards", "2",
+        ])
+        capsys.readouterr()
+        return shards
+
+    def test_info_advise(self, sharded_store, capsys):
+        rc = main([
+            "index", "info", "--store", str(sharded_store), "--advise",
+            "--target-bytes", "4096",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "routing groups:" in out
+        assert "recommendation: --shards" in out
+
+    def test_shard_serve_starts_and_stops(
+        self, sharded_store, capsys, monkeypatch
+    ):
+        import repro.cli as cli_module
+
+        # the serve loop parks in hour-long sleeps; the first one
+        # "receiving Ctrl-C" drives the clean-shutdown path
+        def interrupt(_seconds):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module.time, "sleep", interrupt)
+        rc = main([
+            "shard-serve", "--store", str(sharded_store),
+            "--shards", "0", "--no-http",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shards [0] of 2" in out
+
+    def test_route_against_live_shard_server(
+        self, sharded_store, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        import repro.serve.http as http_module
+        from repro.serve.distributed import ShardServer
+
+        monkeypatch.setattr(http_module, "run_server", lambda server: None)
+        with ShardServer(sharded_store, http_port=None) as server:
+            host, port = server.address
+            cluster = tmp_path / "cluster.json"
+            cluster.write_text(json.dumps({
+                "num_shards": 2,
+                "servers": [{"host": host, "port": port}],
+            }))
+            rc = main([
+                "route", "--cluster", str(cluster), "--port", "0",
+            ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "routing 2 shards over 1 servers (1 healthy)" in out
+        assert "shard 0:" in out and "shard 1:" in out
