@@ -1,22 +1,38 @@
-"""Extension — store-backed serving vs per-query index rebuild.
+"""Extension — query serving throughput: store vs rebuild, plan vs DP.
 
-The ``lash query`` command rebuilds a vocabulary and inverted index from
-the patterns TSV on every invocation; ``lash serve`` opens a binary
-:class:`~repro.serve.store.PatternStore` once and answers from it.  This
-bench quantifies the split the serving subsystem exists for:
+Two batteries over the same mined NYT-slice pattern set:
 
-* **startup** — store ``open()`` is O(header) and must beat both the
-  TSV rebuild and the in-memory index build by orders of magnitude;
-* **throughput** — queries/sec through a warm :class:`QueryService`
-  (store-backed, with and without its LRU cache) vs the
-  rebuild-per-query regime a stateless CLI imposes.
+* **store vs rebuild** — the split the serving subsystem exists for:
+  ``lash query`` rebuilds a vocabulary and inverted index from the
+  patterns TSV on every invocation; ``lash serve`` opens a binary
+  :class:`~repro.serve.store.PatternStore` once and answers from it.
+  Store-backed serving must sustain thousands of queries/sec where
+  rebuild-per-query manages a few, and store ``open()`` must beat any
+  rebuild by orders of magnitude.
 
-Shape targets: store-backed serving sustains thousands of queries/sec;
-rebuild-per-query manages a few; the cache multiplies throughput again
-on repeated traffic.
+* **compiled plans vs reference DP** — the raw-speed matcher: the same
+  store handle answered through compiled query plans (positional
+  bitmap algebra, plan cache warm — the steady state a server lives
+  in) vs the legacy per-candidate DP (``_accelerate = False``).
+  Byte-identity is asserted on every query class before timing, so the
+  speedup can't come from serving different answers.  The target the
+  acceptance gate enforces: **≥5×** on gap/adjacency-heavy classes
+  (≥2× in ``--quick`` CI mode, where the corpus is a tenth the size
+  and constant overheads dominate).
+
+Results persist to ``BENCH_query.json`` (override with
+``LASH_BENCH_QUERY_OUT``) in the same shape as ``BENCH_router.json``:
+per-class and overall numbers for the perf trajectory.
 """
 
+import json
+import os
+import sys
 import time
+
+if __name__ == "__main__" and "--quick" in sys.argv:
+    # CI smoke entry point: shrink the corpus before conftest reads it
+    os.environ.setdefault("REPRO_BENCH_SCALE", "0.1")
 
 from repro import Lash, MiningParams, PatternIndex
 from repro.io import read_patterns, write_patterns
@@ -24,6 +40,13 @@ from repro.query import code_patterns
 from repro.serve import PatternStore, QueryService
 from conftest import NYT_SIGMA_LOW
 from reporting import BenchReport
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+OUT_PATH = os.environ.get("LASH_BENCH_QUERY_OUT", "BENCH_query.json")
+#: seconds each (engine, query class) pair is measured for
+MEASURE_S = max(0.2, 1.0 * SCALE)
+#: the acceptance floor on gap/adjacency-heavy classes
+MIN_SPEEDUP = 2.0 if SCALE < 1.0 else 5.0
 
 QUERIES = [
     "the ^ADJ ?",
@@ -33,6 +56,19 @@ QUERIES = [
     "? ?",
 ]
 
+#: the plan-vs-DP battery; classes marked dense are the gap/adjacency-
+#: heavy shapes the compiled-plan accelerator targets (position-window
+#: arithmetic instead of per-candidate DP re-interpretation)
+PLAN_QUERIES = {
+    "adjacent anchor": ("the ^ADJ ?", True),
+    "bounded gap": ("^DET *{0,2} ^NOUN", True),
+    "gap + anchor": ("the *{1,3} ?", True),
+    "double gap": ("^DET *{0,2} ? *{0,2} ^NOUN", True),
+    "wild adjacency": ("? ^PREP ?", True),
+    "span walk": ("^PRON * ^VERB", False),
+    "negated slot": ("!the ^NOUN", False),
+}
+
 
 def _rebuild_index(tsv_path, hierarchy):
     """What every ``lash query`` invocation pays before matching."""
@@ -41,7 +77,16 @@ def _rebuild_index(tsv_path, hierarchy):
     return PatternIndex(coded, vocabulary)
 
 
-def test_store_vs_rebuild_throughput(benchmark, nyt, tmp_path):
+def _qps(serve_one, queries, seconds):
+    served = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        serve_one(queries[served % len(queries)])
+        served += 1
+    return served / seconds
+
+
+def test_store_vs_rebuild_throughput(nyt, tmp_path):
     report = BenchReport(
         "Ext. serving", "store-backed vs rebuild-from-TSV query serving"
     )
@@ -87,28 +132,21 @@ def test_store_vs_rebuild_throughput(benchmark, nyt, tmp_path):
     )
 
     # --- throughput ---------------------------------------------------
-    def qps(serve_one, seconds=1.0):
-        served = 0
-        deadline = time.perf_counter() + seconds
-        while time.perf_counter() < deadline:
-            serve_one(QUERIES[served % len(QUERIES)])
-            served += 1
-        return served / seconds
-
     service = QueryService(store, cache_size=256)
     uncached = QueryService(store, cache_size=0)
-    timings = {}
-
-    def battery():
-        timings["rebuild"] = qps(
+    timings = {
+        "rebuild": _qps(
             lambda q: _rebuild_index(tsv_path, hierarchy).search(q, limit=10),
+            QUERIES,
             seconds=2.0,
-        )
-        timings["store"] = qps(lambda q: uncached.query(q, limit=10))
-        timings["store+cache"] = qps(lambda q: service.query(q, limit=10))
-        return timings
-
-    benchmark.pedantic(battery, rounds=1, iterations=1)
+        ),
+        "store": _qps(
+            lambda q: uncached.query(q, limit=10), QUERIES, seconds=1.0
+        ),
+        "store+cache": _qps(
+            lambda q: service.query(q, limit=10), QUERIES, seconds=1.0
+        ),
+    }
     for label in ("rebuild", "store", "store+cache"):
         report.add(
             f"{label} serving",
@@ -127,3 +165,118 @@ def test_store_vs_rebuild_throughput(benchmark, nyt, tmp_path):
     # opening the store is far cheaper than any rebuild
     assert store_open_s < rebuild_s / 10
     assert store_open_s < index_build_s
+
+
+def test_compiled_plan_throughput(nyt, tmp_path):
+    report = BenchReport(
+        "Ext. raw-speed matcher",
+        "compiled plans (positional bitmaps) vs reference DP (qps)",
+    )
+    hierarchy = nyt.hierarchy("CLP")
+    result = Lash(MiningParams(NYT_SIGMA_LOW, 0, 5)).mine(
+        nyt.database, hierarchy
+    )
+    store_path = tmp_path / "patterns.store"
+    result.to_store(store_path)
+
+    accelerated = PatternStore.open(store_path)
+    reference = PatternStore.open(store_path)
+    reference._accelerate = False
+    results: dict = {}
+    try:
+        # byte-identity first (full result lists, no limit): the
+        # timings below must describe identical answers
+        for label, (query, _) in PLAN_QUERIES.items():
+            fast = [
+                (m.pattern, m.frequency) for m in accelerated.search(query)
+            ]
+            slow = [
+                (m.pattern, m.frequency) for m in reference.search(query)
+            ]
+            assert fast == slow, f"{label}: accelerated != DP"
+
+        # full ranked answers, no limit: the count / total_frequency /
+        # slot_fillers regime where both engines do complete work (a
+        # small limit lets the DP early-exit on queries whose top-
+        # ranked candidates happen to match, hiding its full cost)
+        speedups_dense = []
+        for label, (query, dense) in PLAN_QUERIES.items():
+            plan_qps = _qps(
+                lambda q: accelerated.search(q), [query], MEASURE_S
+            )
+            dp_qps = _qps(
+                lambda q: reference.search(q), [query], MEASURE_S
+            )
+            speedup = plan_qps / dp_qps if dp_qps else float("inf")
+            if dense:
+                speedups_dense.append(speedup)
+            results[label] = {
+                "query": query,
+                "dense": dense,
+                "plan_qps": round(plan_qps, 1),
+                "dp_qps": round(dp_qps, 1),
+                "speedup": round(speedup, 2),
+            }
+            report.add(
+                label,
+                {
+                    "plan_qps": round(plan_qps, 1),
+                    "dp_qps": round(dp_qps, 1),
+                    "speedup": f"{speedup:.1f}x",
+                },
+            )
+
+        stats = accelerated.plan_stats()
+        # every class compiled once, then served from the plan cache
+        assert stats["compiles"] >= len(PLAN_QUERIES)
+        assert stats["hits"] > stats["compiles"]
+        assert stats["paths"]["exact"] > 0
+
+        worst_dense = min(speedups_dense)
+        results["_overall"] = {
+            "min_dense_speedup": round(worst_dense, 2),
+            "target": MIN_SPEEDUP,
+            "plan_cache": {
+                "compiles": stats["compiles"],
+                "hits": stats["hits"],
+            },
+        }
+        report.add(
+            "overall",
+            {
+                "plan_qps": "-",
+                "dp_qps": "-",
+                "speedup": f">= {worst_dense:.1f}x (dense)",
+            },
+        )
+    finally:
+        accelerated.close()
+        reference.close()
+
+    payload = {
+        "bench": "query_throughput",
+        "patterns": len(result),
+        "scale": SCALE,
+        "measure_s": MEASURE_S,
+        "unit": "qps",
+        "queries": results,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {OUT_PATH}", file=sys.__stdout__)
+    report.emit()
+
+    assert worst_dense >= MIN_SPEEDUP, (
+        f"gap/adjacency-heavy speedup {worst_dense:.2f}x "
+        f"below the {MIN_SPEEDUP}x target: {results}"
+    )
+
+
+if __name__ == "__main__":
+    # `python benchmarks/bench_query_throughput.py [--quick]` runs this
+    # file through pytest — `--quick` is the CI smoke mode
+    import pytest
+
+    argv = [arg for arg in sys.argv[1:] if arg != "--quick"]
+    sys.exit(pytest.main([__file__, "-q", *argv]))

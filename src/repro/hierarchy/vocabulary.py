@@ -93,6 +93,11 @@ class Vocabulary:
             elif parents:
                 self._chain[item_id] = self._chain[parents[0]]
 
+        # decoded-pattern memo: serving decodes the same ranked patterns
+        # on every repeated query, and name() per item dominates that
+        # cost (values are tuples of the interned names — tiny)
+        self._decode_cache: dict[tuple[int, ...], tuple[str, ...]] = {}
+
     def _require_id(self, name: str) -> int:
         try:
             return self._ids[name]
@@ -226,9 +231,20 @@ class Vocabulary:
         """Translate a sequence of item names to ids."""
         return tuple(self.id(t) for t in seq)
 
+    #: decoded-sequence memo entries retained (plain insert-and-stop:
+    #: the hot set is the top of the ranking, which arrives first)
+    _DECODE_CACHE_CAP = 1 << 16
+
     def decode_sequence(self, seq: Iterable[int]) -> tuple[str, ...]:
-        """Translate a sequence of ids (blanks allowed) back to names."""
-        return tuple(self.name(t) for t in seq)
+        """Translate a sequence of ids (blanks allowed) back to names.
+        Memoized: repeated queries re-decode the same ranked patterns."""
+        key = tuple(seq)
+        cached = self._decode_cache.get(key)
+        if cached is None:
+            cached = tuple(self.name(t) for t in key)
+            if len(self._decode_cache) < self._DECODE_CACHE_CAP:
+                self._decode_cache[key] = cached
+        return cached
 
     def render(self, seq: Iterable[int]) -> str:
         """Human-readable rendering, e.g. ``"a b1 _ c"``."""

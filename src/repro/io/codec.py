@@ -115,6 +115,60 @@ def read_deltas(data, offset: int, end: int) -> list[int]:
     return values
 
 
+def write_positions(buf: bytearray, positions: Sequence[int]) -> None:
+    """Append one position list: a count followed by the ascending
+    positions, first absolute and the rest as gaps.  Used by the
+    version-2 postings entries of the pattern store, where each pattern
+    index carries the positions its item occupies inside the pattern."""
+    write_uvarint(buf, len(positions))
+    previous = 0
+    for i, position in enumerate(positions):
+        if i == 0:
+            write_uvarint(buf, position)
+        else:
+            if position <= previous:
+                raise EncodingError(
+                    f"position list not strictly ascending: {position} "
+                    f"after {previous}"
+                )
+            write_uvarint(buf, position - previous)
+        previous = position
+
+
+def read_positions(data, offset: int) -> tuple[tuple[int, ...], int]:
+    """Decode one :func:`write_positions` record; returns (positions, end)."""
+    n, offset = read_uvarint(data, offset)
+    positions: list[int] = []
+    previous = 0
+    for i in range(n):
+        raw, offset = read_uvarint(data, offset)
+        previous = raw if i == 0 else previous + raw
+        positions.append(previous)
+    return tuple(positions), offset
+
+
+def read_positional_postings(
+    data, offset: int, end: int
+) -> tuple[list[int], list[tuple[int, ...]]]:
+    """Decode one item's version-2 postings record: a sequence of
+    ``(pattern index, positions)`` entries with the indexes gap-coded
+    like :func:`read_deltas` and each positions list coded by
+    :func:`write_positions`.  Returns the ascending index list and the
+    parallel list of position tuples."""
+    indexes: list[int] = []
+    positions: list[tuple[int, ...]] = []
+    previous = 0
+    first = True
+    while offset < end:
+        raw, offset = read_uvarint(data, offset)
+        previous = raw if first else previous + raw
+        first = False
+        indexes.append(previous)
+        entry, offset = read_positions(data, offset)
+        positions.append(entry)
+    return indexes, positions
+
+
 def section_checksum(data, start: int = 0, end: int | None = None) -> int:
     """CRC-32 of ``data[start:end]`` as an unsigned 32-bit value.
 
@@ -136,5 +190,8 @@ __all__ = [
     "read_sequence",
     "write_deltas",
     "read_deltas",
+    "write_positions",
+    "read_positions",
+    "read_positional_postings",
     "section_checksum",
 ]

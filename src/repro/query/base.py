@@ -37,6 +37,15 @@ Every public read path is expressed over three rank-ordered generators
 :class:`~repro.serve.sharded.ShardedPatternStore` — can answer by k-way
 merging the streams of its member stores without re-implementing any of
 the matching or ranking logic.
+
+Search itself runs through compiled :class:`~repro.query.plan.QueryPlan`
+objects (cached per backend): backends exposing positional postings
+(``_has_positions()``) answer chain queries exactly with bitmap algebra
+and skip the DP entirely; backends without positions still prune
+candidates with the plan's postings bitset and verify survivors with the
+DP, so every path returns byte-identical answers.  Setting
+``_accelerate = False`` restores the legacy selector + DP pipeline — the
+reference the differential tests and benchmarks compare against.
 """
 
 from __future__ import annotations
@@ -47,6 +56,7 @@ from typing import Iterator, Sequence
 
 from repro.errors import InvalidParameterError
 from repro.hierarchy.vocabulary import Vocabulary
+from repro.query.plan import QueryPlan, iter_bit_indexes
 from repro.query.tokens import (
     AnyToken,
     FloorToken,
@@ -107,10 +117,32 @@ class QueryMatch:
 class PatternSearchBase:
     """Shared matching engine over any pattern storage backend."""
 
+    #: compiled query plans retained per backend (plans hold bitmaps in
+    #: this backend's pattern-index coordinates, so they cannot be
+    #: shared across shards the way the vocabulary-pure caches are)
+    _PLAN_CACHE_CAP = 256
+
     def __init__(self) -> None:
         self._children_map: dict[int, list[int]] | None = None
         self._descendants_cache: dict[int, tuple[int, ...]] = {}
         self._descendants_lock = threading.Lock()
+        # vocabulary-pure memos (shared across shards, see
+        # ShardedPatternStore._shard): token -> compiled form / id set
+        self._compile_cache: dict[QueryToken, CompiledToken] = {}
+        self._admissible_cache: dict[QueryToken, frozenset[int]] = {}
+        # per-backend plan machinery
+        self._accelerate = True
+        self._plan_lock = threading.Lock()
+        self._plan_cache: dict[tuple, QueryPlan] = {}
+        self._plan_hits = 0
+        self._plan_compiles = 0
+        self._plan_paths = {
+            "exact": 0,
+            "pruned": 0,
+            "wildcard": 0,
+            "legacy": 0,
+        }
+        self._pos_space = None
 
     # ------------------------------------------------------------------
     # storage primitives (subclass responsibility)
@@ -130,6 +162,19 @@ class PatternSearchBase:
 
     def _length_groups(self) -> dict[int, Sequence[int]]:
         raise NotImplementedError
+
+    def _has_positions(self) -> bool:
+        """Whether :meth:`_positional_postings_for` is available.  False
+        for backends over version-1 store files — they still get bitset
+        candidate pruning, just not exact positional matching."""
+        return False
+
+    def _positional_postings_for(
+        self, item_id: int
+    ) -> tuple[Sequence[int], Sequence[tuple[int, ...]]] | None:
+        """Parallel ``(pattern indexes, per-pattern position tuples)``
+        for one item, or ``None`` when the backend has no positions."""
+        return None
 
     # ------------------------------------------------------------------
     # basic access
@@ -316,8 +361,47 @@ class PatternSearchBase:
     ) -> Iterator[tuple[Pattern, int]]:
         """Records matching a compiled query, in rank order.  The
         compiled form is id-based, so it is only portable to another
-        backend holding an identical vocabulary (shards do)."""
-        for idx in self._candidates(compiled):
+        backend holding an identical vocabulary (shards do).
+
+        Routing, fastest first: wildcard-only queries are a pure
+        length-range scan (no per-pattern work at all); backends with
+        positional postings read the answer off the plan's bitmap
+        propagation (no DP); backends without positions AND the chain
+        nodes' postings bitsets and DP-verify only the survivors; plans
+        whose chain constrains nothing fall back to the legacy selector.
+        All four paths yield ascending pattern indexes — the rank order
+        — so the choice of path is invisible downstream.
+        """
+        if not self._accelerate:
+            yield from self._iter_search_dp(compiled, self._candidates(compiled))
+            return
+        plan = self._plan_for(compiled)
+        if plan.unsatisfiable:
+            return
+        if not plan.chain:
+            self._count_path("wildcard")
+            for idx in plan.length_scan_indexes(self):
+                yield self._pattern_at(idx)
+            return
+        if self._has_positions():
+            self._count_path("exact")
+            for idx in plan.match_indexes(self):
+                yield self._pattern_at(idx)
+            return
+        mask = plan.candidate_mask(self)
+        if mask is None:
+            self._count_path("legacy")
+            yield from self._iter_search_dp(compiled, self._candidates(compiled))
+            return
+        self._count_path("pruned")
+        yield from self._iter_search_dp(compiled, iter_bit_indexes(mask))
+
+    def _iter_search_dp(
+        self, compiled: list[CompiledToken], indexes
+    ) -> Iterator[tuple[Pattern, int]]:
+        """The verified path: run the reference DP over the given
+        ascending candidate indexes."""
+        for idx in indexes:
             pattern, frequency = self._pattern_at(idx)
             if self._matches(compiled, pattern):
                 yield pattern, frequency
@@ -342,6 +426,87 @@ class PatternSearchBase:
                 )
             if ok:
                 yield pattern, frequency
+
+    # ------------------------------------------------------------------
+    # compiled query plans
+    # ------------------------------------------------------------------
+
+    def _plan_for(self, compiled: list[CompiledToken]) -> QueryPlan:
+        """The cached :class:`~repro.query.plan.QueryPlan` for a
+        compiled query, building (outside the lock) and inserting on
+        miss.  FIFO eviction at :data:`_PLAN_CACHE_CAP` entries."""
+        key = tuple(compiled)
+        with self._plan_lock:
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._plan_hits += 1
+                return plan
+        plan = QueryPlan(compiled, self)
+        with self._plan_lock:
+            existing = self._plan_cache.get(key)
+            if existing is not None:
+                self._plan_hits += 1
+                return existing
+            self._plan_compiles += 1
+            if len(self._plan_cache) >= self._PLAN_CACHE_CAP:
+                self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache[key] = plan
+        return plan
+
+    def _count_path(self, path: str) -> None:
+        with self._plan_lock:
+            self._plan_paths[path] += 1
+
+    def plan_stats(self) -> dict:
+        """Plan-cache and execution-path counters (surfaced by the HTTP
+        service's ``/stats``)."""
+        with self._plan_lock:
+            return {
+                "entries": len(self._plan_cache),
+                "capacity": self._PLAN_CACHE_CAP,
+                "hits": self._plan_hits,
+                "compiles": self._plan_compiles,
+                "paths": dict(self._plan_paths),
+            }
+
+    def _plan_candidate_indexes(
+        self, compiled: list[CompiledToken]
+    ) -> list[int] | None:
+        """Ascending candidate indexes stage-1 plan pruning admits, or
+        ``None`` when the plan constrains nothing (the property tests
+        assert this set is a superset of the true matches)."""
+        plan = self._plan_for(compiled)
+        if plan.unsatisfiable:
+            return []
+        if not plan.chain:
+            return plan.length_scan_indexes(self)
+        mask = plan.candidate_mask(self)
+        if mask is None:
+            return None
+        return list(iter_bit_indexes(mask))
+
+    def _pattern_lengths(self) -> list[int]:
+        """Length of every stored pattern, indexed by pattern index
+        (derived from the length groups — no pattern decoding)."""
+        lengths = [0] * self._num_patterns()
+        for length, idxs in self._length_groups().items():
+            for idx in idxs:
+                lengths[idx] = length
+        return lengths
+
+    def _position_space(self):
+        """The lazily-built positional coordinate system shared by every
+        plan over this backend."""
+        space = self._pos_space
+        if space is None:
+            from repro.query.plan import PositionSpace
+
+            with self._plan_lock:
+                space = self._pos_space
+                if space is None:
+                    space = PositionSpace(self._pattern_lengths())
+                    self._pos_space = space
+        return space
 
     # ------------------------------------------------------------------
     # internals
@@ -401,19 +566,58 @@ class PatternSearchBase:
     def _admissible_ids(
         self, token: QueryToken, vocabulary: Vocabulary
     ) -> frozenset[int]:
-        """Id set an item/``^name``/disjunction token admits."""
+        """Id set an item/``^name``/disjunction token admits.  Memoized
+        per token: the result derives only from the vocabulary, so the
+        cache is shared across shards and never invalidates."""
+        cached = self._admissible_cache.get(token)
+        if cached is not None:
+            return cached
         if isinstance(token, UnderToken):
-            return frozenset(
+            ids = frozenset(
                 self._descendants_or_self(vocabulary.id(token.name))
             )
-        if isinstance(token, ItemToken):
-            return frozenset((vocabulary.id(token.name),))
-        ids: set[int] = set()
-        for choice in token.choices:
-            ids.update(self._admissible_ids(choice, vocabulary))
-        return frozenset(ids)
+        elif isinstance(token, ItemToken):
+            ids = frozenset((vocabulary.id(token.name),))
+        else:
+            union: set[int] = set()
+            for choice in token.choices:
+                union.update(self._admissible_ids(choice, vocabulary))
+            ids = frozenset(union)
+        self._admissible_cache[token] = ids
+        return ids
+
+    def _hoist_oneof(self, ids: frozenset[int]) -> CompiledToken:
+        """Collapse an admissible id set to a cheaper token when its
+        structure allows: a singleton is a plain ``item`` test, and a
+        set covering exactly one hierarchy subtree is an ``under`` test
+        rooted at its minimum id (ancestors always carry smaller ids
+        than their descendants, so the root of any covered subtree must
+        be the set's minimum).  Both rewrites give `_candidates` a
+        directly-posted token and give plans a smaller chain node; the
+        admitted items are identical by construction."""
+        if not ids:
+            return ("oneof", ids)
+        root = min(ids)
+        if len(ids) == 1:
+            return ("item", root)
+        subtree = self._descendants_or_self(root)
+        if len(subtree) == len(ids) and all(item in ids for item in subtree):
+            return ("under", root)
+        return ("oneof", ids)
 
     def _compile_token(
+        self, token: QueryToken, vocabulary: Vocabulary
+    ) -> CompiledToken:
+        """Memoized front of :meth:`_compile_token_uncached` (tokens are
+        frozen dataclasses; compilation is vocabulary-pure)."""
+        cached = self._compile_cache.get(token)
+        if cached is not None:
+            return cached
+        compiled = self._compile_token_uncached(token, vocabulary)
+        self._compile_cache[token] = compiled
+        return compiled
+
+    def _compile_token_uncached(
         self, token: QueryToken, vocabulary: Vocabulary
     ) -> CompiledToken:
         if isinstance(token, ItemToken):
@@ -431,7 +635,10 @@ class PatternSearchBase:
         if isinstance(token, NotToken):
             return ("notin", self._admissible_ids(token.inner, vocabulary))
         if isinstance(token, OneOfToken):
-            return ("oneof", self._admissible_ids(token, vocabulary))
+            # hierarchy-aware hoisting: [a|b|c] covering exactly the
+            # subtree of their common root compiles as if the user had
+            # written ^root
+            return self._hoist_oneof(self._admissible_ids(token, vocabulary))
         if isinstance(token, FloorToken):
             kind, payload = self._compile_token(token.inner, vocabulary)
             if kind == "item":
@@ -458,13 +665,12 @@ class PatternSearchBase:
                 ]
             else:  # oneof
                 candidates = payload
-            return (
-                "oneof",
+            return self._hoist_oneof(
                 frozenset(
                     item
                     for item in candidates
                     if vocabulary.frequency(item) >= token.floor
-                ),
+                )
             )
         raise InvalidParameterError(
             f"unsupported query token {token!r}"

@@ -57,11 +57,16 @@ class PatternIndex(PatternSearchBase):
         self._patterns: list[tuple[Pattern, int]] = rank_patterns(patterns)
         self._frequencies: dict[Pattern, int] = dict(patterns)
         self._postings: dict[int, list[int]] = {}
+        self._positions: dict[int, list[tuple[int, ...]]] = {}
         self._by_length: dict[int, list[int]] = {}
         for idx, (pattern, _) in enumerate(self._patterns):
             self._by_length.setdefault(len(pattern), []).append(idx)
-            for item in set(pattern):
+            positions_by_item: dict[int, list[int]] = {}
+            for position, item in enumerate(pattern):
+                positions_by_item.setdefault(item, []).append(position)
+            for item, positions in positions_by_item.items():
                 self._postings.setdefault(item, []).append(idx)
+                self._positions.setdefault(item, []).append(tuple(positions))
 
     @classmethod
     def from_result(cls, result) -> "PatternIndex":
@@ -83,6 +88,15 @@ class PatternIndex(PatternSearchBase):
 
     def _postings_for(self, item_id: int) -> Sequence[int]:
         return self._postings.get(item_id, ())
+
+    def _has_positions(self) -> bool:
+        return True
+
+    def _positional_postings_for(self, item_id: int):
+        return (
+            self._postings.get(item_id, ()),
+            self._positions.get(item_id, ()),
+        )
 
     def _length_groups(self) -> dict[int, Sequence[int]]:
         return self._by_length

@@ -12,7 +12,9 @@ One store *file* (written by :mod:`repro.serve.writer`, read by
     [pat_offs]  (n_patterns+1) × u64, relative to [patterns]  fixed
     [patterns]  per pattern: frequency + zigzag-delta items   varint
     [post_offs] (n_items+1) × u64, relative to [postings]     fixed
-    [postings]  per item: ascending pattern indexes, gap-coded
+    [postings]  per item: ascending pattern indexes, gap-coded;
+                version >= 2 interleaves each index with the
+                gap-coded positions of the item in that pattern
     [checksums] 6 × u32 CRC-32, one per section               optional
 
 The trailing checksum section exists iff :data:`FLAG_CHECKSUMS` is set
@@ -40,7 +42,17 @@ from repro.errors import EncodingError, StoreCorruptError
 from repro.mapreduce.engine import stable_hash
 
 MAGIC = b"RPROPST1"
-VERSION = 1
+#: current store version, the one every writer emits.  Version 2 added
+#: positional postings: each ``(item, pattern index)`` entry carries the
+#: gap-coded positions the item occupies inside the pattern, feeding the
+#: compiled-query-plan accelerator.  Version-1 files (index-only
+#: postings) still open read-only; ``lash index compact`` or ``lash
+#: index merge`` rewrites them to the current version.
+VERSION = 2
+#: the positional-postings encoding starts at this version
+VERSION_POSITIONAL = 2
+#: versions readers accept
+SUPPORTED_VERSIONS = (1, 2)
 
 #: header flag: a 6 × u32 CRC-32 section trails the postings
 FLAG_CHECKSUMS = 0x1
@@ -173,6 +185,8 @@ def is_sharded_store(path: str | Path) -> bool:
 __all__ = [
     "MAGIC",
     "VERSION",
+    "VERSION_POSITIONAL",
+    "SUPPORTED_VERSIONS",
     "FLAG_CHECKSUMS",
     "HEADER_STRUCT",
     "SECTIONS_STRUCT",

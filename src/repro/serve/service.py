@@ -409,6 +409,12 @@ class QueryService:
         describe = getattr(self._backend, "describe", None)
         if describe is not None:
             stats["store"] = describe()
+        plan_stats = getattr(self._backend, "plan_stats", None)
+        if plan_stats is not None:
+            # compiled-query-plan cache + execution-path counters (the
+            # router backend is not a PatternSearchBase and has none;
+            # its shard servers each report their own)
+            stats["plan_cache"] = plan_stats()
         return stats
 
     def clear_cache(self) -> None:

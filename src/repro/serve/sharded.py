@@ -165,11 +165,16 @@ class ShardedPatternStore(PatternSearchBase):
                         # even if the path was since unlinked
                         fileobj=pin,
                     )
-                    # descendant expansions (^name queries) are pure
-                    # functions of the shared vocabulary: let shards
-                    # reuse each other's BFS results
+                    # descendant expansions (^name queries), compiled
+                    # tokens, and admissible id sets are pure functions
+                    # of the shared vocabulary: let shards reuse each
+                    # other's results (plan caches stay per-shard —
+                    # their bitmaps live in shard-local coordinates)
                     store._descendants_cache = self._descendants_cache
                     store._descendants_lock = self._descendants_lock
+                    store._compile_cache = self._compile_cache
+                    store._admissible_cache = self._admissible_cache
+                    store._accelerate = self._accelerate
                     self._stores[index] = store
         return store
 
@@ -315,6 +320,42 @@ class ShardedPatternStore(PatternSearchBase):
             "sharded stores have no global length groups; "
             "use the rank-ordered iterators"
         )
+
+    # ------------------------------------------------------------------
+    # query-plan plumbing
+    # ------------------------------------------------------------------
+
+    def set_accelerate(self, enabled: bool) -> None:
+        """Toggle compiled-plan execution on this handle and every
+        already-open shard (shards opened later inherit the setting)."""
+        self._accelerate = enabled
+        with self._open_lock:
+            for store in self._stores:
+                if store is not None:
+                    store._accelerate = enabled
+
+    def plan_stats(self) -> dict:
+        """Aggregate plan-cache counters over the currently-open shards
+        (closed slots are skipped — this is a metrics read, not a reason
+        to fault shards in)."""
+        totals = {
+            "entries": 0,
+            "capacity": 0,
+            "hits": 0,
+            "compiles": 0,
+            "paths": {"exact": 0, "pruned": 0, "wildcard": 0, "legacy": 0},
+        }
+        with self._open_lock:
+            open_stores = [s for s in self._stores if s is not None]
+        for store in open_stores:
+            stats = store.plan_stats()
+            totals["entries"] += stats["entries"]
+            totals["capacity"] += stats["capacity"]
+            totals["hits"] += stats["hits"]
+            totals["compiles"] += stats["compiles"]
+            for path, count in stats["paths"].items():
+                totals["paths"][path] += count
+        return totals
 
 
 def open_store(

@@ -37,6 +37,7 @@ from repro.hierarchy.vocabulary import Vocabulary
 from repro.query.base import Pattern, PatternSearchBase
 from repro.io.codec import (
     read_deltas,
+    read_positional_postings,
     read_sequence,
     read_uvarint,
     section_checksum,
@@ -49,8 +50,10 @@ from repro.serve.format import (
     MAGIC,
     SECTION_NAMES,
     SECTIONS_STRUCT,
+    SUPPORTED_VERSIONS,
     U64,
     VERSION,
+    VERSION_POSITIONAL,
 )
 from repro.serve.writer import write_store
 
@@ -119,11 +122,15 @@ class PatternStore(PatternSearchBase):
                 self._total_frequency,
                 self._max_length,
             ) = HEADER_STRUCT.unpack_from(head, len(MAGIC))
-            if self._version != VERSION:
+            if self._version not in SUPPORTED_VERSIONS:
                 raise EncodingError(
                     f"{self._path}: unsupported store version "
-                    f"{self._version} (expected {VERSION})"
+                    f"{self._version} (supported: {SUPPORTED_VERSIONS})"
                 )
+            # version 1 files carry index-only postings: they still
+            # serve every query, but without positions the accelerated
+            # matcher degrades to bitset pruning + DP verification
+            self._positional = self._version >= VERSION_POSITIONAL
             (
                 self._off_vocab,
                 self._off_lengths,
@@ -153,6 +160,9 @@ class PatternStore(PatternSearchBase):
         self._vocab: Vocabulary | None = vocabulary
         self._pattern_cache: dict[int, tuple[Pattern, int]] = {}
         self._postings_cache: dict[int, list[int]] = {}
+        # parallel to _postings_cache for version >= 2 files: per entry,
+        # the positions the item occupies inside that pattern
+        self._positions_cache: dict[int, list[tuple[int, ...]]] = {}
         self._by_length: dict[int, list[int]] | None = None
 
     def _verify_checksums(self) -> None:
@@ -223,6 +233,7 @@ class PatternStore(PatternSearchBase):
             "file_bytes": self._off_end
             + (CHECKSUMS_STRUCT.size if self._checksummed else 0),
             "checksums": self._checksummed,
+            "positional": self._positional,
         }
 
     # ------------------------------------------------------------------
@@ -284,21 +295,48 @@ class PatternStore(PatternSearchBase):
                 self._pattern_cache[idx] = record
         return record
 
+    def _decode_postings(
+        self, item_id: int
+    ) -> tuple[list[int], list[tuple[int, ...]] | None]:
+        base = self._off_post_offsets + U64.size * item_id
+        start, end = struct.unpack_from("<2Q", self._data, base)
+        start += self._off_postings
+        end += self._off_postings
+        if self._positional:
+            return read_positional_postings(self._data, start, end)
+        return read_deltas(self._data, start, end), None
+
     def _postings_for(self, item_id: int) -> Sequence[int]:
         cached = self._postings_cache.get(item_id)
         if cached is not None:
             return cached
         if not 0 <= item_id < self._n_items:
             return ()
-        base = self._off_post_offsets + U64.size * item_id
-        start, end = struct.unpack_from("<2Q", self._data, base)
-        postings = read_deltas(
-            self._data, self._off_postings + start, self._off_postings + end
-        )
+        postings, positions = self._decode_postings(item_id)
         with self._lock:
             if len(self._postings_cache) < self._postings_cache_size:
                 self._postings_cache[item_id] = postings
+                if positions is not None:
+                    self._positions_cache[item_id] = positions
         return postings
+
+    def _has_positions(self) -> bool:
+        return self._positional
+
+    def _positional_postings_for(self, item_id: int):
+        if not self._positional:
+            return None
+        if not 0 <= item_id < self._n_items:
+            return [], []
+        postings = self._postings_cache.get(item_id)
+        positions = self._positions_cache.get(item_id)
+        if postings is None or positions is None:
+            postings, positions = self._decode_postings(item_id)
+            with self._lock:
+                if len(self._postings_cache) < self._postings_cache_size:
+                    self._postings_cache[item_id] = postings
+                    self._positions_cache[item_id] = positions
+        return postings, positions
 
     def _length_groups(self) -> dict[int, Sequence[int]]:
         if self._by_length is None:

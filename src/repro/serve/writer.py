@@ -40,6 +40,7 @@ from repro.errors import EncodingError
 from repro.hierarchy.vocabulary import Vocabulary
 from repro.query.base import Pattern, rank_key, rank_patterns
 from repro.io.codec import (
+    write_positions,
     write_sequence,
     write_uvarint,
 )
@@ -52,8 +53,10 @@ from repro.serve.format import (
     MANIFEST_NAME,
     SECTIONS_STRUCT,
     SHARD_FILE_RE,
+    SUPPORTED_VERSIONS,
     U64,
     VERSION,
+    VERSION_POSITIONAL,
     shard_filename,
     shard_of,
     write_manifest,
@@ -186,10 +189,23 @@ class PatternWriter:
         spill_dir: str | Path | None = None,
         buffer_bytes: int = DEFAULT_SECTION_BUFFER,
         postings_buffer: int = DEFAULT_POSTINGS_BUFFER,
+        store_version: int = VERSION,
     ) -> None:
+        """``store_version`` pins the emitted format version.  The
+        default is always the current :data:`~repro.serve.format.VERSION`;
+        passing 1 writes a legacy index-only postings section — kept so
+        the back-compat tests can fabricate old-format stores without
+        archiving binary fixtures."""
+        if store_version not in SUPPORTED_VERSIONS:
+            raise EncodingError(
+                f"unsupported store version {store_version!r} "
+                f"(supported: {SUPPORTED_VERSIONS})"
+            )
         self._path = Path(path)
         self._vocabulary = vocabulary
         self._checksums = checksums
+        self._store_version = store_version
+        self._positional = store_version >= VERSION_POSITIONAL
         spill = Path(spill_dir) if spill_dir is not None else self._path.parent
         self._spill_dir = spill
         self._buffer_bytes = buffer_bytes
@@ -200,7 +216,7 @@ class PatternWriter:
         self._offsets.append(U64.pack(0))
         self._records = _SectionSpill(spill, buffer_bytes)
         self._cursor = 0
-        self._pairs: list[tuple[int, int]] = []
+        self._pairs: list[tuple[int, int, tuple[int, ...]]] = []
         self._pair_runs: list[IO[bytes]] = []
         self._postings_buffer = max(1, postings_buffer)
         self._count = 0
@@ -257,8 +273,11 @@ class PatternWriter:
         self._cursor += len(record)
         self._offsets.append(U64.pack(self._cursor))
 
-        for item in set(pattern):
-            self._pairs.append((item, self._count))
+        positions_by_item: dict[int, list[int]] = {}
+        for position, item in enumerate(pattern):
+            positions_by_item.setdefault(item, []).append(position)
+        for item, positions in positions_by_item.items():
+            self._pairs.append((item, self._count, tuple(positions)))
         if len(self._pairs) >= self._postings_buffer:
             self._spill_pairs()
 
@@ -275,9 +294,10 @@ class PatternWriter:
         )
         try:
             buf = bytearray()
-            for item, idx in self._pairs:
+            for item, idx, positions in self._pairs:
                 write_uvarint(buf, item)
                 write_uvarint(buf, idx)
+                write_positions(buf, positions)
                 if len(buf) >= self._buffer_bytes:
                     run.write(buf)
                     buf = bytearray()
@@ -289,23 +309,35 @@ class PatternWriter:
         self._pairs = []
 
     @staticmethod
-    def _iter_pair_run(run: IO[bytes]) -> Iterator[tuple[int, int]]:
+    def _iter_pair_run(
+        run: IO[bytes],
+    ) -> Iterator[tuple[int, int, tuple[int, ...]]]:
         run.seek(0)
         while True:
             item = read_file_uvarint(run)
             if item is None:
                 return
             idx = read_file_uvarint(run)
-            if idx is None:
+            n_positions = read_file_uvarint(run)
+            if idx is None or n_positions is None:
                 raise EncodingError("truncated postings spill run")
-            yield item, idx
+            positions: list[int] = []
+            previous = 0
+            for i in range(n_positions):
+                raw = read_file_uvarint(run)
+                if raw is None:
+                    raise EncodingError("truncated postings spill run")
+                previous = raw if i == 0 else previous + raw
+                positions.append(previous)
+            yield item, idx, tuple(positions)
 
-    def _merged_pairs(self) -> Iterator[tuple[int, int]]:
-        """All ``(item, pattern index)`` pairs, sorted.  Pairs are unique
-        (one per distinct item per pattern) so the per-item index lists
-        come out strictly ascending, as ``write_deltas`` demands."""
+    def _merged_pairs(self) -> Iterator[tuple[int, int, tuple[int, ...]]]:
+        """All ``(item, pattern index, positions)`` triples, sorted.
+        Triples are unique per (item, pattern) — one carries every
+        position of the item inside the pattern — so the per-item index
+        lists come out strictly ascending, as the gap coding demands."""
         self._pairs.sort()
-        streams: list[Iterator[tuple[int, int]]] = [
+        streams: list[Iterator[tuple[int, int, tuple[int, ...]]]] = [
             self._iter_pair_run(run) for run in self._pair_runs
         ]
         if self._pairs or not streams:
@@ -346,6 +378,8 @@ class PatternWriter:
                     else:
                         write_uvarint(buf, idx - previous)
                     previous = idx
+                    if self._positional:
+                        write_positions(buf, pending[2])
                     if len(buf) >= self._buffer_bytes:
                         postings.append(buf)
                         cursor += len(buf)
@@ -371,7 +405,7 @@ class PatternWriter:
             sections.append(offset)  # end of the data sections
 
             header = HEADER_STRUCT.pack(
-                VERSION,
+                self._store_version,
                 FLAG_CHECKSUMS if self._checksums else 0,
                 self._n_items,
                 self._count,
@@ -446,6 +480,7 @@ class _ShardStreamWriter:
         vocabulary: Vocabulary,
         checksums: bool = True,
         postings_buffer: int = DEFAULT_POSTINGS_BUFFER,
+        store_version: int = VERSION,
     ) -> None:
         self._vocabulary = vocabulary
         self._num = len(files)
@@ -461,6 +496,7 @@ class _ShardStreamWriter:
                         checksums=checksums,
                         spill_dir=directory,
                         postings_buffer=postings_buffer,
+                        store_version=store_version,
                     )
                 )
         except BaseException:
@@ -503,6 +539,7 @@ class ShardedPatternWriter:
         shards: int,
         checksums: bool = True,
         postings_buffer: int = DEFAULT_POSTINGS_BUFFER,
+        store_version: int = VERSION,
     ) -> None:
         if shards < 1:
             raise EncodingError(f"shard count must be >= 1, got {shards}")
@@ -528,6 +565,7 @@ class ShardedPatternWriter:
                 vocabulary,
                 checksums=checksums,
                 postings_buffer=postings_buffer,
+                store_version=store_version,
             )
         except BaseException:
             shutil.rmtree(tmp, ignore_errors=True)
@@ -599,6 +637,7 @@ def write_store(
     patterns: Mapping[Pattern, int],
     vocabulary: Vocabulary,
     checksums: bool = True,
+    store_version: int = VERSION,
 ) -> None:
     """Serialize coded patterns + vocabulary into a store file.
 
@@ -609,7 +648,9 @@ def write_store(
     them, so storing one would break the store/index answer-equivalence
     invariant.
     """
-    with PatternWriter(path, vocabulary, checksums=checksums) as writer:
+    with PatternWriter(
+        path, vocabulary, checksums=checksums, store_version=store_version
+    ) as writer:
         for pattern, frequency in rank_patterns(patterns):
             writer.write(pattern, frequency)
 
@@ -620,6 +661,7 @@ def write_sharded_store(
     vocabulary: Vocabulary,
     shards: int,
     checksums: bool = True,
+    store_version: int = VERSION,
 ) -> Path:
     """Write a sharded store: a directory of shard files plus a manifest.
 
@@ -629,7 +671,8 @@ def write_sharded_store(
     :class:`~repro.serve.store.PatternStore`.
     """
     with ShardedPatternWriter(
-        path, vocabulary, shards, checksums=checksums
+        path, vocabulary, shards, checksums=checksums,
+        store_version=store_version,
     ) as writer:
         for pattern, frequency in rank_patterns(patterns):
             writer.write(pattern, frequency)

@@ -5,15 +5,24 @@ databases and queries (drawn from all ten token kinds — item, ``^name``,
 ``?``, ``+``, ``*``, ``*{m,n}`` bounded gap, ``(a|b|^C)`` disjunction,
 ``!name`` / ``!^Cat`` negation (counted as two kinds: exact and
 subtree), ``token@N`` frequency floor — plus per-query σ overrides) are
-answered by four implementations that must agree byte for byte on the
+answered by five implementations that must agree byte for byte on the
 ranked ``(pattern, frequency)`` list:
 
 * a naive oracle — backtracking matcher over the raw pattern mapping,
   no compiled form, no postings, no candidate pruning;
-* :class:`~repro.query.index.PatternIndex` — in-memory, inverted index;
-* :class:`~repro.serve.store.PatternStore` — single mmap'd store file;
+* :class:`~repro.query.index.PatternIndex` — in-memory, inverted index,
+  answered exactly by the compiled-plan bitmap engine;
+* :class:`~repro.serve.store.PatternStore` — single mmap'd store file
+  with positional postings, same bitmap engine;
 * :class:`~repro.serve.sharded.ShardedPatternStore` — k-way heap merge
-  over shard files.
+  over shard files;
+* a fabricated **version-1** store file (no positional postings) —
+  exercises the accelerator's bitset-prune + DP-verify fallback.
+
+Queries are biased toward gap/adjacency-dense shapes (a third draw from
+a ``?``/``*{m,n}``-heavy pool) because position-window arithmetic is
+where the plan engine could silently diverge from the DP; a companion
+property test asserts stage-1 pruning only ever *over*-admits.
 
 ``LASH_DIFF_SEED`` reseeds the generator (CI runs the fixed default
 plus one randomized seed per build); ``LASH_DIFF_INSTANCES`` scales the
@@ -51,7 +60,7 @@ from repro.query.tokens import (
     is_negation_only,
     normalize_query,
 )
-from repro.serve import QueryService, open_store
+from repro.serve import QueryService, open_store, write_store
 
 SEED = int(os.environ.get("LASH_DIFF_SEED", "20260729"))
 N_INSTANCES = int(os.environ.get("LASH_DIFF_INSTANCES", "24"))
@@ -230,16 +239,40 @@ def _random_gap(rng: random.Random) -> GapToken:
     return GapToken(lower, upper)
 
 
+#: kind pool for gap/adjacency-dense queries: heavy on the tokens that
+#: exercise the plan engine's window arithmetic (positional shifts,
+#: bounded/unbounded spreads, exact-adjacency chains)
+DENSE_KINDS = ("gap", "any", "gap", "plus", "any", "item", "under", "gap")
+
+
+def _is_dense(tokens) -> bool:
+    """A gap/adjacency-dense query: two or more window-shaping tokens
+    (``?`` forces exact adjacency arithmetic; ``*{m,n}`` forces bounded
+    spreads) — the shapes the compiled-plan accelerator targets."""
+    return (
+        sum(1 for t in tokens if isinstance(t, (GapToken, AnyToken))) >= 2
+    )
+
+
 def _random_query(
     rng: random.Random, vocab, required_kind: str
 ) -> tuple[QueryToken, ...]:
-    """1–4 tokens, at least one of ``required_kind`` (cycling the
+    """1–5 tokens, at least one of ``required_kind`` (cycling the
     requirement over all ten kinds guarantees full coverage even on
     unlucky seeds).  The required token's position is biased toward the
     string boundaries so gaps regularly anchor the first and last
-    region — the places where off-by-ones in the matcher DP live."""
-    length = rng.randint(1, 4)
-    kinds = [rng.choice(KINDS) for _ in range(length)]
+    region — the places where off-by-ones in the matcher DP live.
+
+    A third of queries draw from :data:`DENSE_KINDS` instead of the
+    uniform pool: gap/adjacency-heavy shapes whose position-window
+    arithmetic is where the plan engine can silently diverge from the
+    DP (the harness asserts a floor on how many such queries ran)."""
+    if rng.random() < 0.35:
+        length = rng.randint(2, 5)
+        kinds = [rng.choice(DENSE_KINDS) for _ in range(length)]
+    else:
+        length = rng.randint(1, 4)
+        kinds = [rng.choice(KINDS) for _ in range(length)]
     position = rng.choice((0, length - 1, rng.randrange(length)))
     kinds[position] = required_kind
     tokens = []
@@ -365,7 +398,9 @@ def test_differential_oracle_vs_all_backends(tmp_path):
     rng = random.Random(SEED)
     cases = 0
     sigma_cases = 0
+    dense_cases = 0
     kinds_covered: set[str] = set()
+    paths_total = {"exact": 0, "pruned": 0, "wildcard": 0, "legacy": 0}
     for instance in range(N_INSTANCES):
         hierarchy = _random_hierarchy(rng)
         database = _random_database(rng, list(hierarchy.items))
@@ -382,15 +417,23 @@ def test_differential_oracle_vs_all_backends(tmp_path):
         result.to_store(single_path)
         sharded_path = tmp_path / f"i{instance}.shards"
         result.to_store(sharded_path, shards=rng.randint(2, 4))
+        # a version-1 file (no positional postings): the accelerator
+        # must fall back to bitset pruning + DP verification and still
+        # agree byte for byte
+        legacy_path = tmp_path / f"i{instance}.v1.store"
+        write_store(legacy_path, patterns, vocab, store_version=1)
 
         try:
             with open_store(single_path) as single, open_store(
                 sharded_path
-            ) as sharded:
-                backends = [index, single, sharded]
+            ) as sharded, open_store(legacy_path) as legacy:
+                assert not legacy._has_positions(), "v1 store has positions?"
+                backends = [index, single, sharded, legacy]
                 for q in range(QUERIES_PER_INSTANCE):
                     tokens = _random_query(rng, vocab, KINDS[q % len(KINDS)])
                     kinds_covered |= _token_kinds(tokens)
+                    if _is_dense(tokens):
+                        dense_cases += 1
                     rendered = _render_query(tokens)
                     context = (
                         f"seed={SEED} instance={instance} query={rendered!r}"
@@ -441,6 +484,9 @@ def test_differential_oracle_vs_all_backends(tmp_path):
                             ]
                             assert prefix == expected[:cut], context
                     cases += 1
+                for backend in backends:
+                    for path, count in backend.plan_stats()["paths"].items():
+                        paths_total[path] += count
         except AssertionError as exc:
             raise AssertionError(
                 str(exc)
@@ -450,9 +496,74 @@ def test_differential_oracle_vs_all_backends(tmp_path):
             ) from exc
     assert cases >= 300, f"only {cases} differential cases executed"
     assert sigma_cases >= 50, f"only {sigma_cases} σ-override cases executed"
+    assert dense_cases >= 60, (
+        f"only {dense_cases} gap/adjacency-dense queries executed"
+    )
     assert kinds_covered == set(KINDS), (
         f"token kinds never generated: {set(KINDS) - kinds_covered}"
     )
+    # the accelerator's fast paths actually ran: positional backends
+    # answered exactly (no DP), the v1 backend pruned with the bitset
+    assert paths_total["exact"] > 0, f"exact path never taken: {paths_total}"
+    assert paths_total["pruned"] > 0, f"pruned path never taken: {paths_total}"
+
+
+def test_plan_pruning_is_superset_of_matches(tmp_path):
+    """Stage-1 plan pruning never drops a true match.
+
+    For random queries over random mined instances, the candidate set
+    the compiled plan admits (bitset AND of the chain nodes' postings,
+    or the wildcard length scan) must be a **superset** of the indexes
+    the reference DP accepts — on the positional in-memory index, the
+    positional store file, and a fabricated version-1 store.  This is
+    the safety property behind the verified fallback: pruning may
+    over-admit (the DP cleans up), it must never under-admit.
+    """
+    rng = random.Random(SEED + 1)
+    checked = 0
+    for instance in range(max(4, N_INSTANCES // 4)):
+        hierarchy = _random_hierarchy(rng)
+        database = _random_database(rng, list(hierarchy.items))
+        params = MiningParams(
+            sigma=rng.randint(1, 2),
+            gamma=rng.choice([0, 1, 2, None]),
+            lam=rng.randint(2, 4),
+        )
+        result = Lash(params).mine(database, hierarchy)
+        patterns, vocab = result.patterns, result.vocabulary
+        index = PatternIndex(patterns, vocab)
+        single_path = tmp_path / f"s{instance}.store"
+        result.to_store(single_path)
+        legacy_path = tmp_path / f"s{instance}.v1.store"
+        write_store(legacy_path, patterns, vocab, store_version=1)
+        with open_store(single_path) as single, open_store(
+            legacy_path
+        ) as legacy:
+            for q in range(QUERIES_PER_INSTANCE):
+                tokens = _random_query(rng, vocab, KINDS[q % len(KINDS)])
+                for backend in (index, single, legacy):
+                    compiled = backend._compile(normalize_query(tokens))
+                    admitted = backend._plan_candidate_indexes(compiled)
+                    true_matches = {
+                        idx
+                        for idx in range(backend._num_patterns())
+                        if backend._matches(
+                            compiled, backend._pattern_at(idx)[0]
+                        )
+                    }
+                    context = (
+                        f"seed={SEED + 1} instance={instance} "
+                        f"query={_render_query(tokens)!r} "
+                        f"backend={type(backend).__name__}"
+                    )
+                    if admitted is None:
+                        continue  # unrestricted: trivially a superset
+                    dropped = true_matches - set(admitted)
+                    assert not dropped, (
+                        f"{context}: pruning dropped true matches {dropped}"
+                    )
+                    checked += 1
+    assert checked >= 100, f"only {checked} superset cases executed"
 
 
 def test_canonicalization_differential(tmp_path):
