@@ -273,6 +273,188 @@ def test_compiled_plan_throughput(nyt, tmp_path):
     )
 
 
+#: planner-battery floors: the cost-based planner must not regress any
+#: compiled-plan class by more than ~10% (measurement noise headroom in
+#: --quick, where iterations are few) and must win big on skew
+MIN_PLANNER_RATIO = 0.85 if SCALE < 1.0 else 0.9
+MIN_SKEW_SPEEDUP = 1.2 if SCALE < 1.0 else 1.5
+
+
+def _skewed_pair(store):
+    """A (ubiquitous, rare) item pair mined from the actual pattern
+    set — the postings skew the cost-based node ordering exists for."""
+    counts: dict = {}
+    for match in store:
+        for item in set(match.pattern):
+            if item.isalnum():
+                counts[item] = counts.get(item, 0) + 1
+    ranked = sorted(counts, key=counts.get)
+    return ranked[-1], ranked[0]
+
+
+def _cold_qps(backend, query, seconds):
+    """Best single cold iteration in the window, as queries/sec.
+
+    The plan cache is cleared every iteration: the planner's work
+    (node ordering, strategy choice) happens at plan build + first
+    execution, so a warm cache would time nothing but memoized mask
+    reuse.  The position space and vocabulary stay warm — they are
+    planner-independent.  The min-time estimator is used instead of a
+    windowed mean because at ~1 ms/query a transient load spike folded
+    into the mean dwarfs the few-percent planner deltas under test;
+    the fastest iteration is the one that saw the machine idle, which
+    is the cost being compared."""
+    best = float("inf")
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        backend._plan_cache.clear()
+        start = time.perf_counter()
+        backend.search(query)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return 1.0 / best if best > 0 else float("inf")
+
+
+def test_planner_battery(nyt, tmp_path):
+    """Cost-based planner vs the legacy cardinality ordering, cold.
+
+    Baseline is ``set_planner("cardinality", "exact")`` — the node
+    order and strategy the engine shipped with before the planner.
+    The cost planner must hold every compiled-plan regression class
+    (ratio >= MIN_PLANNER_RATIO) and win >= MIN_SKEW_SPEEDUP on at
+    least one postings-skew class, with byte-identical answers across
+    every ordering and strategy first.
+    """
+    report = BenchReport(
+        "Ext. query planner",
+        "cost-based planning vs cardinality order (cold plans, qps)",
+    )
+    hierarchy = nyt.hierarchy("CLP")
+    result = Lash(MiningParams(NYT_SIGMA_LOW, 0, 5)).mine(
+        nyt.database, hierarchy
+    )
+    store_path = tmp_path / "patterns.store"
+    result.to_store(store_path)
+
+    store = PatternStore.open(store_path)
+    results: dict = {}
+    try:
+        common, rare = _skewed_pair(store)
+        battery = {
+            label: query for label, (query, _) in PLAN_QUERIES.items()
+        }
+        skew_classes = {
+            "skewed pair": f"{common} {rare}",
+            "floored rare": f"?@2 {rare}",
+        }
+        battery.update(skew_classes)
+
+        # byte-identity across every ordering x strategy before timing
+        from repro.query.cost import PLAN_ORDERS, PLAN_STRATEGIES
+
+        for label, query in battery.items():
+            store.set_planner()
+            reference = [
+                (m.pattern, m.frequency) for m in store.search(query)
+            ]
+            for order in PLAN_ORDERS:
+                for strategy in (None, *PLAN_STRATEGIES):
+                    store.set_planner(order, strategy)
+                    got = [
+                        (m.pattern, m.frequency)
+                        for m in store.search(query)
+                    ]
+                    assert got == reference, (label, order, strategy)
+
+        best_skew = 0.0
+        worst_ratio = float("inf")
+        for label, query in battery.items():
+            # interleave rounds and keep each config's best window: a
+            # single contiguous window is at the mercy of transient
+            # machine load, which at ~1 ms/query swamps the
+            # few-percent planner deltas under test
+            rounds = 3
+            baseline_qps = 0.0
+            planner_qps = 0.0
+            for _ in range(rounds):
+                store.set_planner("cardinality", "exact")
+                baseline_qps = max(
+                    baseline_qps,
+                    _cold_qps(store, query, MEASURE_S / rounds),
+                )
+                store.set_planner("cost", None)
+                planner_qps = max(
+                    planner_qps,
+                    _cold_qps(store, query, MEASURE_S / rounds),
+                )
+            ratio = (
+                planner_qps / baseline_qps if baseline_qps else float("inf")
+            )
+            if label in skew_classes:
+                best_skew = max(best_skew, ratio)
+            else:
+                worst_ratio = min(worst_ratio, ratio)
+            results[label] = {
+                "query": query,
+                "skewed": label in skew_classes,
+                "baseline_qps": round(baseline_qps, 1),
+                "planner_qps": round(planner_qps, 1),
+                "ratio": round(ratio, 2),
+            }
+            report.add(
+                label,
+                {
+                    "base_qps": round(baseline_qps, 1),
+                    "cost_qps": round(planner_qps, 1),
+                    "ratio": f"{ratio:.2f}x",
+                },
+            )
+        store.set_planner()
+    finally:
+        store.close()
+
+    results["_overall"] = {
+        "worst_regression_ratio": round(worst_ratio, 2),
+        "best_skew_speedup": round(best_skew, 2),
+        "ratio_floor": MIN_PLANNER_RATIO,
+        "skew_target": MIN_SKEW_SPEEDUP,
+    }
+    report.add(
+        "overall",
+        {
+            "base_qps": "-",
+            "cost_qps": "-",
+            "ratio": (
+                f">= {worst_ratio:.2f}x, skew {best_skew:.2f}x"
+            ),
+        },
+    )
+
+    # merge into the battery file the compiled-plan test wrote (this
+    # test runs after it in file order; standalone runs start fresh)
+    try:
+        with open(OUT_PATH, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        payload = {"bench": "query_throughput", "scale": SCALE}
+    payload["planner"] = results
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {OUT_PATH}", file=sys.__stdout__)
+    report.emit()
+
+    assert worst_ratio >= MIN_PLANNER_RATIO, (
+        f"cost planner regressed a compiled-plan class to "
+        f"{worst_ratio:.2f}x of baseline: {results}"
+    )
+    assert best_skew >= MIN_SKEW_SPEEDUP, (
+        f"best skew-class speedup {best_skew:.2f}x below the "
+        f"{MIN_SKEW_SPEEDUP}x target: {results}"
+    )
+
+
 if __name__ == "__main__":
     # `python benchmarks/bench_query_throughput.py [--quick]` runs this
     # file through pytest — `--quick` is the CI smoke mode

@@ -265,6 +265,30 @@ def _load_query_index(patterns_path: str, hierarchy_path: str | None):
     return PatternIndex(*_load_coded_patterns(patterns_path, hierarchy_path))
 
 
+def _print_explain(plan: dict) -> None:
+    """Render one query's compiled plan + cost estimate (`--explain`)."""
+    estimate = plan["estimate"]
+    forced = plan.get("forced_strategy")
+    line = (
+        f"  plan: strategy={plan['strategy']} order={plan['order']} "
+        f"cost={estimate['cost']:g} candidates={estimate['candidates']} "
+        f"scan={estimate['scan_candidates']}"
+    )
+    if forced:
+        line += f" (forced={forced})"
+    if plan.get("unsatisfiable"):
+        line += " (unsatisfiable)"
+    print(line)
+    max_len = plan["max_len"] if plan["max_len"] is not None else "inf"
+    print(f"  length range: [{plan['min_len']}, {max_len}]")
+    for node in estimate.get("nodes", ()):
+        skipped = "  [skipped: too many postings]" if node["skipped"] else ""
+        print(
+            f"  node {node['kind']:>5}: {node['ids']} ids, "
+            f"~{node['postings']} postings{skipped}"
+        )
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """Wildcard search over a mined pattern file (Netspeak-style)."""
     index = _load_query_index(args.patterns, args.hierarchy)
@@ -274,6 +298,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         matches = index.search(query, min_freq=args.min_freq)
         mass = sum(match.frequency for match in matches)
         print(f"query: {query!r}  ({len(matches)} patterns, mass {mass})")
+        if args.explain:
+            _print_explain(index.explain(query))
         if not matches:
             status = 1
         for match in matches[: args.top]:
@@ -407,6 +433,19 @@ def cmd_shard_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _admission_kwargs(args: argparse.Namespace) -> dict:
+    """QueryService admission-control kwargs from the shared
+    ``--max-cost``/``--budget-cost``/``--budget-matches`` flags."""
+    kwargs: dict = {}
+    if args.max_cost is not None:
+        kwargs["max_cost"] = args.max_cost
+    if args.budget_cost is not None:
+        kwargs["budget_cost"] = args.budget_cost
+    if args.budget_matches is not None:
+        kwargs["match_budget"] = args.budget_matches
+    return kwargs
+
+
 def cmd_route(args: argparse.Namespace) -> int:
     """Run the query router over a cluster of shard servers."""
     from repro.serve import QueryService, create_server
@@ -421,7 +460,9 @@ def cmd_route(args: argparse.Namespace) -> int:
     )
     health = backend.check_health()
     backend.start_health_loop(args.health_interval)
-    service = QueryService(backend, cache_size=args.cache_size)
+    service = QueryService(
+        backend, cache_size=args.cache_size, **_admission_kwargs(args)
+    )
     server = create_server(
         service, args.host, args.port, quiet=not args.verbose
     )
@@ -465,7 +506,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.http import run_server
 
     store = open_store(args.store, verify_checksums=not args.no_verify)
-    service = QueryService(store, cache_size=args.cache_size)
+    service = QueryService(
+        store, cache_size=args.cache_size, **_admission_kwargs(args)
+    )
     daemon = None
     if args.compact_spool is not None:
         from repro.serve import CompactionDaemon
@@ -649,6 +692,12 @@ def build_parser() -> argparse.ArgumentParser:
         "frequency >= N",
     )
     query.add_argument(
+        "--explain", action="store_true",
+        help="print each query's compiled plan: chosen execution "
+        "strategy, node ordering, estimated cost and per-node postings "
+        "statistics",
+    )
+    query.add_argument(
         "queries", nargs="+",
         help="queries: 'name', '^name', '?', '+', '*', '*{m,n}' bounded "
         "gap, '!token' negation, '(a|b|^C)' disjunction and 'token@N' "
@@ -750,6 +799,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU result-cache entries (0 disables caching)",
     )
     serve.add_argument(
+        "--max-cost", type=float, default=None,
+        help="admission ceiling in planner work units: cache misses "
+        "estimated above it answer 429 instead of running",
+    )
+    serve.add_argument(
+        "--budget-cost", type=float, default=None,
+        help="soft cost threshold: pricier queries run under a bounded "
+        "match budget and are flagged partial if it binds",
+    )
+    serve.add_argument(
+        "--budget-matches", type=int, default=None,
+        help="match-list cap for budgeted queries (with --budget-cost)",
+    )
+    serve.add_argument(
         "--no-verify", action="store_true",
         help="skip checksum verification on open",
     )
@@ -823,8 +886,23 @@ def build_parser() -> argparse.ArgumentParser:
         "answers are never cached)",
     )
     route.add_argument(
+        "--max-cost", type=float, default=None,
+        help="admission ceiling in planner work units: cache misses "
+        "estimated above it answer 429 instead of fanning out",
+    )
+    route.add_argument(
+        "--budget-cost", type=float, default=None,
+        help="soft cost threshold: pricier queries run under a bounded "
+        "match budget and are flagged partial if it binds",
+    )
+    route.add_argument(
+        "--budget-matches", type=int, default=None,
+        help="match-list cap for budgeted queries (with --budget-cost)",
+    )
+    route.add_argument(
         "--deadline", type=float, default=5.0,
-        help="seconds budgeted per fan-out, retries included",
+        help="seconds budgeted per fan-out, retries included; a priced "
+        "query's deadline scales down with its cost estimate",
     )
     route.add_argument(
         "--health-interval", type=float, default=2.0,

@@ -23,6 +23,18 @@ class InvalidParameterError(ReproError, ValueError):
     """Raised when mining parameters are out of their legal range."""
 
 
+class QueryRejectedError(ReproError):
+    """Raised by admission control when a query's estimated execution
+    cost exceeds the service ceiling.  Carries the numbers the client
+    needs to retry sensibly (HTTP maps this to 429): the estimate in
+    abstract work units and the ceiling it crossed."""
+
+    def __init__(self, message: str, estimated_cost: float, max_cost: float):
+        super().__init__(message)
+        self.estimated_cost = estimated_cost
+        self.max_cost = max_cost
+
+
 class EncodingError(ReproError):
     """Raised when (de)serialization of sequences or key-value pairs fails."""
 

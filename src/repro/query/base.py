@@ -51,11 +51,13 @@ reference the differential tests and benchmarks compare against.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.errors import InvalidParameterError
 from repro.hierarchy.vocabulary import Vocabulary
+from repro.query.cost import PLAN_ORDERS, PLAN_STRATEGIES, CostEstimate
 from repro.query.plan import QueryPlan, iter_bit_indexes
 from repro.query.tokens import (
     AnyToken,
@@ -130,19 +132,36 @@ class PatternSearchBase:
         # ShardedPatternStore._shard): token -> compiled form / id set
         self._compile_cache: dict[QueryToken, CompiledToken] = {}
         self._admissible_cache: dict[QueryToken, frozenset[int]] = {}
+        # planner-statistics memo (postings sizes per node id set,
+        # length stats, scan counts): per backend, never invalidated —
+        # a backend instance is an immutable snapshot of one store
+        self._cost_stat_cache: dict[tuple, object] = {}
         # per-backend plan machinery
         self._accelerate = True
         self._plan_lock = threading.Lock()
-        self._plan_cache: dict[tuple, QueryPlan] = {}
+        self._plan_cache: OrderedDict[tuple, QueryPlan] = OrderedDict()
         self._plan_hits = 0
         self._plan_compiles = 0
+        self._plan_evictions = 0
         self._plan_paths = {
             "exact": 0,
             "pruned": 0,
+            "scan": 0,
             "wildcard": 0,
             "legacy": 0,
         }
+        # planner knobs: candidate-mask node ordering and a forced
+        # execution strategy (None = the cost estimate decides); both
+        # are part of the plan-cache key, so flipping them can never
+        # serve a plan built under different rules
+        self._plan_order = "cost"
+        self._plan_strategy: str | None = None
         self._pos_space = None
+        # a sharded handle installs a factory here so all its shards
+        # slice one shared PositionSpace build; the counter feeds
+        # plan_stats() so tests can pin "built exactly once"
+        self._space_factory = None
+        self._space_builds = 0
 
     # ------------------------------------------------------------------
     # storage primitives (subclass responsibility)
@@ -175,6 +194,13 @@ class PatternSearchBase:
         """Parallel ``(pattern indexes, per-pattern position tuples)``
         for one item, or ``None`` when the backend has no positions."""
         return None
+
+    def _postings_size_estimate(self, item_id: int) -> int:
+        """Estimated postings-list length for one item — the planner's
+        per-node cost statistic.  The default reads the true length
+        (O(1) for in-memory backends); on-disk stores override it with
+        a byte-range estimate that never decodes a postings list."""
+        return len(self._postings_for(item_id))
 
     # ------------------------------------------------------------------
     # basic access
@@ -363,14 +389,17 @@ class PatternSearchBase:
         compiled form is id-based, so it is only portable to another
         backend holding an identical vocabulary (shards do).
 
-        Routing, fastest first: wildcard-only queries are a pure
-        length-range scan (no per-pattern work at all); backends with
-        positional postings read the answer off the plan's bitmap
-        propagation (no DP); backends without positions AND the chain
-        nodes' postings bitsets and DP-verify only the survivors; plans
-        whose chain constrains nothing fall back to the legacy selector.
-        All four paths yield ascending pattern indexes — the rank order
-        — so the choice of path is invisible downstream.
+        Routing, cheapest-estimated first: wildcard-only queries are a
+        pure length-range scan (no per-pattern work at all); for chain
+        queries the plan's cost estimate picks a strategy —
+        ``exact`` (positional bitmap propagation, no DP), ``pruned``
+        (AND the cheap chain nodes' postings bitsets, DP-verify
+        survivors; on positional backends the verified indexes are
+        retained on the plan) or ``scan`` (length-filtered scan + DP,
+        the union-vs-scan fallback for unselective chains); plans whose
+        chain constrains nothing fall back to the legacy selector.
+        Every path yields ascending pattern indexes — the rank order —
+        so the choice of path is invisible downstream.
         """
         if not self._accelerate:
             yield from self._iter_search_dp(compiled, self._candidates(compiled))
@@ -383,10 +412,17 @@ class PatternSearchBase:
             for idx in plan.length_scan_indexes(self):
                 yield self._pattern_at(idx)
             return
-        if self._has_positions():
+        strategy = plan.strategy(self)
+        if strategy == "exact":
             self._count_path("exact")
             for idx in plan.match_indexes(self):
                 yield self._pattern_at(idx)
+            return
+        if strategy == "scan":
+            self._count_path("scan")
+            yield from self._iter_search_dp(
+                compiled, plan.length_scan_indexes(self)
+            )
             return
         mask = plan.candidate_mask(self)
         if mask is None:
@@ -394,6 +430,13 @@ class PatternSearchBase:
             yield from self._iter_search_dp(compiled, self._candidates(compiled))
             return
         self._count_path("pruned")
+        if self._has_positions():
+            # cost-routed around the exact path: few candidates, so
+            # verify once and retain on the plan — repeats stay as
+            # cheap as the exact path's retained match indexes
+            for idx in plan.verified_indexes(self, compiled):
+                yield self._pattern_at(idx)
+            return
         yield from self._iter_search_dp(compiled, iter_bit_indexes(mask))
 
     def _iter_search_dp(
@@ -434,28 +477,87 @@ class PatternSearchBase:
     def _plan_for(self, compiled: list[CompiledToken]) -> QueryPlan:
         """The cached :class:`~repro.query.plan.QueryPlan` for a
         compiled query, building (outside the lock) and inserting on
-        miss.  FIFO eviction at :data:`_PLAN_CACHE_CAP` entries."""
-        key = tuple(compiled)
+        miss.  LRU eviction at :data:`_PLAN_CACHE_CAP` entries — a hit
+        promotes the plan to most-recent, so a hot plan survives cap
+        churn (eviction used to be pure FIFO).  The planner knobs are
+        part of the key: plans hold masks and strategies built under
+        one (order, strategy) setting."""
+        key = (self._plan_order, self._plan_strategy, tuple(compiled))
         with self._plan_lock:
             plan = self._plan_cache.get(key)
             if plan is not None:
                 self._plan_hits += 1
+                self._plan_cache.move_to_end(key)
                 return plan
         plan = QueryPlan(compiled, self)
         with self._plan_lock:
             existing = self._plan_cache.get(key)
             if existing is not None:
                 self._plan_hits += 1
+                self._plan_cache.move_to_end(key)
                 return existing
             self._plan_compiles += 1
             if len(self._plan_cache) >= self._PLAN_CACHE_CAP:
-                self._plan_cache.pop(next(iter(self._plan_cache)))
+                self._plan_cache.popitem(last=False)
+                self._plan_evictions += 1
             self._plan_cache[key] = plan
         return plan
 
     def _count_path(self, path: str) -> None:
         with self._plan_lock:
             self._plan_paths[path] += 1
+
+    def set_planner(
+        self, order: str = "cost", strategy: str | None = None
+    ) -> None:
+        """Planner knobs: candidate-mask node ordering (one of
+        :data:`~repro.query.cost.PLAN_ORDERS`) and a forced execution
+        strategy (one of :data:`~repro.query.cost.PLAN_STRATEGIES`,
+        ``None`` = the cost estimate decides).  Every combination
+        answers byte-identically — the differential harness forces them
+        all; benchmarks use ``("cardinality", "exact")`` as the
+        pre-planner reference."""
+        if order not in PLAN_ORDERS:
+            raise InvalidParameterError(
+                f"planner order must be one of {PLAN_ORDERS}, got {order!r}"
+            )
+        if strategy is not None and strategy not in PLAN_STRATEGIES:
+            raise InvalidParameterError(
+                f"planner strategy must be one of {PLAN_STRATEGIES} or "
+                f"None, got {strategy!r}"
+            )
+        self._plan_order = order
+        self._plan_strategy = strategy
+
+    def estimate_cost(self, query) -> CostEstimate:
+        """The cost estimate for a query against this backend — the
+        admission-control currency (see :mod:`repro.query.cost`)."""
+        compiled = self._compile(normalize_query(query))
+        return self._plan_for(compiled).estimate(self)
+
+    def explain(self, query) -> dict:
+        """The compiled plan and its cost estimate, for ``lash query
+        --explain`` and debugging: chain shape, windows, length bounds,
+        the active planner knobs, the strategy that would run, and the
+        full per-node estimate."""
+        compiled = self._compile(normalize_query(query))
+        plan = self._plan_for(compiled)
+        estimate = plan.estimate(self)
+        return {
+            "chain": [
+                {"kind": kind, "ids": len(ids)} for kind, ids in plan.chain
+            ],
+            "windows": [list(window) for window in plan.windows],
+            "min_len": plan.min_len,
+            "max_len": plan.max_len,
+            "unsatisfiable": plan.unsatisfiable,
+            "order": self._plan_order,
+            "forced_strategy": self._plan_strategy,
+            "strategy": (
+                plan.strategy(self) if plan.chain else estimate.strategy
+            ),
+            "estimate": estimate.to_dict(),
+        }
 
     def plan_stats(self) -> dict:
         """Plan-cache and execution-path counters (surfaced by the HTTP
@@ -466,6 +568,8 @@ class PatternSearchBase:
                 "capacity": self._PLAN_CACHE_CAP,
                 "hits": self._plan_hits,
                 "compiles": self._plan_compiles,
+                "evictions": self._plan_evictions,
+                "space_builds": self._space_builds,
                 "paths": dict(self._plan_paths),
             }
 
@@ -496,7 +600,9 @@ class PatternSearchBase:
 
     def _position_space(self):
         """The lazily-built positional coordinate system shared by every
-        plan over this backend."""
+        plan over this backend.  A sharded handle installs a
+        ``_space_factory`` so its shards slice one shared build instead
+        of each paying the full slot loop on first positional query."""
         space = self._pos_space
         if space is None:
             from repro.query.plan import PositionSpace
@@ -504,7 +610,12 @@ class PatternSearchBase:
             with self._plan_lock:
                 space = self._pos_space
                 if space is None:
-                    space = PositionSpace(self._pattern_lengths())
+                    factory = self._space_factory
+                    if factory is not None:
+                        space = factory()
+                    else:
+                        space = PositionSpace(self._pattern_lengths())
+                        self._space_builds += 1
                     self._pos_space = space
         return space
 

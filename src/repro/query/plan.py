@@ -41,6 +41,8 @@ import threading
 from bisect import bisect_right
 from typing import Iterator, Sequence
 
+from repro.query.cost import CostEstimator, order_mask_nodes
+
 Window = tuple[int, "int | None"]
 
 
@@ -63,14 +65,24 @@ class PositionSpace:
     first and last slot — the anchors for prefix and tail windows.
     """
 
-    __slots__ = ("offsets", "valid", "starts", "ends", "max_len", "pad")
+    __slots__ = (
+        "offsets", "valid", "starts", "ends", "max_len", "pad", "total",
+    )
 
-    def __init__(self, lengths: Sequence[int]) -> None:
+    def __init__(
+        self, lengths: Sequence[int], pad: int | None = None
+    ) -> None:
         max_len = 1
         for length in lengths:
             if length > max_len:
                 max_len = length
-        pad = max_len
+        if pad is None:
+            pad = max_len
+        elif pad < max_len:
+            raise ValueError(
+                f"pad {pad} below the maximum pattern length {max_len}: "
+                "in-field shifts could leak into a neighboring field"
+            )
         offsets: list[int] = []
         offset = 0
         for length in lengths:
@@ -92,6 +104,39 @@ class PositionSpace:
         self.ends = int.from_bytes(bytes(ends), "little")
         self.max_len = max_len
         self.pad = pad
+        self.total = offset
+
+    def slice_fields(self, first: int, count: int) -> "PositionSpace":
+        """A view of ``count`` consecutive fields starting at field
+        ``first``, rebased to its own coordinates.  Masks extract with
+        two big-int shifts instead of re-running the per-slot build
+        loop — this is how a sharded handle hands each shard its slice
+        of one shared build.  ``pad`` and ``max_len`` stay global: a
+        larger-than-necessary pad still separates fields, and a
+        larger ``max_len`` only admits extra shift distances whose
+        landing bits the AND with :attr:`valid` clears, so window
+        algebra over a slice equals a direct build with the same pad."""
+        view = object.__new__(PositionSpace)
+        if count <= 0:
+            view.offsets = []
+            view.valid = view.starts = view.ends = 0
+            view.max_len = self.max_len
+            view.pad = self.pad
+            view.total = 0
+            return view
+        offsets = self.offsets
+        lo = offsets[first]
+        end = first + count
+        hi = offsets[end] if end < len(offsets) else self.total
+        width_mask = (1 << (hi - lo)) - 1
+        view.offsets = [base - lo for base in offsets[first:end]]
+        view.valid = (self.valid >> lo) & width_mask
+        view.starts = (self.starts >> lo) & width_mask
+        view.ends = (self.ends >> lo) & width_mask
+        view.max_len = self.max_len
+        view.pad = self.pad
+        view.total = hi - lo
+        return view
 
     # ------------------------------------------------------------------
     # window algebra
@@ -180,6 +225,9 @@ class QueryPlan:
         "_mask_ready",
         "_mask",
         "_matches_idx",
+        "_verified_idx",
+        "_estimate",
+        "_strategy",
     )
 
     def __init__(self, compiled: Sequence, backend) -> None:
@@ -233,6 +281,60 @@ class QueryPlan:
         self._mask_ready = False
         self._mask: int | None = None
         self._matches_idx: list[int] | None = None
+        self._verified_idx: list[int] | None = None
+        self._estimate = None
+        self._strategy: str | None = None
+
+    # ------------------------------------------------------------------
+    # cost estimation + strategy choice
+    # ------------------------------------------------------------------
+
+    def estimate(self, backend):
+        """The plan's :class:`~repro.query.cost.CostEstimate` against
+        this backend, computed once and retained (plans are per-backend,
+        and the plan-cache key includes the planner knobs, so the
+        estimate can never go stale under knob flips)."""
+        est = self._estimate
+        if est is None:
+            est = CostEstimator(backend).estimate(self)
+            self._estimate = est
+        return est
+
+    def strategy(self, backend) -> str:
+        """Execution strategy for a chain query: the estimate's pick,
+        unless the backend forces one (``_plan_strategy``, a test and
+        benchmark hook).  ``exact`` silently degrades to ``pruned``
+        when the backend has no positions — every strategy answers
+        identically, only the work profile differs."""
+        chosen = self._strategy
+        if chosen is None:
+            forced = getattr(backend, "_plan_strategy", None)
+            chosen = forced if forced is not None else self.estimate(
+                backend
+            ).strategy
+            if chosen == "exact" and not backend._has_positions():
+                chosen = "pruned"
+            self._strategy = chosen
+        return chosen
+
+    def verified_indexes(self, backend, compiled) -> list[int]:
+        """Ascending match indexes via mask-prune + DP-verify, retained
+        on the plan.  The cost planner routes skewed queries here *on
+        positional backends* — DP-verifying a rare node's few candidates
+        beats decoding a ubiquitous node's every occurrence into the
+        exact path's bitmaps — and memoizing keeps the steady-state
+        profile as flat as the exact path's retained match indexes."""
+        cached = self._verified_idx
+        if cached is not None:
+            return cached
+        mask = self.candidate_mask(backend)
+        verified = [
+            idx
+            for idx in iter_bit_indexes(mask or 0)
+            if backend._matches(compiled, backend._pattern_at(idx)[0])
+        ]
+        self._verified_idx = verified
+        return verified
 
     # ------------------------------------------------------------------
     # stage 1: bitset candidate pruning
@@ -240,9 +342,12 @@ class QueryPlan:
 
     def candidate_mask(self, backend) -> int | None:
         """Pattern-index bitmask of candidates surviving the AND of the
-        concrete chain nodes' postings bitsets, cheapest (smallest id
-        set) first with an early exit at zero.  ``None`` when no chain
-        node restricts candidates (all-negative queries, or nodes
+        concrete chain nodes' postings bitsets, cheapest (smallest
+        *estimated postings volume*) first with an early exit at zero;
+        nodes whose postings dwarf the cheapest node's are skipped
+        entirely (the mask stays a verified superset — see
+        :func:`~repro.query.cost.order_mask_nodes`).  ``None`` when no
+        chain node restricts candidates (all-negative queries, or nodes
         admitting the whole vocabulary) — the caller falls back to a
         length-filtered scan, exactly like the legacy selector."""
         if self._mask_ready:
@@ -319,9 +424,32 @@ class QueryPlan:
         ]
         mask: int | None = None
         if usable:
-            usable.sort(key=len)
+            order = getattr(backend, "_plan_order", "cost")
+            if order == "cardinality":
+                # the legacy ordering: id-set size says nothing about
+                # postings volume, kept as a forcible reference
+                usable.sort(key=len)
+                ordered = usable
+            else:
+                # node sizes are a property of the (immutable) backend,
+                # not the plan — share the estimator's memo so cold
+                # compiles don't re-sum hundreds of per-id estimates
+                stat_cache = backend._cost_stat_cache
+                sized = []
+                for ids in usable:
+                    size = stat_cache.get(("node", ids))
+                    if size is None:
+                        size = sum(
+                            backend._postings_size_estimate(item)
+                            for item in ids
+                        )
+                        stat_cache[("node", ids)] = size
+                    sized.append((size, ids))
+                ordered = [
+                    ids for _, ids in order_mask_nodes(sized, order)[0]
+                ]
             n_bytes = (backend._num_patterns() + 7) >> 3
-            for ids in usable:
+            for ids in ordered:
                 buf = bytearray(n_bytes)
                 for item in ids:
                     for idx in backend._postings_for(item):

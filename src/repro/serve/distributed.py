@@ -26,6 +26,9 @@ op                    answer
                       requested ``shards`` (default: all mounted),
                       honoring ``min_freq`` (σ prefix cut) and ``limit``
 ``top``               rank-ordered top-``n`` records
+``estimate``          the slice's combined planner cost estimate for
+                      ``tokens`` (integer work units; the router scales
+                      its fan-out deadline and admission gate with it)
 ====================  ==================================================
 
 Every record is ``[coded_ids, frequency, names]``; errors come back as
@@ -348,6 +351,8 @@ class ShardServer:
                 return {"records": self._search(request)}
             if op == "top":
                 return {"records": self._top(request)}
+            if op == "estimate":
+                return {"estimate": self._estimate(request)}
             raise InvalidParameterError(f"unknown op {op!r}")
         except ReproError as exc:
             if self._stopping:
@@ -414,6 +419,14 @@ class ShardServer:
             min_freq=min_freq,
         )
         return self._render(records)
+
+    def _estimate(self, request) -> dict:
+        tokens = decode_tokens(request.get("tokens"))
+        if is_negation_only(tokens):
+            raise InvalidParameterError(
+                "all-negative queries are not served"
+            )
+        return self.store.estimate_cost(tokens).to_wire()
 
     def _top(self, request) -> list:
         n = request.get("n")

@@ -37,7 +37,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ReproError, StoreCorruptError
+from repro.errors import QueryRejectedError, ReproError, StoreCorruptError
 from repro.serve.service import DEFAULT_LIMIT, QueryService, error_message
 
 MAX_BATCH = 1000
@@ -100,6 +100,39 @@ def render_metrics(stats: dict) -> str:
         "Result-cache capacity (0 = caching disabled).",
         stats["cache_size"],
     )
+    emit(
+        "lash_cache_evictions_total", "counter",
+        "Result-cache entries dropped by cost-weighted LRU eviction.",
+        stats.get("cache_evictions", 0),
+    )
+    admission = stats.get("admission")
+    if admission:
+        emit(
+            "lash_rejected_queries_total", "counter",
+            "Queries refused by admission control (HTTP 429).",
+            admission["rejected"],
+        )
+        emit(
+            "lash_budgeted_queries_total", "counter",
+            "Queries run under the bounded match budget.",
+            admission["budgeted"],
+        )
+        cost = admission.get("cost")
+        if cost and cost["count"]:
+            name = "lash_query_cost_units"
+            lines.append(
+                f"# HELP {name} Estimated query cost at admission time "
+                "(planner work units, cache misses only)."
+            )
+            lines.append(f"# TYPE {name} histogram")
+            for bound, cumulative in cost["buckets"]:
+                lines.append(
+                    f'{name}_bucket{{le="{format(bound, "g")}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cost["count"]}')
+            lines.append(f'{name}_sum {cost["sum_seconds"]}')
+            lines.append(f'{name}_count {cost["count"]}')
     store = stats.get("store")
     if store:
         # the router backend describes a cluster, not a local file set
@@ -270,6 +303,18 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
                 # tell the client to fix its query; 503 tells the load
                 # balancer this replica needs a rebuilt store
                 self._respond(503, {"error": error_message(exc)})
+            except QueryRejectedError as exc:
+                # admission control refused the work — 429, with the
+                # numbers the client needs to narrow the query or back
+                # off (must precede the generic ReproError → 400 map)
+                self._respond(
+                    429,
+                    {
+                        "error": error_message(exc),
+                        "estimated_cost": round(exc.estimated_cost, 1),
+                        "max_cost": round(exc.max_cost, 1),
+                    },
+                )
             except ReproError as exc:
                 self._respond(400, {"error": error_message(exc)})
             except (BrokenPipeError, ConnectionResetError):

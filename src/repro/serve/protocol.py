@@ -31,6 +31,7 @@ from repro.errors import (
     EncodingError,
     HierarchyError,
     InvalidParameterError,
+    QueryRejectedError,
     ReproError,
     StoreCorruptError,
     UnknownItemError,
@@ -309,6 +310,7 @@ _ERROR_TYPES = {
         InvalidParameterError,
         EncodingError,
         StoreCorruptError,
+        QueryRejectedError,
     )
 }
 
@@ -324,6 +326,10 @@ def encode_error(exc: ReproError) -> dict:
     item = getattr(exc, "item", None)
     if isinstance(item, str):
         out["item"] = item
+    if isinstance(exc, QueryRejectedError):
+        # admission numbers travel as ints (the wire has no float type)
+        out["estimated_cost"] = int(round(exc.estimated_cost))
+        out["max_cost"] = int(round(exc.max_cost))
     return out
 
 
@@ -334,6 +340,12 @@ def decode_error(obj: dict) -> ReproError:
     cls = _ERROR_TYPES.get(obj.get("type"), ReproError)
     if cls is UnknownItemError and "item" in obj:
         return UnknownItemError(obj["item"])
+    if cls is QueryRejectedError:
+        return QueryRejectedError(
+            obj.get("message", "query rejected"),
+            estimated_cost=obj.get("estimated_cost", 0),
+            max_cost=obj.get("max_cost", 0),
+        )
     exc = cls.__new__(cls)
     Exception.__init__(exc, obj.get("message", "remote error"))
     return exc

@@ -44,11 +44,16 @@ import socket
 import threading
 import time
 import urllib.request
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.analysis.costmodel import (
+    COST_FULL_DEADLINE,
+    MIN_DEADLINE_FRACTION,
+)
 from repro.errors import (
     InvalidParameterError,
     ReproError,
@@ -56,6 +61,7 @@ from repro.errors import (
 )
 from repro.mapreduce.engine import stable_hash
 from repro.query.base import QueryMatch
+from repro.query.cost import CostEstimate
 from repro.query.tokens import normalize_query
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -73,6 +79,9 @@ _VNODES = 64
 #: floor for any single socket operation's timeout: once the deadline
 #: budget is nearly spent, fail fast instead of waiting 0 seconds
 _MIN_TIMEOUT = 0.05
+
+#: cached cost estimates the router retains (keyed by normalized query)
+_ESTIMATE_CACHE_CAP = 256
 
 
 # ----------------------------------------------------------------------
@@ -395,6 +404,9 @@ class RouterBackend:
         self._server_failures = 0
         self._partials = 0
         self._patterns_total: int | None = None
+        self._estimate_cache: OrderedDict[tuple, CostEstimate] = (
+            OrderedDict()
+        )
         self._tls = threading.local()
         self._health_stop: threading.Event | None = None
         self._health_thread: threading.Thread | None = None
@@ -499,7 +511,9 @@ class RouterBackend:
         Each shard gets at most two attempts (primary pick + one
         failover replica), all under a single deadline budget.
         """
-        deadline = time.monotonic() + self._deadline
+        deadline = time.monotonic() + (
+            self._deadline * self._take_deadline_fraction()
+        )
         with self._lock:
             self._fanouts += 1
         tried: dict[int, set[str]] = {
@@ -609,9 +623,92 @@ class RouterBackend:
         self._tls.partial = None
         return partial
 
+    def _take_deadline_fraction(self) -> float:
+        """Deadline scale for this thread's next fan-out, consumed once.
+
+        A query :meth:`estimate_cost` just priced inherits a deadline
+        proportional to its estimate — cheap lookups fail over fast
+        instead of waiting a broad-scan budget, expensive scans keep
+        the full deadline.  Without an estimate the full budget stands.
+        """
+        cost = getattr(self._tls, "last_cost", None)
+        self._tls.last_cost = None
+        if cost is None:
+            return 1.0
+        return min(
+            1.0, max(MIN_DEADLINE_FRACTION, cost / COST_FULL_DEADLINE)
+        )
+
     # ------------------------------------------------------------------
     # backend surface
     # ------------------------------------------------------------------
+
+    def estimate_cost(self, query) -> CostEstimate | None:
+        """Cluster-level planner estimate for the query, or ``None``
+        when no server can price it (all down, or servers predating the
+        ``estimate`` op — admission then simply skips the gate, it
+        never fails the query).
+
+        One healthy server is asked for its slice's estimate, which is
+        scaled by the shard ratio to cover the whole cluster (shards
+        partition the patterns, so slice costs extrapolate linearly).
+        Estimates are cached per normalized query, and the returned
+        cost arms the calling thread's fan-out deadline scale.
+        """
+        tokens = normalize_query(query)
+        with self._lock:
+            cached = self._estimate_cache.get(tokens)
+            if cached is not None:
+                self._estimate_cache.move_to_end(tokens)
+        if cached is not None:
+            self._tls.last_cost = cached.cost
+            return cached
+        wire = encode_tokens(tokens)
+        with self._lock:
+            ranked = sorted(
+                self._cluster.servers,
+                key=lambda key: not self._healthy.get(key, True),
+            )
+        estimate: CostEstimate | None = None
+        for key in ranked:
+            try:
+                response = self._clients[key].request(
+                    {"v": PROTOCOL_VERSION, "op": "estimate", "tokens": wire},
+                    self._health_timeout,
+                )
+            except (OSError, EOFError, ConnectionError):
+                self._mark_down(key)
+                continue
+            except ReproError:
+                # a pre-planner server answers "unknown op"; a genuine
+                # query error will surface from the search that follows
+                return None
+            raw = (
+                response.get("estimate")
+                if isinstance(response, dict)
+                else None
+            )
+            if not isinstance(raw, dict):
+                return None
+            covered = max(1, int(raw.get("shards", 1)))
+            scale = self._cluster.num_shards / covered
+            estimate = CostEstimate(
+                cost=float(raw.get("cost", 0)) * scale,
+                strategy=str(raw.get("strategy", "mixed")),
+                candidates=int(raw.get("candidates", 0) * scale),
+                scan_candidates=int(raw.get("scan_candidates", 0) * scale),
+                shards=self._cluster.num_shards,
+            )
+            break
+        if estimate is None:
+            return None
+        with self._lock:
+            self._estimate_cache[tokens] = estimate
+            self._estimate_cache.move_to_end(tokens)
+            while len(self._estimate_cache) > _ESTIMATE_CACHE_CAP:
+                self._estimate_cache.popitem(last=False)
+        self._tls.last_cost = estimate.cost
+        return estimate
 
     def search(
         self,

@@ -23,8 +23,11 @@ import time
 from collections import OrderedDict
 from typing import Sequence
 
+from repro.analysis.costmodel import MATCH_BUDGET_DEFAULT
+from repro.analysis.costmodel import COST_BUCKETS as _COST_BUCKETS
 from repro.errors import (
     InvalidParameterError,
+    QueryRejectedError,
     ReproError,
     StoreCorruptError,
 )
@@ -46,22 +49,26 @@ LATENCY_BUCKETS = (
 
 
 class LatencyHistogram:
-    """Fixed-bucket latency histogram with Prometheus semantics.
+    """Fixed-bucket histogram with Prometheus semantics.
 
     Buckets store per-range counts; :meth:`snapshot` cumulates them into
-    the ``le``-labeled form scrapers expect.  Not thread-safe on its
+    the ``le``-labeled form scrapers expect.  Defaults to the latency
+    bounds; the planner's cost histogram passes its own ``buckets``
+    (work units, not seconds — the ``sum_seconds`` key name is kept so
+    every consumer reads one snapshot shape).  Not thread-safe on its
     own — the owning service observes under its lock.
     """
 
-    __slots__ = ("_counts", "_sum", "_total")
+    __slots__ = ("_buckets", "_counts", "_sum", "_total")
 
-    def __init__(self) -> None:
-        self._counts = [0] * len(LATENCY_BUCKETS)
+    def __init__(self, buckets: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        self._buckets = buckets
+        self._counts = [0] * len(buckets)
         self._sum = 0.0
         self._total = 0
 
     def observe(self, seconds: float) -> None:
-        index = bisect.bisect_left(LATENCY_BUCKETS, seconds)
+        index = bisect.bisect_left(self._buckets, seconds)
         if index < len(self._counts):
             self._counts[index] += 1
         # past the last bound the observation lands only in +Inf
@@ -73,7 +80,7 @@ class LatencyHistogram:
         "count"}`` — the +Inf bucket is ``count`` itself."""
         cumulative = 0
         buckets: list[list[float | int]] = []
-        for bound, count in zip(LATENCY_BUCKETS, self._counts):
+        for bound, count in zip(self._buckets, self._counts):
             cumulative += count
             buckets.append([bound, cumulative])
         return {
@@ -109,6 +116,19 @@ class QueryService:
     max_cached_matches:
         Rendered matches retained per cache entry; requests needing a
         longer prefix recompute instead of reading the cache.
+    max_cost:
+        Admission ceiling in planner work units
+        (:meth:`~repro.query.base.PatternSearchBase.estimate_cost`):
+        a cache miss whose estimate exceeds it is refused with
+        :class:`QueryRejectedError` (HTTP 429) before any search work
+        runs.  ``None`` (the default) admits everything.  Cache *hits*
+        always bypass admission — a cached answer costs nothing.
+    budget_cost:
+        Soft threshold: a miss whose estimate exceeds it still runs,
+        but under a ``match_budget``-bounded search; if the budget
+        binds, the response is flagged partial and never cached.
+    match_budget:
+        Match-list cap for budgeted queries.
     """
 
     def __init__(
@@ -116,6 +136,9 @@ class QueryService:
         backend: PatternSearchBase,
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_cached_matches: int = MAX_CACHED_MATCHES,
+        max_cost: float | None = None,
+        budget_cost: float | None = None,
+        match_budget: int = MATCH_BUDGET_DEFAULT,
     ) -> None:
         if cache_size < 0:
             raise InvalidParameterError(
@@ -125,15 +148,45 @@ class QueryService:
             raise InvalidParameterError(
                 f"max_cached_matches must be >= 1, got {max_cached_matches}"
             )
+        if max_cost is not None and max_cost <= 0:
+            raise InvalidParameterError(
+                f"max_cost must be > 0 or None, got {max_cost}"
+            )
+        if budget_cost is not None and budget_cost <= 0:
+            raise InvalidParameterError(
+                f"budget_cost must be > 0 or None, got {budget_cost}"
+            )
+        if (
+            max_cost is not None
+            and budget_cost is not None
+            and budget_cost > max_cost
+        ):
+            raise InvalidParameterError(
+                f"budget_cost {budget_cost} exceeds max_cost {max_cost}"
+            )
+        if match_budget < 1:
+            raise InvalidParameterError(
+                f"match_budget must be >= 1, got {match_budget}"
+            )
         self._backend = backend
         self._cache_size = cache_size
         self._max_cached_matches = max_cached_matches
+        self._max_cost = max_cost
+        self._budget_cost = budget_cost
+        self._match_budget = match_budget
         self._cache: OrderedDict[tuple, dict] = OrderedDict()
+        #: estimated recomputation cost per cache key — the weight the
+        #: LRU uses when picking an eviction victim
+        self._cache_costs: dict[tuple, float] = {}
         self._lock = threading.Lock()
         self._queries = 0
         self._cache_hits = 0
         self._errors = 0
         self._latency_s = 0.0
+        self._rejected = 0
+        self._budgeted = 0
+        self._cache_evictions = 0
+        self._cost_hist = LatencyHistogram(buckets=_COST_BUCKETS)
         self._request_hists: dict[str, LatencyHistogram] = {}
         self._compaction: dict | None = None
         #: bumped by swap_backend; a result computed under an older
@@ -158,6 +211,7 @@ class QueryService:
             old = self._backend
             self._backend = backend
             self._cache.clear()
+            self._cache_costs.clear()
             self._epoch += 1
         return old
 
@@ -197,9 +251,15 @@ class QueryService:
         """
         if limit is not None and limit < 1:
             self._reject(f"limit must be >= 1 or null, got {limit}")
-        (rendered, count, total), hit, matches, tokens, min_freq, partial = (
-            self._search(query, min_freq)
-        )
+        (
+            (rendered, count, total),
+            hit,
+            matches,
+            tokens,
+            min_freq,
+            partial,
+            cost,
+        ) = self._search(query, min_freq)
         wanted = count if limit is None else min(limit, count)
         if wanted <= len(rendered):
             shown = rendered[:wanted]
@@ -229,11 +289,15 @@ class QueryService:
             result["min_freq"] = min_freq
         if partial is not None:
             result["partial"] = partial
+        if cost is not None:
+            # present on computed (cache-miss) answers only: hits skip
+            # the estimator entirely, which is the point of the cache
+            result["estimated_cost"] = round(cost, 1)
         return result
 
     def count(self, query: str, min_freq: int | None = None) -> dict:
         """Match count and frequency mass only (no result list)."""
-        (_, count, total), _hit, _matches, _tokens, min_freq, partial = (
+        (_, count, total), _hit, _matches, _tokens, min_freq, partial, cost = (
             self._search(query, min_freq)
         )
         result = {
@@ -245,6 +309,8 @@ class QueryService:
             result["min_freq"] = min_freq
         if partial is not None:
             result["partial"] = partial
+        if cost is not None:
+            result["estimated_cost"] = round(cost, 1)
         return result
 
     def topk(self, n: int = DEFAULT_LIMIT) -> dict:
@@ -254,6 +320,10 @@ class QueryService:
         render (and cache) the entire store; the response's ``k`` is the
         clamped value.
         """
+        if isinstance(n, bool) or not isinstance(n, int):
+            # bool subclasses int: topk(True) would silently mean n=1
+            # and poison the ("topk", "", 1) cache key for real callers
+            self._reject(f"n must be an integer, got {n!r}")
         if n < 1:
             self._reject(f"n must be >= 1, got {n}")
         n = min(n, self._max_cached_matches)
@@ -323,22 +393,53 @@ class QueryService:
         spill: dict = {}
 
         def compute(key: tuple) -> tuple[list[dict], int, int]:
-            matches = self._backend.search(tokens, min_freq=min_freq)
+            # admission runs only on misses: a cached answer is free, so
+            # repeats of an expensive query bypass the gate by design
+            cost = self._admit(tokens)
+            spill["cost"] = cost
+            budget = None
+            if (
+                cost is not None
+                and self._budget_cost is not None
+                and cost > self._budget_cost
+            ):
+                budget = self._match_budget
+                with self._lock:
+                    self._budgeted += 1
+            matches = self._backend.search(
+                tokens, limit=budget, min_freq=min_freq
+            )
             spill["matches"] = matches
-            spill["partial"] = self._take_partial()
+            partial = self._take_partial()
+            if budget is not None and len(matches) >= budget:
+                # the budget bound the ranking: count and mass below
+                # cover only the returned prefix, so the answer is
+                # flagged degraded (and the veto keeps it uncached)
+                partial = dict(partial or ())
+                partial["budgeted"] = True
+                partial["match_budget"] = budget
+                partial["estimated_cost"] = round(cost, 1)
+            spill["partial"] = partial
             return (
                 _render(matches[: self._max_cached_matches]),
                 len(matches),
                 sum(m.frequency for m in matches),
             )
 
+        key = ("search", tokens, min_freq)
         value, hit = self._cached(
-            ("search", tokens, min_freq),
+            key,
             compute,
             # a degraded answer (shard set unreachable mid-query) must
             # not be served from cache after the cluster heals
             should_cache=lambda _v: spill.get("partial") is None,
+            cost=lambda: spill.get("cost"),
         )
+        if hit:
+            # a hit skipped the estimator; report the cost stored with
+            # the entry so hit and miss responses read identically
+            with self._lock:
+                spill["cost"] = self._cache_costs.get(key)
         return (
             value,
             hit,
@@ -346,6 +447,7 @@ class QueryService:
             tokens,
             min_freq,
             spill.get("partial"),
+            spill.get("cost"),
         )
 
     def batch(
@@ -392,8 +494,17 @@ class QueryService:
                 "cache_hit_rate": round(hits / queries, 4) if queries else 0.0,
                 "cache_entries": len(self._cache),
                 "cache_size": self._cache_size,
+                "cache_evictions": self._cache_evictions,
                 "errors": self._errors,
                 "total_latency_ms": round(1000 * self._latency_s, 3),
+            }
+            stats["admission"] = {
+                "max_cost": self._max_cost,
+                "budget_cost": self._budget_cost,
+                "match_budget": self._match_budget,
+                "rejected": self._rejected,
+                "budgeted": self._budgeted,
+                "cost": self._cost_hist.snapshot(),
             }
             stats["avg_latency_ms"] = (
                 round(stats["total_latency_ms"] / queries, 3) if queries
@@ -420,6 +531,7 @@ class QueryService:
     def clear_cache(self) -> None:
         with self._lock:
             self._cache.clear()
+            self._cache_costs.clear()
 
     # ------------------------------------------------------------------
     # internals
@@ -433,6 +545,35 @@ class QueryService:
             self._errors += 1
         raise InvalidParameterError(message)
 
+    def _admit(self, tokens) -> float | None:
+        """Price the query and apply the admission ceiling.
+
+        Returns the estimated cost (``None`` when the backend cannot
+        estimate — e.g. an old remote server), records it in the cost
+        histogram, and raises :class:`QueryRejectedError` when it
+        crosses ``max_cost``.  Raised *inside* the cache-miss compute,
+        so a rejection can never be cached.
+        """
+        estimate_fn = getattr(self._backend, "estimate_cost", None)
+        if estimate_fn is None:
+            return None
+        estimate = estimate_fn(tokens)
+        if estimate is None:
+            return None
+        cost = float(estimate.cost)
+        with self._lock:
+            self._cost_hist.observe(cost)
+        if self._max_cost is not None and cost > self._max_cost:
+            with self._lock:
+                self._rejected += 1
+            raise QueryRejectedError(
+                f"query rejected: estimated cost {round(cost)} exceeds "
+                f"ceiling {round(self._max_cost)}",
+                estimated_cost=cost,
+                max_cost=self._max_cost,
+            )
+        return cost
+
     def _take_partial(self) -> dict | None:
         """Degradation info from the last backend call, for backends
         that can answer partially (the distributed router); ``None``
@@ -440,12 +581,21 @@ class QueryService:
         take = getattr(self._backend, "take_partial", None)
         return take() if take is not None else None
 
-    def _cached(self, key: tuple, compute, should_cache=None):
+    #: how far past the LRU end the cost-weighted eviction looks: the
+    #: victim is the cheapest-to-recompute entry among the oldest few,
+    #: so one stale-but-expensive scan is not dropped for a fresh
+    #: lookup that costs nothing to redo
+    _EVICT_WINDOW = 8
+
+    def _cached(self, key: tuple, compute, should_cache=None, cost=None):
         """``(value, was_cache_hit)`` with LRU bookkeeping.
 
         ``should_cache(value)`` may veto insertion — used to keep
         degraded (partial) answers out of the cache while still
-        serving them.
+        serving them.  ``cost()`` (read after compute) supplies the
+        entry's estimated recomputation cost: eviction picks the
+        cheapest entry among the ``_EVICT_WINDOW`` least-recently-used
+        ones instead of pure recency.
         """
         with self._lock:
             self._queries += 1
@@ -476,9 +626,31 @@ class QueryService:
             ):
                 self._cache[key] = value
                 self._cache.move_to_end(key)
+                entry_cost = cost() if cost is not None else None
+                if entry_cost is not None:
+                    self._cache_costs[key] = entry_cost
                 while len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
+                    self._evict_one()
         return value, False
+
+    def _evict_one(self) -> None:
+        """Drop the cheapest-to-recompute entry among the oldest
+        ``_EVICT_WINDOW`` (caller holds the lock).  Entries with no
+        estimate weigh 0 — evicted before anything priced.  The
+        newest entry is never a candidate: the insertion that
+        triggered the eviction must not evict itself."""
+        window = []
+        cap = min(self._EVICT_WINDOW, len(self._cache) - 1)
+        for key in self._cache:
+            window.append(key)
+            if len(window) >= cap:
+                break
+        victim = min(
+            window, key=lambda key: self._cache_costs.get(key, 0.0)
+        )
+        del self._cache[victim]
+        self._cache_costs.pop(victim, None)
+        self._cache_evictions += 1
 
 
 __all__ = [

@@ -35,6 +35,9 @@ from repro.query.base import (
     PatternSearchBase,
     rank_key,
 )
+from repro.query.cost import CostEstimate, combine_estimates
+from repro.query.plan import PositionSpace
+from repro.query.tokens import normalize_query
 from repro.serve.format import is_sharded_store, read_manifest, shard_of
 from repro.serve.store import PatternStore
 
@@ -106,6 +109,11 @@ class ShardedPatternStore(PatternSearchBase):
                 f"({exc.filename})"
             ) from None
         self._shared_vocab: Vocabulary | None = None
+        # one PositionSpace build shared by every shard: the first
+        # positional query triggers a single global build, sliced into
+        # per-shard views (see _shard_space)
+        self._space_lock = threading.Lock()
+        self._space_slices: dict[int, PositionSpace] | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -175,6 +183,15 @@ class ShardedPatternStore(PatternSearchBase):
                     store._compile_cache = self._compile_cache
                     store._admissible_cache = self._admissible_cache
                     store._accelerate = self._accelerate
+                    store._plan_order = self._plan_order
+                    store._plan_strategy = self._plan_strategy
+                    # shards slice one shared PositionSpace build
+                    # instead of each paying the full slot loop
+                    store._space_factory = (
+                        lambda shard_index=index: self._shard_space(
+                            shard_index
+                        )
+                    )
                     self._stores[index] = store
         return store
 
@@ -334,16 +351,88 @@ class ShardedPatternStore(PatternSearchBase):
                 if store is not None:
                     store._accelerate = enabled
 
+    def set_planner(
+        self, order: str = "cost", strategy: str | None = None
+    ) -> None:
+        """Set the planner knobs on this handle and every already-open
+        shard (shards opened later inherit them at mount time)."""
+        super().set_planner(order, strategy)
+        with self._open_lock:
+            for store in self._stores:
+                if store is not None:
+                    store._plan_order = order
+                    store._plan_strategy = strategy
+
+    def _shard_space(self, index: int) -> PositionSpace:
+        """The shard's slice of one shared :class:`PositionSpace`.
+
+        The per-slot build loop is the expensive part of a cold
+        positional query; building it once over the concatenated owned
+        shards' lengths and slicing per shard (two big-int shifts each)
+        turns a shard-count-fold cold start into a single build.  The
+        global pad keeps every slice's window algebra identical to a
+        direct per-shard build."""
+        with self._space_lock:
+            if self._space_slices is None:
+                lengths: list[int] = []
+                counts: list[tuple[int, int]] = []
+                for shard_index in self._owned:
+                    shard_lengths = self._shard(
+                        shard_index
+                    )._pattern_lengths()
+                    counts.append((shard_index, len(shard_lengths)))
+                    lengths.extend(shard_lengths)
+                space = PositionSpace(lengths)
+                self._space_builds += 1
+                slices: dict[int, PositionSpace] = {}
+                first = 0
+                for shard_index, n_fields in counts:
+                    slices[shard_index] = space.slice_fields(
+                        first, n_fields
+                    )
+                    first += n_fields
+                self._space_slices = slices
+            return self._space_slices[index]
+
+    def estimate_cost(self, query) -> CostEstimate:
+        """Handle-level cost estimate: the per-shard estimates summed
+        (shards partition the patterns, so their work adds)."""
+        compiled = self._compile(normalize_query(query))
+        return combine_estimates(
+            shard._plan_for(compiled).estimate(shard)
+            for shard in self._shards()
+        )
+
+    def explain(self, query) -> dict:
+        """Plan shape from the first owned shard (chains are
+        vocabulary-pure, hence identical across shards) with the
+        handle-level combined estimate."""
+        combined = self.estimate_cost(query)
+        info = self._shard(self._owned[0]).explain(query)
+        info["estimate"] = combined.to_dict()
+        info["strategy"] = combined.strategy
+        return info
+
     def plan_stats(self) -> dict:
         """Aggregate plan-cache counters over the currently-open shards
         (closed slots are skipped — this is a metrics read, not a reason
-        to fault shards in)."""
+        to fault shards in).  ``space_builds`` counts the handle's own
+        shared builds plus any per-shard builds — exactly 1 after a
+        positional query, however many shards are mounted."""
         totals = {
             "entries": 0,
             "capacity": 0,
             "hits": 0,
             "compiles": 0,
-            "paths": {"exact": 0, "pruned": 0, "wildcard": 0, "legacy": 0},
+            "evictions": 0,
+            "space_builds": self._space_builds,
+            "paths": {
+                "exact": 0,
+                "pruned": 0,
+                "scan": 0,
+                "wildcard": 0,
+                "legacy": 0,
+            },
         }
         with self._open_lock:
             open_stores = [s for s in self._stores if s is not None]
@@ -353,6 +442,8 @@ class ShardedPatternStore(PatternSearchBase):
             totals["capacity"] += stats["capacity"]
             totals["hits"] += stats["hits"]
             totals["compiles"] += stats["compiles"]
+            totals["evictions"] += stats["evictions"]
+            totals["space_builds"] += stats["space_builds"]
             for path, count in stats["paths"].items():
                 totals["paths"][path] += count
         return totals

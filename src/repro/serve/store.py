@@ -320,6 +320,25 @@ class PatternStore(PatternSearchBase):
                     self._positions_cache[item_id] = positions
         return postings
 
+    def _postings_size_estimate(self, item_id: int) -> int:
+        """O(1) postings-size estimate for the query planner: the
+        postings byte range out of the offset table, divided by a rough
+        bytes-per-entry (a positional entry is an index delta varint
+        plus a position count plus gap-coded positions, ≥3 bytes; a
+        version-1 entry a bare delta varint).  Never decodes — ordering
+        and skip decisions only need relative magnitudes."""
+        cached = self._postings_cache.get(item_id)
+        if cached is not None:
+            return len(cached)
+        if not 0 <= item_id < self._n_items:
+            return 0
+        base = self._off_post_offsets + U64.size * item_id
+        start, end = struct.unpack_from("<2Q", self._data, base)
+        span = end - start
+        if not span:
+            return 0
+        return max(1, span // 3) if self._positional else span
+
     def _has_positions(self) -> bool:
         return self._positional
 

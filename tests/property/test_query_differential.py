@@ -400,7 +400,9 @@ def test_differential_oracle_vs_all_backends(tmp_path):
     sigma_cases = 0
     dense_cases = 0
     kinds_covered: set[str] = set()
-    paths_total = {"exact": 0, "pruned": 0, "wildcard": 0, "legacy": 0}
+    paths_total = {
+        "exact": 0, "pruned": 0, "scan": 0, "wildcard": 0, "legacy": 0,
+    }
     for instance in range(N_INSTANCES):
         hierarchy = _random_hierarchy(rng)
         database = _random_database(rng, list(hierarchy.items))
@@ -506,6 +508,96 @@ def test_differential_oracle_vs_all_backends(tmp_path):
     # answered exactly (no DP), the v1 backend pruned with the bitset
     assert paths_total["exact"] > 0, f"exact path never taken: {paths_total}"
     assert paths_total["pruned"] > 0, f"pruned path never taken: {paths_total}"
+
+
+def test_planner_orderings_and_strategies_differential(tmp_path):
+    """Every choice the cost planner can make is answer-invariant.
+
+    For random mined instances, every combination of node ordering
+    (``cost``/``cardinality``/``worst``) and forced execution strategy
+    (``exact``/``pruned``/``scan`` plus estimate-driven ``None``) must
+    return the same ranked answers as the unaccelerated legacy matcher
+    — on the in-memory index, the positional store file, a fabricated
+    version-1 store, and the sharded store.  This is the guarantee that
+    lets admission control trust the estimate: the planner can only
+    change *speed*, never answers.
+    """
+    from repro.query.cost import PLAN_ORDERS, PLAN_STRATEGIES
+
+    def set_accelerate(backend, enabled):
+        # only the sharded store has a propagating setter
+        if hasattr(backend, "set_accelerate"):
+            backend.set_accelerate(enabled)
+        else:
+            backend._accelerate = enabled
+
+    rng = random.Random(SEED + 4)
+    compared = 0
+    strategies_run: set[str] = set()
+    for instance in range(max(3, N_INSTANCES // 8)):
+        hierarchy = _random_hierarchy(rng)
+        database = _random_database(rng, list(hierarchy.items))
+        params = MiningParams(
+            sigma=rng.randint(1, 2),
+            gamma=rng.choice([0, 1, 2, None]),
+            lam=rng.randint(2, 4),
+        )
+        result = Lash(params).mine(database, hierarchy)
+        patterns, vocab = result.patterns, result.vocabulary
+        index = PatternIndex(patterns, vocab)
+        single_path = tmp_path / f"p{instance}.store"
+        result.to_store(single_path)
+        sharded_path = tmp_path / f"p{instance}.shards"
+        result.to_store(sharded_path, shards=rng.randint(2, 3))
+        legacy_path = tmp_path / f"p{instance}.v1.store"
+        write_store(legacy_path, patterns, vocab, store_version=1)
+        with open_store(single_path) as single, open_store(
+            sharded_path
+        ) as sharded, open_store(legacy_path) as legacy:
+            backends = [index, single, sharded, legacy]
+            for q in range(QUERIES_PER_INSTANCE):
+                tokens = _random_query(rng, vocab, KINDS[q % len(KINDS)])
+                reference = None
+                for backend in backends:
+                    set_accelerate(backend, False)
+                    got = [
+                        (m.pattern, m.frequency)
+                        for m in backend.search(tokens)
+                    ]
+                    set_accelerate(backend, True)
+                    if reference is None:
+                        reference = got
+                    assert got == reference, (
+                        f"seed={SEED + 4} instance={instance} "
+                        f"query={_render_query(tokens)!r} legacy path "
+                        f"disagrees on {type(backend).__name__}"
+                    )
+                for order in PLAN_ORDERS:
+                    for strategy in (None, *PLAN_STRATEGIES):
+                        for backend in backends:
+                            backend.set_planner(order, strategy)
+                            strategies_run.add(
+                                backend.explain(tokens)["strategy"]
+                            )
+                            got = [
+                                (m.pattern, m.frequency)
+                                for m in backend.search(tokens)
+                            ]
+                            assert got == reference, (
+                                f"seed={SEED + 4} instance={instance} "
+                                f"query={_render_query(tokens)!r} "
+                                f"order={order} strategy={strategy} "
+                                f"backend={type(backend).__name__}: "
+                                f"{got!r} != legacy {reference!r}"
+                            )
+                            compared += 1
+                for backend in backends:
+                    backend.set_planner()
+    assert compared >= 300, f"only {compared} planner cases executed"
+    ran = strategies_run & set(PLAN_STRATEGIES)
+    assert ran == set(PLAN_STRATEGIES), (
+        f"strategies never exercised: {set(PLAN_STRATEGIES) - ran}"
+    )
 
 
 def test_plan_pruning_is_superset_of_matches(tmp_path):

@@ -116,18 +116,27 @@ class TestLruCache:
         assert service.stats()["cache_hits"] == 1
         assert service.stats()["cache_entries"] == 1
 
-    def test_eviction_is_least_recently_used(self, backend):
+    def test_eviction_is_cost_weighted_lru(self, backend):
+        """Eviction weighs estimated recomputation cost, not recency
+        alone: among the oldest entries the *cheapest* one goes, even
+        if it was touched more recently than an expensive scan."""
         service = QueryService(backend, cache_size=2)
-        service.query("a ?")      # A
-        service.query("? ?")      # B
-        service.query("a ?")      # hit A → A most recent
-        service.query("c ?")      # C evicts B
+        costs = {
+            "a ?": service.query("a ?")["estimated_cost"],
+            "? ?": service.query("? ?")["estimated_cost"],
+        }
+        assert costs["a ?"] != costs["? ?"], "fixture queries price equal"
+        cheap = min(costs, key=costs.get)
+        expensive = max(costs, key=costs.get)
+        service.query(cheap)      # hit → cheap entry is most recent
+        service.query("c ?")      # overflow: evicts cheap, not expensive
         assert service.stats()["cache_entries"] == 2
+        assert service.stats()["cache_evictions"] == 1
         hits_before = service.stats()["cache_hits"]
-        service.query("a ?")      # still cached
+        service.query(expensive)  # the pricey scan survived the churn
         assert service.stats()["cache_hits"] == hits_before + 1
         hits_before = service.stats()["cache_hits"]
-        service.query("? ?")      # was evicted → recomputed
+        service.query(cheap)      # was evicted → recomputed
         assert service.stats()["cache_hits"] == hits_before
 
     def test_cache_disabled(self, backend):

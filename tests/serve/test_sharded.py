@@ -369,3 +369,34 @@ class TestMerge:
         with open_store(merged_path) as merged:
             for query in FIG1_QUERIES:
                 assert merged.search(query) == index.search(query), query
+
+
+class TestSharedPositionSpace:
+    def test_one_build_covers_every_shard(self, fig1_result, tmp_path):
+        """Cold positional queries build ONE position space for the
+        whole handle; each shard runs on a rebased slice of it, and
+        the slices answer exactly like per-shard builds would."""
+        path = tmp_path / "fig1.shards"
+        fig1_result.to_store(path, shards=3)
+        index = PatternIndex.from_result(fig1_result)
+        with ShardedPatternStore.open(path) as sharded:
+            # force the bitmap path: "pruned" plans skip the space
+            sharded.set_planner("cost", "exact")
+            for query in FIG1_QUERIES:
+                assert sharded.search(query) == index.search(query), query
+            stats = sharded.plan_stats()
+            assert stats["space_builds"] == 1
+            assert stats["paths"]["exact"] > 0
+
+    def test_slices_are_per_shard_views(self, fig1_result, tmp_path):
+        path = tmp_path / "fig1.shards"
+        fig1_result.to_store(path, shards=3)
+        with ShardedPatternStore.open(path) as sharded:
+            sharded.set_planner("cost", "exact")
+            sharded.search("a ?")
+            slices = sharded._space_slices
+            assert slices is not None and len(slices) == 3
+            total_fields = sum(
+                len(view.offsets) for view in slices.values()
+            )
+            assert total_fields == len(sharded)
