@@ -1,0 +1,416 @@
+"""Extension — serving fabric: concurrent-load throughput.
+
+The pipelined mux wire exists to keep a cluster fast when many
+clients hit it at once: one socket carries many in-flight requests,
+large frames travel compressed, and ``/batch`` calls scatter as one
+multi-query frame per server instead of one connection checkout per
+query.  Shard servers run as **separate OS processes** (spawned
+through ``lash shard-serve``, exactly the deployment shape) so server
+work genuinely overlaps client work; a closed loop of concurrent
+client threads then drives the same manifest served four ways —
+
+* **mono** — the in-process ``ShardedPatternStore`` (no wire at all);
+* **legacy** — the router pinned to the pre-change wire path
+  (one-request-per-connection framing, per-query scatter) via the
+  ``wire="legacy"``/``batched=False`` compatibility flags;
+* **mux** — the pipelined, compressed, batching default;
+* **mux_nozlib** — pipelining without compression, isolating the two;
+
+across a concurrency sweep, plus a ``/batch`` fan-out phase at high
+concurrency.  The single-query sweep uses the broad bulk-transfer
+battery (big frames — the compression regime); the batch phase uses
+the selective battery that dominates real ``/batch`` traffic (small
+frames — the regime where per-exchange overhead is the cost and
+batching collapses ten exchanges into two).  Every sample is checked
+byte-identical against the mono answer before it counts, so the
+throughput numbers can't come from serving different answers.
+
+Full-scale runs also gate the fabric's two acceptance claims: at
+concurrency >= 16 the mux wire must move ``/batch`` traffic at >= 2x
+the legacy throughput, and single-query p99 must not regress more
+than 10 percent.  When a committed ``BENCH_serve.json`` at the same
+scale exists, mux batch throughput must also stay within 10 percent
+of it.  Results persist to ``BENCH_serve.json`` (override with
+``LASH_BENCH_SERVE_OUT``).
+"""
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import threading
+import time
+
+if __name__ == "__main__" and "--quick" in sys.argv:
+    # CI smoke entry point: shrink the corpus before conftest reads it
+    os.environ.setdefault("REPRO_BENCH_SCALE", "0.1")
+
+import repro
+from repro import Lash, MiningParams
+from repro.serve import QueryService, open_store
+from repro.serve.router import ClusterMap, RouterBackend, ServerSpec
+from conftest import NYT_SIGMA_LOW, SCALE
+from reporting import BenchReport
+
+NUM_SHARDS = 4
+CONCURRENCY = (1, 4, 16)
+SINGLE_ROUNDS = max(6, int(40 * SCALE))
+BATCH_ROUNDS = max(4, int(12 * SCALE))
+OUT_PATH = os.environ.get("LASH_BENCH_SERVE_OUT", "BENCH_serve.json")
+
+# broad queries: large result frames, the bulk-transfer/compression
+# regime (single-query sweep)
+QUERIES = {
+    "wildcard pair": "? ?",
+    "anchored item": "the ^ADJ ?",
+    "subtree walk": "^PRON ^VERB",
+    "gap + floor": "^DET *{0,2} ?@5",
+    "negated slot": "!the ^NOUN",
+}
+
+# selective queries: small result frames and cheap (warm-cached)
+# shard-side evaluation — the exchange-overhead regime that dominates
+# interactive /batch traffic, where the wire path is the difference
+BATCH_QUERIES = [
+    "the ?",
+    "a ^NOUN",
+    "^VERB the",
+    "in ^DET ?",
+    "^PREP the",
+    "he ^VERB",
+    "it ?",
+    "? the ?",
+]
+
+
+def _spawn_server(store_path, shards):
+    """Start ``lash shard-serve`` in its own process; returns
+    ``(proc, (host, port))`` once the server announces its address."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src, env.get("PYTHONPATH")) if part
+    )
+    command = [
+        sys.executable, "-u", "-m", "repro.cli", "shard-serve",
+        "--store", str(store_path), "--port", "0", "--no-http",
+    ]
+    if shards is not None:
+        command += ["--shards", ",".join(str(s) for s in shards)]
+    proc = subprocess.Popen(
+        command,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"on ([0-9.]+):([0-9]+)\s*$", line)
+    if not match:
+        proc.terminate()
+        rest = proc.stdout.read()
+        raise RuntimeError(f"shard-serve failed to start: {line}{rest}")
+    return proc, (match.group(1), int(match.group(2)))
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+
+    def pct(p):
+        index = min(len(ordered) - 1, int(round(p * (len(ordered) - 1))))
+        return round(ordered[index] * 1000, 3)
+
+    return {"p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99)}
+
+
+def _closed_loop(concurrency, rounds, work):
+    """Run ``work(worker_index, round_index)`` from ``concurrency``
+    client threads, ``rounds`` calls each; returns (wall seconds,
+    latency samples, calls).  ``work`` returns one measured latency and
+    must raise on any byte mismatch."""
+    samples = [[] for _ in range(concurrency)]
+    errors = []
+    barrier = threading.Barrier(concurrency + 1)
+
+    def client(index):
+        try:
+            barrier.wait()
+            for round_ in range(rounds):
+                samples[index].append(work(index, round_))
+        except Exception as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:  # noqa: BLE001
+                pass
+
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    flat = [s for worker in samples for s in worker]
+    return wall, flat, len(flat)
+
+
+def test_serve_concurrency(nyt, tmp_path):
+    report = BenchReport(
+        "Ext. serving fabric",
+        "concurrent closed-loop load, mono vs wire paths",
+    )
+    hierarchy = nyt.hierarchy("CLP")
+    result = Lash(MiningParams(NYT_SIGMA_LOW, 0, 4)).mine(
+        nyt.database, hierarchy
+    )
+    store_path = tmp_path / "patterns.shards"
+    result.to_store(store_path, shards=NUM_SHARDS)
+
+    half = NUM_SHARDS // 2
+    lower, upper = list(range(half)), list(range(half, NUM_SHARDS))
+    procs = []
+    routers = {}
+    results: dict = {"single": {}, "batch": {}}
+    try:
+        addresses = []
+        for shards in (lower, upper, None):  # None = full replica
+            proc, address = _spawn_server(store_path, shards)
+            procs.append(proc)
+            addresses.append(address)
+        placement = {}
+        specs = []
+        for address, shards in zip(
+            addresses, (lower, upper, range(NUM_SHARDS))
+        ):
+            spec = ServerSpec(*address)
+            specs.append(spec)
+            for shard in shards:
+                placement.setdefault(shard, []).append(spec.key)
+        cluster = ClusterMap(
+            specs, num_shards=NUM_SHARDS, placement=placement
+        )
+        routers = {
+            "legacy": RouterBackend(
+                cluster, wire="legacy", batched=False
+            ),
+            "mux": RouterBackend(cluster),
+            "mux_nozlib": RouterBackend(
+                cluster, compress=False, batched=False
+            ),
+        }
+
+        with open_store(store_path) as mono:
+            expected = {
+                label: [
+                    (m.pattern, m.frequency) for m in mono.search(query)
+                ]
+                for label, query in QUERIES.items()
+            }
+            labels = list(QUERIES)
+
+            def single_work(backend):
+                def work(index, round_):
+                    label = labels[(index + round_) % len(labels)]
+                    start = time.perf_counter()
+                    got = [
+                        (m.pattern, m.frequency)
+                        for m in backend.search(QUERIES[label])
+                    ]
+                    elapsed = time.perf_counter() - start
+                    assert got == expected[label], label
+                    return elapsed
+
+                return work
+
+            backends = {"mono": mono, **routers}
+            for concurrency in CONCURRENCY:
+                tier = results["single"][concurrency] = {}
+                row = {}
+                for name, backend in backends.items():
+                    wall, samples, calls = _closed_loop(
+                        concurrency, SINGLE_ROUNDS, single_work(backend)
+                    )
+                    pct = _percentiles(samples)
+                    tier[name] = {
+                        "qps": round(calls / wall, 1),
+                        **pct,
+                    }
+                    row[f"{name}_qps"] = tier[name]["qps"]
+                row["legacy_p99_ms"] = tier["legacy"]["p99"]
+                row["mux_p99_ms"] = results["single"][concurrency][
+                    "mux"
+                ]["p99"]
+                report.add(f"single c={concurrency}", row)
+
+            # /batch fan-out: the selective battery per call, served
+            # through the same QueryService used by the HTTP tier
+            # (cache off so every call exercises the wire)
+            batch_queries = list(BATCH_QUERIES)
+            want_batch = [
+                {
+                    k: v
+                    for k, v in entry.items()
+                    if k != "estimated_cost"
+                }
+                for entry in QueryService(mono, cache_size=0).batch(
+                    batch_queries
+                )
+            ]
+
+            def batch_work(service, name):
+                def work(index, round_):
+                    start = time.perf_counter()
+                    got = service.batch(batch_queries)
+                    elapsed = time.perf_counter() - start
+                    stripped = [
+                        {
+                            k: v
+                            for k, v in entry.items()
+                            if k != "estimated_cost"
+                        }
+                        for entry in got
+                    ]
+                    if stripped != want_batch:
+                        info = getattr(
+                            service._backend, "describe", dict
+                        )()
+                        raise AssertionError(
+                            f"{name} round {round_}: "
+                            f"{[e.get('partial') for e in stripped]} "
+                            f"describe={info}"
+                        )
+                    return elapsed
+
+                return work
+
+            for concurrency in CONCURRENCY:
+                tier = results["batch"][concurrency] = {}
+                row = {}
+                for name, backend in backends.items():
+                    service = QueryService(backend, cache_size=0)
+                    wall, samples, calls = _closed_loop(
+                        concurrency,
+                        BATCH_ROUNDS,
+                        batch_work(service, name),
+                    )
+                    tier[name] = {
+                        "batches_per_s": round(calls / wall, 1),
+                        "queries_per_s": round(
+                            calls * len(batch_queries) / wall, 1
+                        ),
+                        **_percentiles(samples),
+                    }
+                    row[f"{name}_qps"] = tier[name]["queries_per_s"]
+                row["legacy_p99_ms"] = tier["legacy"]["p99"]
+                row["mux_p99_ms"] = tier["mux"]["p99"]
+                report.add(f"batch c={concurrency}", row)
+
+        for name, router in routers.items():
+            info = router.describe()
+            assert info["server_failures"] == 0, name
+            results[f"wire_{name}"] = info["wire"]
+        assert results["wire_legacy"]["frames_sent"] == 0
+        assert results["wire_mux"]["compressed_frames_received"] > 0
+    finally:
+        for router in routers.values():
+            router.close()
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    top = max(CONCURRENCY)
+    speedup = round(
+        results["batch"][top]["mux"]["queries_per_s"]
+        / results["batch"][top]["legacy"]["queries_per_s"],
+        2,
+    )
+    results["batch_speedup_at_top_concurrency"] = speedup
+    saved = (
+        results["wire_mux"]["raw_bytes_received"]
+        - results["wire_mux"]["wire_bytes_received"]
+    )
+    print(
+        f"\nmux /batch speedup at c={top}: {speedup}x legacy "
+        f"({saved} wire bytes saved by compression)",
+        file=sys.__stdout__,
+    )
+
+    # the mux wire must beat the legacy wire on /batch at any scale —
+    # a ratio collapse means the fast path stopped engaging (CI quick
+    # tier runs this); the 2x claim itself is gated at full scale only
+    assert speedup >= 1.2, (
+        f"mux /batch throughput at c={top} is only {speedup}x legacy"
+    )
+    if SCALE >= 1.0:
+        # acceptance gates — only meaningful on the full corpus, where
+        # frames are big enough for the wire to matter
+        assert speedup >= 2.0, (
+            f"mux /batch throughput at c={top} is only {speedup}x legacy"
+        )
+        for concurrency in CONCURRENCY:
+            tier = results["single"][concurrency]
+            assert tier["mux"]["p99"] <= tier["legacy"]["p99"] * 1.10, (
+                f"single-query p99 regressed at c={concurrency}: "
+                f"mux {tier['mux']['p99']}ms vs "
+                f"legacy {tier['legacy']['p99']}ms"
+            )
+
+    baseline = None
+    if os.path.exists(OUT_PATH):
+        with open(OUT_PATH, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    if baseline is not None and baseline.get("scale") == SCALE:
+        # regression gate vs the committed numbers at the same scale;
+        # sub-full runs see double-digit run-to-run noise on shared
+        # hardware, so they only catch collapses, not drift
+        floor = 0.90 if SCALE >= 1.0 else 0.50
+        before = baseline["results"]["batch"][str(top)]["mux"][
+            "queries_per_s"
+        ]
+        now = results["batch"][top]["mux"]["queries_per_s"]
+        assert now >= before * floor, (
+            f"mux /batch throughput regressed vs committed baseline: "
+            f"{now} < {floor} * {before}"
+        )
+
+    payload = {
+        "bench": "serve_concurrency",
+        "scale": SCALE,
+        "patterns": len(result),
+        "num_shards": NUM_SHARDS,
+        "servers": 3,
+        "replication": "full replica",
+        "concurrency": list(CONCURRENCY),
+        "single_rounds": SINGLE_ROUNDS,
+        "batch_rounds": BATCH_ROUNDS,
+        "unit": "ms / qps",
+        "results": results,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {OUT_PATH}", file=sys.__stdout__)
+    report.emit()
+
+
+if __name__ == "__main__":
+    # `python benchmarks/bench_serve_concurrency.py [--quick]` runs
+    # this file through pytest — `--quick` is the CI smoke mode
+    import pytest
+
+    argv = [arg for arg in sys.argv[1:] if arg != "--quick"]
+    sys.exit(pytest.main([__file__, "-q", *argv]))

@@ -412,6 +412,9 @@ def cmd_shard_serve(args: argparse.Namespace) -> int:
         http_port=None if args.no_http else args.http_port,
         verify_checksums=not args.no_verify,
         quiet=not args.verbose,
+        workers=args.workers,
+        compress=args.compress,
+        mux=not args.no_mux,
     )
     server.start()
     host, port = server.address
@@ -453,10 +456,25 @@ def cmd_route(args: argparse.Namespace) -> int:
     from repro.serve.router import ClusterMap, RouterBackend
 
     cluster = ClusterMap.load(args.cluster)
+    # explicit flags beat the cluster map's optional defaults, which
+    # beat the built-in sizing
+    pipeline_depth = args.pipeline_depth
+    if pipeline_depth is None:
+        pipeline_depth = cluster.pipeline_depth or 32
+    pool_size = args.pool_size
+    if pool_size is None:
+        pool_size = cluster.pool_size or 2
+    fanout_workers = args.fanout_workers
+    if fanout_workers is None:
+        fanout_workers = cluster.fanout_workers
     backend = RouterBackend(
         cluster,
         deadline=args.deadline,
         health_timeout=args.health_timeout,
+        pool_size=pool_size,
+        pipeline_depth=pipeline_depth,
+        compress=args.compress,
+        fanout_workers=fanout_workers,
     )
     health = backend.check_health()
     backend.start_health_loop(args.health_interval)
@@ -464,7 +482,12 @@ def cmd_route(args: argparse.Namespace) -> int:
         backend, cache_size=args.cache_size, **_admission_kwargs(args)
     )
     server = create_server(
-        service, args.host, args.port, quiet=not args.verbose
+        service,
+        args.host,
+        args.port,
+        quiet=not args.verbose,
+        workers=args.workers,
+        compress=args.compress,
     )
     host, port = server.server_address[:2]
     up = sum(1 for ok in health.values() if ok)
@@ -526,7 +549,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             verify_checksums=not args.no_verify,
         )
     server = create_server(
-        service, args.host, args.port, quiet=not args.verbose
+        service,
+        args.host,
+        args.port,
+        quiet=not args.verbose,
+        workers=args.workers,
+        compress=args.compress,
     )
     host, port = server.server_address[:2]
     shards = getattr(store, "num_shards", None)
@@ -826,6 +854,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between spool scans (with --compact-spool)",
     )
     serve.add_argument(
+        "--workers", type=int, default=8,
+        help="HTTP worker threads; past 2x this many in-flight requests "
+        "the server sheds load with 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--compress", action=argparse.BooleanOptionalAction, default=True,
+        help="gzip responses above the size threshold for clients that "
+        "accept it",
+    )
+    serve.add_argument(
         "--verbose", action="store_true",
         help="log every request to stderr",
     )
@@ -861,6 +899,20 @@ def build_parser() -> argparse.ArgumentParser:
     shard_serve.add_argument(
         "--no-verify", action="store_true",
         help="skip checksum verification on open",
+    )
+    shard_serve.add_argument(
+        "--workers", type=int, default=8,
+        help="request-execution worker threads; past 2x this many "
+        "in-flight requests the server answers a retryable busy error",
+    )
+    shard_serve.add_argument(
+        "--compress", action=argparse.BooleanOptionalAction, default=True,
+        help="offer zlib frame compression in the protocol handshake",
+    )
+    shard_serve.add_argument(
+        "--no-mux", action="store_true",
+        help="disable protocol multiplexing (serve every connection in "
+        "legacy one-request-at-a-time framing)",
     )
     shard_serve.add_argument(
         "--verbose", action="store_true",
@@ -911,6 +963,32 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument(
         "--health-timeout", type=float, default=1.0,
         help="per-probe timeout in seconds",
+    )
+    route.add_argument(
+        "--workers", type=int, default=8,
+        help="HTTP worker threads; past 2x this many in-flight requests "
+        "the router sheds load with 503 + Retry-After",
+    )
+    route.add_argument(
+        "--compress", action=argparse.BooleanOptionalAction, default=True,
+        help="request zlib frame compression from shard servers (and "
+        "gzip HTTP responses)",
+    )
+    route.add_argument(
+        "--pipeline-depth", type=int, default=None,
+        help="in-flight requests per shard-server connection (default: "
+        "the cluster map's pipeline_depth, else 32)",
+    )
+    route.add_argument(
+        "--pool-size", type=int, default=None,
+        help="legacy-mode connections pooled per shard server (default: "
+        "the cluster map's pool_size, else 2)",
+    )
+    route.add_argument(
+        "--fanout-workers", type=int, default=None,
+        help="scatter worker threads shared by all fan-outs (default: "
+        "the cluster map's fanout_workers, else scaled to the "
+        "pipeline depth)",
     )
     route.add_argument(
         "--verbose", action="store_true",

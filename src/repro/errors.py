@@ -35,6 +35,18 @@ class QueryRejectedError(ReproError):
         self.max_cost = max_cost
 
 
+class ServerBusyError(ReproError):
+    """Raised when a serving front end is at its in-flight capacity and
+    sheds the request instead of queueing it (HTTP maps this to 503
+    with ``Retry-After``).  The router treats it like a transport
+    failure: the request fails over to a replica instead of surfacing
+    as a client error."""
+
+    def __init__(self, message: str = "server busy", retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class EncodingError(ReproError):
     """Raised when (de)serialization of sequences or key-value pairs fails."""
 

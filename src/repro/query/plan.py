@@ -293,10 +293,28 @@ class QueryPlan:
         """The plan's :class:`~repro.query.cost.CostEstimate` against
         this backend, computed once and retained (plans are per-backend,
         and the plan-cache key includes the planner knobs, so the
-        estimate can never go stale under knob flips)."""
+        estimate can never go stale under knob flips).
+
+        Also memoized in the backend's ``_cost_stat_cache`` keyed by
+        the plan's structure: a plan evicted from (or cleared out of)
+        the plan cache and later recompiled picks its price back up
+        instead of re-walking postings stats — estimates depend only on
+        structure, the stat cache, and the plan-order knob, all of
+        which live exactly as long as the backend."""
         est = self._estimate
         if est is None:
-            est = CostEstimator(backend).estimate(self)
+            key = (
+                "estimate",
+                tuple(self.chain),
+                tuple(self.windows),
+                getattr(backend, "_plan_order", "cost"),
+                self.unsatisfiable,
+            )
+            cache = backend._cost_stat_cache
+            est = cache.get(key)
+            if est is None:
+                est = CostEstimator(backend).estimate(self)
+                cache[key] = est
             self._estimate = est
         return est
 

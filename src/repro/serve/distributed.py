@@ -14,17 +14,26 @@ Each server optionally runs the existing HTTP layer
 that is where the router's health checks (``/healthz``) and per-server
 ``/metrics`` live, unchanged from single-process serving.
 
-The socket protocol is request/response over a persistent connection:
+The socket protocol is request/response over a persistent connection —
+one request at a time in legacy framing, many in flight (out-of-order
+responses, optional zlib) once the ``hello`` handshake upgrades the
+connection to multiplexed framing (see :mod:`repro.serve.protocol`):
 
 ====================  ==================================================
 op                    answer
 ====================  ==================================================
 ``ping``              ``{"ok": True, "patterns": N}`` — liveness
-``status``            generation + per-shard pattern counts
+``hello``             capability handshake; the connection switches to
+                      mux framing after the response
+``status``            generation + per-shard pattern counts + front-end
+                      gauges (workers, in-flight, rejected) + wire stats
 ``describe``          the subset store's :meth:`describe` dict
 ``search``            rank-ordered records for ``tokens`` over the
                       requested ``shards`` (default: all mounted),
                       honoring ``min_freq`` (σ prefix cut) and ``limit``
+``multi_search``      many searches in one frame (the router's batched
+                      scatter): per-query ``{"records"}`` or
+                      ``{"error"}`` entries under ``"results"``
 ``top``               rank-ordered top-``n`` records
 ``estimate``          the slice's combined planner cost estimate for
                       ``tokens`` (integer work units; the router scales
@@ -34,25 +43,44 @@ op                    answer
 Every record is ``[coded_ids, frequency, names]``; errors come back as
 ``{"error": {"type", "message"}}`` and re-raise client-side with their
 original :mod:`repro.errors` type.
+
+Request execution is bounded by a sized worker pool: past the
+in-flight cap the server answers :class:`ServerBusyError` immediately
+instead of queueing without bound — the router fails the request over
+to a replica, and a direct client sees a typed, retryable error.
 """
 
 from __future__ import annotations
 
 import heapq
+import json
+import socket
 import socketserver
 import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Sequence
 
-from repro.errors import InvalidParameterError, ReproError
+from repro.errors import InvalidParameterError, ReproError, ServerBusyError
 from repro.query.base import rank_key
 from repro.query.tokens import is_negation_only, normalize_query
 from repro.serve.protocol import (
+    ALL_FEATURES,
+    DEFAULT_COMPRESS_THRESHOLD,
+    FEATURE_MULTI,
+    FEATURE_MUX,
+    FEATURE_ZLIB,
     PROTOCOL_VERSION,
+    WireStats,
     decode_tokens,
     encode_error,
+    hello_response,
+    negotiate_features,
     recv_message,
+    recv_mux,
     send_message,
+    send_mux,
 )
 from repro.serve.sharded import ShardedPatternStore
 
@@ -139,6 +167,11 @@ def partial_top(
 class _ShardTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+    # legacy-mode clients dial a fresh connection whenever their small
+    # pool runs dry, so a burst of concurrent callers can park far more
+    # than socketserver's default backlog of 5 in the SYN queue —
+    # refused dials there read as server failures, not backpressure
+    request_queue_size = 128
 
     def __init__(self, address, owner: "ShardServer") -> None:
         super().__init__(address, _ShardRequestHandler)
@@ -160,9 +193,15 @@ class _ShardTCPServer(socketserver.ThreadingTCPServer):
 
 
 class _ShardRequestHandler(socketserver.BaseRequestHandler):
-    """One connection: a loop of frames until the client hangs up."""
+    """One connection: a loop of legacy frames until the client hangs
+    up — or, after a ``hello`` handshake, a multiplexed loop where
+    frames are executed on the owner's worker pool and answered out of
+    order under a per-connection send lock."""
 
     def setup(self) -> None:
+        # response frames can be small (errors, pings); don't let
+        # Nagle delay them behind the previous large frame's ACK
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         with self.server.connections_lock:
             self.server.connections.add(self.request)
 
@@ -171,6 +210,7 @@ class _ShardRequestHandler(socketserver.BaseRequestHandler):
             self.server.connections.discard(self.request)
 
     def handle(self) -> None:
+        owner = self.server.owner
         while True:
             try:
                 request = recv_message(self.request)
@@ -178,13 +218,62 @@ class _ShardRequestHandler(socketserver.BaseRequestHandler):
                 return  # orderly close between frames
             except (ConnectionError, OSError, ReproError):
                 return  # client died or sent garbage; drop the link
-            response = self.server.owner.dispatch(request)
+            if (
+                isinstance(request, dict)
+                and request.get("op") == "hello"
+                and request.get("v", PROTOCOL_VERSION) == PROTOCOL_VERSION
+                and owner.mux_enabled
+                and isinstance(request.get("features"), list)
+            ):
+                features = negotiate_features(
+                    request["features"], owner.offered_features()
+                )
+                try:
+                    send_message(
+                        self.request,
+                        hello_response(features, owner.compress_threshold),
+                    )
+                except OSError:
+                    return
+                if features:
+                    self._serve_mux(features)
+                    return
+                continue  # no common ground: stay in legacy framing
+            response = owner.execute(request)
             if response is None:
                 return  # server stopping: hang up, don't answer
             try:
                 send_message(self.request, response)
             except OSError:
                 return
+
+    def _serve_mux(self, features) -> None:
+        owner = self.server.owner
+        sock = self.request
+        send_lock = threading.Lock()
+        threshold = (
+            owner.compress_threshold
+            if FEATURE_ZLIB in features
+            else None
+        )
+        stats = owner.wire_stats
+
+        def reply(request_id: int, response: dict) -> None:
+            try:
+                with send_lock:
+                    send_mux(sock, request_id, response, threshold, stats)
+            except OSError:
+                pass  # client went away; the read loop will notice
+
+        while True:
+            try:
+                request_id, request = recv_mux(sock, stats)
+            except EOFError:
+                return
+            except (ConnectionError, OSError, ReproError):
+                return
+            if not owner.submit(request_id, request, reply):
+                return  # server stopping: hang up mid-pipeline
 
 
 class ShardServer:
@@ -200,6 +289,19 @@ class ShardServer:
     port / http_port:
         ``0`` binds an ephemeral port; ``http_port=None`` disables the
         HTTP sidecar (health checks then fall back to socket pings).
+    workers / max_in_flight:
+        Size of the request-execution worker pool, and the in-flight
+        cap (default ``2 * workers`` — a bounded queue's worth of
+        headroom) past which requests answer :class:`ServerBusyError`
+        instead of queueing silently.
+    compress:
+        Offer per-frame zlib compression in the handshake (clients
+        still have to ask for it).
+    mux:
+        Speak the multiplexing extension at all; ``False`` makes this
+        server behave exactly like a pre-extension build (the
+        mixed-version compatibility switch used by tests and the
+        benchmark's baseline mode).
     """
 
     def __init__(
@@ -211,7 +313,21 @@ class ShardServer:
         http_port: int | None = 0,
         verify_checksums: bool = True,
         quiet: bool = True,
+        workers: int = 8,
+        max_in_flight: int | None = None,
+        compress: bool = True,
+        compress_threshold: int = DEFAULT_COMPRESS_THRESHOLD,
+        mux: bool = True,
+        result_cache: int = 256,
     ) -> None:
+        if workers < 1:
+            raise InvalidParameterError(
+                f"workers must be >= 1, got {workers}"
+            )
+        if max_in_flight is not None and max_in_flight < 1:
+            raise InvalidParameterError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
         self._store_path = Path(store_path)
         self._subset = (
             None if shard_subset is None else tuple(sorted(set(shard_subset)))
@@ -221,14 +337,34 @@ class ShardServer:
         self._http_port = http_port
         self._verify_checksums = verify_checksums
         self._quiet = quiet
+        self._workers = workers
+        self._max_in_flight = (
+            max_in_flight if max_in_flight is not None else 2 * workers
+        )
+        self._compress = compress
+        self.compress_threshold = compress_threshold
+        self.mux_enabled = mux
+        self.wire_stats = WireStats()
         self._store: ShardedPatternStore | None = None
         self._tcp: _ShardTCPServer | None = None
         self._http = None
+        self._pool: ThreadPoolExecutor | None = None
         self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
         self._requests = 0
         self._errors = 0
+        self._in_flight = 0
+        self._rejected = 0
         self._stopping = False
+        # rendered-result LRU: repeated identical searches (hot
+        # dashboards, the router's batched scatter fan-out) skip
+        # compile + k-way merge + render entirely.  Stores are
+        # immutable once mounted, so the generation in the key is the
+        # only invalidation needed.
+        self._result_cache_size = max(0, result_cache)
+        self._result_cache: OrderedDict[str, list] = OrderedDict()
+        self._result_cache_lock = threading.Lock()
+        self._cache_hits = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -256,6 +392,9 @@ class ShardServer:
         """Mount the shard slice and serve both endpoints from
         background threads; returns self for chaining."""
         self._stopping = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="shard-worker"
+        )
         self._store = ShardedPatternStore(
             self._store_path,
             verify_checksums=self._verify_checksums,
@@ -287,33 +426,111 @@ class ShardServer:
         return self
 
     def stop(self) -> None:
-        """Stop serving and release the store (idempotent).
+        """Stop serving and release the store (idempotent, and safe to
+        call from several threads at once — each resource is claimed
+        atomically so racing stops never double-close).
 
         Open connections are aborted, not drained: a client mid-query
         sees the connection die (and fails over to a replica), which is
         exactly what a crashed server would look like."""
         self._stopping = True
-        if self._tcp is not None:
-            self._tcp.abort_connections()
-            self._tcp.shutdown()
-            self._tcp.server_close()
-            self._tcp = None
-        if self._http is not None:
-            self._http.shutdown()
-            self._http.server_close()
-            self._http = None
-        for thread in self._threads:
+        with self._lock:
+            tcp, self._tcp = self._tcp, None
+            http, self._http = self._http, None
+            pool, self._pool = self._pool, None
+            threads, self._threads = self._threads, []
+            store, self._store = self._store, None
+        if tcp is not None:
+            tcp.abort_connections()
+            tcp.shutdown()
+            tcp.server_close()
+        if http is not None:
+            http.shutdown()
+            http.server_close()
+        if pool is not None:
+            pool.shutdown(wait=False)
+        for thread in threads:
             thread.join(timeout=5)
-        self._threads.clear()
-        if self._store is not None:
-            self._store.close()
-            self._store = None
+        if store is not None:
+            store.close()
 
     def __enter__(self) -> "ShardServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # ------------------------------------------------------------------
+    # front end: capability handshake + bounded-concurrency execution
+    # ------------------------------------------------------------------
+
+    def offered_features(self) -> tuple[str, ...]:
+        if not self.mux_enabled:
+            return ()
+        if self._compress:
+            return ALL_FEATURES
+        return (FEATURE_MUX, FEATURE_MULTI)
+
+    def _acquire_slot(self) -> bool:
+        with self._lock:
+            if self._in_flight >= self._max_in_flight:
+                self._rejected += 1
+                return False
+            self._in_flight += 1
+            return True
+
+    def _release_slot(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    def _busy_response(self) -> dict:
+        return {
+            "error": encode_error(
+                ServerBusyError(
+                    f"server at in-flight capacity ({self._max_in_flight})"
+                )
+            )
+        }
+
+    def execute(self, request) -> dict | None:
+        """Run one legacy-framing request inline under the in-flight
+        gate.  Saturation answers :class:`ServerBusyError` instead of
+        queueing; ``None`` means the server is stopping (hang up)."""
+        if self._stopping or self._store is None:
+            return None
+        if not self._acquire_slot():
+            return self._busy_response()
+        try:
+            return self.dispatch(request)
+        finally:
+            self._release_slot()
+
+    def submit(self, request_id: int, request, reply) -> bool:
+        """Queue one multiplexed request onto the worker pool; ``reply``
+        is called with ``(request_id, response)`` from the worker.
+        Returns ``False`` when the server is stopping — the caller then
+        hangs the connection up so clients fail over."""
+        pool = self._pool
+        if self._stopping or pool is None:
+            return False
+        if not self._acquire_slot():
+            reply(request_id, self._busy_response())
+            return True
+
+        def run() -> None:
+            try:
+                response = self.dispatch(request)
+            finally:
+                self._release_slot()
+            if response is not None:
+                reply(request_id, response)
+
+        try:
+            pool.submit(run)
+        except RuntimeError:  # pool shut down under us
+            self._release_slot()
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # request dispatch
@@ -349,6 +566,8 @@ class ShardServer:
                 return {"describe": self.store.describe()}
             if op == "search":
                 return {"records": self._search(request)}
+            if op == "multi_search":
+                return {"results": self._multi_search(request)}
             if op == "top":
                 return {"records": self._top(request)}
             if op == "estimate":
@@ -379,13 +598,28 @@ class ShardServer:
             counts[str(index)] = store._shard(index)._num_patterns()
         with self._lock:
             requests, errors = self._requests, self._errors
+            in_flight, rejected = self._in_flight, self._rejected
+        with self._result_cache_lock:
+            cache = {
+                "size": len(self._result_cache),
+                "capacity": self._result_cache_size,
+                "hits": self._cache_hits,
+            }
         return {
+            "result_cache": cache,
             "generation": store.generation,
             "num_shards": store.num_shards,
             "owned": list(store.owned_shards),
             "patterns_by_shard": counts,
             "requests": requests,
             "errors": errors,
+            "frontend": {
+                "workers": self._workers,
+                "max_in_flight": self._max_in_flight,
+                "in_flight": in_flight,
+                "rejected": rejected,
+            },
+            "wire": self.wire_stats.snapshot(),
         }
 
     def _shard_ids(self, request) -> list[int] | None:
@@ -400,7 +634,42 @@ class ShardServer:
             )
         return shards
 
+    def _result_cache_key(self, request) -> str | None:
+        if not self._result_cache_size:
+            return None
+        try:
+            return json.dumps(
+                [
+                    self.store.generation,
+                    request.get("tokens"),
+                    request.get("shards"),
+                    request.get("limit"),
+                    request.get("min_freq"),
+                ],
+                sort_keys=True,
+            )
+        except (TypeError, ValueError):
+            return None  # unserializable request: let validation reject it
+
     def _search(self, request) -> list:
+        key = self._result_cache_key(request)
+        if key is not None:
+            with self._result_cache_lock:
+                cached = self._result_cache.get(key)
+                if cached is not None:
+                    self._result_cache.move_to_end(key)
+                    self._cache_hits += 1
+                    return cached
+        rendered = self._search_uncached(request)
+        if key is not None:
+            with self._result_cache_lock:
+                self._result_cache[key] = rendered
+                self._result_cache.move_to_end(key)
+                while len(self._result_cache) > self._result_cache_size:
+                    self._result_cache.popitem(last=False)
+        return rendered
+
+    def _search_uncached(self, request) -> list:
         tokens = decode_tokens(request.get("tokens"))
         if is_negation_only(tokens):
             # the router's service layer rejects these before fan-out;
@@ -436,6 +705,38 @@ class ShardServer:
             self.store, n, shard_ids=self._shard_ids(request)
         )
         return self._render(records)
+
+    def _multi_search(self, request) -> list:
+        """The router's batched scatter: many searches in one frame.
+        Per-query failures come back as per-entry ``{"error"}`` dicts —
+        one bad query must not poison its batchmates."""
+        queries = request.get("queries")
+        if not isinstance(queries, list):
+            raise InvalidParameterError(
+                f"'queries' must be a list, got {type(queries).__name__}"
+            )
+        shards = request.get("shards")
+        results: list[dict] = []
+        for entry in queries:
+            if not isinstance(entry, dict):
+                results.append(
+                    {
+                        "error": encode_error(
+                            InvalidParameterError(
+                                "each query must be a dict, got "
+                                f"{type(entry).__name__}"
+                            )
+                        )
+                    }
+                )
+                continue
+            try:
+                records = self._search({**entry, "shards": shards})
+            except ReproError as exc:
+                results.append({"error": encode_error(exc)})
+            else:
+                results.append({"records": records})
+        return results
 
     def _render(self, records) -> list:
         vocabulary = self.store.vocabulary

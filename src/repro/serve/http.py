@@ -32,12 +32,20 @@ blaming the client.
 
 from __future__ import annotations
 
+import gzip
 import json
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import QueryRejectedError, ReproError, StoreCorruptError
+from repro.errors import (
+    InvalidParameterError,
+    QueryRejectedError,
+    ReproError,
+    StoreCorruptError,
+)
+from repro.serve.protocol import DEFAULT_COMPRESS_THRESHOLD
 from repro.serve.service import DEFAULT_LIMIT, QueryService, error_message
 
 MAX_BATCH = 1000
@@ -222,6 +230,55 @@ def render_metrics(stats: dict) -> str:
                     lines.append(
                         f'{name}_count{{{label}}} {hist["count"]}'
                     )
+    frontend = stats.get("frontend")
+    if frontend:
+        emit(
+            "lash_http_workers", "gauge",
+            "Configured HTTP worker count.", frontend["workers"],
+        )
+        emit(
+            "lash_http_max_in_flight", "gauge",
+            "In-flight request cap before 503 backpressure.",
+            frontend["max_in_flight"],
+        )
+        emit(
+            "lash_http_in_flight", "gauge",
+            "HTTP requests currently being served.",
+            frontend["in_flight"],
+        )
+        emit(
+            "lash_http_rejected_total", "counter",
+            "Requests shed with 503 at the in-flight cap.",
+            frontend["rejected"],
+        )
+        emit(
+            "lash_http_gzipped_total", "counter",
+            "Responses compressed with gzip.",
+            frontend.get("gzipped_responses", 0),
+        )
+    wire = (stats.get("store") or {}).get("wire")
+    if wire and wire.get("frames_sent", 0) + wire.get("frames_received", 0):
+        for direction in ("sent", "received"):
+            emit(
+                f"lash_wire_frames_{direction}_total", "counter",
+                f"Shard-protocol frames {direction}.",
+                wire.get(f"frames_{direction}", 0),
+            )
+            emit(
+                f"lash_wire_raw_bytes_{direction}_total", "counter",
+                f"Payload bytes {direction} before compression.",
+                wire.get(f"raw_bytes_{direction}", 0),
+            )
+            emit(
+                f"lash_wire_bytes_{direction}_total", "counter",
+                f"Bytes {direction} on the wire (after compression).",
+                wire.get(f"wire_bytes_{direction}", 0),
+            )
+            emit(
+                f"lash_wire_compressed_frames_{direction}_total", "counter",
+                f"Frames {direction} with a zlib-compressed payload.",
+                wire.get(f"compressed_frames_{direction}", 0),
+            )
     compaction = stats.get("compaction")
     if compaction:
         emit(
@@ -259,6 +316,14 @@ class PatternHTTPServer(ThreadingHTTPServer):
     the store's mmap is only closed after the last in-flight answer.
     The per-request socket timeout bounds how long a stalled client can
     pin a thread.
+
+    Concurrency is **bounded**: at most ``max_in_flight`` requests
+    (default ``2 * workers``) hold threads at once; past the cap the
+    accept path answers ``503`` with ``Retry-After`` immediately
+    instead of growing an unbounded thread herd — load balancers and
+    the serving benchmark read that as backpressure, never as silence.
+    Responses over ``DEFAULT_COMPRESS_THRESHOLD`` bytes are gzipped for
+    clients that accept it (``compress=False`` turns that off).
     """
 
     daemon_threads = False
@@ -268,10 +333,89 @@ class PatternHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: QueryService,
         quiet: bool = True,
+        workers: int = 8,
+        max_in_flight: int | None = None,
+        compress: bool = True,
     ) -> None:
+        if workers < 1:
+            raise InvalidParameterError(
+                f"workers must be >= 1, got {workers}"
+            )
         super().__init__(address, PatternRequestHandler)
         self.service = service
         self.quiet = quiet
+        self.workers = workers
+        self.max_in_flight = (
+            max_in_flight if max_in_flight is not None else 2 * workers
+        )
+        self.compress = compress
+        self._gate = threading.Lock()
+        self._in_flight = 0
+        self._rejected = 0
+        self._gzipped = 0
+
+    # -- bounded front end --------------------------------------------
+
+    def _acquire_slot(self) -> bool:
+        with self._gate:
+            if self._in_flight >= self.max_in_flight:
+                self._rejected += 1
+                return False
+            self._in_flight += 1
+            return True
+
+    def _release_slot(self) -> None:
+        with self._gate:
+            self._in_flight -= 1
+
+    def note_gzipped(self) -> None:
+        with self._gate:
+            self._gzipped += 1
+
+    def frontend_stats(self) -> dict:
+        with self._gate:
+            return {
+                "workers": self.workers,
+                "max_in_flight": self.max_in_flight,
+                "in_flight": self._in_flight,
+                "rejected": self._rejected,
+                "gzipped_responses": self._gzipped,
+                "compress": self.compress,
+            }
+
+    def process_request(self, request, client_address) -> None:
+        if not self._acquire_slot():
+            self._reject_busy(request)
+            return
+        try:
+            super().process_request(request, client_address)
+        except Exception:
+            self._release_slot()
+            raise
+
+    def process_request_thread(self, request, client_address) -> None:
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            self._release_slot()
+
+    def _reject_busy(self, request) -> None:
+        # shed at the accept path, before a handler thread exists: a raw
+        # minimal response keeps the rejection allocation-cheap
+        body = b'{"error": "server at capacity, retry shortly"}'
+        head = (
+            "HTTP/1.1 503 Service Unavailable\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Retry-After: 1\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            request.sendall(head + body)
+        except OSError:
+            pass
+        self.shutdown_request(request)
 
 
 class PatternRequestHandler(BaseHTTPRequestHandler):
@@ -340,12 +484,10 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
         if url.path == "/healthz":
             self._respond(200, self._healthz())
         elif url.path == "/stats":
-            self._respond(200, self.server.service.stats())
+            self._respond(200, self._stats())
         elif url.path == "/metrics":
             self._respond_text(
-                200,
-                render_metrics(self.server.service.stats()),
-                METRICS_CONTENT_TYPE,
+                200, render_metrics(self._stats()), METRICS_CONTENT_TYPE
             )
         elif url.path == "/query":
             query = self._require_query(params)
@@ -410,6 +552,13 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
             info["store"] = describe()
         return info
 
+    def _stats(self) -> dict:
+        stats = self.server.service.stats()
+        frontend = getattr(self.server, "frontend_stats", None)
+        if frontend is not None:
+            stats["frontend"] = frontend()
+        return stats
+
     def _require_query(self, params: dict[str, list[str]]) -> str:
         values = params.get("q")
         if not values or not values[0].strip():
@@ -459,11 +608,32 @@ class PatternRequestHandler(BaseHTTPRequestHandler):
     ) -> None:
         self._respond_bytes(status, text.encode("utf-8"), content_type)
 
+    def _accepts_gzip(self) -> bool:
+        accepted = self.headers.get("Accept-Encoding", "")
+        return any(
+            part.strip().split(";")[0] == "gzip"
+            for part in accepted.split(",")
+        )
+
     def _respond_bytes(
         self, status: int, body: bytes, content_type: str
     ) -> None:
+        encoding = None
+        if (
+            status < 400
+            and getattr(self.server, "compress", False)
+            and len(body) > DEFAULT_COMPRESS_THRESHOLD
+            and self._accepts_gzip()
+        ):
+            squeezed = gzip.compress(body, 6)
+            if len(squeezed) < len(body):
+                body = squeezed
+                encoding = "gzip"
+                self.server.note_gzipped()
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        if encoding is not None:
+            self.send_header("Content-Encoding", encoding)
         self.send_header("Content-Length", str(len(body)))
         if status >= 400:
             # a rejected POST may leave an undrained request body on the
@@ -486,10 +656,20 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = True,
+    workers: int = 8,
+    max_in_flight: int | None = None,
+    compress: bool = True,
 ) -> PatternHTTPServer:
     """Bind a server (``port=0`` picks an ephemeral port) without
     serving.  ``quiet=False`` enables per-request access logging."""
-    return PatternHTTPServer((host, port), service, quiet=quiet)
+    return PatternHTTPServer(
+        (host, port),
+        service,
+        quiet=quiet,
+        workers=workers,
+        max_in_flight=max_in_flight,
+        compress=compress,
+    )
 
 
 def run_server(

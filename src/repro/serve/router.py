@@ -57,6 +57,7 @@ from repro.analysis.costmodel import (
 from repro.errors import (
     InvalidParameterError,
     ReproError,
+    ServerBusyError,
     StoreCorruptError,
 )
 from repro.mapreduce.engine import stable_hash
@@ -64,11 +65,22 @@ from repro.query.base import QueryMatch
 from repro.query.cost import CostEstimate
 from repro.query.tokens import normalize_query
 from repro.serve.protocol import (
+    ALL_FEATURES,
+    DEFAULT_COMPRESS_THRESHOLD,
+    FEATURE_MULTI,
+    FEATURE_MUX,
+    FEATURE_ZLIB,
     PROTOCOL_VERSION,
+    WireStats,
     decode_error,
     encode_tokens,
+    hello_request,
+    merge_wire_snapshots,
+    negotiate_features,
     recv_message,
+    recv_mux,
     send_message,
+    send_mux,
 )
 from repro.serve.service import LatencyHistogram
 
@@ -162,7 +174,16 @@ class ClusterMap:
         num_shards: int,
         replication: int = 1,
         placement: dict[int, list[str]] | None = None,
+        pool_size: int | None = None,
+        pipeline_depth: int | None = None,
+        fanout_workers: int | None = None,
     ) -> None:
+        # optional cluster-wide client sizing defaults (config JSON keys
+        # "pool_size" / "pipeline_depth" / "fanout_workers"); explicit
+        # CLI flags override
+        self.pool_size = pool_size
+        self.pipeline_depth = pipeline_depth
+        self.fanout_workers = fanout_workers
         if num_shards < 1:
             raise InvalidParameterError(
                 f"num_shards must be >= 1, got {num_shards}"
@@ -235,6 +256,9 @@ class ClusterMap:
             num_shards=num_shards,
             replication=config.get("replication", 1),
             placement=pinned if explicit else None,
+            pool_size=config.get("pool_size"),
+            pipeline_depth=config.get("pipeline_depth"),
+            fanout_workers=config.get("fanout_workers"),
         )
 
     @classmethod
@@ -269,32 +293,109 @@ class ClusterMap:
 
 
 # ----------------------------------------------------------------------
-# shard client (pooled persistent connections)
+# shard client (pipelined mux connection, legacy pooled fallback)
 # ----------------------------------------------------------------------
 
 
-class ShardClient:
-    """Framed request/response to one shard server, with a small pool
-    of persistent connections.
+class _PendingSlot:
+    """One in-flight mux request: the waiter's event and response box."""
 
-    A pooled connection that fails before yielding a response byte may
-    simply have been idle past the server's patience — the request is
-    retried once on a fresh connection.  A *fresh* connection failing
-    is the server being down and propagates.
+    __slots__ = ("event", "response")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response = None
+
+
+class _MuxConnection:
+    """One multiplexed socket: its in-flight table, per-connection
+    request-id counter, and the send lock serializing frame writes."""
+
+    __slots__ = ("sock", "pending", "lock", "send_lock", "ids", "dead")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.pending: dict[int, _PendingSlot] = {}
+        self.lock = threading.Lock()
+        self.send_lock = threading.Lock()
+        self.ids = itertools.count(1)
+        self.dead = False
+
+
+class ShardClient:
+    """Framed request/response to one shard server.
+
+    In ``auto`` wire mode the first connection performs the capability
+    handshake (see :mod:`repro.serve.protocol`).  Against a server that
+    speaks the extension, **one** multiplexed connection carries up to
+    ``pipeline_depth`` concurrent requests with out-of-order responses
+    and optional zlib compression; against an older server the client
+    silently stays in legacy mode — a small pool of one-request-at-a-
+    time connections, exactly the pre-extension behavior (also forced
+    by ``wire="legacy"``, the mixed-version/benchmark baseline switch).
+
+    Failure semantics are shared by both modes: a connection that fails
+    before the request went out may simply have idled past the server's
+    patience and is retried once on a fresh connection; a *fresh*
+    connection failing is the server being down and propagates.  A mux
+    connection dying mid-pipeline fails **every** in-flight request
+    with :class:`ConnectionError`, so each caller's replica-retry path
+    fails its request over independently.
     """
 
-    def __init__(self, host: str, port: int, pool_size: int = 2) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 2,
+        pipeline_depth: int = 32,
+        compress: bool = True,
+        wire: str = "auto",
+    ) -> None:
+        if wire not in ("auto", "legacy"):
+            raise InvalidParameterError(
+                f"wire must be 'auto' or 'legacy', got {wire!r}"
+            )
+        if pipeline_depth < 1:
+            raise InvalidParameterError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
         self._host = host
         self._port = port
         self._pool_size = pool_size
+        self._pipeline_depth = pipeline_depth
+        self._wire = wire
+        self._offered = (
+            ALL_FEATURES if compress else (FEATURE_MUX, FEATURE_MULTI)
+        )
         self._pool: list[socket.socket] = []
         self._lock = threading.Lock()
         self._closed = False
+        # mux state: mode is None until the first handshake settles it
+        self._mode: str | None = None if wire == "auto" else "legacy"
+        self._mux: _MuxConnection | None = None
+        self._conn_lock = threading.Lock()
+        self._depth = threading.Semaphore(pipeline_depth)
+        self._threshold: int | None = None
+        self._in_flight = 0
+        self.features: tuple[str, ...] = ()
+        self.wire_stats = WireStats()
+
+    @property
+    def mode(self) -> str:
+        """``"mux"`` or ``"legacy"`` once settled; ``"auto"`` before
+        the first connection decided."""
+        return self._mode or "auto"
 
     def _connect(self, timeout: float) -> socket.socket:
-        return socket.create_connection(
+        sock = socket.create_connection(
             (self._host, self._port), timeout=timeout
         )
+        # request frames are small; never let Nagle hold one back
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    # -- legacy pooled mode -------------------------------------------
 
     def _checkout(self) -> socket.socket | None:
         with self._lock:
@@ -309,10 +410,7 @@ class ShardClient:
                 return
         conn.close()
 
-    def request(self, payload: dict, timeout: float):
-        """One round trip; raises the remote :mod:`repro.errors` type on
-        an error response, ``OSError``/``ConnectionError`` on transport
-        failure."""
+    def _legacy_request(self, payload: dict, timeout: float):
         conn = self._checkout()
         fresh = conn is None
         if conn is None:
@@ -339,9 +437,185 @@ class ShardClient:
             raise decode_error(response["error"])
         return response
 
-    def close(self) -> None:
+    # -- multiplexed mode ---------------------------------------------
+
+    def _ensure_mux(self, timeout: float) -> _MuxConnection | None:
+        """Current live mux connection, dialing + handshaking one if
+        needed.  ``None`` means the handshake settled on legacy mode."""
+        with self._conn_lock:
+            if self._closed:
+                raise ConnectionError("shard client is closed")
+            if self._mode == "legacy":
+                return None
+            mux = self._mux
+            if mux is not None and not mux.dead:
+                return mux
+            sock = self._connect(timeout)
+            try:
+                sock.settimeout(timeout)
+                send_message(sock, hello_request(self._offered))
+                response = recv_message(sock)
+            except (OSError, EOFError, ConnectionError):
+                sock.close()
+                raise
+            features: tuple[str, ...] = ()
+            if (
+                isinstance(response, dict)
+                and response.get("ok")
+                and isinstance(response.get("features"), list)
+            ):
+                features = negotiate_features(
+                    self._offered, response["features"]
+                )
+            if FEATURE_MUX not in features:
+                # pre-extension server (it answered the unknown op with
+                # a plain error) or no common ground: the connection is
+                # a perfectly good legacy link — keep it
+                self._mode = "legacy"
+                self._checkin(sock)
+                return None
+            self._mode = "mux"
+            self.features = features
+            self._threshold = (
+                response.get("threshold", DEFAULT_COMPRESS_THRESHOLD)
+                if FEATURE_ZLIB in features
+                else None
+            )
+            sock.settimeout(None)  # the reader blocks; waiters time out
+            mux = _MuxConnection(sock)
+            self._mux = mux
+            threading.Thread(
+                target=self._read_loop,
+                args=(mux,),
+                name=f"shard-client-{self._host}:{self._port}",
+                daemon=True,
+            ).start()
+            return mux
+
+    def _read_loop(self, mux: _MuxConnection) -> None:
+        while True:
+            try:
+                request_id, value = recv_mux(mux.sock, self.wire_stats)
+            except Exception:  # noqa: BLE001 - any failure kills the link
+                break
+            with mux.lock:
+                slot = mux.pending.pop(request_id, None)
+            if slot is not None:
+                slot.response = value
+                slot.event.set()
+        self._drop_mux(mux)
+
+    def _drop_mux(self, mux: _MuxConnection, exc: Exception | None = None) -> None:
+        """Retire a mux connection and fail every request still in its
+        in-flight table — each waiter then fails over independently."""
+        with mux.lock:
+            mux.dead = True
+            pending, mux.pending = dict(mux.pending), {}
+        with self._conn_lock:
+            if self._mux is mux:
+                self._mux = None
+        try:
+            mux.sock.close()
+        except OSError:
+            pass
+        error = exc or ConnectionError(
+            f"connection to {self._host}:{self._port} lost mid-pipeline"
+        )
+        for slot in pending.values():
+            slot.response = error
+            slot.event.set()
+
+    def _mux_request(self, payload: dict, timeout: float):
+        if not self._depth.acquire(timeout=timeout):
+            raise socket.timeout(
+                f"pipeline to {self._host}:{self._port} is full "
+                f"(depth {self._pipeline_depth})"
+            )
+        try:
+            response = None
+            for attempt in (0, 1):
+                mux = self._ensure_mux(timeout)
+                if mux is None:  # renegotiated down to legacy
+                    return self._legacy_request(payload, timeout)
+                slot = _PendingSlot()
+                with mux.lock:
+                    if mux.dead:
+                        continue  # died under us; dial a fresh one
+                    request_id = next(mux.ids)
+                    mux.pending[request_id] = slot
+                try:
+                    with mux.send_lock:
+                        send_mux(
+                            mux.sock,
+                            request_id,
+                            payload,
+                            self._threshold,
+                            self.wire_stats,
+                        )
+                except (OSError, ConnectionError) as exc:
+                    with mux.lock:
+                        mux.pending.pop(request_id, None)
+                    self._drop_mux(mux, exc)
+                    if attempt:
+                        raise
+                    continue  # request never left: retry on fresh conn
+                if not slot.event.wait(timeout):
+                    with mux.lock:
+                        mux.pending.pop(request_id, None)
+                    raise socket.timeout(
+                        f"no response from {self._host}:{self._port} "
+                        f"within {timeout:.2f}s"
+                    )
+                response = slot.response
+                break
+            else:
+                raise ConnectionError(
+                    f"connection to {self._host}:{self._port} kept dying "
+                    "before the request was sent"
+                )
+        finally:
+            self._depth.release()
+        if isinstance(response, BaseException):
+            raise response
+        if isinstance(response, dict) and "error" in response:
+            raise decode_error(response["error"])
+        return response
+
+    # -- shared surface -----------------------------------------------
+
+    def request(self, payload: dict, timeout: float):
+        """One request/response; raises the remote :mod:`repro.errors`
+        type on an error response, ``OSError``/``ConnectionError`` on
+        transport failure (including a mux connection dying while this
+        request was in flight)."""
         with self._lock:
+            self._in_flight += 1
+        try:
+            if self._mode == "legacy":
+                return self._legacy_request(payload, timeout)
+            return self._mux_request(payload, timeout)
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            in_flight = self._in_flight
+        return {
+            "mode": self.mode,
+            "features": list(self.features),
+            "pipeline_depth": self._pipeline_depth,
+            "in_flight": in_flight,
+            "wire": self.wire_stats.snapshot(),
+        }
+
+    def close(self) -> None:
+        with self._conn_lock:
             self._closed = True
+            mux, self._mux = self._mux, None
+        if mux is not None:
+            self._drop_mux(mux, ConnectionError("shard client closed"))
+        with self._lock:
             pool, self._pool = self._pool, []
         for conn in pool:
             conn.close()
@@ -378,22 +652,49 @@ class RouterBackend:
         deadline: float = 5.0,
         pool_size: int = 2,
         health_timeout: float = 1.0,
+        pipeline_depth: int = 32,
+        compress: bool = True,
+        wire: str = "auto",
+        batched: bool = True,
+        fanout_workers: int | None = None,
     ) -> None:
         if deadline <= 0:
             raise InvalidParameterError(
                 f"deadline must be > 0 seconds, got {deadline}"
             )
+        if fanout_workers is not None and fanout_workers < 1:
+            raise InvalidParameterError(
+                f"fanout_workers must be >= 1, got {fanout_workers}"
+            )
         self._cluster = cluster
         self._deadline = deadline
         self._health_timeout = health_timeout
+        self._pipeline_depth = pipeline_depth
+        self._compress = compress
+        self._wire = wire
         self._clients = {
-            key: ShardClient(spec.host, spec.port, pool_size=pool_size)
+            key: ShardClient(
+                spec.host,
+                spec.port,
+                pool_size=pool_size,
+                pipeline_depth=pipeline_depth,
+                compress=compress,
+                wire=wire,
+            )
             for key, spec in cluster.servers.items()
         }
         self._healthy = {key: True for key in cluster.servers}
         self._lock = threading.Lock()
+        # group calls spend their life blocked on a socket, so the pool
+        # must cover many *concurrent* scatters, not just one — sized
+        # for the pipeline the shard links themselves advertise
+        self._fanout_workers = (
+            fanout_workers
+            if fanout_workers is not None
+            else min(64, max(8, pipeline_depth))
+        )
         self._executor = ThreadPoolExecutor(
-            max_workers=max(4, 2 * len(cluster.servers)),
+            max_workers=self._fanout_workers,
             thread_name_prefix="router-fanout",
         )
         self._shard_hists: dict[int, LatencyHistogram] = {
@@ -402,7 +703,13 @@ class RouterBackend:
         self._fanouts = 0
         self._retries = 0
         self._server_failures = 0
+        self._busy_sheds = 0
         self._partials = 0
+        #: whether the cluster speaks multi_search: None until the first
+        #: batched scatter settles it, False disables batching for good
+        #: (batched=False pins it off — the pre-batching wire behaviour,
+        #: kept for apples-to-apples benchmarking)
+        self._multi_ok: bool | None = None if batched else False
         self._patterns_total: int | None = None
         self._estimate_cache: OrderedDict[tuple, CostEstimate] = (
             OrderedDict()
@@ -499,12 +806,16 @@ class RouterBackend:
         return None
 
     def _scatter(
-        self, make_payload: Callable[[list[int]], dict]
+        self,
+        make_payload: Callable[[list[int]], dict],
+        parse: Callable | None = None,
     ) -> tuple[list[list], dict]:
         """Fan one request out across the cluster.
 
         Returns ``(group_records, partial_info)`` where each element of
-        ``group_records`` is one server's rank-ordered record list and
+        ``group_records`` is one server's parsed answer (by default its
+        rank-ordered record list; ``parse(response, key)`` overrides
+        the extraction, e.g. for ``multi_search`` result lists) and
         ``partial_info`` is ``{}`` when every shard answered, else
         ``{"missing_shards": [...], "failed_servers": [...]}``.
 
@@ -545,7 +856,8 @@ class RouterBackend:
                     self._retries += len(groups)
             futures = {
                 self._executor.submit(
-                    self._call_group, key, shards, make_payload, deadline
+                    self._call_group, key, shards, make_payload, deadline,
+                    parse,
                 ): (key, shards)
                 for key, shards in groups.items()
             }
@@ -555,6 +867,14 @@ class RouterBackend:
                 records, failure = future.result()
                 if failure is None:
                     group_records.append(records)
+                elif isinstance(failure, ServerBusyError):
+                    # overloaded, not dead: fail over to a replica but
+                    # leave the server in the rotation — the next probe
+                    # would only revive it anyway
+                    failed_servers.add(key)
+                    with self._lock:
+                        self._busy_sheds += 1
+                    pending.extend(shards)
                 elif isinstance(failure, ReproError) and not isinstance(
                     failure, StoreCorruptError
                 ):
@@ -586,6 +906,7 @@ class RouterBackend:
         shards: list[int],
         make_payload: Callable[[list[int]], dict],
         deadline: float,
+        parse: Callable | None = None,
     ):
         """One server request covering ``shards``; returns
         ``(records, failure)`` with exactly one of the two set."""
@@ -595,15 +916,22 @@ class RouterBackend:
             response = self._clients[key].request(
                 make_payload(shards), timeout
             )
-            raw = response.get("records") if isinstance(response, dict) else None
-            if raw is None:
-                raise StoreCorruptError(
-                    f"server {key} sent a malformed response"
+            if parse is not None:
+                records = parse(response, key)
+            else:
+                raw = (
+                    response.get("records")
+                    if isinstance(response, dict)
+                    else None
                 )
-            records = [
-                (tuple(coded), frequency, tuple(names))
-                for coded, frequency, names in raw
-            ]
+                if raw is None:
+                    raise StoreCorruptError(
+                        f"server {key} sent a malformed response"
+                    )
+                records = [
+                    (tuple(coded), frequency, tuple(names))
+                    for coded, frequency, names in raw
+                ]
         except Exception as exc:  # noqa: BLE001 - sorted by the caller
             return None, exc
         finally:
@@ -710,6 +1038,123 @@ class RouterBackend:
         self._tls.last_cost = estimate.cost
         return estimate
 
+    # ------------------------------------------------------------------
+    # batched scatter (the /batch endpoint's wire path)
+    # ------------------------------------------------------------------
+
+    def prefetch(self, pairs) -> None:
+        """Fetch many queries in one ``multi_search`` frame per server.
+
+        ``pairs`` is a list of ``(normalized_tokens, min_freq)`` the
+        caller is about to :meth:`search`; answers are parked on the
+        calling thread and consumed (popped) by matching ``search``
+        calls, so a batch pays one scatter instead of one per query.
+        Per-query errors are parked too and re-raised by the matching
+        ``search`` — identical outcomes to the per-query wire path.
+
+        Against a cluster that predates ``multi_search`` the first
+        attempt fails, batching turns itself off, and the per-query
+        path silently takes over.  Best-effort by design: no parked
+        answer ⇒ ``search`` just fans out as usual.
+        """
+        if self._multi_ok is False:
+            return
+        unique: list[tuple] = []
+        seen: set[tuple] = set()
+        for tokens, min_freq in pairs:
+            key = (tokens, min_freq)
+            if key not in seen:
+                seen.add(key)
+                unique.append(key)
+        if len(unique) < 2:
+            return  # a single query gains nothing over the plain path
+        queries = [
+            {
+                "tokens": encode_tokens(tokens),
+                "limit": None,
+                "min_freq": min_freq,
+            }
+            for tokens, min_freq in unique
+        ]
+
+        def make_payload(shards: list[int]) -> dict:
+            return {
+                "v": PROTOCOL_VERSION,
+                "op": "multi_search",
+                "shards": shards,
+                "queries": queries,
+            }
+
+        def parse(response, key: str) -> list:
+            results = (
+                response.get("results")
+                if isinstance(response, dict)
+                else None
+            )
+            if not isinstance(results, list) or len(results) != len(unique):
+                raise StoreCorruptError(
+                    f"server {key} sent a malformed multi_search response"
+                )
+            parsed = []
+            for entry in results:
+                if isinstance(entry, dict) and "error" in entry:
+                    parsed.append(decode_error(entry["error"]))
+                elif isinstance(entry, dict) and isinstance(
+                    entry.get("records"), list
+                ):
+                    parsed.append(
+                        [
+                            (tuple(coded), frequency, tuple(names))
+                            for coded, frequency, names in entry["records"]
+                        ]
+                    )
+                else:
+                    raise StoreCorruptError(
+                        f"server {key} sent a malformed multi_search entry"
+                    )
+            return parsed
+
+        # the batched scatter does many queries' work: it gets the full
+        # deadline budget, never a stale single-query fraction left by
+        # an estimate whose fan-out was satisfied from a parked answer
+        self._tls.last_cost = None
+        try:
+            groups, partial = self._scatter(make_payload, parse=parse)
+        except ReproError:
+            # a server that predates (or rejects) multi_search answers
+            # with a query error; don't try batching again
+            self._multi_ok = False
+            return
+        self._multi_ok = True
+        prefetched: dict = {}
+        for index, key in enumerate(unique):
+            streams = []
+            error: BaseException | None = None
+            for group in groups:
+                entry = group[index]
+                if isinstance(entry, BaseException):
+                    error = entry
+                else:
+                    streams.append(entry)
+            if error is not None:
+                prefetched[key] = (error, partial)
+            else:
+                merged = list(heapq.merge(*streams, key=_record_key))
+                prefetched[key] = (merged, partial)
+        self._tls.prefetched = prefetched
+
+    def discard_prefetch(self) -> None:
+        """Drop the calling thread's parked batch answers (the batch
+        loop's cleanup — never let one batch's answers leak into the
+        next)."""
+        self._tls.prefetched = None
+
+    def _take_prefetched(self, tokens, min_freq):
+        prefetched = getattr(self._tls, "prefetched", None)
+        if not prefetched:
+            return None
+        return prefetched.pop((tokens, min_freq), None)
+
     def search(
         self,
         query,
@@ -722,7 +1167,25 @@ class RouterBackend:
         stream prefix) and ``limit`` pushes down as a per-server upper
         bound, re-applied globally after the merge.
         """
-        tokens = encode_tokens(normalize_query(query))
+        normalized = normalize_query(query)
+        parked = self._take_prefetched(normalized, min_freq)
+        if parked is not None:
+            # no fan-out happens: drop the deadline fraction this
+            # query's estimate armed, or it would leak into the next
+            # unrelated scatter on this thread
+            self._tls.last_cost = None
+            result, partial = parked
+            self._set_partial(partial)
+            if isinstance(result, BaseException):
+                raise result
+            # the parked answer is the full merged stream (limit=None),
+            # so any limit is a prefix of it — identical to push-down
+            matches = result if limit is None else result[:limit]
+            return [
+                QueryMatch(names, frequency)
+                for _, frequency, names in matches
+            ]
+        tokens = encode_tokens(normalized)
 
         def make_payload(shards: list[int]) -> dict:
             return {
@@ -803,17 +1266,34 @@ class RouterBackend:
         # cluster facts first: the per-server health map below must win
         # over ClusterMap.describe()'s plain server list
         info = self._cluster.describe()
+        client_stats = {
+            key: self._clients[key].stats()
+            for key in sorted(self._clients)
+        }
         with self._lock:
             info.update({
                 "router": True,
                 "fanouts": self._fanouts,
                 "fanout_retries": self._retries,
                 "server_failures": self._server_failures,
+                "busy_sheds": self._busy_sheds,
                 "partial_results": self._partials,
+                "pipeline": {
+                    "depth": self._pipeline_depth,
+                    "compress": self._compress,
+                    "wire": self._wire,
+                    "batched_scatter": self._multi_ok,
+                    "fanout_workers": self._fanout_workers,
+                },
+                "wire": merge_wire_snapshots(
+                    stats["wire"] for stats in client_stats.values()
+                ),
                 "servers": {
                     key: {
                         "healthy": self._healthy[key],
                         "http_port": self._cluster.servers[key].http_port,
+                        "wire_mode": client_stats[key]["mode"],
+                        "in_flight": client_stats[key]["in_flight"],
                     }
                     for key in sorted(self._cluster.servers)
                 },

@@ -463,18 +463,71 @@ class QueryService:
         ``error`` field while the other answers come back intact.  A
         corrupt store is not a per-query problem, though — that one
         propagates so the HTTP layer can answer 503 for the whole batch.
+
+        Against a backend exposing ``prefetch`` (the distributed
+        router), the batch's cache-missing queries go out first as one
+        batched scatter — a single ``multi_search`` frame per server —
+        and the per-query loop below consumes the parked answers.  The
+        answers are identical either way; only the number of wire round
+        trips changes.
         """
-        results: list[dict] = []
+        self._prefetch(queries, min_freq)
+        try:
+            results: list[dict] = []
+            for query in queries:
+                try:
+                    results.append(
+                        self.query(query, limit, min_freq=min_freq)
+                    )
+                except StoreCorruptError:
+                    raise
+                except ReproError as exc:
+                    results.append(
+                        {"query": query, "error": error_message(exc)}
+                    )
+            return results
+        finally:
+            discard = getattr(self._backend, "discard_prefetch", None)
+            if discard is not None:
+                discard()
+
+    def _prefetch(self, queries: Sequence[str], min_freq: int | None) -> None:
+        """Hand the batch's cache-missing queries to the backend's
+        batched-scatter path, when it has one.  Best-effort: parse
+        failures and negation-only queries are skipped here (the
+        per-query loop reports their errors), and a backend without
+        ``prefetch`` makes this a no-op."""
+        prefetch = getattr(self._backend, "prefetch", None)
+        if prefetch is None:
+            return
+        if min_freq is not None:
+            if (
+                not isinstance(min_freq, int)
+                or isinstance(min_freq, bool)
+                or min_freq < 0
+            ):
+                return  # _search will reject it; nothing to prefetch
+            if min_freq == 0:
+                min_freq = None  # the same canonicalization _search does
+        pairs = []
+        seen: set[tuple] = set()
         for query in queries:
             try:
-                results.append(self.query(query, limit, min_freq=min_freq))
-            except StoreCorruptError:
-                raise
-            except ReproError as exc:
-                results.append(
-                    {"query": query, "error": error_message(exc)}
-                )
-        return results
+                tokens = normalize_query(query)
+            except ReproError:
+                continue
+            if is_negation_only(tokens):
+                continue
+            key = ("search", tokens, min_freq)
+            if key in seen:
+                continue
+            seen.add(key)
+            with self._lock:
+                if key in self._cache:
+                    continue  # a hit never touches the wire anyway
+            pairs.append((tokens, min_freq))
+        if pairs:
+            prefetch(pairs)
 
     def stats(self) -> dict:
         """Service counters; ``patterns`` comes from the backend header.

@@ -743,6 +743,11 @@ def test_differential_router_backend(tmp_path):
     exactly one live replica, and the same queries must *still* match
     byte for byte with no partial-result flag: failover, not the
     answer, absorbs the failure.
+
+    Two routers run side by side over the same cluster: one on the
+    pipelined, compressed mux wire (the default) and one pinned to
+    legacy one-request-per-connection framing — the wire format must
+    never leak into results, healthy or degraded.
     """
     from repro.serve.distributed import ShardServer
     from repro.serve.router import ClusterMap, RouterBackend, ServerSpec
@@ -773,7 +778,7 @@ def test_differential_router_backend(tmp_path):
             ),
             ShardServer(sharded_path, http_port=None),  # full replica
         ]
-        router = None
+        router = legacy_router = None
         try:
             for server in servers:
                 server.start()
@@ -786,11 +791,13 @@ def test_differential_router_backend(tmp_path):
                 specs.append(spec)
                 for shard in shards:
                     placement.setdefault(shard, []).append(spec.key)
-            router = RouterBackend(
-                ClusterMap(
-                    specs, num_shards=num_shards, placement=placement
-                )
+            cluster = ClusterMap(
+                specs, num_shards=num_shards, placement=placement
             )
+            router = RouterBackend(
+                cluster, pipeline_depth=rng.randint(1, 8)
+            )
+            legacy_router = RouterBackend(cluster, wire="legacy")
             with open_store(sharded_path) as mono:
                 queries = []
                 for q in range(QUERIES_PER_INSTANCE):
@@ -816,6 +823,15 @@ def test_differential_router_backend(tmp_path):
                         f"{context}: {got!r} != mono {expected!r}"
                     )
                     assert router.take_partial() is None, context
+                    via_legacy = [
+                        (m.pattern, m.frequency)
+                        for m in legacy_router.search(tokens)
+                    ]
+                    assert via_legacy == expected, (
+                        f"{context} wire=legacy: "
+                        f"{via_legacy!r} != mono {expected!r}"
+                    )
+                    assert legacy_router.take_partial() is None, context
                     if expected:
                         cut = rng.randint(1, len(expected))
                         prefix = [
@@ -841,6 +857,10 @@ def test_differential_router_backend(tmp_path):
                     compare(tokens, "healthy")
                     compared += 1
                 assert len(router) == len(mono)
+                # the default router actually negotiated the mux wire
+                pipeline = router.describe()["pipeline"]
+                assert pipeline["wire"] == "auto"
+                assert router.describe()["wire"]["frames_sent"] > 0
 
                 # one replica down per shard: both half servers die,
                 # the full replica carries every shard
@@ -852,6 +872,8 @@ def test_differential_router_backend(tmp_path):
         finally:
             if router is not None:
                 router.close()
+            if legacy_router is not None:
+                legacy_router.close()
             for server in servers:
                 server.stop()
     assert compared >= 20, f"only {compared} router cases executed"

@@ -1,0 +1,763 @@
+"""Failure surface of the pipelined, compressed serving fabric.
+
+The multiplexed wire path must be invisible when everything works —
+byte-identical answers, same error types — and must degrade the same
+way the legacy path does when it breaks: a connection dying
+mid-pipeline fails over every in-flight request through the replica
+path, a peer that predates the extension silently gets legacy framing,
+and a saturated front end answers a typed, retryable busy signal
+instead of queueing without bound.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import random
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import Lash, MiningParams
+from repro.errors import ServerBusyError
+from repro.hierarchy import Hierarchy
+from repro.query import parse_query
+from repro.sequence import SequenceDatabase
+from repro.serve import QueryService, create_server, open_store
+from repro.serve.distributed import ShardServer
+from repro.serve.protocol import (
+    ALL_FEATURES,
+    DEFAULT_COMPRESS_THRESHOLD,
+    FEATURE_MULTI,
+    FEATURE_MUX,
+    FEATURE_ZLIB,
+    PROTOCOL_VERSION,
+    negotiate_features,
+    recv_mux,
+    send_mux,
+)
+from repro.serve.router import ClusterMap, RouterBackend, ServerSpec, ShardClient
+
+NUM_SHARDS = 4
+
+QUERIES = ["? ?", "a ?", "^B +", "a * c", "(a|^B) ?", "!a ^B", "?@2"]
+
+
+@pytest.fixture(scope="module")
+def mined():
+    hierarchy = Hierarchy()
+    for name, parent in [
+        ("A", None), ("B", None), ("a", "A"), ("b", "B"),
+        ("c", "A"), ("d", "B"), ("e", None),
+    ]:
+        hierarchy.add_item(name, parent)
+    rng = random.Random(20260808)
+    leaves = ["a", "b", "c", "d", "e"]
+    database = SequenceDatabase(
+        [
+            [rng.choice(leaves) for _ in range(rng.randint(1, 6))]
+            for _ in range(40)
+        ]
+    )
+    return Lash(MiningParams(sigma=2, gamma=1, lam=3)).mine(
+        database, hierarchy
+    )
+
+
+@pytest.fixture(scope="module")
+def store_path(mined, tmp_path_factory):
+    path = tmp_path_factory.mktemp("fabric") / "patterns.shards"
+    mined.to_store(path, shards=NUM_SHARDS)
+    return path
+
+
+@pytest.fixture(scope="module")
+def expected(mined, store_path):
+    """Single-process ground truth per query."""
+    with open_store(store_path) as mono:
+        return {
+            query: [
+                (m.pattern, m.frequency)
+                for m in mono.search(parse_query(query))
+            ]
+            for query in QUERIES
+        }
+
+
+def _cluster_for(servers, num_shards=NUM_SHARDS, full_replica=None):
+    specs, placement = [], {}
+    entries = list(servers)
+    if full_replica is not None:
+        entries.append((full_replica, range(num_shards)))
+    for server, shards in entries:
+        host, port = server.address
+        spec = ServerSpec(
+            host,
+            port,
+            http_port=(
+                server.http_address[1] if server.http_address else None
+            ),
+        )
+        specs.append(spec)
+        for shard in shards:
+            placement.setdefault(shard, []).append(spec.key)
+    return ClusterMap(specs, num_shards=num_shards, placement=placement)
+
+
+def _matches(backend, query, **kwargs):
+    return [
+        (m.pattern, m.frequency) for m in backend.search(query, **kwargs)
+    ]
+
+
+# ----------------------------------------------------------------------
+# mux framing + compression (protocol level)
+# ----------------------------------------------------------------------
+
+
+class TestMuxFraming:
+    def _pair(self):
+        left, right = socket.socketpair()
+        left.settimeout(5)
+        right.settimeout(5)
+        return left, right
+
+    def test_round_trip_out_of_order_ids(self):
+        left, right = self._pair()
+        try:
+            send_mux(left, 7, {"op": "ping"})
+            send_mux(left, 3, ["second"])
+            rid, value = recv_mux(right)
+            assert (rid, value) == (7, {"op": "ping"})
+            rid, value = recv_mux(right)
+            assert (rid, value) == (3, ["second"])
+        finally:
+            left.close()
+            right.close()
+
+    def test_compresses_above_threshold_only(self):
+        big = {"payload": "x" * (4 * DEFAULT_COMPRESS_THRESHOLD)}
+        small = {"payload": "y"}
+        for value, want_compressed in ((big, True), (small, False)):
+            left, right = self._pair()
+            try:
+                from repro.serve.protocol import WireStats
+
+                sent, received = WireStats(), WireStats()
+                send_mux(
+                    left, 1, value, DEFAULT_COMPRESS_THRESHOLD, sent
+                )
+                rid, decoded = recv_mux(right, received)
+                assert rid == 1 and decoded == value
+                snap = sent.snapshot()
+                assert (
+                    snap["compressed_frames_sent"] == int(want_compressed)
+                )
+                if want_compressed:
+                    assert snap["wire_bytes_sent"] < snap["raw_bytes_sent"]
+                assert (
+                    received.snapshot()["compressed_frames_received"]
+                    == int(want_compressed)
+                )
+            finally:
+                left.close()
+                right.close()
+
+    def test_exactly_threshold_is_not_compressed(self):
+        # the contract is strictly-greater-than: a payload of exactly
+        # threshold bytes ships raw
+        left, right = self._pair()
+        try:
+            from repro.serve.protocol import WireStats
+
+            value = {"p": "z" * 100}
+            # thresholds compare against the payload as encoded for the
+            # wire — compact JSON for JSON-representable values
+            threshold = len(
+                json.dumps(value, separators=(",", ":")).encode("utf-8")
+            )
+            stats = WireStats()
+            send_mux(left, 1, value, threshold, stats)
+            _, decoded = recv_mux(right)
+            assert decoded == value
+            assert stats.snapshot()["compressed_frames_sent"] == 0
+        finally:
+            left.close()
+            right.close()
+
+    def test_bytes_payload_takes_binary_codec(self):
+        # JSON cannot carry bytes: such values fall back to the binary
+        # value codec, signalled per frame by the codec flag bit
+        left, right = self._pair()
+        try:
+            value = {"blob": b"\x00\xff" * 10}
+            send_mux(left, 7, value, None)
+            request_id, decoded = recv_mux(right)
+            assert request_id == 7
+            assert decoded == value
+        finally:
+            left.close()
+            right.close()
+
+    def test_negotiation_requires_mux(self):
+        assert negotiate_features(ALL_FEATURES, ALL_FEATURES) == ALL_FEATURES
+        assert negotiate_features([FEATURE_ZLIB], ALL_FEATURES) == ()
+        assert negotiate_features(ALL_FEATURES, [FEATURE_MUX]) == (
+            FEATURE_MUX,
+        )
+        assert negotiate_features(
+            [FEATURE_MUX, FEATURE_MULTI], ALL_FEATURES
+        ) == (FEATURE_MUX, FEATURE_MULTI)
+
+
+# ----------------------------------------------------------------------
+# mixed-version handshake fallback
+# ----------------------------------------------------------------------
+
+
+class TestMixedVersions:
+    def test_new_client_against_old_server(self, store_path, expected):
+        # mux=False makes the server behave like a pre-extension build:
+        # it answers the hello with a plain unknown-op error and the
+        # client silently continues in legacy framing
+        with ShardServer(store_path, http_port=None, mux=False) as server:
+            host, port = server.address
+            client = ShardClient(host, port)
+            try:
+                answer = client.request(
+                    {"v": PROTOCOL_VERSION, "op": "ping"}, timeout=5
+                )
+                assert answer["ok"] is True
+                assert client.mode == "legacy"
+                assert client.features == ()
+            finally:
+                client.close()
+            cluster = _cluster_for([(server, range(NUM_SHARDS))])
+            router = RouterBackend(cluster, deadline=5)
+            try:
+                for query in QUERIES:
+                    got = _matches(router, parse_query(query))
+                    assert got == expected[query], query
+                    assert router.take_partial() is None
+            finally:
+                router.close()
+
+    def test_old_client_against_new_server(self, store_path, expected):
+        # wire="legacy" never sends hello — exactly what an old client
+        # looks like on the wire; the server stays in legacy framing
+        # for that connection
+        with ShardServer(store_path, http_port=None) as server:
+            host, port = server.address
+            client = ShardClient(host, port, wire="legacy")
+            try:
+                answer = client.request(
+                    {"v": PROTOCOL_VERSION, "op": "ping"}, timeout=5
+                )
+                assert answer["ok"] is True
+                assert client.mode == "legacy"
+            finally:
+                client.close()
+            cluster = _cluster_for([(server, range(NUM_SHARDS))])
+            router = RouterBackend(cluster, deadline=5, wire="legacy")
+            try:
+                for query in QUERIES:
+                    assert (
+                        _matches(router, parse_query(query))
+                        == expected[query]
+                    ), query
+            finally:
+                router.close()
+
+    def test_mux_negotiated_and_identical(self, store_path, expected):
+        with ShardServer(store_path, http_port=None) as server:
+            cluster = _cluster_for([(server, range(NUM_SHARDS))])
+            router = RouterBackend(cluster, deadline=5)
+            try:
+                for query in QUERIES:
+                    assert (
+                        _matches(router, parse_query(query))
+                        == expected[query]
+                    ), query
+                modes = {
+                    client.mode for client in router._clients.values()
+                }
+                assert modes == {"mux"}
+                wire = router.describe()["wire"]
+                assert wire["frames_sent"] > 0
+                assert wire["frames_received"] > 0
+            finally:
+                router.close()
+
+
+# ----------------------------------------------------------------------
+# end-to-end compression
+# ----------------------------------------------------------------------
+
+
+class TestWireCompression:
+    def test_large_responses_compress_small_ones_dont(
+        self, store_path, expected
+    ):
+        with ShardServer(store_path, http_port=None) as server:
+            host, port = server.address
+            client = ShardClient(host, port)
+            try:
+                # ping answers are tiny: never compressed
+                client.request(
+                    {"v": PROTOCOL_VERSION, "op": "ping"}, timeout=5
+                )
+                assert FEATURE_ZLIB in client.features
+                baseline = client.wire_stats.snapshot()
+                assert baseline["compressed_frames_received"] == 0
+                # the full "? ?" result set is well past the threshold
+                response = client.request(
+                    {
+                        "v": PROTOCOL_VERSION,
+                        "op": "search",
+                        "tokens": [["any"], ["any"]],
+                        "shards": None,
+                        "limit": None,
+                        "min_freq": None,
+                    },
+                    timeout=5,
+                )
+                got = [
+                    (tuple(names), freq)
+                    for _, freq, names in response["records"]
+                ]
+                assert got == expected["? ?"]
+                snap = client.wire_stats.snapshot()
+                assert snap["compressed_frames_received"] >= 1
+                assert (
+                    snap["wire_bytes_received"] < snap["raw_bytes_received"]
+                )
+                assert server.wire_stats.snapshot()[
+                    "compressed_frames_sent"
+                ] >= 1
+            finally:
+                client.close()
+
+    def test_compression_off_still_muxes(self, store_path, expected):
+        with ShardServer(
+            store_path, http_port=None, compress=False
+        ) as server:
+            host, port = server.address
+            client = ShardClient(host, port)
+            try:
+                client.request(
+                    {"v": PROTOCOL_VERSION, "op": "ping"}, timeout=5
+                )
+                assert client.mode == "mux"
+                assert FEATURE_ZLIB not in client.features
+                response = client.request(
+                    {
+                        "v": PROTOCOL_VERSION,
+                        "op": "search",
+                        "tokens": [["any"], ["any"]],
+                        "shards": None,
+                        "limit": None,
+                        "min_freq": None,
+                    },
+                    timeout=5,
+                )
+                got = [
+                    (tuple(names), freq)
+                    for _, freq, names in response["records"]
+                ]
+                assert got == expected["? ?"]
+                snap = client.wire_stats.snapshot()
+                assert snap["compressed_frames_received"] == 0
+                assert (
+                    snap["wire_bytes_received"]
+                    >= snap["raw_bytes_received"]
+                )
+            finally:
+                client.close()
+
+
+# ----------------------------------------------------------------------
+# kill mid-pipeline
+# ----------------------------------------------------------------------
+
+
+class TestKillMidPipeline:
+    def test_all_in_flight_requests_fail_promptly(self, store_path):
+        """Killing the server fails every request parked in the
+        pipeline's in-flight table — no waiter is left hanging for its
+        timeout."""
+        with ShardServer(store_path, http_port=None) as server:
+            host, port = server.address
+        # server stopped: now race many requests against a client whose
+        # connection just died
+        client = ShardClient(host, port)
+        with pytest.raises((OSError, ConnectionError)):
+            client.request({"v": PROTOCOL_VERSION, "op": "ping"}, timeout=2)
+        client.close()
+
+    def test_concurrent_queries_fail_over_to_replica(
+        self, store_path, expected
+    ):
+        """A primary killed with a full pipeline: every in-flight
+        request fails over through the normal replica-retry path and
+        the merged answers stay byte-identical."""
+        primary = ShardServer(store_path, http_port=None).start()
+        replica = ShardServer(store_path, http_port=None).start()
+        cluster = _cluster_for(
+            [(primary, range(NUM_SHARDS))], full_replica=replica
+        )
+        router = RouterBackend(cluster, deadline=10, pipeline_depth=64)
+        results: dict[tuple, list] = {}
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            for round_ in range(6):
+                query = QUERIES[(index + round_) % len(QUERIES)]
+                try:
+                    got = _matches(router, parse_query(query))
+                    partial = router.take_partial()
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    with lock:
+                        errors.append(exc)
+                    return
+                with lock:
+                    results[(index, round_, query)] = (got, partial)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        killer = threading.Timer(0.05, primary.stop)
+        try:
+            for thread in threads:
+                thread.start()
+            killer.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors, errors
+            assert len(results) == 8 * 6
+            for (_, _, query), (got, partial) in results.items():
+                assert got == expected[query], query
+                # with a full replica alive, nothing may degrade
+                assert partial is None
+        finally:
+            killer.cancel()
+            router.close()
+            primary.stop()
+            replica.stop()
+
+
+# ----------------------------------------------------------------------
+# batched scatter (multi_search + service prefetch)
+# ----------------------------------------------------------------------
+
+
+class TestBatchedScatter:
+    def test_multi_search_op_matches_per_query(self, store_path, expected):
+        with ShardServer(store_path, http_port=None) as server:
+            host, port = server.address
+            client = ShardClient(host, port)
+            try:
+                queries = [
+                    {
+                        "tokens": [["any"], ["any"]],
+                        "limit": None,
+                        "min_freq": None,
+                    },
+                    {"tokens": [["item", "zzz"]], "limit": None,
+                     "min_freq": None},
+                ]
+                response = client.request(
+                    {
+                        "v": PROTOCOL_VERSION,
+                        "op": "multi_search",
+                        "shards": None,
+                        "queries": queries,
+                    },
+                    timeout=5,
+                )
+                results = response["results"]
+                assert len(results) == 2
+                got = [
+                    (tuple(names), freq)
+                    for _, freq, names in results[0]["records"]
+                ]
+                assert got == expected["? ?"]
+                # the bad query fails alone, with its original type
+                assert results[1]["error"]["type"] == "UnknownItemError"
+            finally:
+                client.close()
+
+    def test_service_batch_identical_to_mono(self, store_path):
+        queries = QUERIES + ["zzz not-a-query ((", "a ?"]
+        with open_store(store_path) as mono:
+            mono_service = QueryService(mono)
+            want = mono_service.batch(queries, limit=5)
+        with ShardServer(store_path, http_port=None) as server:
+            cluster = _cluster_for([(server, range(NUM_SHARDS))])
+            router = RouterBackend(cluster, deadline=5)
+            try:
+                service = QueryService(router)
+                got = service.batch(queries, limit=5)
+                assert len(got) == len(want)
+                for g, w in zip(got, want):
+                    # cost estimates legitimately differ between a local
+                    # store and a cluster-extrapolated slice estimate
+                    g = {k: v for k, v in g.items() if k != "estimated_cost"}
+                    w = {k: v for k, v in w.items() if k != "estimated_cost"}
+                    assert g == w
+                # the batch actually used one multi_search scatter
+                assert router.describe()["pipeline"]["batched_scatter"]
+            finally:
+                router.close()
+
+    def test_batch_against_old_cluster_falls_back(self, store_path):
+        class OldShardServer(ShardServer):
+            """A pre-extension build: no handshake, no multi_search."""
+
+            def dispatch(self, request):
+                if (
+                    isinstance(request, dict)
+                    and request.get("op") == "multi_search"
+                ):
+                    request = {**request, "op": "multi_search_unknown"}
+                return super().dispatch(request)
+
+        queries = QUERIES[:4]
+        with open_store(store_path) as mono:
+            want = [
+                {
+                    k: v
+                    for k, v in entry.items()
+                    if k != "estimated_cost"
+                }
+                for entry in QueryService(mono).batch(queries, limit=5)
+            ]
+        with OldShardServer(store_path, http_port=None, mux=False) as server:
+            cluster = _cluster_for([(server, range(NUM_SHARDS))])
+            router = RouterBackend(cluster, deadline=5)
+            try:
+                service = QueryService(router)
+                got = [
+                    {
+                        k: v
+                        for k, v in entry.items()
+                        if k != "estimated_cost"
+                    }
+                    for entry in service.batch(queries, limit=5)
+                ]
+                assert got == want
+                # batching disabled itself after the first refusal
+                assert router.describe()["pipeline"]["batched_scatter"] is (
+                    False
+                )
+            finally:
+                router.close()
+
+
+# ----------------------------------------------------------------------
+# saturation / backpressure
+# ----------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_shard_server_sheds_with_busy_error(self, store_path):
+        with ShardServer(
+            store_path, http_port=None, workers=1, max_in_flight=1
+        ) as server:
+            host, port = server.address
+            client = ShardClient(host, port, wire="legacy")
+            try:
+                assert server._acquire_slot()  # pin the only slot
+                try:
+                    with pytest.raises(ServerBusyError) as err:
+                        client.request(
+                            {"v": PROTOCOL_VERSION, "op": "ping"}, timeout=5
+                        )
+                    assert err.value.retry_after >= 1
+                finally:
+                    server._release_slot()
+                # slot free again: the same connection keeps working
+                answer = client.request(
+                    {"v": PROTOCOL_VERSION, "op": "ping"}, timeout=5
+                )
+                assert answer["ok"] is True
+                status = client.request(
+                    {"v": PROTOCOL_VERSION, "op": "status"}, timeout=5
+                )
+                assert status["frontend"]["rejected"] >= 1
+                assert status["frontend"]["workers"] == 1
+            finally:
+                client.close()
+
+    def test_router_retries_busy_server_on_replica(
+        self, store_path, expected
+    ):
+        primary = ShardServer(
+            store_path, http_port=None, max_in_flight=1
+        ).start()
+        replica = ShardServer(store_path, http_port=None).start()
+        try:
+            cluster = _cluster_for(
+                [(primary, range(NUM_SHARDS))], full_replica=replica
+            )
+            router = RouterBackend(cluster, deadline=5)
+            try:
+                assert primary._acquire_slot()  # saturate the primary
+                try:
+                    got = _matches(router, parse_query("? ?"))
+                finally:
+                    primary._release_slot()
+                assert got == expected["? ?"]
+                assert router.take_partial() is None
+                info = router.describe()
+                assert info["busy_sheds"] >= 1
+                # busy is not dead: the primary stays in the rotation
+                primary_key = cluster.replicas(0)[0]
+                assert router.healthy_servers()[primary_key] is True
+            finally:
+                router.close()
+        finally:
+            primary.stop()
+            replica.stop()
+
+    @staticmethod
+    def _get(url, timeout=5):
+        """Fetch honoring 503 + Retry-After, like a real client: the
+        slot is only released after the previous response's bytes hit
+        the wire, so back-to-back requests can legitimately be shed."""
+        for _ in range(20):
+            try:
+                with urllib.request.urlopen(url, timeout=timeout) as resp:
+                    return resp.read()
+            except urllib.error.HTTPError as exc:
+                if exc.code != 503:
+                    raise
+                time.sleep(0.05)
+        raise AssertionError(f"{url} still busy after retries")
+
+    def test_http_saturation_answers_503_with_retry_after(
+        self, store_path
+    ):
+        with open_store(store_path) as store:
+            service = QueryService(store)
+            server = create_server(
+                service, port=0, workers=1, max_in_flight=1
+            )
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            base = "http://{}:{}".format(*server.server_address[:2])
+            try:
+                assert server._acquire_slot()  # pin the only slot
+                try:
+                    with pytest.raises(urllib.error.HTTPError) as err:
+                        urllib.request.urlopen(f"{base}/healthz", timeout=5)
+                    assert err.value.code == 503
+                    assert err.value.headers["Retry-After"] == "1"
+                finally:
+                    server._release_slot()
+                # drained: served again, and the shed shows on /metrics
+                metrics = self._get(f"{base}/metrics").decode()
+                assert "lash_http_rejected_total 1" in metrics
+                assert "lash_http_in_flight 1" in metrics  # this request
+                assert "lash_http_max_in_flight 1" in metrics
+                stats = json.loads(self._get(f"{base}/stats"))
+                assert stats["frontend"]["rejected"] == 1
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+
+    def test_http_gzip_round_trip(self, store_path):
+        with open_store(store_path) as store:
+            service = QueryService(store)
+            server = create_server(service, port=0)
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            base = "http://{}:{}".format(*server.server_address[:2])
+            try:
+                url = f"{base}/query?q=%3F+%3F&limit=100"
+                with urllib.request.urlopen(url, timeout=5) as resp:
+                    plain = resp.read()
+                    assert resp.headers.get("Content-Encoding") is None
+                request = urllib.request.Request(
+                    url, headers={"Accept-Encoding": "gzip"}
+                )
+                with urllib.request.urlopen(request, timeout=5) as resp:
+                    assert resp.headers["Content-Encoding"] == "gzip"
+                    body = resp.read()
+                assert len(body) < len(plain)
+                assert gzip.decompress(body) == plain
+                assert server.frontend_stats()["gzipped_responses"] == 1
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# pipelining under concurrency (healthy path)
+# ----------------------------------------------------------------------
+
+
+class TestPipelining:
+    def test_interleaved_responses_route_to_their_requests(
+        self, store_path, expected
+    ):
+        """Many threads share one mux connection; every answer must
+        come back to the thread that asked."""
+        with ShardServer(store_path, http_port=None) as server:
+            host, port = server.address
+            client = ShardClient(host, port, pipeline_depth=16)
+            failures: list = []
+
+            def worker(index: int) -> None:
+                query = QUERIES[index % len(QUERIES)]
+                tokens = parse_query(query)
+                from repro.serve.protocol import encode_tokens
+
+                for _ in range(5):
+                    try:
+                        response = client.request(
+                            {
+                                "v": PROTOCOL_VERSION,
+                                "op": "search",
+                                "tokens": encode_tokens(tokens),
+                                "shards": None,
+                                "limit": None,
+                                "min_freq": None,
+                            },
+                            timeout=10,
+                        )
+                        got = [
+                            (tuple(names), freq)
+                            for _, freq, names in response["records"]
+                        ]
+                        if got != expected[query]:
+                            failures.append((query, "mismatch"))
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        failures.append((query, exc))
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(12)
+            ]
+            try:
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30)
+                assert not failures, failures[:3]
+                assert client.mode == "mux"
+                snap = client.wire_stats.snapshot()
+                assert snap["frames_sent"] == 12 * 5
+                assert snap["frames_received"] == 12 * 5
+            finally:
+                client.close()
