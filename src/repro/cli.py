@@ -207,6 +207,8 @@ def cmd_mine(args: argparse.Namespace) -> int:
         )
     elif args.max_workers is not None:
         raise SystemExit("--max-workers requires --engine parallel")
+    if args.store_shards is not None and not args.store:
+        raise SystemExit("--store-shards requires --store")
 
     database = read_database(args.db)
     hierarchy = read_hierarchy(args.hierarchy) if args.hierarchy else None
@@ -244,7 +246,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
         write_patterns(result, args.out)
         print(f"wrote all patterns to {args.out}")
     if args.store:
-        result.to_store(args.store)
+        result.to_store(args.store, shards=args.store_shards)
         print(f"wrote pattern store to {args.store}")
     return 0
 
@@ -523,6 +525,90 @@ def cmd_index_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest_init(args: argparse.Namespace) -> int:
+    """Create the live-ingestion state for a sharded store."""
+    from repro.serve.ingest import Ingestor
+
+    gamma = None if args.gamma < 0 else args.gamma
+    Ingestor.init(
+        args.state, args.store, args.spool, gamma=gamma, lam=args.lam
+    )
+    print(
+        f"initialized ingest state in {args.state} "
+        f"(store {args.store}, spool {args.spool}, "
+        f"gamma={'inf' if gamma is None else gamma}, lam={args.lam})"
+    )
+    return 0
+
+
+def _ingest_batch(args: argparse.Namespace) -> list[tuple[str, ...]]:
+    """Sequences from positional args and/or ``--db`` (either alone ok)."""
+    batch: list[tuple[str, ...]] = [
+        tuple(seq.split()) for seq in args.sequences
+    ]
+    if args.db:
+        batch.extend(tuple(seq) for seq in read_database(args.db))
+    if not batch:
+        raise SystemExit(
+            "nothing to ingest: pass sequences as arguments "
+            '("a b c" quoted per sequence) and/or --db FILE'
+        )
+    return batch
+
+
+def cmd_ingest_add(args: argparse.Namespace) -> int:
+    """Append sequences to the live corpus and publish their delta."""
+    from repro.serve.ingest import Ingestor
+
+    report = Ingestor.open(args.state).add(_ingest_batch(args))
+    print(
+        f"ingested {report['sequences']} sequences "
+        f"(seq {report['from_seq']}..{report['through_seq'] - 1}) "
+        f"as {report['published']}; "
+        f"ingested_through={report['ingested_through']}"
+    )
+    return 0
+
+
+def cmd_ingest_retire(args: argparse.Namespace) -> int:
+    """Retire the oldest retained sequences (sliding-window retention)."""
+    from repro.serve.ingest import Ingestor
+
+    report = Ingestor.open(args.state).retire(args.count)
+    print(
+        f"retired {report['sequences']} sequences "
+        f"(seq {report['from_seq']}..{report['through_seq'] - 1}) "
+        f"as {report['published']}; "
+        f"retained_from={report['retained_from']}"
+    )
+    return 0
+
+
+def cmd_ingest_flush(args: argparse.Namespace) -> int:
+    """Publish journaled-but-unpublished sequences (crash recovery)."""
+    from repro.serve.ingest import Ingestor
+
+    report = Ingestor.open(args.state).flush()
+    if report["published"]:
+        print(f"published {report['published']}")
+    else:
+        print("nothing pending")
+    print(f"ingested_through={report['ingested_through']}")
+    return 0
+
+
+def cmd_ingest_status(args: argparse.Namespace) -> int:
+    """Print the ingest watermarks and spool backlog."""
+    from repro.serve.ingest import Ingestor
+
+    status = Ingestor.open(args.state).status()
+    pending = status.pop("spool_pending")
+    _print_row("ingest", status)
+    for name in pending:
+        print(f"  pending: {name}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a pattern store (single file or shard set) over HTTP."""
     from repro.serve import QueryService, create_server, open_store
@@ -541,12 +627,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 "--compact-spool requires a sharded store "
                 "(build with --shards)"
             )
+        daemon_kwargs = {}
+        if args.applied_retain is not None:
+            daemon_kwargs["applied_retain"] = args.applied_retain
         daemon = CompactionDaemon(
             service,
             args.store,
             args.compact_spool,
             interval=args.compact_interval,
             verify_checksums=not args.no_verify,
+            **daemon_kwargs,
         )
     server = create_server(
         service,
@@ -704,6 +794,14 @@ def build_parser() -> argparse.ArgumentParser:
     minep.add_argument(
         "--store", help="also export a binary pattern store for serving"
     )
+    minep.add_argument(
+        "--store-shards", type=int, default=None,
+        help="shard the exported store directory across N shards (with "
+        "--store); a sharded sigma=1 store is what `lash ingest` "
+        "appends to, and unlike `index build` the export keeps the "
+        "corpus f-list, so compacted deltas stay byte-identical to a "
+        "full re-mine",
+    )
     minep.set_defaults(func=cmd_mine)
 
     query = sub.add_parser(
@@ -814,6 +912,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     info.set_defaults(func=cmd_index_info)
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="live ingestion: append/retire sequences against a live "
+        "store by micro-mining just the delta (no full re-mine)",
+    )
+    ingest_sub = ingest.add_subparsers(dest="ingest_command", required=True)
+
+    ingest_init = ingest_sub.add_parser(
+        "init", help="create the ingest state for a sharded store"
+    )
+    ingest_init.add_argument(
+        "--store", required=True,
+        help="live sharded store directory (build with --shards)",
+    )
+    ingest_init.add_argument(
+        "--spool", required=True,
+        help="compaction spool deltas are published into (the directory "
+        "`lash serve --compact-spool` watches)",
+    )
+    ingest_init.add_argument(
+        "--state", required=True,
+        help="directory for the ingest journal and watermarks",
+    )
+    ingest_init.add_argument(
+        "--gamma", type=int, default=0,
+        help="gap constraint every micro-mine uses; must match the base "
+        "mine (negative = unbounded)",
+    )
+    ingest_init.add_argument(
+        "--lam", type=int, default=5,
+        help="max pattern length; must match the base mine",
+    )
+    ingest_init.set_defaults(func=cmd_ingest_init)
+
+    ingest_add = ingest_sub.add_parser(
+        "add",
+        help="journal sequences and publish their increment delta",
+    )
+    ingest_add.add_argument(
+        "--state", required=True, help="ingest state directory"
+    )
+    ingest_add.add_argument(
+        "--db", help="sequence database file to ingest"
+    )
+    ingest_add.add_argument(
+        "sequences", nargs="*",
+        help='inline sequences, one per argument ("a b c")',
+    )
+    ingest_add.set_defaults(func=cmd_ingest_add)
+
+    ingest_retire = ingest_sub.add_parser(
+        "retire",
+        help="retire the oldest retained sequences by publishing a "
+        "decrement delta (sliding-window retention)",
+    )
+    ingest_retire.add_argument(
+        "--state", required=True, help="ingest state directory"
+    )
+    ingest_retire.add_argument(
+        "--count", type=int, required=True,
+        help="how many of the oldest retained sequences to retire",
+    )
+    ingest_retire.set_defaults(func=cmd_ingest_retire)
+
+    ingest_flush = ingest_sub.add_parser(
+        "flush",
+        help="publish journaled-but-unpublished sequences "
+        "(crash recovery; no-op when clean)",
+    )
+    ingest_flush.add_argument(
+        "--state", required=True, help="ingest state directory"
+    )
+    ingest_flush.set_defaults(func=cmd_ingest_flush)
+
+    ingest_status = ingest_sub.add_parser(
+        "status", help="print watermarks and spool backlog"
+    )
+    ingest_status.add_argument(
+        "--state", required=True, help="ingest state directory"
+    )
+    ingest_status.set_defaults(func=cmd_ingest_status)
+
     serve = sub.add_parser(
         "serve", help="serve a pattern store over HTTP (JSON endpoints)"
     )
@@ -852,6 +1032,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--compact-interval", type=float, default=30.0,
         help="seconds between spool scans (with --compact-spool)",
+    )
+    serve.add_argument(
+        "--applied-retain", type=int, default=None,
+        help="applied-delta archive entries to keep; older ones are "
+        "swept after each compaction (with --compact-spool; default 256)",
     )
     serve.add_argument(
         "--workers", type=int, default=8,

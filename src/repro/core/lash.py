@@ -256,3 +256,34 @@ def mine(
         database = SequenceDatabase(database)
     lash = Lash(MiningParams(sigma, gamma, lam), local_miner=local_miner)
     return lash.mine(database, hierarchy)
+
+
+def micro_mine(
+    sequences: Iterable,
+    hierarchy: Hierarchy,
+    params: MiningParams,
+    local_miner: str | MinerFactory = "psm",
+) -> MiningResult:
+    """Mine an ingest delta: just the touched sequences, at σ=1.
+
+    The live-ingestion building block (``repro.serve.ingest``): pattern
+    frequency is document support, which adds over disjoint corpus
+    unions, so mining *only the new sequences* at σ=1 and folding the
+    result into the live store is exactly equivalent to re-mining the
+    whole corpus — σ must be 1 in the delta because a pattern rare in
+    the batch can still push a borderline pattern of the full corpus
+    over any higher threshold.  γ and λ are taken from ``params``
+    unchanged (they constrain matches per sequence, so they distribute
+    over any corpus split).  Engine parallelism is collapsed to one
+    task: ingest batches are small and the mined answer is identical at
+    any task count.
+    """
+    database = SequenceDatabase(list(sequences))
+    delta_params = MiningParams(sigma=1, gamma=params.gamma, lam=params.lam)
+    lash = Lash(
+        delta_params,
+        local_miner=local_miner,
+        num_map_tasks=1,
+        num_reduce_tasks=1,
+    )
+    return lash.mine(database, hierarchy)

@@ -51,7 +51,9 @@ def code_patterns(
     return coded, vocabulary
 
 
-def merge_vocabularies(vocabularies: Sequence[Vocabulary]) -> Vocabulary:
+def merge_vocabularies(
+    vocabularies: Sequence[Vocabulary], signed: bool = False
+) -> Vocabulary:
     """Union vocabularies into one merged vocabulary.
 
     The incremental-build core shared by the in-memory
@@ -61,6 +63,18 @@ def merge_vocabularies(vocabularies: Sequence[Vocabulary]) -> Vocabulary:
     per name, and the LASH total order is recomputed over the merged
     f-list — giving every item the id a fresh build over the combined
     corpora would have assigned.
+
+    ``signed=True`` is the delta-to-delta merge mode: the summed
+    frequencies may be negative or transiently exceed what any real
+    corpus yields (a decrement grouped away from its matching
+    increment), which can invert the ancestor-outranks-descendant
+    property the LASH frequency order relies on.  Items are then
+    ordered by hierarchy depth alone (ties by name) — a frequency-free
+    total order that always satisfies the ancestors-first invariant.
+    The order of a *delta* store's vocabulary is internal plumbing: the
+    final fold into a base store recomputes the LASH order from the
+    (net-positive) summed f-list, so grouping deltas first changes no
+    bytes of the compacted result.
 
     Hierarchies must agree where they overlap: an edge present in one
     source is adopted globally, and conflicting edges (a cycle between
@@ -89,7 +103,39 @@ def merge_vocabularies(vocabularies: Sequence[Vocabulary]) -> Vocabulary:
     # this library persisting frequency-0 items) still need an id
     for item in merged_hierarchy:
         frequencies.setdefault(item, 0)
+    if signed:
+        order = sorted(
+            frequencies,
+            key=lambda item: (
+                merged_hierarchy.depth(item),
+                item.casefold(),
+                item,
+            ),
+        )
+        return Vocabulary(
+            order, merged_hierarchy, [frequencies[i] for i in order]
+        )
     return build_vocabulary((), merged_hierarchy, frequencies=frequencies)
+
+
+def negate_vocabulary(vocabulary: Vocabulary) -> Vocabulary:
+    """The same vocabulary — identical names, ids, hierarchy — with every
+    frequency negated.
+
+    Used to build *retire* deltas: micro-mining the retired sequences
+    yields their positive f-list and pattern supports; negating both
+    turns the result into a subtraction, so merging (base ⊕ negated
+    delta) leaves exactly the f-list and supports of the retained
+    corpus.  The id order is preserved verbatim — the delta store's
+    vocabulary section must decode back to these exact ids for the
+    pattern records to mean the same items.
+    """
+    names = [vocabulary.name(i) for i in range(len(vocabulary))]
+    return Vocabulary(
+        names,
+        vocabulary.hierarchy,
+        [-vocabulary.frequency(i) for i in range(len(vocabulary))],
+    )
 
 
 def merge_pattern_sets(
@@ -123,4 +169,9 @@ def merge_pattern_sets(
     return coded, merged_vocabulary
 
 
-__all__ = ["code_patterns", "merge_pattern_sets", "merge_vocabularies"]
+__all__ = [
+    "code_patterns",
+    "merge_pattern_sets",
+    "merge_vocabularies",
+    "negate_vocabulary",
+]

@@ -19,6 +19,11 @@ turns it into a long-lived query-serving system:
   fold delta stores into a *live* sharded store with an atomic,
   generation-tagged manifest swap (``lash index compact``, ``lash
   serve --compact-spool``);
+* :class:`~repro.serve.ingest.Ingestor` — live ingestion: append or
+  retire sequences against a live corpus, micro-mine just the delta
+  and publish a signed (increment/decrement) store into the compaction
+  spool, closing the build → ingest → compact → serve loop
+  (``lash ingest``);
 * :class:`~repro.serve.service.QueryService` — a thread-safe façade
   with an LRU result cache, batch API and serving stats;
 * :mod:`~repro.serve.http` — a dependency-free ``ThreadingHTTPServer``
@@ -55,6 +60,7 @@ from repro.serve.writer import (
     write_store,
 )
 from repro.serve.compact import CompactionDaemon, StoreCompactor
+from repro.serve.ingest import Ingestor
 from repro.serve.service import QueryService
 
 _HTTP_EXPORTS = ("PatternHTTPServer", "create_server", "run_server", "serve")
@@ -97,6 +103,7 @@ __all__ = [
     "merge_stores",
     "StoreCompactor",
     "CompactionDaemon",
+    "Ingestor",
     "QueryService",
     *_HTTP_EXPORTS,
     *_DISTRIBUTED_EXPORTS,

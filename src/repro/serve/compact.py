@@ -40,13 +40,17 @@ try:  # POSIX advisory locking; absent on some platforms
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
-from repro.errors import EncodingError, ReproError
+from repro.errors import EncodingError, ReproError, StoreCorruptError
 from repro.serve.format import (
+    DELTA_META_SUFFIX,
     MANIFEST_NAME,
     SHARD_FILE_RE,
+    delta_meta_path,
     is_sharded_store,
+    read_delta_meta,
     read_manifest,
     shard_filename,
+    verify_delta_meta,
     write_manifest,
 )
 from repro.serve.stream import DEFAULT_SORT_BUFFER
@@ -242,6 +246,21 @@ class StoreCompactor:
         # double their frequencies
         folded_log = folded_log[-max(FOLDED_LOG_LIMIT, len(deltas)):]
 
+        # freshness bookkeeping: ingest deltas carry their sequence
+        # watermarks in a sidecar; fold them into the manifest as
+        # monotonic maxima, so the served watermark can never move
+        # backwards no matter what order deltas are applied in
+        ingest = dict(manifest.get("ingest") or {})
+        for delta in deltas:
+            delta = Path(delta)
+            meta = read_delta_meta(delta) if delta.is_file() else None
+            if meta is None:
+                continue
+            for field in ("ingested_through", "retained_from"):
+                value = meta.get(field)
+                if isinstance(value, int) and not isinstance(value, bool):
+                    ingest[field] = max(ingest.get(field, 0), value)
+
         start = time.perf_counter()
         opened = []
         writer: _ShardStreamWriter | None = None
@@ -268,31 +287,35 @@ class StoreCompactor:
                 postings_buffer=self._sort_buffer,
             )
             for pattern, frequency in records:
+                # delta decrements may cancel a pattern partially or
+                # fully; anything below one supporting sequence would
+                # not exist in a re-mine of the retained corpus
+                if frequency < 1:
+                    continue
                 writer.write(pattern, frequency)
             writer.close()
+            meta = {
+                "items": len(vocabulary),
+                "patterns": writer.count,
+                "total_frequency": writer.total_frequency,
+                "generation": generation,
+                # the outgoing generation stays on disk until the
+                # *next* compaction: a reader opened against the old
+                # manifest may not have lazily opened every shard
+                # yet, and those late opens must still find their
+                # files.  One swap later every such reader has
+                # reopened (or answers from already-pinned inodes).
+                "previous_files": [
+                    name for name in old_files if name not in new_files
+                ],
+                "folded_log": folded_log,
+            }
+            if ingest:
+                meta["ingest"] = ingest
             # the swap: readers opened before this line keep the old
             # files (their mmaps pin the inodes); readers opened after
             # see only the new generation
-            write_manifest(
-                self._path,
-                new_files,
-                {
-                    "items": len(vocabulary),
-                    "patterns": writer.count,
-                    "total_frequency": writer.total_frequency,
-                    "generation": generation,
-                    # the outgoing generation stays on disk until the
-                    # *next* compaction: a reader opened against the old
-                    # manifest may not have lazily opened every shard
-                    # yet, and those late opens must still find their
-                    # files.  One swap later every such reader has
-                    # reopened (or answers from already-pinned inodes).
-                    "previous_files": [
-                        name for name in old_files if name not in new_files
-                    ],
-                    "folded_log": folded_log,
-                },
-            )
+            write_manifest(self._path, new_files, meta)
         except BaseException:
             if writer is not None:
                 writer.abort()
@@ -303,7 +326,7 @@ class StoreCompactor:
             for store in opened:
                 store.close()
         self._sweep_retired(keep=set(new_files) | set(old_files))
-        return {
+        stats = {
             "path": str(self._path),
             "generation": generation,
             "shards": num_shards,
@@ -314,10 +337,19 @@ class StoreCompactor:
             "skipped_deltas": skipped,
             "seconds": round(time.perf_counter() - start, 3),
         }
+        if ingest:
+            stats["ingest"] = ingest
+        return stats
 
 
 #: spool subdirectory applied deltas are moved into (never rescanned)
 APPLIED_DIR = "applied"
+
+#: applied deltas kept in ``spool/applied/`` before the retention sweep
+#: reclaims the oldest — enough history for post-mortems and for the
+#: ingestor's publish-idempotency probe, without the archive growing
+#: with corpus lifetime
+APPLIED_RETAIN_DEFAULT = 256
 
 #: seconds a backend retired by a swap stays open before it may be
 #: closed — the bound on how long one in-flight request may keep
@@ -359,6 +391,7 @@ class CompactionDaemon:
         checksums: bool = True,
         verify_checksums: bool = True,
         sort_buffer: int = DEFAULT_SORT_BUFFER,
+        applied_retain: int = APPLIED_RETAIN_DEFAULT,
     ) -> None:
         self._service = service
         self._store_path = Path(store_path)
@@ -383,6 +416,11 @@ class CompactionDaemon:
         self._rejected: dict[tuple, str] = {}
         self._compactions = 0
         self._last_error: str | None = None
+        self._applied_retain = max(0, applied_retain)
+        #: ingest-facing counters surfaced on /stats and /metrics
+        self._applied_deltas = 0
+        self._pending_count = 0
+        self._lag_seconds = 0.0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -428,7 +466,9 @@ class CompactionDaemon:
 
     def poll_once(self) -> bool:
         """One spool scan; returns True when the served store changed."""
-        usable = self._usable_deltas(self.pending_deltas())
+        pending = self.pending_deltas()
+        self._observe_spool(pending)
+        usable = self._usable_deltas(pending)
         if usable:
             # compact() re-checks the manifest's folded log *under the
             # compaction lock*, so a delta folded meanwhile by another
@@ -436,6 +476,8 @@ class CompactionDaemon:
             # is skipped there, never folded twice
             stats = self._compactor.compact(usable)
             self._archive(usable)
+            self._applied_deltas += len(usable)
+            self._observe_spool(self.pending_deltas())
             if not stats.get("noop"):
                 self._compactions += 1
                 self._swap()
@@ -448,6 +490,20 @@ class CompactionDaemon:
             self._note()
             return True
         return False
+
+    def _observe_spool(self, pending: Sequence[Path]) -> None:
+        """Refresh the ingest-lag gauges from one spool listing: how many
+        deltas wait unapplied, and how long the oldest has waited."""
+        self._pending_count = len(pending)
+        lag = 0.0
+        now = time.time()
+        for delta in pending:
+            probe = delta / MANIFEST_NAME if delta.is_dir() else delta
+            try:
+                lag = max(lag, now - probe.stat().st_mtime)
+            except OSError:
+                continue
+        self._lag_seconds = round(lag, 3)
 
     def _usable_deltas(self, deltas: Sequence[Path]) -> list[Path]:
         """Filter out deltas that cannot be opened, quarantining them by
@@ -466,6 +522,22 @@ class CompactionDaemon:
             pending_keys.add(key)
             if key in self._rejected:
                 continue
+            if delta.is_file():
+                # an ingest delta names its exact payload in a sidecar;
+                # a mismatch means the publish was torn or the file was
+                # damaged after publish — either way, applying it could
+                # silently skew every frequency it touches
+                try:
+                    meta = read_delta_meta(delta)
+                except StoreCorruptError as exc:
+                    self._rejected[key] = str(exc)
+                    self._note(error=f"{delta.name}: {exc}")
+                    continue
+                if meta is not None and not verify_delta_meta(delta, meta):
+                    message = "delta bytes do not match sidecar CRC"
+                    self._rejected[key] = message
+                    self._note(error=f"{delta.name}: {message}")
+                    continue
             try:
                 # cheap structural probe (plus CRC sweep when verifying);
                 # compact() re-opens, but correctness of the batch beats
@@ -499,6 +571,37 @@ class CompactionDaemon:
                 suffix += 1
                 target = applied / f"{delta.name}.{suffix}"
             shutil.move(str(delta), str(target))
+            sidecar = delta_meta_path(delta)
+            if sidecar.is_file():
+                shutil.move(
+                    str(sidecar),
+                    str(applied / (target.name + DELTA_META_SUFFIX)),
+                )
+        self._sweep_applied(applied)
+
+    def _sweep_applied(self, applied: Path) -> None:
+        """Bound the applied-delta archive: keep only the newest
+        ``applied_retain`` deltas (sidecars ride along), oldest first
+        out.  Without this the archive grows with corpus lifetime — one
+        file per ingest batch, forever."""
+        entries = []
+        for entry in applied.iterdir():
+            if entry.name.endswith(DELTA_META_SUFFIX):
+                continue
+            try:
+                entries.append((entry.stat().st_mtime_ns, entry.name, entry))
+            except OSError:
+                continue
+        if len(entries) <= self._applied_retain:
+            return
+        entries.sort()
+        for _, _, entry in entries[: len(entries) - self._applied_retain]:
+            if entry.is_dir():
+                shutil.rmtree(entry, ignore_errors=True)
+            else:
+                entry.unlink(missing_ok=True)
+            sidecar = applied / (entry.name + DELTA_META_SUFFIX)
+            sidecar.unlink(missing_ok=True)
 
     def _swap(self) -> None:
         from repro.serve.sharded import open_store
@@ -524,6 +627,17 @@ class CompactionDaemon:
             "generation": getattr(
                 self._service.backend, "generation", None
             ),
+            "ingest": {
+                "applied_deltas": self._applied_deltas,
+                "pending_deltas": self._pending_count,
+                "lag_seconds": self._lag_seconds,
+                "ingested_through": getattr(
+                    self._service.backend, "ingested_through", None
+                ),
+                "retained_from": getattr(
+                    self._service.backend, "retained_from", None
+                ),
+            },
         }
         if stats is not None:
             info["last"] = {
@@ -547,6 +661,7 @@ __all__ = [
     "StoreCompactor",
     "CompactionDaemon",
     "APPLIED_DIR",
+    "APPLIED_RETAIN_DEFAULT",
     "FOLDED_LOG_LIMIT",
     "delta_signature",
 ]

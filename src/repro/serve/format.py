@@ -56,6 +56,14 @@ SUPPORTED_VERSIONS = (1, 2)
 
 #: header flag: a 6 × u32 CRC-32 section trails the postings
 FLAG_CHECKSUMS = 0x1
+#: header flag: the store is a *signed delta*.  Every frequency — the
+#: header's total, each vocabulary entry's, each pattern record's — is
+#: zigzag-encoded and may be negative; a negative record is a
+#: *decrement* emitted by ``lash ingest`` when sequences are retired.
+#: Delta stores exist only in the compaction spool: ``merge_stores``
+#: consumes them and the fold drops any pattern whose summed frequency
+#: falls below the minimum, so a served store never carries the flag.
+FLAG_DELTA = 0x2
 
 HEADER_STRUCT = struct.Struct("<HHIQQI")
 SECTIONS_STRUCT = struct.Struct("<7Q")
@@ -182,12 +190,95 @@ def is_sharded_store(path: str | Path) -> bool:
     return path.is_dir() and (path / MANIFEST_NAME).is_file()
 
 
+# ----------------------------------------------------------------------
+# delta sidecar metadata
+# ----------------------------------------------------------------------
+
+#: suffix of the JSON sidecar published next to each ingest delta.  The
+#: sidecar is written (tmp + rename) *before* the delta file itself is
+#: renamed into place, so a ``.store`` file with a sidecar is complete
+#: by construction; a ``.store`` without one is a legacy spool delta
+#: that carries no watermark.
+DELTA_META_SUFFIX = ".meta.json"
+
+
+def delta_meta_path(delta: Path) -> Path:
+    """Sidecar path for a spool delta file."""
+    return delta.with_name(delta.name + DELTA_META_SUFFIX)
+
+
+def write_delta_meta(
+    delta: Path, meta: dict, source: Path | None = None
+) -> Path:
+    """Atomically publish ``meta`` as the sidecar of ``delta``.
+
+    The caller supplies the semantic fields (kind, sequence range,
+    watermark); the payload integrity fields — byte size and CRC-32 of
+    the delta file as it exists *right now* — are stamped here so the
+    sidecar can never describe bytes it has not seen.  ``source`` reads
+    the bytes from a staging path while the sidecar is still named for
+    the final ``delta`` location (the publish protocol renames the
+    sidecar into place *before* the delta itself).
+    """
+    import zlib
+
+    data = (delta if source is None else source).read_bytes()
+    payload = {
+        "format": "repro-ingest-delta",
+        "bytes": len(data),
+        "crc32": zlib.crc32(data) & 0xFFFFFFFF,
+        **meta,
+    }
+    path = delta_meta_path(delta)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def read_delta_meta(delta: Path) -> dict | None:
+    """Load the sidecar of ``delta``, or ``None`` when it has none.
+
+    A present-but-unreadable sidecar raises :class:`StoreCorruptError`
+    so the daemon quarantines the pair instead of applying a delta
+    whose provenance cannot be checked.
+    """
+    path = delta_meta_path(delta)
+    try:
+        meta = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, OSError) as exc:
+        raise StoreCorruptError(f"{path}: invalid delta sidecar: {exc}") from None
+    if not isinstance(meta, dict) or meta.get("format") != "repro-ingest-delta":
+        raise StoreCorruptError(f"{path}: not an ingest-delta sidecar")
+    return meta
+
+
+def verify_delta_meta(delta: Path, meta: dict) -> bool:
+    """True iff the delta's bytes match the size + CRC-32 in ``meta``."""
+    import zlib
+
+    try:
+        data = delta.read_bytes()
+    except OSError:
+        return False
+    return len(data) == meta.get("bytes") and (
+        zlib.crc32(data) & 0xFFFFFFFF
+    ) == meta.get("crc32")
+
+
 __all__ = [
     "MAGIC",
     "VERSION",
     "VERSION_POSITIONAL",
     "SUPPORTED_VERSIONS",
     "FLAG_CHECKSUMS",
+    "FLAG_DELTA",
     "HEADER_STRUCT",
     "SECTIONS_STRUCT",
     "U64",
@@ -204,4 +295,9 @@ __all__ = [
     "write_manifest",
     "read_manifest",
     "is_sharded_store",
+    "DELTA_META_SUFFIX",
+    "delta_meta_path",
+    "write_delta_meta",
+    "read_delta_meta",
+    "verify_delta_meta",
 ]

@@ -286,6 +286,38 @@ def render_metrics(stats: dict) -> str:
             "Background compactions folded into the served store.",
             compaction.get("compactions", 0),
         )
+        ingest = compaction.get("ingest")
+        if ingest:
+            emit(
+                "lash_ingest_applied_deltas_total", "counter",
+                "Ingest deltas folded into the served store and archived.",
+                ingest.get("applied_deltas", 0),
+            )
+            emit(
+                "lash_ingest_pending_deltas", "gauge",
+                "Deltas waiting in the compaction spool.",
+                ingest.get("pending_deltas", 0),
+            )
+            emit(
+                "lash_ingest_lag_seconds", "gauge",
+                "Age of the oldest unapplied spool delta.",
+                ingest.get("lag_seconds", 0.0),
+            )
+    freshness = stats.get("freshness")
+    if freshness:
+        emit(
+            "lash_ingested_through", "gauge",
+            "Freshness watermark: sequences folded into the served "
+            "store (exclusive upper sequence number).",
+            freshness.get("ingested_through", 0),
+        )
+        if freshness.get("retained_from") is not None:
+            emit(
+                "lash_retained_from", "gauge",
+                "Retention horizon: first sequence number still "
+                "contributing support.",
+                freshness["retained_from"],
+            )
     latency = stats.get("request_latency")
     if latency:
         name = "lash_request_latency_seconds"

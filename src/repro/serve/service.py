@@ -293,6 +293,7 @@ class QueryService:
             # present on computed (cache-miss) answers only: hits skip
             # the estimator entirely, which is the point of the cache
             result["estimated_cost"] = round(cost, 1)
+        self._stamp_freshness(result)
         return result
 
     def count(self, query: str, min_freq: int | None = None) -> dict:
@@ -311,7 +312,22 @@ class QueryService:
             result["partial"] = partial
         if cost is not None:
             result["estimated_cost"] = round(cost, 1)
+        self._stamp_freshness(result)
         return result
+
+    def _stamp_freshness(self, result: dict) -> None:
+        """Attach the per-query freshness bound: the ingest watermark of
+        the backend that produced this answer.  Stamped at response time
+        (never cached with the entry) so an answer served from cache
+        after a compaction swap reports the *live* backend's bound —
+        exactly what the answer now reflects, since swaps bump the cache
+        epoch and flush stale entries."""
+        watermark = getattr(self._backend, "ingested_through", None)
+        if watermark is not None:
+            result["ingested_through"] = watermark
+            retained = getattr(self._backend, "retained_from", None)
+            if retained is not None:
+                result["retained_from"] = retained
 
     def topk(self, n: int = DEFAULT_LIMIT) -> dict:
         """The ``n`` globally most frequent patterns (``n >= 1``).
@@ -573,6 +589,13 @@ class QueryService:
         describe = getattr(self._backend, "describe", None)
         if describe is not None:
             stats["store"] = describe()
+        watermark = getattr(self._backend, "ingested_through", None)
+        if watermark is not None:
+            freshness = {"ingested_through": watermark}
+            retained = getattr(self._backend, "retained_from", None)
+            if retained is not None:
+                freshness["retained_from"] = retained
+            stats["freshness"] = freshness
         plan_stats = getattr(self._backend, "plan_stats", None)
         if plan_stats is not None:
             # compiled-query-plan cache + execution-path counters (the

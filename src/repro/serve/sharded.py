@@ -142,6 +142,29 @@ class ShardedPatternStore(PatternSearchBase):
         to decide when to reopen."""
         return self._manifest.get("generation", 0)
 
+    @property
+    def ingested_through(self) -> int | None:
+        """Freshness watermark: sequence number (exclusive) through which
+        ingest deltas have been folded into this generation, or ``None``
+        for a store never touched by ``lash ingest``."""
+        ingest = self._manifest.get("ingest")
+        if isinstance(ingest, dict):
+            value = ingest.get("ingested_through")
+            if isinstance(value, int) and not isinstance(value, bool):
+                return value
+        return None
+
+    @property
+    def retained_from(self) -> int | None:
+        """Retention horizon: first sequence number still contributing
+        support (earlier ones were retired), or ``None`` without ingest."""
+        ingest = self._manifest.get("ingest")
+        if isinstance(ingest, dict):
+            value = ingest.get("retained_from")
+            if isinstance(value, int) and not isinstance(value, bool):
+                return value
+        return None
+
     def _shard(self, index: int) -> PatternStore:
         if index not in self._owned_set:
             raise InvalidParameterError(
@@ -244,6 +267,8 @@ class ShardedPatternStore(PatternSearchBase):
             "file_bytes": sum(s["file_bytes"] for s in shards),
             "shard_stats": shards,
         }
+        if isinstance(self._manifest.get("ingest"), dict):
+            info["ingest"] = dict(self._manifest["ingest"])
         if len(self._owned) != len(self._files):
             # a subset mount serves only its slice; report that slice's
             # counts, not the whole manifest's

@@ -41,10 +41,12 @@ from repro.io.codec import (
     read_sequence,
     read_uvarint,
     section_checksum,
+    zigzag_decode,
 )
 from repro.serve.format import (
     CHECKSUMS_STRUCT,
     FLAG_CHECKSUMS,
+    FLAG_DELTA,
     HEADER_SIZE,
     HEADER_STRUCT,
     MAGIC,
@@ -141,6 +143,11 @@ class PatternStore(PatternSearchBase):
                 self._off_end,
             ) = SECTIONS_STRUCT.unpack_from(head, len(MAGIC) + HEADER_STRUCT.size)
             self._checksummed = bool(self._flags & FLAG_CHECKSUMS)
+            # a signed delta store (spool-only): every frequency is
+            # zigzag-coded and decrements come out negative
+            self._delta = bool(self._flags & FLAG_DELTA)
+            if self._delta:
+                self._total_frequency = zigzag_decode(self._total_frequency)
             expected_size = self._off_end + (
                 CHECKSUMS_STRUCT.size if self._checksummed else 0
             )
@@ -234,6 +241,7 @@ class PatternStore(PatternSearchBase):
             + (CHECKSUMS_STRUCT.size if self._checksummed else 0),
             "checksums": self._checksummed,
             "positional": self._positional,
+            "delta": self._delta,
         }
 
     # ------------------------------------------------------------------
@@ -258,7 +266,7 @@ class PatternStore(PatternSearchBase):
             names.append(data[offset:offset + n].decode("utf-8"))
             offset += n
             freq, offset = read_uvarint(data, offset)
-            frequencies.append(freq)
+            frequencies.append(zigzag_decode(freq) if self._delta else freq)
             n_parents, offset = read_uvarint(data, offset)
             parents = []
             for _ in range(n_parents):
@@ -288,6 +296,8 @@ class PatternStore(PatternSearchBase):
         base = self._off_pat_offsets + U64.size * idx
         start = U64.unpack_from(self._data, base)[0] + self._off_patterns
         freq, offset = read_uvarint(self._data, start)
+        if self._delta:
+            freq = zigzag_decode(freq)
         pattern, _ = read_sequence(self._data, offset)
         record = (pattern, freq)
         with self._lock:

@@ -11,8 +11,10 @@ memory is O(buffer + runs), never O(records); when everything fits in
 one buffer no file is ever created.
 
 Run files use the store codec (:mod:`repro.io.codec`): each record is a
-length-prefixed blob of ``write_sequence(pattern)`` + ``uvarint(freq)``,
-so a run reader needs only a small read-ahead, not the whole run.
+length-prefixed blob of ``write_sequence(pattern)`` + the zigzag-coded
+frequency, so a run reader needs only a small read-ahead, not the whole
+run.  Frequencies are signed here because delta merges flow decrement
+records (negative frequencies) through the same spill machinery.
 """
 
 from __future__ import annotations
@@ -28,6 +30,8 @@ from repro.io.codec import (
     read_uvarint,
     write_sequence,
     write_uvarint,
+    zigzag_decode,
+    zigzag_encode,
 )
 
 Record = tuple[tuple[int, ...], int]
@@ -40,7 +44,7 @@ def write_record(buf: bytearray, pattern: tuple[int, ...], frequency: int) -> No
     """Append one length-prefixed record to ``buf``."""
     payload = bytearray()
     write_sequence(payload, pattern)
-    write_uvarint(payload, frequency)
+    write_uvarint(payload, zigzag_encode(frequency))
     write_uvarint(buf, len(payload))
     buf.extend(payload)
 
@@ -75,7 +79,7 @@ def iter_run(f: IO[bytes]) -> Iterator[Record]:
             raise EncodingError("truncated record in spill run")
         pattern, offset = read_sequence(payload, 0)
         frequency, _ = read_uvarint(payload, offset)
-        yield pattern, frequency
+        yield pattern, zigzag_decode(frequency)
 
 
 #: io buffer of one spill-run file; kept small because the number of

@@ -43,10 +43,12 @@ from repro.io.codec import (
     write_positions,
     write_sequence,
     write_uvarint,
+    zigzag_encode,
 )
 from repro.serve.format import (
     CHECKSUMS_STRUCT,
     FLAG_CHECKSUMS,
+    FLAG_DELTA,
     HEADER_SIZE,
     HEADER_STRUCT,
     MAGIC,
@@ -99,14 +101,19 @@ def _remove_shard_dir(directory: Path) -> None:
     shutil.rmtree(directory)
 
 
-def _encode_vocabulary(vocabulary: Vocabulary) -> bytes:
-    """The vocabulary section: per item name, frequency, parent ids."""
+def _encode_vocabulary(vocabulary: Vocabulary, delta: bool = False) -> bytes:
+    """The vocabulary section: per item name, frequency, parent ids.
+
+    Under ``delta`` the frequencies are zigzag-coded: a retire delta
+    carries *negative* item frequencies so merging vocabularies of base
+    + deltas reproduces the retained corpus's f-list exactly."""
     vocab = bytearray()
     for item_id in range(len(vocabulary)):
         name = vocabulary.name(item_id).encode("utf-8")
         write_uvarint(vocab, len(name))
         vocab.extend(name)
-        write_uvarint(vocab, vocabulary.frequency(item_id))
+        frequency = vocabulary.frequency(item_id)
+        write_uvarint(vocab, zigzag_encode(frequency) if delta else frequency)
         parents = vocabulary.parent_ids(item_id)
         write_uvarint(vocab, len(parents))
         for parent in parents:
@@ -190,27 +197,39 @@ class PatternWriter:
         buffer_bytes: int = DEFAULT_SECTION_BUFFER,
         postings_buffer: int = DEFAULT_POSTINGS_BUFFER,
         store_version: int = VERSION,
+        delta: bool = False,
     ) -> None:
         """``store_version`` pins the emitted format version.  The
         default is always the current :data:`~repro.serve.format.VERSION`;
         passing 1 writes a legacy index-only postings section — kept so
         the back-compat tests can fabricate old-format stores without
-        archiving binary fixtures."""
+        archiving binary fixtures.
+
+        ``delta=True`` writes a signed delta store (header
+        :data:`~repro.serve.format.FLAG_DELTA`): every frequency is
+        zigzag-coded and records may carry negative frequencies
+        (decrements); zero-frequency records are rejected so a delta
+        has exactly one canonical byte form."""
         if store_version not in SUPPORTED_VERSIONS:
             raise EncodingError(
                 f"unsupported store version {store_version!r} "
                 f"(supported: {SUPPORTED_VERSIONS})"
             )
+        if delta and store_version < VERSION_POSITIONAL:
+            raise EncodingError(
+                "delta stores require the current store version"
+            )
         self._path = Path(path)
         self._vocabulary = vocabulary
         self._checksums = checksums
+        self._delta = delta
         self._store_version = store_version
         self._positional = store_version >= VERSION_POSITIONAL
         spill = Path(spill_dir) if spill_dir is not None else self._path.parent
         self._spill_dir = spill
         self._buffer_bytes = buffer_bytes
         self._n_items = len(vocabulary)
-        self._vocab_bytes = _encode_vocabulary(vocabulary)
+        self._vocab_bytes = _encode_vocabulary(vocabulary, delta=delta)
         self._lengths = _SectionSpill(spill, buffer_bytes)
         self._offsets = _SectionSpill(spill, buffer_bytes)
         self._offsets.append(U64.pack(0))
@@ -253,6 +272,19 @@ class PatternWriter:
                 f"pattern {pattern!r} has items outside the vocabulary "
                 f"(size {self._n_items})"
             )
+        if self._delta:
+            if frequency == 0:
+                raise EncodingError(
+                    f"{self._path}: zero-frequency record {pattern!r} has "
+                    "no effect; delta stores must be in canonical form"
+                )
+        elif frequency < 0:
+            # frequency 0 is a legal plain record (membership means
+            # "stored", not "frequency > 0"); decrements are delta-only
+            raise EncodingError(
+                f"{self._path}: frequency {frequency} for {pattern!r}; "
+                "only delta stores may carry negative frequencies"
+            )
         key = rank_key((pattern, frequency))
         if self._last_key is not None and key <= self._last_key:
             raise EncodingError(
@@ -267,7 +299,9 @@ class PatternWriter:
         self._lengths.append(length)
 
         record = bytearray()
-        write_uvarint(record, frequency)
+        write_uvarint(
+            record, zigzag_encode(frequency) if self._delta else frequency
+        )
         write_sequence(record, pattern)
         self._records.append(record)
         self._cursor += len(record)
@@ -404,12 +438,17 @@ class PatternWriter:
                 offset += size
             sections.append(offset)  # end of the data sections
 
+            flags = FLAG_CHECKSUMS if self._checksums else 0
+            if self._delta:
+                flags |= FLAG_DELTA
             header = HEADER_STRUCT.pack(
                 self._store_version,
-                FLAG_CHECKSUMS if self._checksums else 0,
+                flags,
                 self._n_items,
                 self._count,
-                self._total_frequency,
+                zigzag_encode(self._total_frequency)
+                if self._delta
+                else self._total_frequency,
                 self._max_length,
             )
             try:
@@ -481,6 +520,7 @@ class _ShardStreamWriter:
         checksums: bool = True,
         postings_buffer: int = DEFAULT_POSTINGS_BUFFER,
         store_version: int = VERSION,
+        delta: bool = False,
     ) -> None:
         self._vocabulary = vocabulary
         self._num = len(files)
@@ -497,6 +537,7 @@ class _ShardStreamWriter:
                         spill_dir=directory,
                         postings_buffer=postings_buffer,
                         store_version=store_version,
+                        delta=delta,
                     )
                 )
         except BaseException:
@@ -540,6 +581,7 @@ class ShardedPatternWriter:
         checksums: bool = True,
         postings_buffer: int = DEFAULT_POSTINGS_BUFFER,
         store_version: int = VERSION,
+        delta: bool = False,
     ) -> None:
         if shards < 1:
             raise EncodingError(f"shard count must be >= 1, got {shards}")
@@ -558,6 +600,7 @@ class ShardedPatternWriter:
         self._tmp = tmp
         self._files = [shard_filename(i, shards) for i in range(shards)]
         self._done = False
+        self._delta = delta
         try:
             self._router = _ShardStreamWriter(
                 tmp,
@@ -566,6 +609,7 @@ class ShardedPatternWriter:
                 checksums=checksums,
                 postings_buffer=postings_buffer,
                 store_version=store_version,
+                delta=delta,
             )
         except BaseException:
             shutil.rmtree(tmp, ignore_errors=True)
@@ -594,16 +638,15 @@ class ShardedPatternWriter:
         self._done = True
         try:
             self._router.close()
-            write_manifest(
-                self._tmp,
-                self._files,
-                {
-                    "items": len(self._vocabulary),
-                    "patterns": self._router.count,
-                    "total_frequency": self._router.total_frequency,
-                    "generation": 0,
-                },
-            )
+            meta = {
+                "items": len(self._vocabulary),
+                "patterns": self._router.count,
+                "total_frequency": self._router.total_frequency,
+                "generation": 0,
+            }
+            if self._delta:
+                meta["delta"] = True
+            write_manifest(self._tmp, self._files, meta)
             if self._directory.exists():
                 _remove_shard_dir(self._directory)  # validates contents first
             os.replace(self._tmp, self._directory)
@@ -638,6 +681,7 @@ def write_store(
     vocabulary: Vocabulary,
     checksums: bool = True,
     store_version: int = VERSION,
+    delta: bool = False,
 ) -> None:
     """Serialize coded patterns + vocabulary into a store file.
 
@@ -649,7 +693,8 @@ def write_store(
     invariant.
     """
     with PatternWriter(
-        path, vocabulary, checksums=checksums, store_version=store_version
+        path, vocabulary, checksums=checksums, store_version=store_version,
+        delta=delta,
     ) as writer:
         for pattern, frequency in rank_patterns(patterns):
             writer.write(pattern, frequency)
@@ -683,12 +728,16 @@ def write_sharded_store(
 # streaming merge
 # ----------------------------------------------------------------------
 
-def merged_vocabulary(stores: Sequence) -> Vocabulary:
+def merged_vocabulary(stores: Sequence, signed: bool = False) -> Vocabulary:
     """The union vocabulary of already-open stores (hierarchies unioned,
-    item frequencies summed, the LASH total order recomputed)."""
+    item frequencies summed, the LASH total order recomputed —
+    ``signed=True`` switches to the frequency-free depth order for
+    delta-to-delta merges whose sums may go negative)."""
     from repro.query.build import merge_vocabularies
 
-    return merge_vocabularies([store.vocabulary for store in stores])
+    return merge_vocabularies(
+        [store.vocabulary for store in stores], signed=signed
+    )
 
 
 def iter_merged_records(
@@ -736,6 +785,8 @@ def merge_stores(
     shards: int | None = None,
     checksums: bool = True,
     sort_buffer: int = DEFAULT_SORT_BUFFER,
+    min_frequency: int = 1,
+    as_delta: bool = False,
 ) -> None:
     """Merge existing stores (files or shard directories) into one store.
 
@@ -747,6 +798,20 @@ def merge_stores(
     rebuild over the combined runs would produce — except patterns whose
     support crosses the σ threshold only on the combined corpus, which
     no merge of already-thresholded results can recover.
+
+    Sources may include signed *delta* stores (ingest increments and
+    retire decrements): frequencies sum algebraically, and the merged
+    record stream is thresholded at ``min_frequency`` — a pattern whose
+    summed support falls below it (e.g. fully retired, net 0) vanishes
+    from the output exactly as it would from a re-mine of the retained
+    corpus.  The default of 1 keeps positive-store merges byte-identical
+    to their historical output while erasing cancelled patterns.
+
+    ``as_delta=True`` writes the *output* as a signed delta store
+    instead: no thresholding except dropping exact-zero records (the
+    canonical form), so folding deltas into one delta is associative —
+    any grouping or arrival order of the same deltas produces the same
+    bytes.
 
     Unlike the original implementation this never materializes a source:
     records stream straight from the source mmaps through two external
@@ -780,7 +845,7 @@ def merge_stores(
                     source, pattern_cache_size=0, postings_cache_size=0
                 )
             )
-        vocabulary = merged_vocabulary(opened)
+        vocabulary = merged_vocabulary(opened, signed=as_delta)
         records = iter_merged_records(
             opened, vocabulary, sort_buffer=sort_buffer,
             spill_dir=out.parent,
@@ -791,15 +856,20 @@ def merge_stores(
         if shards is None:
             writer: PatternWriter | ShardedPatternWriter = PatternWriter(
                 out, vocabulary, checksums=checksums,
-                postings_buffer=sort_buffer,
+                postings_buffer=sort_buffer, delta=as_delta,
             )
         else:
             writer = ShardedPatternWriter(
                 out, vocabulary, shards, checksums=checksums,
-                postings_buffer=sort_buffer,
+                postings_buffer=sort_buffer, delta=as_delta,
             )
         with writer:
             for pattern, frequency in records:
+                if as_delta:
+                    if frequency == 0:
+                        continue
+                elif frequency < min_frequency:
+                    continue
                 writer.write(pattern, frequency)
     finally:
         for store in opened:

@@ -121,6 +121,31 @@ class TestMine:
         assert rc == 0
         assert "10 patterns" in capsys.readouterr().out
 
+    def test_store_shards_export(self, example_files, capsys, tmp_path):
+        db, hierarchy = example_files
+        store = tmp_path / "patterns.shards"
+        rc = main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "2", "--gamma", "1", "--lam", "3",
+            "--store", str(store), "--store-shards", "3",
+        ])
+        assert rc == 0
+        assert "wrote pattern store" in capsys.readouterr().out
+        from repro.serve import open_store
+
+        with open_store(store) as opened:
+            info = opened.describe()
+            assert info["shards"] == 3
+            assert info["patterns"] == 10
+
+    def test_store_shards_requires_store(self, example_files):
+        db, hierarchy = example_files
+        with pytest.raises(SystemExit, match="--store-shards"):
+            main([
+                "mine", "--db", db, "--hierarchy", hierarchy,
+                "--sigma", "2", "--store-shards", "3",
+            ])
+
     def test_flist_without_hierarchy_rejected(self, example_files, tmp_path):
         db, hierarchy = example_files
         flist = tmp_path / "flist.tsv"
@@ -720,3 +745,84 @@ class TestDistributedCLI:
         out = capsys.readouterr().out
         assert "routing 2 shards over 1 servers (1 healthy)" in out
         assert "shard 0:" in out and "shard 1:" in out
+
+
+class TestIngestCLI:
+    @pytest.fixture
+    def live_store(self, example_files, tmp_path, capsys):
+        db, hierarchy = example_files
+        patterns = tmp_path / "patterns.tsv"
+        main([
+            "mine", "--db", db, "--hierarchy", hierarchy,
+            "--sigma", "1", "--gamma", "1", "--lam", "3",
+            "--out", str(patterns),
+        ])
+        store = tmp_path / "live.shards"
+        main([
+            "index", "build", "--patterns", str(patterns),
+            "--hierarchy", hierarchy, "--out", str(store),
+            "--shards", "3",
+        ])
+        capsys.readouterr()
+        return str(store), db
+
+    def test_init_add_retire_status_flush(
+        self, live_store, tmp_path, capsys
+    ):
+        store, db = live_store
+        spool = str(tmp_path / "spool")
+        state = str(tmp_path / "state")
+        rc = main([
+            "ingest", "init", "--store", store, "--spool", spool,
+            "--state", state, "--gamma", "1", "--lam", "3",
+        ])
+        assert rc == 0
+        assert "initialized ingest state" in capsys.readouterr().out
+
+        rc = main(["ingest", "add", "--state", state, "a c", "b1 a"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ingested 2 sequences" in out
+        assert "delta-00000000-00000002.store" in out
+
+        rc = main(["ingest", "add", "--state", state, "--db", db])
+        assert rc == 0
+        assert "ingested 6 sequences" in capsys.readouterr().out
+
+        rc = main(["ingest", "retire", "--state", state, "--count", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "retired 3 sequences" in out
+        assert "retire-00000000-00000003.store" in out
+
+        rc = main(["ingest", "status", "--state", state])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "journaled=8" in out
+        assert "retained_from=3" in out
+        assert "pending:" in out
+
+        rc = main(["ingest", "flush", "--state", state])
+        assert rc == 0
+        assert "nothing pending" in capsys.readouterr().out
+
+    def test_add_requires_some_input(self, live_store, tmp_path, capsys):
+        store, _ = live_store
+        spool = str(tmp_path / "spool")
+        state = str(tmp_path / "state")
+        main([
+            "ingest", "init", "--store", store, "--spool", spool,
+            "--state", state, "--gamma", "1", "--lam", "3",
+        ])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="nothing to ingest"):
+            main(["ingest", "add", "--state", state])
+
+    def test_serve_accepts_applied_retain_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--store", "s", "--compact-spool", "sp",
+            "--applied-retain", "7",
+        ])
+        assert args.applied_retain == 7
